@@ -1,0 +1,307 @@
+// Package joshua_bench regenerates every table and figure of the
+// paper's evaluation as Go benchmarks:
+//
+//	BenchmarkFig10_*  — job submission latency, Figure 10 (one op per
+//	                    iteration; compare ns/op across systems)
+//	BenchmarkFig11_*  — job submission throughput, Figure 11 (one
+//	                    full 100-job burst per iteration)
+//	BenchmarkFig12_*  — availability analysis, Figure 12
+//	BenchmarkAblation_* — design-choice ablations from DESIGN.md
+//	BenchmarkMicro_*  — component micro-benchmarks
+//
+// The simulated latency model runs at benchScale of the paper-scale
+// constants so a full -bench=. pass stays fast; cmd/jbench prints the
+// tables at any scale, including 1.0. Shapes, not absolute times, are
+// the reproduction target (see EXPERIMENTS.md).
+package joshua_bench
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"joshua/internal/availability"
+	"joshua/internal/bench"
+	"joshua/internal/codec"
+	"joshua/internal/joshua"
+	"joshua/internal/pbs"
+)
+
+// benchScale keeps the full benchmark suite quick while preserving the
+// latency model's proportions.
+const benchScale = 0.05
+
+// latencySystem builds one Figure 10 configuration and hands the
+// per-iteration submission to the benchmark loop.
+func latencySystem(b *testing.B, heads int, plain bool) *bench.System {
+	b.Helper()
+	sys, err := bench.StartSystem(bench.PaperCalibration(benchScale), heads, plain)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(sys.Close)
+	// Warm up the path (connection setup, first scheduling pass).
+	if _, err := bench.MeasureLatency(sys.Client, 1); err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+func benchSubmit(b *testing.B, sys *bench.System) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Client.Submit(pbs.SubmitRequest{Name: "bench", Owner: "bench", Hold: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 10: job submission latency ---
+
+func BenchmarkFig10_TORQUE(b *testing.B) {
+	benchSubmit(b, latencySystem(b, 1, true))
+}
+
+func BenchmarkFig10_JOSHUA_1head(b *testing.B) {
+	benchSubmit(b, latencySystem(b, 1, false))
+}
+
+func BenchmarkFig10_JOSHUA_2heads(b *testing.B) {
+	benchSubmit(b, latencySystem(b, 2, false))
+}
+
+func BenchmarkFig10_JOSHUA_3heads(b *testing.B) {
+	benchSubmit(b, latencySystem(b, 3, false))
+}
+
+func BenchmarkFig10_JOSHUA_4heads(b *testing.B) {
+	benchSubmit(b, latencySystem(b, 4, false))
+}
+
+// --- Figure 11: job submission throughput (100-job burst) ---
+
+func benchBurst(b *testing.B, heads int, plain bool, jobs int) {
+	sys := latencySystem(b, heads, plain)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.MeasureThroughput(sys.Client, jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11_TORQUE_100jobs(b *testing.B) {
+	benchBurst(b, 1, true, 100)
+}
+
+func BenchmarkFig11_JOSHUA_1head_100jobs(b *testing.B) {
+	benchBurst(b, 1, false, 100)
+}
+
+func BenchmarkFig11_JOSHUA_2heads_100jobs(b *testing.B) {
+	benchBurst(b, 2, false, 100)
+}
+
+func BenchmarkFig11_JOSHUA_3heads_100jobs(b *testing.B) {
+	benchBurst(b, 3, false, 100)
+}
+
+func BenchmarkFig11_JOSHUA_4heads_100jobs(b *testing.B) {
+	benchBurst(b, 4, false, 100)
+}
+
+// --- Figure 12: availability analysis ---
+
+func BenchmarkFig12_Analytic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := availability.Table(availability.PaperMTTF, availability.PaperMTTR, 4)
+		if len(rows) != 4 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkFig12_MonteCarlo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := availability.Simulate(availability.SimConfig{
+			Heads: 2,
+			MTTF:  availability.PaperMTTF,
+			MTTR:  availability.PaperMTTR,
+			Years: 100,
+			Seed:  int64(i + 1),
+		})
+		if res.Availability <= 0 {
+			b.Fatal("bad simulation")
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+func BenchmarkAblation_AgreedDelivery_2heads(b *testing.B) {
+	cal := bench.PaperCalibration(benchScale)
+	cal.Agreed = true
+	sys, err := bench.StartSystem(cal, 2, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(sys.Close)
+	benchSubmit(b, sys)
+}
+
+func BenchmarkAblation_SafeDelivery_2heads(b *testing.B) {
+	benchSubmit(b, latencySystem(b, 2, false)) // safe is the calibrated default
+}
+
+func BenchmarkAblation_LeaderReplies_2heads(b *testing.B) {
+	cal := bench.PaperCalibration(benchScale)
+	cal.OutputPolicy = joshua.LeaderReplies
+	sys, err := bench.StartSystem(cal, 2, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(sys.Close)
+	benchSubmit(b, sys)
+}
+
+func BenchmarkAblation_BatchSubmit100_2heads(b *testing.B) {
+	sys := latencySystem(b, 2, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.MeasureBatchThroughput(sys.Client, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_OrderedRead_2heads(b *testing.B) {
+	sys := latencySystem(b, 2, false)
+	j, err := sys.Client.Submit(pbs.SubmitRequest{Name: "probe", Hold: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Client.Stat(j.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_LocalRead_2heads(b *testing.B) {
+	sys := latencySystem(b, 2, false)
+	j, err := sys.Client.Submit(pbs.SubmitRequest{Name: "probe", Hold: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Client.StatLocal(j.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Component micro-benchmarks (no simulated latency) ---
+
+func BenchmarkMicro_CodecEncodeDecode(b *testing.B) {
+	payload := make([]byte, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := codec.NewEncoder(512)
+		e.PutUint(uint64(i))
+		e.PutString("1.cluster")
+		e.PutBytes(payload)
+		d := codec.NewDecoder(e.Bytes())
+		_ = d.Uint()
+		_ = d.String()
+		_ = d.Bytes()
+		if d.Finish() != nil {
+			b.Fatal("roundtrip failed")
+		}
+	}
+}
+
+func BenchmarkMicro_PBSSubmit(b *testing.B) {
+	srv := pbs.NewServer(pbs.Config{
+		ServerName:    "bench",
+		Nodes:         []string{"n0"},
+		Exclusive:     true,
+		KeepCompleted: 16,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.Submit(pbs.SubmitRequest{Name: "j", Hold: true}); err != nil {
+			b.Fatal(err)
+		}
+		srv.TakeActions()
+	}
+}
+
+func BenchmarkMicro_PBSSnapshot(b *testing.B) {
+	srv := pbs.NewServer(pbs.Config{ServerName: "bench", Nodes: []string{"n0"}})
+	for i := 0; i < 200; i++ {
+		srv.Submit(pbs.SubmitRequest{Name: fmt.Sprintf("j%d", i), Hold: true})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(srv.Snapshot()) == 0 {
+			b.Fatal("empty snapshot")
+		}
+	}
+}
+
+func BenchmarkMicro_AvailabilityNines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a := availability.ServiceAvailability(0.9858, 1+i%4)
+		if availability.Nines(a) < 1 {
+			b.Fatal("bad nines")
+		}
+	}
+}
+
+// Guard: keep the paper's reference values wired into the suite so a
+// drive-by edit of the constants is caught.
+func TestPaperReferenceValues(t *testing.T) {
+	if bench.PaperFig10[0] != 98*time.Millisecond || bench.PaperFig10[4] != 349*time.Millisecond {
+		t.Error("Figure 10 reference values changed")
+	}
+	if bench.PaperFig11[4][100] != 33320*time.Millisecond {
+		t.Error("Figure 11 reference values changed")
+	}
+}
+
+// --- Failure handling ---
+
+// BenchmarkFailover_SequencerStall measures the worst-case command
+// stall when the sequencer head fails: failure detection + flush + the
+// client's retransmission. One full crash-and-recover cycle per
+// iteration. Contrast: the paper's related work reports 3-5 s
+// active/standby failovers with restarted applications; here only
+// ordering pauses and no state is lost.
+func BenchmarkFailover_SequencerStall(b *testing.B) {
+	cal := bench.PaperCalibration(benchScale)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stall, _, err := bench.MeasureSequencerFailoverStall(cal)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = stall
+	}
+}
+
+func BenchmarkMicro_GCSViewFormation(b *testing.B) {
+	// Time to stand a 3-head group up to its first view on an instant
+	// network.
+	for i := 0; i < b.N; i++ {
+		sys, err := bench.StartSystem(bench.Calibration{Scale: 0.001, Heartbeat: 5 * time.Millisecond}, 3, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys.Close()
+	}
+}

@@ -1,0 +1,76 @@
+// Command jadmin reports the operational state of every JOSHUA head
+// node: group view, primary status, queue gauges, replication and
+// group-communication counters — what an operator checks before and
+// after maintenance.
+//
+// Usage:
+//
+//	jadmin -config cluster.conf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"joshua/internal/config"
+	"joshua/internal/joshua"
+	"joshua/internal/transport"
+	"joshua/internal/transport/tcpnet"
+)
+
+func main() {
+	configPath := flag.String("config", "", "cluster configuration file")
+	flag.Parse()
+
+	path := *configPath
+	if path == "" {
+		path = os.Getenv("JOSHUA_CONFIG")
+	}
+	conf, err := config.LoadCluster(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jadmin:", err)
+		os.Exit(1)
+	}
+
+	// Query each head individually: jadmin wants per-head state, not
+	// the failover view a normal client sees.
+	for _, h := range conf.Heads {
+		fmt.Printf("=== %s (%s) ===\n", h.Name, h.Client)
+		info, err := queryHead(conf, h.ClientAddr())
+		if err != nil {
+			fmt.Printf("  unreachable: %v\n", err)
+			continue
+		}
+		keys := make([]string, 0, len(info))
+		for k := range info {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %-16s %s\n", k, info[k])
+		}
+	}
+}
+
+func queryHead(conf *config.ClusterFile, head transport.Addr) (map[string]string, error) {
+	logical := transport.Addr(fmt.Sprintf("jadmin-%d-%s/client", os.Getpid(), head.Host()))
+	ep, err := tcpnet.Listen(logical, "127.0.0.1:0", conf.Resolver())
+	if err != nil {
+		return nil, err
+	}
+	cli, err := joshua.NewClient(joshua.ClientConfig{
+		Endpoint:       ep,
+		Heads:          []transport.Addr{head},
+		AttemptTimeout: 2 * time.Second,
+		Rounds:         1,
+	})
+	if err != nil {
+		ep.Close()
+		return nil, err
+	}
+	defer cli.Close()
+	return cli.Info()
+}

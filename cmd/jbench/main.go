@@ -1,0 +1,105 @@
+// Command jbench regenerates every table and figure of the paper's
+// evaluation on the simulated cluster:
+//
+//	jbench -fig 10             # Figure 10: job submission latency
+//	jbench -fig 11             # Figure 11: job submission throughput
+//	jbench -fig 12             # Figure 12: availability/downtime
+//	jbench -fig ablations      # DESIGN.md design-choice ablations
+//	jbench -fig all            # everything
+//
+// -scale selects the latency-model scale (1.0 = paper-scale
+// milliseconds; smaller runs proportionally faster). Shapes, not
+// absolute times, are the reproduction target; each table prints the
+// paper's values alongside (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"joshua/internal/bench"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", "which figure to regenerate: 10, 11, 12, ablations, all")
+		scale    = flag.Float64("scale", 0.2, "latency model scale (1.0 = paper milliseconds)")
+		samples  = flag.Int("samples", 20, "latency samples per configuration")
+		maxHeads = flag.Int("maxheads", 4, "largest head-node group")
+	)
+	flag.Parse()
+
+	cal := bench.PaperCalibration(*scale)
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "jbench:", err)
+		os.Exit(1)
+	}
+
+	run10 := func() {
+		rows, err := bench.Fig10(cal, *maxHeads, *samples)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.FormatFig10(rows, cal))
+	}
+	run11 := func() {
+		counts := []int{10, 50, 100}
+		rows, err := bench.Fig11(cal, *maxHeads, counts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.FormatFig11(rows, cal, counts))
+	}
+	run12 := func() {
+		fmt.Println(bench.Fig12(*maxHeads, 2000))
+	}
+	runAblations := func() {
+		fmt.Println("Ablations (DESIGN.md §5):")
+		type runner func() (bench.AblationResult, error)
+		for _, r := range []runner{
+			func() (bench.AblationResult, error) { return bench.AblationSafeDelivery(cal, 2, *samples) },
+			func() (bench.AblationResult, error) { return bench.AblationOutputPolicy(cal, 2, *samples) },
+			func() (bench.AblationResult, error) { return bench.AblationBatchSubmission(cal, 2, 100) },
+			func() (bench.AblationResult, error) { return bench.AblationReads(cal, 2, *samples) },
+			func() (bench.AblationResult, error) { return bench.AblationOrderedCompletions(cal, 2, 6) },
+			func() (bench.AblationResult, error) { return bench.AblationExclusiveScheduling(cal, 8) },
+		} {
+			res, err := r()
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("  %-32s", res.Name+":")
+			for name, d := range res.Variants {
+				fmt.Printf(" %s=%v", name, d.Round(time.Millisecond/10))
+			}
+			fmt.Println()
+		}
+		stall, normal, err := bench.MeasureSequencerFailoverStall(cal)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("  %-32s stall=%v normal=%v (detection+flush; service state intact)\n",
+			"sequencer failure stall:", stall.Round(time.Millisecond), normal.Round(time.Millisecond))
+		fmt.Println()
+	}
+
+	switch *fig {
+	case "10":
+		run10()
+	case "11":
+		run11()
+	case "12":
+		run12()
+	case "ablations":
+		runAblations()
+	case "all":
+		run10()
+		run11()
+		run12()
+		runAblations()
+	default:
+		fail(fmt.Errorf("unknown -fig %q", *fig))
+	}
+}

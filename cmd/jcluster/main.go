@@ -1,0 +1,133 @@
+// Command jcluster runs a complete simulated JOSHUA deployment in one
+// process — head nodes, compute nodes, and a workload — and narrates a
+// failure scenario end to end: the demonstration that job and resource
+// management service survives head-node failures with no interruption
+// and no lost state.
+//
+// Usage:
+//
+//	jcluster [-heads 3] [-computes 2] [-jobs 8] [-kill 1] [-join 3]
+//
+// -kill crashes the given head mid-workload; -join adds a new head
+// (with state transfer) after the failure. Pass -kill -1 / -join -1 to
+// disable either event.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"joshua/internal/cluster"
+	"joshua/internal/pbs"
+)
+
+func main() {
+	var (
+		heads    = flag.Int("heads", 3, "initial head nodes (1..8)")
+		computes = flag.Int("computes", 2, "compute nodes")
+		jobs     = flag.Int("jobs", 8, "jobs to submit")
+		kill     = flag.Int("kill", 1, "head index to crash mid-workload (-1 disables)")
+		join     = flag.Int("join", -1, "head index to join after the failure (-1 disables)")
+		wall     = flag.Duration("wall", 200*time.Millisecond, "simulated job wall time")
+	)
+	flag.Parse()
+
+	fmt.Printf("=== JOSHUA simulated cluster: %d head node(s), %d compute node(s) ===\n", *heads, *computes)
+	c, err := cluster.NewDefault(*heads, *computes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jcluster:", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+	if err := c.WaitReady(30 * time.Second); err != nil {
+		fmt.Fprintln(os.Stderr, "jcluster:", err)
+		os.Exit(1)
+	}
+	v := c.Head(c.LiveHeads()[0]).View()
+	fmt.Printf("group formed: view %d, members %v\n\n", v.ID, v.Members)
+
+	cli, err := c.Client()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jcluster:", err)
+		os.Exit(1)
+	}
+
+	var ids []pbs.JobID
+	for i := 0; i < *jobs; i++ {
+		j, err := cli.Submit(pbs.SubmitRequest{
+			Name:     fmt.Sprintf("job%d", i),
+			Owner:    "demo",
+			WallTime: *wall,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jcluster: submit:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("submitted %s\n", j.ID)
+		ids = append(ids, j.ID)
+
+		if *kill >= 0 && i == *jobs/2 {
+			fmt.Printf("\n*** crashing head%d (forced shutdown + unplugged cable) ***\n", *kill)
+			c.CrashHead(*kill)
+			fmt.Printf("surviving heads: %v — submissions continue without interruption\n\n", c.LiveHeads())
+		}
+	}
+
+	if *join >= 0 {
+		fmt.Printf("\n*** head%d joins the group (state transfer) ***\n", *join)
+		if err := c.AddHead(*join); err != nil {
+			fmt.Fprintln(os.Stderr, "jcluster: join:", err)
+		} else {
+			deadline := time.Now().Add(30 * time.Second)
+			for time.Now().Before(deadline) {
+				h := c.Head(*join)
+				if h != nil {
+					select {
+					case <-h.Ready():
+						fmt.Printf("head%d admitted: view %v\n\n", *join, h.View().Members)
+						deadline = time.Now()
+					default:
+					}
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+		}
+	}
+
+	fmt.Println("waiting for the workload to finish...")
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		done := 0
+		for _, id := range ids {
+			if j, err := cli.Stat(id); err == nil && j.State == pbs.StateCompleted {
+				done++
+			}
+		}
+		if done == len(ids) {
+			break
+		}
+		if time.Now().After(deadline) {
+			fmt.Fprintln(os.Stderr, "jcluster: workload did not finish in time")
+			os.Exit(1)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	fmt.Println("\nfinal queue state (via jstat):")
+	all, err := cli.StatAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jcluster:", err)
+		os.Exit(1)
+	}
+	fmt.Print(pbs.StatusText(all))
+
+	executions := 0
+	for i := 0; i < *computes; i++ {
+		executions += c.Mom(i).Executions()
+	}
+	fmt.Printf("\n%d jobs executed exactly once each across %d compute node(s): executions=%d\n",
+		len(ids), *computes, executions)
+	fmt.Println("every job completed; no state was lost; service was never interrupted.")
+}

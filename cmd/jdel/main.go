@@ -1,0 +1,46 @@
+// Command jdel deletes jobs from the JOSHUA head-node group — the
+// highly available qdel of the paper. Queued jobs vanish immediately;
+// running jobs are killed on their compute nodes.
+//
+// Usage:
+//
+//	jdel -config cluster.conf job-id [job-id ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"joshua/internal/cli"
+	"joshua/internal/pbs"
+)
+
+func main() {
+	configPath := flag.String("config", "", "cluster configuration file")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		cli.Fatalf("jdel: usage: jdel -config cluster.conf job-id [job-id ...]")
+	}
+
+	conf, err := cli.LoadConfig(*configPath)
+	if err != nil {
+		cli.Fatalf("jdel: %v", err)
+	}
+	client, err := cli.NewClient(conf, 3*time.Second)
+	if err != nil {
+		cli.Fatalf("jdel: %v", err)
+	}
+	defer client.Close()
+
+	exit := 0
+	for _, arg := range flag.Args() {
+		if _, err := client.Delete(pbs.JobID(arg)); err != nil {
+			fmt.Printf("jdel: %s: %v\n", arg, err)
+			exit = 1
+		}
+	}
+	if exit != 0 {
+		cli.Fatalf("jdel: some deletions failed")
+	}
+}

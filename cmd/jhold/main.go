@@ -1,0 +1,46 @@
+// Command jhold places queued jobs on hold across the JOSHUA head-node
+// group — the highly available qhold. Holds work here because state
+// transfer is snapshot-based (the paper's command-replay prototype had
+// to disable them; see DESIGN.md).
+//
+// Usage:
+//
+//	jhold -config cluster.conf job-id [job-id ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"joshua/internal/cli"
+	"joshua/internal/pbs"
+)
+
+func main() {
+	configPath := flag.String("config", "", "cluster configuration file")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		cli.Fatalf("jhold: usage: jhold -config cluster.conf job-id [job-id ...]")
+	}
+	conf, err := cli.LoadConfig(*configPath)
+	if err != nil {
+		cli.Fatalf("jhold: %v", err)
+	}
+	client, err := cli.NewClient(conf, 3*time.Second)
+	if err != nil {
+		cli.Fatalf("jhold: %v", err)
+	}
+	defer client.Close()
+
+	failed := false
+	for _, arg := range flag.Args() {
+		if _, err := client.Hold(pbs.JobID(arg)); err != nil {
+			fmt.Printf("jhold: %s: %v\n", arg, err)
+			failed = true
+		}
+	}
+	if failed {
+		cli.Fatalf("jhold: some holds failed")
+	}
+}

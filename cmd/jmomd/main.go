@@ -1,0 +1,69 @@
+// Command jmomd runs one compute node's PBS mom daemon with the
+// JOSHUA jmutex/jdone prologue hooks, over real TCP sockets.
+//
+// Usage:
+//
+//	jmomd -config cluster.conf -id compute0
+//
+// The mom accepts job-start requests from every head node, elects a
+// single execution per job via the replicated jmutex, simulates the
+// job for its wall time, and reports completion to all heads (the
+// TORQUE v2.0p1 multi-server reporting the paper relies on).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"joshua/internal/cli"
+	"joshua/internal/joshua"
+	"joshua/internal/pbs"
+	"joshua/internal/transport/tcpnet"
+)
+
+func main() {
+	var (
+		configPath = flag.String("config", "", "cluster configuration file")
+		id         = flag.String("id", "", "this compute node's name (a [compute <name>] section)")
+	)
+	flag.Parse()
+
+	conf, err := cli.LoadConfig(*configPath)
+	if err != nil {
+		cli.Fatalf("jmomd: %v", err)
+	}
+	node, ok := conf.Compute(*id)
+	if !ok {
+		cli.Fatalf("jmomd: compute node %q not declared in configuration", *id)
+	}
+
+	momEP, err := tcpnet.Listen(node.MomAddr(), node.Mom, conf.Resolver())
+	if err != nil {
+		cli.Fatalf("jmomd: mom endpoint: %v", err)
+	}
+	lockClient, err := cli.NewClient(conf, 2*time.Second)
+	if err != nil {
+		cli.Fatalf("jmomd: jmutex client: %v", err)
+	}
+	prologue, epilogue := joshua.MomHooks(lockClient, node.Name)
+
+	mom := pbs.StartMom(pbs.MomConfig{
+		Name:      node.Name,
+		Endpoint:  momEP,
+		Servers:   conf.HeadPBSAddrs(),
+		Prologue:  prologue,
+		Epilogue:  epilogue,
+		TimeScale: conf.TimeScale,
+	})
+	fmt.Printf("jmomd %s: serving %d head nodes\n", node.Name, len(conf.Heads))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	mom.Close()
+	lockClient.Close()
+}

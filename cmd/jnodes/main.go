@@ -1,0 +1,56 @@
+// Command jnodes manages and lists compute nodes across the JOSHUA
+// head-node group — the highly available pbsnodes. Offline/online
+// transitions are replicated through the total order, so every head
+// agrees on the schedulable node pool.
+//
+// Usage:
+//
+//	jnodes -config cluster.conf              # list nodes
+//	jnodes -config cluster.conf -o compute0  # mark offline
+//	jnodes -config cluster.conf -c compute0  # bring back online
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"joshua/internal/cli"
+	"joshua/internal/pbs"
+)
+
+func main() {
+	var (
+		configPath = flag.String("config", "", "cluster configuration file")
+		offline    = flag.String("o", "", "mark this node offline")
+		clear      = flag.String("c", "", "clear this node's offline state")
+	)
+	flag.Parse()
+
+	conf, err := cli.LoadConfig(*configPath)
+	if err != nil {
+		cli.Fatalf("jnodes: %v", err)
+	}
+	client, err := cli.NewClient(conf, 3*time.Second)
+	if err != nil {
+		cli.Fatalf("jnodes: %v", err)
+	}
+	defer client.Close()
+
+	switch {
+	case *offline != "":
+		if err := client.SetNodeOffline(*offline); err != nil {
+			cli.Fatalf("jnodes: %v", err)
+		}
+	case *clear != "":
+		if err := client.SetNodeOnline(*clear); err != nil {
+			cli.Fatalf("jnodes: %v", err)
+		}
+	default:
+		nodes, err := client.Nodes()
+		if err != nil {
+			cli.Fatalf("jnodes: %v", err)
+		}
+		fmt.Print(pbs.NodesText(nodes))
+	}
+}

@@ -1,0 +1,131 @@
+// Command joshuad runs one JOSHUA head node: the replicated, highly
+// available PBS-compliant job and resource management service of the
+// paper, over real TCP sockets.
+//
+// Usage:
+//
+//	joshuad -config cluster.conf -id head0 [-mode static|bootstrap|join]
+//
+// The configuration file declares every head node and compute node
+// (see internal/config). With -mode static (the default) all declared
+// heads form the group together at startup; -mode bootstrap founds a
+// fresh singleton group; -mode join joins a running group with state
+// transfer, the path a repaired head node takes back into service.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"joshua/internal/cli"
+	"joshua/internal/joshua"
+	"joshua/internal/pbs"
+	"joshua/internal/transport/tcpnet"
+)
+
+func main() {
+	var (
+		configPath = flag.String("config", "", "cluster configuration file")
+		id         = flag.String("id", "", "this head node's name (a [head <name>] section)")
+		mode       = flag.String("mode", "static", "group formation: static, bootstrap, or join")
+		acctPath   = flag.String("accounting", "", "append PBS accounting records to this file")
+		verbose    = flag.Bool("v", false, "log protocol diagnostics")
+	)
+	flag.Parse()
+
+	conf, err := cli.LoadConfig(*configPath)
+	if err != nil {
+		cli.Fatalf("joshuad: %v", err)
+	}
+	head, ok := conf.Head(*id)
+	if !ok {
+		cli.Fatalf("joshuad: head %q not declared in configuration", *id)
+	}
+
+	resolver := conf.Resolver()
+	groupEP, err := tcpnet.Listen(head.GCSAddr(), head.GCS, resolver)
+	if err != nil {
+		cli.Fatalf("joshuad: group endpoint: %v", err)
+	}
+	clientEP, err := tcpnet.Listen(head.ClientAddr(), head.Client, resolver)
+	if err != nil {
+		cli.Fatalf("joshuad: client endpoint: %v", err)
+	}
+	pbsEP, err := tcpnet.Listen(head.PBSAddr(), head.PBS, resolver)
+	if err != nil {
+		cli.Fatalf("joshuad: pbs endpoint: %v", err)
+	}
+
+	pbsCfg := pbs.Config{
+		ServerName:    conf.ServerName,
+		Nodes:         conf.NodeNames(),
+		Exclusive:     conf.Exclusive,
+		KeepCompleted: 1024,
+	}
+	if *acctPath != "" {
+		f, err := os.OpenFile(*acctPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			cli.Fatalf("joshuad: accounting log: %v", err)
+		}
+		defer f.Close()
+		pbsCfg.Accounting = pbs.NewWriterAccounting(f)
+	}
+	srv := pbs.NewServer(pbsCfg)
+	daemon := pbs.NewDaemon(srv, pbs.DaemonConfig{
+		Endpoint: pbsEP,
+		Moms:     conf.MomAddrs(),
+	})
+
+	cfg := joshua.Config{
+		Self:           head.MemberID(),
+		GroupEndpoint:  groupEP,
+		ClientEndpoint: clientEP,
+		Peers:          conf.GroupPeers(),
+		Daemon:         daemon,
+	}
+	if *verbose {
+		cfg.Logger = log.New(os.Stderr, "", log.Ltime|log.Lmicroseconds)
+	}
+	switch *mode {
+	case "static":
+		for _, h := range conf.Heads {
+			cfg.InitialMembers = append(cfg.InitialMembers, h.MemberID())
+		}
+	case "bootstrap":
+		cfg.Bootstrap = true
+	case "join":
+		// neither static members nor bootstrap: join via Peers
+	default:
+		cli.Fatalf("joshuad: unknown -mode %q", *mode)
+	}
+
+	server, err := joshua.StartServer(cfg)
+	if err != nil {
+		cli.Fatalf("joshuad: %v", err)
+	}
+
+	select {
+	case <-server.Ready():
+		v := server.View()
+		fmt.Printf("joshuad %s: serving in view %d, members %v\n", *id, v.ID, v.Members)
+	case <-time.After(60 * time.Second):
+		cli.Fatalf("joshuad: group not formed within 60s")
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	s := <-sig
+	if s == syscall.SIGTERM {
+		// Graceful departure: announce the leave so the survivors
+		// exclude this head without waiting out the failure detector.
+		fmt.Printf("joshuad %s: leaving group\n", *id)
+		server.Leave()
+	} else {
+		server.Close()
+	}
+}

@@ -1,0 +1,44 @@
+// Command jrls releases held jobs across the JOSHUA head-node group —
+// the highly available qrls.
+//
+// Usage:
+//
+//	jrls -config cluster.conf job-id [job-id ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"joshua/internal/cli"
+	"joshua/internal/pbs"
+)
+
+func main() {
+	configPath := flag.String("config", "", "cluster configuration file")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		cli.Fatalf("jrls: usage: jrls -config cluster.conf job-id [job-id ...]")
+	}
+	conf, err := cli.LoadConfig(*configPath)
+	if err != nil {
+		cli.Fatalf("jrls: %v", err)
+	}
+	client, err := cli.NewClient(conf, 3*time.Second)
+	if err != nil {
+		cli.Fatalf("jrls: %v", err)
+	}
+	defer client.Close()
+
+	failed := false
+	for _, arg := range flag.Args() {
+		if _, err := client.Release(pbs.JobID(arg)); err != nil {
+			fmt.Printf("jrls: %s: %v\n", arg, err)
+			failed = true
+		}
+	}
+	if failed {
+		cli.Fatalf("jrls: some releases failed")
+	}
+}

@@ -1,0 +1,42 @@
+// Command jsig signals a running job across the JOSHUA head-node
+// group — the qsig the paper left outside JOSHUA ("this operation does
+// not appear to change the state of the ... service"). It is routed
+// through the total order anyway so that every head agrees on the
+// signal count; as the paper observed, it has no scheduling effect.
+//
+// Usage:
+//
+//	jsig -config cluster.conf -s SIGUSR1 job-id
+package main
+
+import (
+	"flag"
+	"time"
+
+	"joshua/internal/cli"
+	"joshua/internal/pbs"
+)
+
+func main() {
+	var (
+		configPath = flag.String("config", "", "cluster configuration file")
+		sig        = flag.String("s", "SIGTERM", "signal name to deliver")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		cli.Fatalf("jsig: usage: jsig -config cluster.conf [-s SIG] job-id")
+	}
+	conf, err := cli.LoadConfig(*configPath)
+	if err != nil {
+		cli.Fatalf("jsig: %v", err)
+	}
+	client, err := cli.NewClient(conf, 3*time.Second)
+	if err != nil {
+		cli.Fatalf("jsig: %v", err)
+	}
+	defer client.Close()
+
+	if _, err := client.Signal(pbs.JobID(flag.Arg(0)), *sig); err != nil {
+		cli.Fatalf("jsig: %v", err)
+	}
+}

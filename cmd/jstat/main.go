@@ -1,0 +1,60 @@
+// Command jstat queries job status from the JOSHUA head-node group —
+// the highly available qstat of the paper. By default the query is
+// totally ordered with respect to mutations (a linearizable read);
+// -local serves it from one head's local state instead.
+//
+// Usage:
+//
+//	jstat -config cluster.conf [-f] [-local] [job-id]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"joshua/internal/cli"
+	"joshua/internal/pbs"
+)
+
+func main() {
+	var (
+		configPath = flag.String("config", "", "cluster configuration file")
+		full       = flag.Bool("f", false, "full display (qstat -f)")
+		local      = flag.Bool("local", false, "read one head's local state (fast, possibly stale)")
+	)
+	flag.Parse()
+
+	conf, err := cli.LoadConfig(*configPath)
+	if err != nil {
+		cli.Fatalf("jstat: %v", err)
+	}
+	client, err := cli.NewClient(conf, 3*time.Second)
+	if err != nil {
+		cli.Fatalf("jstat: %v", err)
+	}
+	defer client.Close()
+
+	var jobs []pbs.Job
+	switch {
+	case *local:
+		jobs, err = client.StatLocal(pbs.JobID(flag.Arg(0)))
+	case flag.NArg() > 0:
+		var j pbs.Job
+		j, err = client.Stat(pbs.JobID(flag.Arg(0)))
+		jobs = []pbs.Job{j}
+	default:
+		jobs, err = client.StatAll()
+	}
+	if err != nil {
+		cli.Fatalf("jstat: %v", err)
+	}
+
+	if *full {
+		for _, j := range jobs {
+			fmt.Print(pbs.FullStatusText(j))
+		}
+		return
+	}
+	fmt.Print(pbs.StatusText(jobs))
+}

@@ -1,0 +1,117 @@
+// Command jsub submits a job to the JOSHUA head-node group — the
+// highly available qsub of the paper. It may be pointed at any active
+// head node (it fails over automatically) and can replace qsub via a
+// shell alias for 100% PBS interface compliance, as the paper
+// suggests ("alias qsub=jsub").
+//
+// Usage:
+//
+//	jsub -config cluster.conf [-N name] [-o owner] [-l nodes=N]
+//	     [-w walltime] [-h] [-t count] [script-file]
+//
+// The job script is read from the named file or from standard input.
+// On success the new job identifier is printed, qsub-style.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"joshua/internal/cli"
+	"joshua/internal/pbs"
+)
+
+// flagPassed reports whether a flag appeared on the command line (as
+// opposed to holding its default value).
+func flagPassed(name string) bool {
+	passed := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			passed = true
+		}
+	})
+	return passed
+}
+
+func main() {
+	var (
+		configPath = flag.String("config", "", "cluster configuration file")
+		name       = flag.String("N", "", "job name (default: script file name or STDIN)")
+		owner      = flag.String("o", os.Getenv("USER"), "job owner")
+		nodes      = flag.Int("l", 1, "number of compute nodes (nodect)")
+		wallTime   = flag.Duration("w", 0, "simulated wall time (e.g. 30s)")
+		hold       = flag.Bool("hold", false, "submit in held state (qsub -h)")
+		count      = flag.Int("t", 1, "submit this many identical jobs in one command")
+	)
+	flag.Parse()
+
+	conf, err := cli.LoadConfig(*configPath)
+	if err != nil {
+		cli.Fatalf("jsub: %v", err)
+	}
+
+	script := ""
+	jobName := *name
+	scriptFile := ""
+	if flag.NArg() > 0 {
+		b, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			cli.Fatalf("jsub: %v", err)
+		}
+		script = string(b)
+		scriptFile = flag.Arg(0)
+	} else if fi, err := os.Stdin.Stat(); err == nil && fi.Mode()&os.ModeCharDevice == 0 {
+		b, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			cli.Fatalf("jsub: reading stdin: %v", err)
+		}
+		script = string(b)
+	}
+
+	client, err := cli.NewClient(conf, 3*time.Second)
+	if err != nil {
+		cli.Fatalf("jsub: %v", err)
+	}
+	defer client.Close()
+
+	req := pbs.SubmitRequest{
+		Name:     jobName,
+		Owner:    *owner,
+		Script:   script,
+		WallTime: *wallTime,
+		Hold:     *hold,
+	}
+	// Only explicitly passed flags should override #PBS directives.
+	if *nodes != 1 || flagPassed("l") {
+		req.NodeCount = *nodes
+	}
+	if err := pbs.ApplyDirectives(&req); err != nil {
+		cli.Fatalf("jsub: %v", err)
+	}
+	if req.NodeCount == 0 {
+		req.NodeCount = *nodes
+	}
+	// Precedence for the job name: -N flag, then #PBS -N, then the
+	// script file name (qsub's default).
+	if req.Name == "" {
+		req.Name = scriptFile
+	}
+	if *count > 1 {
+		jobs, err := client.SubmitBatch(req, *count)
+		if err != nil {
+			cli.Fatalf("jsub: %v", err)
+		}
+		for _, j := range jobs {
+			fmt.Println(j.ID)
+		}
+		return
+	}
+	j, err := client.Submit(req)
+	if err != nil {
+		cli.Fatalf("jsub: %v", err)
+	}
+	fmt.Println(j.ID)
+}

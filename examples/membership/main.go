@@ -1,0 +1,119 @@
+// Membership: head nodes join and leave a running JOSHUA group, as
+// Section 4 of the paper describes — "The JOSHUA solution permits head
+// nodes to join and leave ... Joining the active service group
+// involves copying the current state of an active service over to the
+// joining head node."
+//
+// We start with a single head, build up queue state, grow the group to
+// three heads (each join transfers the full replicated state,
+// including a held job — the case the paper's command-replay transfer
+// could not handle), then gracefully retire the founding head.
+//
+//	go run ./examples/membership
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"joshua/internal/cluster"
+	"joshua/internal/pbs"
+)
+
+func waitView(c *cluster.Cluster, head, members int) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		h := c.Head(head)
+		if h != nil {
+			select {
+			case <-h.Ready():
+				if len(h.View().Members) == members {
+					return nil
+				}
+			default:
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return fmt.Errorf("head%d never reached a %d-member view", head, members)
+}
+
+func main() {
+	c, err := cluster.NewDefault(1, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.WaitReady(30 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("founded a single-head group:", c.Head(0).View().Members)
+
+	client, err := c.Client()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Build up state: two completed jobs and one held job.
+	for i := 0; i < 2; i++ {
+		if _, err := client.Submit(pbs.SubmitRequest{Name: fmt.Sprintf("done%d", i), Owner: "ops", WallTime: 20 * time.Millisecond}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	held, err := client.Submit(pbs.SubmitRequest{Name: "held-job", Owner: "ops", Hold: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond) // let the two jobs run out
+	fmt.Printf("queue built: 2 completed + %s on hold\n\n", held.ID)
+
+	// Grow the group: each joiner receives a state snapshot before its
+	// first view.
+	for _, idx := range []int{1, 2} {
+		fmt.Printf("head%d joining...\n", idx)
+		if err := c.AddHead(idx); err != nil {
+			log.Fatal(err)
+		}
+		if err := waitView(c, idx, idx+1); err != nil {
+			log.Fatal(err)
+		}
+		// The joiner holds the full state, including the held job.
+		j, err := c.Head(idx).Daemon().Status(held.ID)
+		if err != nil || j.State != pbs.StateHeld {
+			log.Fatalf("head%d state transfer incomplete: %+v %v", idx, j, err)
+		}
+		fmt.Printf("head%d admitted: view %v, held job transferred intact\n",
+			idx, c.Head(idx).View().Members)
+	}
+
+	// The founding head retires gracefully; the group continues.
+	fmt.Println("\nhead0 leaves the group (operator-initiated)...")
+	c.LeaveHead(0)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		live := c.LiveHeads()
+		if len(live) == 2 && len(c.Head(live[0]).View().Members) == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatal("leave did not produce a 2-member view")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	fmt.Println("survivors:", c.Head(c.LiveHeads()[0]).View().Members)
+
+	// Release the held job on the new group; it runs to completion.
+	if _, err := client.Release(held.ID); err != nil {
+		log.Fatal(err)
+	}
+	for {
+		j, err := client.Stat(held.ID)
+		if err == nil && j.State == pbs.StateCompleted {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fmt.Printf("\n%s released and completed on the reshaped group.\n", held.ID)
+	fmt.Println("membership changed 1 -> 2 -> 3 -> 2 heads with zero service interruption.")
+}

@@ -1,0 +1,86 @@
+// Quickstart: bring up a two-head-node JOSHUA group with one compute
+// node on the simulated network, submit a few jobs through the
+// replicated PBS interface, and watch both heads hold identical state.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"joshua/internal/cluster"
+	"joshua/internal/pbs"
+)
+
+func main() {
+	// A cluster with the paper's defaults: Maui-style FIFO scheduling
+	// with exclusive node access, fail-stop failure handling.
+	c, err := cluster.NewDefault(2 /* head nodes */, 1 /* compute nodes */)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.WaitReady(30 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	v := c.Head(0).View()
+	fmt.Printf("group formed: view %d, members %v, primary=%v\n\n", v.ID, v.Members, v.Primary)
+
+	// A client is a user session (jsub/jstat/jdel). It may talk to
+	// any head node.
+	client, err := c.Client()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Submit three jobs. Every submission is intercepted, totally
+	// ordered through the group communication system, and executed on
+	// every head node; the job IDs are identical everywhere.
+	for i := 0; i < 3; i++ {
+		job, err := client.Submit(pbs.SubmitRequest{
+			Name:     fmt.Sprintf("example%d", i),
+			Owner:    "quickstart",
+			Script:   "#!/bin/sh\necho hello from JOSHUA\n",
+			WallTime: 100 * time.Millisecond,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("submitted %s (%s)\n", job.ID, job.Name)
+	}
+
+	// Wait for the FIFO queue to drain.
+	fmt.Println("\nwaiting for completion...")
+	for {
+		jobs, err := client.StatAll()
+		if err != nil {
+			log.Fatal(err)
+		}
+		done := 0
+		for _, j := range jobs {
+			if j.State == pbs.StateCompleted {
+				done++
+			}
+		}
+		if done == 3 {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Show the queue as jstat would...
+	jobs, _ := client.StatAll()
+	fmt.Print("\n", pbs.StatusText(jobs))
+
+	// ...and verify both head nodes independently hold the same
+	// replicated state.
+	fmt.Println("\nper-head state (must match):")
+	for _, i := range c.LiveHeads() {
+		waiting, running, completed := c.Head(i).Daemon().Server().QueueLengths()
+		fmt.Printf("  head%d: waiting=%d running=%d completed=%d\n", i, waiting, running, completed)
+	}
+	fmt.Printf("\njobs executed on the compute node exactly once each: %d executions\n",
+		c.Mom(0).Executions())
+}

@@ -1,0 +1,3 @@
+module joshua
+
+go 1.22

@@ -1,0 +1,243 @@
+// Package availability implements the paper's availability analysis
+// (Section 5, Equations 1-3 and Figure 12) plus a Monte-Carlo
+// failure/repair simulator that cross-checks the analytic model and a
+// correlated-failure extension covering the caveat the paper raises
+// ("this analysis does not show the impact of correlated failures,
+// such as caused by overheating of a rack or computer room").
+package availability
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// HoursPerYear is the paper's constant from Equation 3.
+const HoursPerYear = 8760.0
+
+// NodeAvailability computes Equation 1:
+//
+//	A_node = MTTF / (MTTF + MTTR)
+func NodeAvailability(mttf, mttr time.Duration) float64 {
+	if mttf <= 0 {
+		return 0
+	}
+	return float64(mttf) / float64(mttf+mttr)
+}
+
+// ServiceAvailability computes Equation 2, parallel redundancy over n
+// head nodes:
+//
+//	A_service = 1 - (1 - A_node)^n
+//
+// The formula holds because JOSHUA provides continuous availability
+// without failover: a head failure neither increases MTTR nor
+// introduces a system-wide recovery window.
+func ServiceAvailability(aNode float64, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return 1 - math.Pow(1-aNode, float64(n))
+}
+
+// AnnualDowntime computes Equation 3:
+//
+//	t_down = 8760h * (1 - A_service)
+func AnnualDowntime(aService float64) time.Duration {
+	hours := HoursPerYear * (1 - aService)
+	return time.Duration(hours * float64(time.Hour))
+}
+
+// Nines counts the leading nines of an availability ratio, as in
+// "five nines": 0.99999 -> 5. Values below 0.9 have zero nines.
+func Nines(a float64) int {
+	if a >= 1 {
+		return 16 // beyond float64 resolution; effectively always up
+	}
+	n := 0
+	for a >= 0.9 && n < 16 {
+		a = a*10 - 9 // strip one leading nine
+		n++
+	}
+	return n
+}
+
+// FormatAvailability renders an availability ratio the way the
+// paper's Figure 12 does: just enough digits to show through the
+// first non-nine (98.6%, 99.98%, 99.9997%, 99.999996%).
+func FormatAvailability(a float64) string {
+	decimals := Nines(a) - 1
+	if decimals < 1 {
+		decimals = 1
+	}
+	if decimals > 12 {
+		decimals = 12
+	}
+	s := fmt.Sprintf("%.*f", decimals, a*100)
+	if strings.Contains(s, ".") {
+		s = strings.TrimRight(s, "0")
+		s = strings.TrimRight(s, ".")
+	}
+	return s + "%"
+}
+
+// FormatDowntime renders a duration in the paper's Figure 12 style:
+// "5d 4h 21min", "1h 45min", "1min 30s", "1s".
+func FormatDowntime(d time.Duration) string {
+	if d < time.Second {
+		if d <= 0 {
+			return "0s"
+		}
+		return fmt.Sprintf("%dms", d.Milliseconds())
+	}
+	days := int(d.Hours()) / 24
+	hours := int(d.Hours()) % 24
+	mins := int(d.Minutes()) % 60
+	secs := int(d.Seconds()) % 60
+	var parts []string
+	if days > 0 {
+		parts = append(parts, fmt.Sprintf("%dd", days))
+	}
+	if hours > 0 {
+		parts = append(parts, fmt.Sprintf("%dh", hours))
+	}
+	if mins > 0 {
+		parts = append(parts, fmt.Sprintf("%dmin", mins))
+	}
+	if secs > 0 && days == 0 && hours == 0 {
+		parts = append(parts, fmt.Sprintf("%ds", secs))
+	}
+	if len(parts) == 0 {
+		return "0s"
+	}
+	return strings.Join(parts, " ")
+}
+
+// Row is one line of the Figure 12 table.
+type Row struct {
+	Heads        int
+	Availability float64
+	Nines        int
+	Downtime     time.Duration
+}
+
+// Table reproduces Figure 12 for 1..maxHeads head nodes.
+func Table(mttf, mttr time.Duration, maxHeads int) []Row {
+	aNode := NodeAvailability(mttf, mttr)
+	rows := make([]Row, 0, maxHeads)
+	for n := 1; n <= maxHeads; n++ {
+		a := ServiceAvailability(aNode, n)
+		rows = append(rows, Row{
+			Heads:        n,
+			Availability: a,
+			Nines:        Nines(a),
+			Downtime:     AnnualDowntime(a),
+		})
+	}
+	return rows
+}
+
+// PaperMTTF and PaperMTTR are the figure's stated parameters ("a
+// rather low MTTF of 5000 hours and a MTTR of 72 hours").
+const (
+	PaperMTTF = 5000 * time.Hour
+	PaperMTTR = 72 * time.Hour
+)
+
+// SimConfig parameterizes the Monte-Carlo cross-check.
+type SimConfig struct {
+	Heads int
+	MTTF  time.Duration
+	MTTR  time.Duration
+	// Years of simulated operation (more years, tighter estimate).
+	Years float64
+	// CorrelationProb is the probability that a failure event is
+	// correlated (takes down every head at once) rather than
+	// independent — the rack/computer-room scenario of the paper's
+	// caveat. Zero reproduces the independent model.
+	CorrelationProb float64
+	Seed            int64
+}
+
+// SimResult is the Monte-Carlo outcome.
+type SimResult struct {
+	Availability float64
+	Downtime     time.Duration // annualized
+	Failures     int           // node failure events
+	Outages      int           // intervals with all heads down
+}
+
+// Simulate runs a continuous-time failure/repair simulation:
+// exponential times to failure (rate 1/MTTF per live node) and
+// exponential repairs (rate 1/MTTR per failed node). Service is down
+// whenever every head is down simultaneously. It cross-checks
+// Equations 1-3 and quantifies what correlated failures do to them.
+func Simulate(cfg SimConfig) SimResult {
+	if cfg.Heads <= 0 || cfg.Years <= 0 {
+		return SimResult{}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	lamF := 1 / cfg.MTTF.Hours()
+	lamR := 1 / cfg.MTTR.Hours()
+	horizon := cfg.Years * HoursPerYear
+
+	up := cfg.Heads // live heads
+	now := 0.0
+	downTime := 0.0
+	res := SimResult{}
+
+	for now < horizon {
+		// Competing exponentials: next failure (rate up*lamF) vs next
+		// repair (rate (heads-up)*lamR).
+		rateF := float64(up) * lamF
+		rateR := float64(cfg.Heads-up) * lamR
+		total := rateF + rateR
+		if total == 0 {
+			break
+		}
+		dt := rng.ExpFloat64() / total
+		if now+dt > horizon {
+			dt = horizon - now
+		}
+		if up == 0 {
+			downTime += dt
+		}
+		now += dt
+		if now >= horizon {
+			break
+		}
+		if rng.Float64() < rateF/total {
+			// A failure event.
+			res.Failures++
+			if cfg.CorrelationProb > 0 && rng.Float64() < cfg.CorrelationProb {
+				if up > 0 {
+					up = 0
+					res.Outages++
+				}
+			} else if up > 0 {
+				up--
+				if up == 0 {
+					res.Outages++
+				}
+			}
+		} else if up < cfg.Heads {
+			up++
+		}
+	}
+
+	res.Availability = 1 - downTime/horizon
+	res.Downtime = time.Duration((downTime / cfg.Years) * float64(time.Hour))
+	return res
+}
+
+// FormatTable renders Figure 12 as text.
+func FormatTable(rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-3s %-14s %-6s %s\n", "#", "Availability", "Nines", "Downtime/Year")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-3d %-14s %-6d %s\n", r.Heads, FormatAvailability(r.Availability), r.Nines, FormatDowntime(r.Downtime))
+	}
+	return b.String()
+}

@@ -1,0 +1,199 @@
+package availability
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNodeAvailabilityPaperValue(t *testing.T) {
+	a := NodeAvailability(PaperMTTF, PaperMTTR)
+	// 5000 / 5072 = 0.98580...
+	if math.Abs(a-0.985804) > 1e-5 {
+		t.Errorf("A_node = %v, want ~0.98580", a)
+	}
+}
+
+// TestFigure12 reproduces the paper's availability table exactly
+// (MTTF=5000h, MTTR=72h; 1..4 head nodes).
+func TestFigure12(t *testing.T) {
+	rows := Table(PaperMTTF, PaperMTTR, 4)
+	want := []struct {
+		avail    string
+		nines    int
+		downMin  time.Duration // acceptance window for downtime
+		downMax  time.Duration
+		downText string
+	}{
+		// Paper: 98.6% / 1 nine / 5d 4h 21min
+		{"98.6%", 1, 5*24*time.Hour + 4*time.Hour, 5*24*time.Hour + 5*time.Hour, "5d 4h 21min"},
+		// Paper: 99.98% / 3 nines / 1h 45min
+		{"99.98%", 3, 100 * time.Minute, 110 * time.Minute, "1h 45min"},
+		// Paper: 99.9997% / 5 nines / 1min 30s
+		{"99.9997%", 5, 85 * time.Second, 95 * time.Second, "1min 30s"},
+		// Paper: 99.999996% / 7 nines / 1s
+		{"99.999996%", 7, 1 * time.Second, 2 * time.Second, "1s"},
+	}
+	for i, w := range want {
+		r := rows[i]
+		if got := FormatAvailability(r.Availability); got != w.avail {
+			t.Errorf("%d heads: availability = %s, want %s", r.Heads, got, w.avail)
+		}
+		if r.Nines != w.nines {
+			t.Errorf("%d heads: nines = %d, want %d", r.Heads, r.Nines, w.nines)
+		}
+		if r.Downtime < w.downMin || r.Downtime > w.downMax {
+			t.Errorf("%d heads: downtime = %v, want in [%v, %v]", r.Heads, r.Downtime, w.downMin, w.downMax)
+		}
+		if got := FormatDowntime(r.Downtime); got != w.downText {
+			t.Errorf("%d heads: downtime text = %q, want %q", r.Heads, got, w.downText)
+		}
+	}
+}
+
+func TestNines(t *testing.T) {
+	cases := []struct {
+		a    float64
+		want int
+	}{
+		{0.5, 0}, {0.89, 0}, {0.9, 1}, {0.986, 1}, {0.99, 2},
+		{0.9998, 3}, {0.999997, 5}, {0.99999996, 7}, {1.0, 16},
+	}
+	for _, c := range cases {
+		if got := Nines(c.a); got != c.want {
+			t.Errorf("Nines(%v) = %d, want %d", c.a, got, c.want)
+		}
+	}
+}
+
+func TestFormatDowntime(t *testing.T) {
+	cases := map[time.Duration]string{
+		0:                              "0s",
+		500 * time.Millisecond:         "500ms",
+		time.Second:                    "1s",
+		90 * time.Second:               "1min 30s",
+		105 * time.Minute:              "1h 45min",
+		124*time.Hour + 21*time.Minute: "5d 4h 21min",
+		24 * time.Hour:                 "1d",
+		25*time.Hour + 61*time.Second:  "1d 1h 1min",
+	}
+	for d, want := range cases {
+		if got := FormatDowntime(d); got != want {
+			t.Errorf("FormatDowntime(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestServiceAvailabilityEdges(t *testing.T) {
+	if got := ServiceAvailability(0.9, 0); got != 0 {
+		t.Errorf("0 heads: %v", got)
+	}
+	if got := ServiceAvailability(0, 3); got != 0 {
+		t.Errorf("dead nodes: %v", got)
+	}
+	if got := ServiceAvailability(1, 1); got != 1 {
+		t.Errorf("perfect node: %v", got)
+	}
+	if got := NodeAvailability(0, time.Hour); got != 0 {
+		t.Errorf("zero MTTF: %v", got)
+	}
+}
+
+// Property: adding a head never decreases availability; availability
+// stays in [0, 1].
+func TestQuickMonotonicInHeads(t *testing.T) {
+	f := func(mttfH, mttrH uint16, n uint8) bool {
+		mttf := time.Duration(mttfH%10000+1) * time.Hour
+		mttr := time.Duration(mttrH%1000+1) * time.Hour
+		heads := int(n%7) + 1
+		a := NodeAvailability(mttf, mttr)
+		prev := -1.0
+		for k := 1; k <= heads; k++ {
+			s := ServiceAvailability(a, k)
+			if s < 0 || s > 1 || s < prev {
+				return false
+			}
+			prev = s
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: downtime decreases as availability rises.
+func TestQuickDowntimeMonotone(t *testing.T) {
+	f := func(x, y uint32) bool {
+		a := float64(x%1000000) / 1000000
+		b := float64(y%1000000) / 1000000
+		if a > b {
+			a, b = b, a
+		}
+		return AnnualDowntime(a) >= AnnualDowntime(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSimulateMatchesAnalytic: the Monte-Carlo estimate of a single
+// head's availability must agree with Equation 1 within sampling
+// error.
+func TestSimulateMatchesAnalytic(t *testing.T) {
+	res := Simulate(SimConfig{
+		Heads: 1, MTTF: PaperMTTF, MTTR: PaperMTTR,
+		Years: 4000, Seed: 1,
+	})
+	want := NodeAvailability(PaperMTTF, PaperMTTR)
+	if math.Abs(res.Availability-want) > 0.002 {
+		t.Errorf("simulated A = %v, analytic %v", res.Availability, want)
+	}
+	if res.Failures == 0 || res.Outages == 0 {
+		t.Error("simulation produced no events")
+	}
+}
+
+func TestSimulateTwoHeadsFarBetter(t *testing.T) {
+	one := Simulate(SimConfig{Heads: 1, MTTF: PaperMTTF, MTTR: PaperMTTR, Years: 2000, Seed: 2})
+	two := Simulate(SimConfig{Heads: 2, MTTF: PaperMTTF, MTTR: PaperMTTR, Years: 2000, Seed: 2})
+	if two.Availability <= one.Availability {
+		t.Errorf("redundancy did not help: 1 head %v, 2 heads %v", one.Availability, two.Availability)
+	}
+	// Two-head downtime should be orders of magnitude below one-head
+	// (paper: 5d -> 1h45m).
+	if two.Downtime > one.Downtime/10 {
+		t.Errorf("2-head downtime %v not << 1-head %v", two.Downtime, one.Downtime)
+	}
+}
+
+// TestCorrelatedFailuresCapAvailability: with correlated failures the
+// parallel-redundancy formula is optimistic — the caveat the paper
+// raises. Even 4 heads cannot beat the correlated-outage floor.
+func TestCorrelatedFailuresCapAvailability(t *testing.T) {
+	indep := Simulate(SimConfig{Heads: 4, MTTF: PaperMTTF, MTTR: PaperMTTR, Years: 3000, Seed: 3})
+	corr := Simulate(SimConfig{Heads: 4, MTTF: PaperMTTF, MTTR: PaperMTTR, Years: 3000, Seed: 3, CorrelationProb: 0.05})
+	if corr.Availability >= indep.Availability {
+		t.Errorf("correlation did not hurt: %v vs %v", corr.Availability, indep.Availability)
+	}
+	if corr.Outages <= indep.Outages {
+		t.Errorf("correlated outages = %d, independent = %d", corr.Outages, indep.Outages)
+	}
+}
+
+func TestSimulateDegenerate(t *testing.T) {
+	if r := Simulate(SimConfig{}); r.Availability != 0 || r.Failures != 0 {
+		t.Errorf("degenerate sim = %+v", r)
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	out := FormatTable(Table(PaperMTTF, PaperMTTR, 4))
+	for _, want := range []string{"98.6%", "99.98%", "99.9997%", "99.999996%", "5d 4h 21min", "1s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package availability
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Tracker records reliability/availability/serviceability (RAS)
+// events for a running deployment — the measurement the paper lists
+// as future work ("respective RAS metrics have to be recorded in
+// order to measure its true availability impact"). Feed it head-node
+// up/down transitions; it derives per-head MTTF/MTTR estimates and
+// the service-level availability (the service is up while at least
+// one head is up, which is exactly JOSHUA's availability contract).
+type Tracker struct {
+	mu    sync.Mutex
+	clock func() time.Time
+	start time.Time
+
+	headUp    map[string]bool
+	headSince map[string]time.Time
+	// accumulated per-head uptime/downtime and transition counts
+	headUptime   map[string]time.Duration
+	headDowntime map[string]time.Duration
+	headFailures map[string]int
+	headRepairs  map[string]int
+
+	// service-level accounting
+	serviceUpSince   time.Time
+	serviceDownSince time.Time
+	serviceUptime    time.Duration
+	serviceDowntime  time.Duration
+	outages          int
+}
+
+// NewTracker starts tracking at the current clock time. A nil clock
+// uses time.Now; tests inject a fake clock for determinism.
+func NewTracker(clock func() time.Time) *Tracker {
+	if clock == nil {
+		clock = time.Now
+	}
+	now := clock()
+	return &Tracker{
+		clock:          clock,
+		start:          now,
+		headUp:         make(map[string]bool),
+		headSince:      make(map[string]time.Time),
+		headUptime:     make(map[string]time.Duration),
+		headDowntime:   make(map[string]time.Duration),
+		headFailures:   make(map[string]int),
+		headRepairs:    make(map[string]int),
+		serviceUpSince: time.Time{},
+	}
+}
+
+// HeadUp records that a head node came (or started) up.
+func (t *Tracker) HeadUp(head string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.clock()
+	if up, known := t.headUp[head]; known && up {
+		return
+	}
+	if since, ok := t.headSince[head]; ok {
+		t.headDowntime[head] += now.Sub(since)
+		t.headRepairs[head]++
+	}
+	t.headUp[head] = true
+	t.headSince[head] = now
+	t.recalcService(now)
+}
+
+// HeadDown records a head-node failure (or shutdown).
+func (t *Tracker) HeadDown(head string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.clock()
+	if up, known := t.headUp[head]; known && !up {
+		return
+	}
+	if since, ok := t.headSince[head]; ok && t.headUp[head] {
+		t.headUptime[head] += now.Sub(since)
+		t.headFailures[head]++
+	}
+	t.headUp[head] = false
+	t.headSince[head] = now
+	t.recalcService(now)
+}
+
+// recalcService updates the service up/down accounting after a head
+// transition. Must hold t.mu.
+func (t *Tracker) recalcService(now time.Time) {
+	anyUp := false
+	for _, up := range t.headUp {
+		if up {
+			anyUp = true
+			break
+		}
+	}
+	switch {
+	case anyUp && !t.serviceDownSince.IsZero():
+		// Outage ends.
+		t.serviceDowntime += now.Sub(t.serviceDownSince)
+		t.serviceDownSince = time.Time{}
+		t.serviceUpSince = now
+	case anyUp && t.serviceUpSince.IsZero():
+		t.serviceUpSince = now
+	case !anyUp && !t.serviceUpSince.IsZero():
+		// Outage begins.
+		t.serviceUptime += now.Sub(t.serviceUpSince)
+		t.serviceUpSince = time.Time{}
+		t.serviceDownSince = now
+		t.outages++
+	case !anyUp && t.serviceUpSince.IsZero() && t.serviceDownSince.IsZero():
+		// First event and everything is down.
+		t.serviceDownSince = now
+		t.outages++
+	}
+}
+
+// HeadReport is the measured RAS record for one head node.
+type HeadReport struct {
+	Head     string
+	Uptime   time.Duration
+	Downtime time.Duration
+	Failures int
+	Repairs  int
+	// MTTF and MTTR are measured means; zero when no samples exist.
+	MTTF time.Duration
+	MTTR time.Duration
+}
+
+// Report is the deployment-level RAS summary.
+type Report struct {
+	Observed        time.Duration // total observation window
+	ServiceUptime   time.Duration
+	ServiceDowntime time.Duration
+	Availability    float64 // service-level (>=1 head up)
+	Outages         int     // complete-service outages
+	Heads           []HeadReport
+}
+
+// Report closes the books as of the current clock time and returns
+// the measured metrics. Tracking continues afterwards.
+func (t *Tracker) Report() Report {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.clock()
+
+	r := Report{Observed: now.Sub(t.start)}
+	r.ServiceUptime = t.serviceUptime
+	r.ServiceDowntime = t.serviceDowntime
+	if !t.serviceUpSince.IsZero() {
+		r.ServiceUptime += now.Sub(t.serviceUpSince)
+	}
+	if !t.serviceDownSince.IsZero() {
+		r.ServiceDowntime += now.Sub(t.serviceDownSince)
+	}
+	total := r.ServiceUptime + r.ServiceDowntime
+	if total > 0 {
+		r.Availability = float64(r.ServiceUptime) / float64(total)
+	}
+	r.Outages = t.outages
+
+	heads := make([]string, 0, len(t.headUp))
+	for h := range t.headUp {
+		heads = append(heads, h)
+	}
+	sort.Strings(heads)
+	for _, h := range heads {
+		hr := HeadReport{
+			Head:     h,
+			Uptime:   t.headUptime[h],
+			Downtime: t.headDowntime[h],
+			Failures: t.headFailures[h],
+			Repairs:  t.headRepairs[h],
+		}
+		// Means use only closed intervals: an interval still in
+		// progress has not ended in a failure (or repair) yet, so it
+		// must not dilute the estimate.
+		if hr.Failures > 0 {
+			hr.MTTF = hr.Uptime / time.Duration(hr.Failures)
+		}
+		if hr.Repairs > 0 {
+			hr.MTTR = hr.Downtime / time.Duration(hr.Repairs)
+		}
+		// Totals include the open interval.
+		if since, ok := t.headSince[h]; ok {
+			if t.headUp[h] {
+				hr.Uptime += now.Sub(since)
+			} else {
+				hr.Downtime += now.Sub(since)
+			}
+		}
+		r.Heads = append(r.Heads, hr)
+	}
+	return r
+}
+
+// String renders the report as a small RAS table.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "observed %v: service availability %s (%d outage(s), %v down)\n",
+		r.Observed.Round(time.Millisecond), FormatAvailability(r.Availability), r.Outages,
+		r.ServiceDowntime.Round(time.Millisecond))
+	for _, h := range r.Heads {
+		fmt.Fprintf(&b, "  %-8s up %v down %v failures %d repairs %d",
+			h.Head, h.Uptime.Round(time.Millisecond), h.Downtime.Round(time.Millisecond),
+			h.Failures, h.Repairs)
+		if h.MTTF > 0 {
+			fmt.Fprintf(&b, " mttf %v", h.MTTF.Round(time.Millisecond))
+		}
+		if h.MTTR > 0 {
+			fmt.Fprintf(&b, " mttr %v", h.MTTR.Round(time.Millisecond))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

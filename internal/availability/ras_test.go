@@ -1,0 +1,180 @@
+package availability
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock advances a fixed amount per call when stepped manually.
+type fakeClock struct {
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time          { return c.now }
+func (c *fakeClock) Advance(d time.Duration) { c.now = c.now.Add(d) }
+
+func TestTrackerSingleHeadLifecycle(t *testing.T) {
+	clk := newFakeClock()
+	tr := NewTracker(clk.Now)
+
+	tr.HeadUp("head0")
+	clk.Advance(10 * time.Hour)
+	tr.HeadDown("head0")
+	clk.Advance(2 * time.Hour)
+	tr.HeadUp("head0")
+	clk.Advance(8 * time.Hour)
+
+	r := tr.Report()
+	if r.Outages != 1 {
+		t.Errorf("outages = %d, want 1", r.Outages)
+	}
+	if r.ServiceUptime != 18*time.Hour || r.ServiceDowntime != 2*time.Hour {
+		t.Errorf("uptime=%v downtime=%v", r.ServiceUptime, r.ServiceDowntime)
+	}
+	if math.Abs(r.Availability-0.9) > 1e-9 {
+		t.Errorf("availability = %v, want 0.9", r.Availability)
+	}
+	if len(r.Heads) != 1 {
+		t.Fatalf("heads = %d", len(r.Heads))
+	}
+	h := r.Heads[0]
+	if h.Failures != 1 || h.Repairs != 1 {
+		t.Errorf("failures=%d repairs=%d", h.Failures, h.Repairs)
+	}
+	if h.MTTF != 10*time.Hour || h.MTTR != 2*time.Hour {
+		t.Errorf("mttf=%v mttr=%v", h.MTTF, h.MTTR)
+	}
+}
+
+func TestTrackerRedundancyMasksFailures(t *testing.T) {
+	clk := newFakeClock()
+	tr := NewTracker(clk.Now)
+
+	tr.HeadUp("a")
+	tr.HeadUp("b")
+	clk.Advance(time.Hour)
+	tr.HeadDown("a") // b still up: no outage
+	clk.Advance(time.Hour)
+	tr.HeadUp("a")
+	clk.Advance(time.Hour)
+
+	r := tr.Report()
+	if r.Outages != 0 {
+		t.Errorf("outages = %d, want 0 (redundancy masked the failure)", r.Outages)
+	}
+	if r.Availability != 1.0 {
+		t.Errorf("availability = %v, want 1.0", r.Availability)
+	}
+	// Per-head bookkeeping still shows a's failure.
+	for _, h := range r.Heads {
+		if h.Head == "a" && h.Failures != 1 {
+			t.Errorf("head a failures = %d", h.Failures)
+		}
+		if h.Head == "b" && h.Failures != 0 {
+			t.Errorf("head b failures = %d", h.Failures)
+		}
+	}
+}
+
+func TestTrackerFullOutage(t *testing.T) {
+	clk := newFakeClock()
+	tr := NewTracker(clk.Now)
+
+	tr.HeadUp("a")
+	tr.HeadUp("b")
+	clk.Advance(time.Hour)
+	tr.HeadDown("a")
+	tr.HeadDown("b") // everything down: outage begins
+	clk.Advance(30 * time.Minute)
+	tr.HeadUp("b") // outage ends
+	clk.Advance(30 * time.Minute)
+
+	r := tr.Report()
+	if r.Outages != 1 {
+		t.Errorf("outages = %d, want 1", r.Outages)
+	}
+	if r.ServiceDowntime != 30*time.Minute {
+		t.Errorf("downtime = %v, want 30m", r.ServiceDowntime)
+	}
+	if math.Abs(r.Availability-0.75) > 1e-9 {
+		t.Errorf("availability = %v, want 0.75", r.Availability)
+	}
+}
+
+func TestTrackerIdempotentTransitions(t *testing.T) {
+	clk := newFakeClock()
+	tr := NewTracker(clk.Now)
+	tr.HeadUp("a")
+	tr.HeadUp("a") // duplicate: ignored
+	clk.Advance(time.Hour)
+	tr.HeadDown("a")
+	tr.HeadDown("a") // duplicate: ignored
+	clk.Advance(time.Hour)
+	r := tr.Report()
+	if r.Heads[0].Failures != 1 || r.Heads[0].Repairs != 0 {
+		t.Errorf("head = %+v", r.Heads[0])
+	}
+}
+
+func TestTrackerOpenIntervalsCounted(t *testing.T) {
+	clk := newFakeClock()
+	tr := NewTracker(clk.Now)
+	tr.HeadUp("a")
+	clk.Advance(2 * time.Hour)
+	// No closing transition: Report must still count the open uptime.
+	r := tr.Report()
+	if r.ServiceUptime != 2*time.Hour || r.Availability != 1.0 {
+		t.Errorf("report = %+v", r)
+	}
+	// Tracking continues afterwards.
+	clk.Advance(time.Hour)
+	r2 := tr.Report()
+	if r2.ServiceUptime != 3*time.Hour {
+		t.Errorf("second report uptime = %v", r2.ServiceUptime)
+	}
+}
+
+func TestTrackerMeasuredMatchesAnalytic(t *testing.T) {
+	// Feed the tracker a long alternating up/down pattern with the
+	// paper's MTTF/MTTR; the measured availability must match Eq. 1.
+	clk := newFakeClock()
+	tr := NewTracker(clk.Now)
+	for i := 0; i < 50; i++ {
+		tr.HeadUp("head0")
+		clk.Advance(PaperMTTF)
+		tr.HeadDown("head0")
+		clk.Advance(PaperMTTR)
+	}
+	tr.HeadUp("head0") // close the final repair interval
+	r := tr.Report()
+	want := NodeAvailability(PaperMTTF, PaperMTTR)
+	if math.Abs(r.Availability-want) > 1e-9 {
+		t.Errorf("measured availability = %v, analytic %v", r.Availability, want)
+	}
+	h := r.Heads[0]
+	if h.MTTF != PaperMTTF || h.MTTR != PaperMTTR {
+		t.Errorf("measured mttf=%v mttr=%v", h.MTTF, h.MTTR)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	clk := newFakeClock()
+	tr := NewTracker(clk.Now)
+	tr.HeadUp("head0")
+	clk.Advance(time.Hour)
+	tr.HeadDown("head0")
+	clk.Advance(time.Minute)
+	tr.HeadUp("head0")
+	out := tr.Report().String()
+	for _, want := range []string{"service availability", "head0", "failures 1", "mttf 1h0m0s", "mttr 1m0s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+// Package cli holds the plumbing shared by the JOSHUA command-line
+// binaries (joshuad, jmomd, jsub, jdel, jstat): loading the cluster
+// configuration and building TCP-backed clients and endpoints from it.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"joshua/internal/config"
+	"joshua/internal/joshua"
+	"joshua/internal/transport"
+	"joshua/internal/transport/tcpnet"
+)
+
+// LoadConfig loads the cluster configuration named by -config (or the
+// JOSHUA_CONFIG environment variable as a fallback).
+func LoadConfig(path string) (*config.ClusterFile, error) {
+	if path == "" {
+		path = os.Getenv("JOSHUA_CONFIG")
+	}
+	if path == "" {
+		return nil, fmt.Errorf("no configuration: pass -config or set JOSHUA_CONFIG")
+	}
+	return config.LoadCluster(path)
+}
+
+// NewClient builds a control-command client talking TCP to the
+// cluster's head nodes. The client gets an ephemeral listen socket and
+// a process-unique logical address; servers reply over the inbound
+// connection.
+func NewClient(conf *config.ClusterFile, timeout time.Duration) (*joshua.Client, error) {
+	host, _ := os.Hostname()
+	if host == "" {
+		host = "client"
+	}
+	logical := transport.Addr(fmt.Sprintf("cli-%s-%d/client", host, os.Getpid()))
+	ep, err := tcpnet.Listen(logical, "127.0.0.1:0", conf.Resolver())
+	if err != nil {
+		return nil, err
+	}
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	cli, err := joshua.NewClient(joshua.ClientConfig{
+		Endpoint:       ep,
+		Heads:          conf.HeadClientAddrs(),
+		AttemptTimeout: timeout,
+	})
+	if err != nil {
+		ep.Close()
+		return nil, err
+	}
+	return cli, nil
+}
+
+// Fatalf prints an error in the PBS client style and exits nonzero.
+func Fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"joshua/internal/config"
+	"joshua/internal/joshua"
+	"joshua/internal/pbs"
+	"joshua/internal/transport"
+	"joshua/internal/transport/tcpnet"
+)
+
+func writeConfig(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "cluster.conf")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadConfigSources(t *testing.T) {
+	path := writeConfig(t, "[head h0]\ngcs=a\nclient=b\npbs=c\n")
+
+	if _, err := LoadConfig(path); err != nil {
+		t.Fatalf("explicit path: %v", err)
+	}
+
+	t.Setenv("JOSHUA_CONFIG", path)
+	if _, err := LoadConfig(""); err != nil {
+		t.Fatalf("env fallback: %v", err)
+	}
+
+	t.Setenv("JOSHUA_CONFIG", "")
+	if _, err := LoadConfig(""); err == nil {
+		t.Fatal("no config source should fail")
+	}
+	if _, err := LoadConfig("/does/not/exist"); err == nil {
+		t.Fatal("missing file should fail")
+	}
+}
+
+func TestNewClientAgainstLiveHead(t *testing.T) {
+	// Stand up a single plain head over real TCP, point a config at
+	// it, and run a full command through the cli-built client.
+	srv := pbs.NewServer(pbs.Config{ServerName: "clitest", Nodes: []string{"c0"}, Exclusive: true})
+	pbsEP, err := tcpnet.Listen("h0/pbs", "127.0.0.1:0", tcpnet.StaticResolver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	daemon := pbs.NewDaemon(srv, pbs.DaemonConfig{Endpoint: pbsEP, Moms: map[string]transport.Addr{}})
+	clientEP, err := tcpnet.Listen("h0/joshua", "127.0.0.1:0", tcpnet.StaticResolver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := joshua.StartPlainServer(clientEP, daemon)
+	defer head.Close()
+
+	path := writeConfig(t, `
+server_name = clitest
+[head h0]
+gcs    = 127.0.0.1:1
+client = `+clientEP.TCPAddr()+`
+pbs    = 127.0.0.1:1
+`)
+	conf, err := config.LoadCluster(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := NewClient(conf, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	j, err := cli.Submit(pbs.SubmitRequest{Name: "via-cli", Owner: "tester", Hold: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.ID != "1.clitest" {
+		t.Errorf("job ID = %s", j.ID)
+	}
+	got, err := cli.Stat(j.ID)
+	if err != nil || got.Name != "via-cli" {
+		t.Errorf("Stat = %+v, %v", got, err)
+	}
+}

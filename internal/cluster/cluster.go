@@ -1,0 +1,451 @@
+// Package cluster assembles complete simulated JOSHUA deployments —
+// N head nodes running the replicated batch service, M compute nodes
+// running PBS moms with the jmutex prologue, and any number of
+// clients — on the simulated network, with the paper's failure
+// injection (cable pulls and forced process shutdown) scriptable.
+//
+// It is the substrate for the integration tests, the examples, and
+// the benchmark harness that regenerates the paper's figures.
+package cluster
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"joshua/internal/gcs"
+	"joshua/internal/joshua"
+	"joshua/internal/pbs"
+	"joshua/internal/simnet"
+	"joshua/internal/transport"
+)
+
+// MaxHeads bounds the head-node pool. Every head's group address is
+// pre-declared so heads can be added dynamically up to this limit
+// (the group layer needs a static address book, as the paper's
+// Transis deployment did).
+const MaxHeads = 8
+
+// Options configures a simulated cluster.
+type Options struct {
+	// Heads is the number of head nodes started initially (1..MaxHeads).
+	Heads int
+	// Computes is the number of compute nodes (>=1).
+	Computes int
+	// Latency models the interconnect; zero values give an instant
+	// network. Use bench.PaperCalibration for the paper's shape.
+	Latency simnet.Latency
+	// TxTime serializes each host's remote sends on the simulated
+	// network (shared-medium modeling; see simnet.Config.TxTime).
+	TxTime time.Duration
+	// DropRate and Seed feed the simulated network.
+	DropRate float64
+	Seed     int64
+	// Exclusive selects the paper's one-job-at-a-time Maui policy
+	// (default true via NewDefault; zero value false means packing).
+	Exclusive bool
+	// TimeScale scales simulated job wall time on the moms.
+	TimeScale float64
+	// OutputPolicy, PartitionPolicy forward to the JOSHUA servers.
+	OutputPolicy    joshua.OutputPolicy
+	PartitionPolicy gcs.PartitionPolicy
+	// TuneGCS adjusts group communication timings (tests shorten).
+	TuneGCS func(*gcs.Config)
+	// Logger receives diagnostics from all components.
+	Logger *log.Logger
+	// KeepCompleted bounds per-head completed-job history (0 = all).
+	KeepCompleted int
+	// SubmitDelay models the batch service's qsub processing cost
+	// (see pbs.Config.SubmitDelay); benchmarks set it.
+	SubmitDelay time.Duration
+	// Plain replaces the JOSHUA group with the paper's unreplicated
+	// single-head baseline (requires Heads == 1).
+	Plain bool
+	// OrderedCompletions routes mom completion reports through the
+	// total order (see joshua.Config.OrderedCompletions).
+	OrderedCompletions bool
+}
+
+// Cluster is a running simulated deployment.
+type Cluster struct {
+	opts Options
+	Net  *simnet.Network
+
+	heads      map[int]*joshua.Server // index -> live head
+	acct       map[int]*pbs.MemoryAccounting
+	plain      *joshua.PlainServer // baseline mode (Options.Plain)
+	moms       []*pbs.Mom
+	momClients []*joshua.Client
+	clients    []*joshua.Client
+	nextClient int
+}
+
+func headHost(i int) string { return fmt.Sprintf("head%d", i) }
+func headMember(i int) gcs.MemberID {
+	return gcs.MemberID(fmt.Sprintf("head%d", i))
+}
+func headGroupAddr(i int) transport.Addr {
+	return transport.Addr(fmt.Sprintf("head%d/gcs", i))
+}
+
+// HeadClientAddr is the client-RPC address of head i.
+func HeadClientAddr(i int) transport.Addr {
+	return transport.Addr(fmt.Sprintf("head%d/joshua", i))
+}
+
+func headPBSAddr(i int) transport.Addr {
+	return transport.Addr(fmt.Sprintf("head%d/pbs", i))
+}
+func computeName(j int) string { return fmt.Sprintf("compute%d", j) }
+func momAddr(j int) transport.Addr {
+	return transport.Addr(fmt.Sprintf("compute%d/mom", j))
+}
+
+// groupPeers returns the full (static) head address book.
+func groupPeers() map[gcs.MemberID]transport.Addr {
+	peers := make(map[gcs.MemberID]transport.Addr, MaxHeads)
+	for i := 0; i < MaxHeads; i++ {
+		peers[headMember(i)] = headGroupAddr(i)
+	}
+	return peers
+}
+
+// allHeadClientAddrs lists every potential head's client address, so
+// clients and moms can fail over to heads added later.
+func allHeadClientAddrs() []transport.Addr {
+	addrs := make([]transport.Addr, 0, MaxHeads)
+	for i := 0; i < MaxHeads; i++ {
+		addrs = append(addrs, HeadClientAddr(i))
+	}
+	return addrs
+}
+
+// allHeadPBSAddrs lists every potential head's mom-facing address.
+func allHeadPBSAddrs() []transport.Addr {
+	addrs := make([]transport.Addr, 0, MaxHeads)
+	for i := 0; i < MaxHeads; i++ {
+		addrs = append(addrs, headPBSAddr(i))
+	}
+	return addrs
+}
+
+// New builds and starts a cluster. The initial heads form the group
+// statically (the paper's deployment: all head nodes configured
+// together); further heads join dynamically via AddHead.
+func New(opts Options) (*Cluster, error) {
+	if opts.Heads < 1 || opts.Heads > MaxHeads {
+		return nil, fmt.Errorf("cluster: Heads must be 1..%d", MaxHeads)
+	}
+	if opts.Plain && opts.Heads != 1 {
+		return nil, fmt.Errorf("cluster: Plain baseline requires exactly 1 head")
+	}
+	if opts.Computes < 1 {
+		return nil, fmt.Errorf("cluster: Computes must be >= 1")
+	}
+	if opts.TimeScale == 0 {
+		opts.TimeScale = 1.0
+	}
+
+	c := &Cluster{
+		opts: opts,
+		Net: simnet.New(simnet.Config{
+			Latency:  opts.Latency,
+			TxTime:   opts.TxTime,
+			DropRate: opts.DropRate,
+			Seed:     opts.Seed,
+		}),
+		heads: make(map[int]*joshua.Server),
+		acct:  make(map[int]*pbs.MemoryAccounting),
+	}
+
+	initial := make([]gcs.MemberID, opts.Heads)
+	for i := range initial {
+		initial[i] = headMember(i)
+	}
+	for i := 0; i < opts.Heads; i++ {
+		if err := c.startHead(i, initial, false); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+
+	for j := 0; j < opts.Computes; j++ {
+		if err := c.startMom(j); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// NewDefault builds a cluster with the paper's defaults: exclusive
+// Maui scheduling and a fail-stop partition policy.
+func NewDefault(heads, computes int) (*Cluster, error) {
+	return New(Options{Heads: heads, Computes: computes, Exclusive: true})
+}
+
+// startHead starts head i. initial is non-nil for static bootstrap;
+// join makes the head join the existing group.
+func (c *Cluster) startHead(i int, initial []gcs.MemberID, join bool) error {
+	groupEP, err := c.Net.Endpoint(headGroupAddr(i))
+	if err != nil {
+		return err
+	}
+	clientEP, err := c.Net.Endpoint(HeadClientAddr(i))
+	if err != nil {
+		groupEP.Close()
+		return err
+	}
+	pbsEP, err := c.Net.Endpoint(headPBSAddr(i))
+	if err != nil {
+		groupEP.Close()
+		clientEP.Close()
+		return err
+	}
+
+	nodeNames := make([]string, c.opts.Computes)
+	moms := make(map[string]transport.Addr, c.opts.Computes)
+	for j := 0; j < c.opts.Computes; j++ {
+		nodeNames[j] = computeName(j)
+		moms[nodeNames[j]] = momAddr(j)
+	}
+	acct := &pbs.MemoryAccounting{}
+	srv := pbs.NewServer(pbs.Config{
+		ServerName:    "cluster", // identical on every head: replicated IDs coincide
+		Nodes:         nodeNames,
+		Exclusive:     c.opts.Exclusive,
+		KeepCompleted: c.opts.KeepCompleted,
+		SubmitDelay:   c.opts.SubmitDelay,
+		Accounting:    acct,
+	})
+	c.acct[i] = acct
+	daemon := pbs.NewDaemon(srv, pbs.DaemonConfig{
+		Endpoint:       pbsEP,
+		Moms:           moms,
+		ResendInterval: 200 * time.Millisecond,
+	})
+
+	if c.opts.Plain {
+		groupEP.Close() // the baseline has no group communication
+		c.plain = joshua.StartPlainServer(clientEP, daemon)
+		return nil
+	}
+
+	cfg := joshua.Config{
+		Self:               headMember(i),
+		GroupEndpoint:      groupEP,
+		ClientEndpoint:     clientEP,
+		Peers:              groupPeers(),
+		PartitionPolicy:    c.opts.PartitionPolicy,
+		Daemon:             daemon,
+		OutputPolicy:       c.opts.OutputPolicy,
+		OrderedCompletions: c.opts.OrderedCompletions,
+		TuneGCS:            c.opts.TuneGCS,
+		Logger:             c.opts.Logger,
+	}
+	if !join {
+		cfg.InitialMembers = initial
+	}
+	head, err := joshua.StartServer(cfg)
+	if err != nil {
+		daemon.Close()
+		groupEP.Close()
+		clientEP.Close()
+		return err
+	}
+	c.heads[i] = head
+	return nil
+}
+
+// startMom starts compute node j with the JOSHUA jmutex/jdone hooks.
+func (c *Cluster) startMom(j int) error {
+	momEP, err := c.Net.Endpoint(momAddr(j))
+	if err != nil {
+		return err
+	}
+	cliEP, err := c.Net.Endpoint(transport.Addr(fmt.Sprintf("compute%d/jmutex", j)))
+	if err != nil {
+		momEP.Close()
+		return err
+	}
+	cli, err := joshua.NewClient(joshua.ClientConfig{
+		Endpoint:       cliEP,
+		Heads:          allHeadClientAddrs(),
+		AttemptTimeout: 500 * time.Millisecond,
+	})
+	if err != nil {
+		momEP.Close()
+		cliEP.Close()
+		return err
+	}
+	prologue, epilogue := joshua.MomHooks(cli, computeName(j))
+	mom := pbs.StartMom(pbs.MomConfig{
+		Name:           computeName(j),
+		Endpoint:       momEP,
+		Servers:        allHeadPBSAddrs(),
+		Prologue:       prologue,
+		Epilogue:       epilogue,
+		TimeScale:      c.opts.TimeScale,
+		ReportInterval: 200 * time.Millisecond,
+	})
+	c.moms = append(c.moms, mom)
+	c.momClients = append(c.momClients, cli)
+	return nil
+}
+
+// WaitReady blocks until every live head has installed its first view
+// or the timeout expires.
+func (c *Cluster) WaitReady(timeout time.Duration) error {
+	deadline := time.After(timeout)
+	for _, h := range c.heads {
+		select {
+		case <-h.Ready():
+		case <-deadline:
+			return fmt.Errorf("cluster: head %s not ready within %v", h.Self(), timeout)
+		}
+	}
+	return nil
+}
+
+// Head returns head i, or nil if it is not running.
+func (c *Cluster) Head(i int) *joshua.Server { return c.heads[i] }
+
+// LiveHeads returns the indices of running heads in ascending order.
+func (c *Cluster) LiveHeads() []int {
+	var idx []int
+	for i := 0; i < MaxHeads; i++ {
+		if _, ok := c.heads[i]; ok {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// Mom returns compute node j's mom.
+func (c *Cluster) Mom(j int) *pbs.Mom { return c.moms[j] }
+
+// Client creates a new control-command client (a user session on a
+// login node).
+func (c *Cluster) Client() (*joshua.Client, error) {
+	c.nextClient++
+	ep, err := c.Net.Endpoint(transport.Addr(fmt.Sprintf("client%d/cli", c.nextClient)))
+	if err != nil {
+		return nil, err
+	}
+	cli, err := joshua.NewClient(joshua.ClientConfig{
+		Endpoint:       ep,
+		Heads:          allHeadClientAddrs(),
+		AttemptTimeout: time.Second,
+	})
+	if err != nil {
+		ep.Close()
+		return nil, err
+	}
+	c.clients = append(c.clients, cli)
+	return cli, nil
+}
+
+// ClientFor creates a client pinned to specific heads (in preference
+// order), for experiments that need a fixed first hop.
+func (c *Cluster) ClientFor(heads ...int) (*joshua.Client, error) {
+	c.nextClient++
+	ep, err := c.Net.Endpoint(transport.Addr(fmt.Sprintf("client%d/cli", c.nextClient)))
+	if err != nil {
+		return nil, err
+	}
+	addrs := make([]transport.Addr, len(heads))
+	for k, i := range heads {
+		addrs[k] = HeadClientAddr(i)
+	}
+	cli, err := joshua.NewClient(joshua.ClientConfig{
+		Endpoint:       ep,
+		Heads:          addrs,
+		AttemptTimeout: time.Second,
+	})
+	if err != nil {
+		ep.Close()
+		return nil, err
+	}
+	c.clients = append(c.clients, cli)
+	return cli, nil
+}
+
+// CrashHead fail-stops head i: its host drops off the network and its
+// processes die, like forcibly shutting the node down.
+func (c *Cluster) CrashHead(i int) {
+	h, ok := c.heads[i]
+	if !ok {
+		return
+	}
+	c.Net.CrashHost(headHost(i))
+	h.Close()
+	delete(c.heads, i)
+}
+
+// LeaveHead removes head i gracefully (operator-initiated departure).
+func (c *Cluster) LeaveHead(i int) {
+	h, ok := c.heads[i]
+	if !ok {
+		return
+	}
+	h.Leave()
+	delete(c.heads, i)
+}
+
+// AddHead starts head i (new or previously crashed) and joins it to
+// the running group with state transfer. The host is restored on the
+// network first.
+func (c *Cluster) AddHead(i int) error {
+	if i < 0 || i >= MaxHeads {
+		return fmt.Errorf("cluster: head index %d out of range", i)
+	}
+	if _, ok := c.heads[i]; ok {
+		return fmt.Errorf("cluster: head %d already running", i)
+	}
+	c.Net.RestartHost(headHost(i))
+	return c.startHead(i, nil, true)
+}
+
+// PartitionHeads splits the head set into two fragments that cannot
+// reach each other (compute nodes keep reaching both sides).
+func (c *Cluster) PartitionHeads(sideA, sideB []int) {
+	for _, a := range sideA {
+		for _, b := range sideB {
+			c.Net.Partition(headHost(a), headHost(b))
+		}
+	}
+}
+
+// CrashCompute fail-stops compute node j.
+func (c *Cluster) CrashCompute(j int) {
+	c.Net.CrashHost(computeName(j))
+	c.moms[j].Close()
+}
+
+// Plain returns the baseline server when running with Options.Plain.
+func (c *Cluster) Plain() *joshua.PlainServer { return c.plain }
+
+// Accounting returns head i's accounting log (every head writes its
+// own; the replicated command stream makes them agree).
+func (c *Cluster) Accounting(i int) *pbs.MemoryAccounting { return c.acct[i] }
+
+// Close tears the whole cluster down.
+func (c *Cluster) Close() {
+	if c.plain != nil {
+		c.plain.Close()
+	}
+	for _, cli := range c.clients {
+		cli.Close()
+	}
+	for _, cli := range c.momClients {
+		cli.Close()
+	}
+	for _, m := range c.moms {
+		m.Close()
+	}
+	for i, h := range c.heads {
+		h.Close()
+		delete(c.heads, i)
+	}
+	c.Net.Close()
+}

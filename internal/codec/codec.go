@@ -1,0 +1,336 @@
+// Package codec implements the binary wire format shared by every
+// networked component in this repository: the group communication
+// system, the PBS substrate, and the JOSHUA command protocol.
+//
+// The format is deliberately simple and self-contained (no reflection,
+// no external schema): integers are encoded as unsigned or zig-zag
+// varints, byte strings carry a varint length prefix, and messages sent
+// over a stream are framed with a fixed 4-byte big-endian length.
+//
+// Encoding never fails. Decoding uses a sticky error: after the first
+// malformed field every subsequent Get returns a zero value, and the
+// caller checks Err once at the end. This keeps call sites linear and
+// mirrors how the hand-written C marshalling in the original JOSHUA
+// prototype (libjutils) was structured.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// Decoding errors. ErrTruncated is returned when the buffer ends in the
+// middle of a field; ErrMalformed when a field is syntactically invalid
+// (e.g. an over-long varint); ErrTooLarge when a length prefix exceeds
+// the configured or remaining size.
+var (
+	ErrTruncated = errors.New("codec: truncated input")
+	ErrMalformed = errors.New("codec: malformed input")
+	ErrTooLarge  = errors.New("codec: length prefix too large")
+)
+
+// MaxFrameSize bounds a single framed message. Larger frames are
+// rejected by ReadFrame to keep a corrupt or hostile peer from forcing
+// an unbounded allocation. 16 MiB comfortably holds the largest state
+// transfer snapshot the JOSHUA layer produces.
+const MaxFrameSize = 16 << 20
+
+// Encoder appends fields to a byte slice. The zero value is ready to
+// use; Bytes returns the accumulated buffer.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an Encoder whose buffer has the given initial
+// capacity.
+func NewEncoder(capacity int) *Encoder {
+	return &Encoder{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded buffer. The slice aliases the Encoder's
+// internal storage and is invalidated by further Put calls.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of bytes encoded so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset discards the buffer contents, retaining capacity.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// PutUint encodes an unsigned varint.
+func (e *Encoder) PutUint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+// PutInt encodes a signed integer as a zig-zag varint.
+func (e *Encoder) PutInt(v int64) {
+	e.buf = binary.AppendVarint(e.buf, v)
+}
+
+// PutByte encodes a single raw byte.
+func (e *Encoder) PutByte(b byte) {
+	e.buf = append(e.buf, b)
+}
+
+// PutBool encodes a boolean as one byte (0 or 1).
+func (e *Encoder) PutBool(v bool) {
+	if v {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// PutFloat encodes a float64 as its IEEE-754 bits, fixed 8 bytes.
+func (e *Encoder) PutFloat(v float64) {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+
+// PutString encodes a length-prefixed string.
+func (e *Encoder) PutString(s string) {
+	e.buf = binary.AppendUvarint(e.buf, uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// PutBytes encodes a length-prefixed byte slice. A nil slice encodes
+// identically to an empty one.
+func (e *Encoder) PutBytes(b []byte) {
+	e.buf = binary.AppendUvarint(e.buf, uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// PutTime encodes a time.Time with nanosecond precision (Unix epoch).
+// The zero time is encoded as a distinguished marker so it round-trips
+// to a time for which IsZero reports true.
+func (e *Encoder) PutTime(t time.Time) {
+	if t.IsZero() {
+		e.PutBool(true)
+		return
+	}
+	e.PutBool(false)
+	e.PutInt(t.Unix())
+	e.PutInt(int64(t.Nanosecond()))
+}
+
+// PutDuration encodes a time.Duration.
+func (e *Encoder) PutDuration(d time.Duration) {
+	e.PutInt(int64(d))
+}
+
+// PutStringSlice encodes a count followed by each string.
+func (e *Encoder) PutStringSlice(ss []string) {
+	e.PutUint(uint64(len(ss)))
+	for _, s := range ss {
+		e.PutString(s)
+	}
+}
+
+// Decoder consumes fields from a byte slice with a sticky error.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a Decoder reading from b. The Decoder does not
+// copy b; the caller must not mutate it during decoding.
+func NewDecoder(b []byte) *Decoder {
+	return &Decoder{buf: b}
+}
+
+// Err returns the first error encountered, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unconsumed bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// Finish returns an error if decoding failed or if unconsumed bytes
+// remain, which usually indicates a version mismatch between peers.
+func (d *Decoder) Finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(d.buf)-d.off)
+	}
+	return nil
+}
+
+func (d *Decoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+// Uint decodes an unsigned varint.
+func (d *Decoder) Uint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		if n == 0 {
+			d.fail(ErrTruncated)
+		} else {
+			d.fail(ErrMalformed)
+		}
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Int decodes a zig-zag varint.
+func (d *Decoder) Int() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		if n == 0 {
+			d.fail(ErrTruncated)
+		} else {
+			d.fail(ErrMalformed)
+		}
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Byte decodes a single raw byte.
+func (d *Decoder) Byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.buf) {
+		d.fail(ErrTruncated)
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+// Bool decodes a boolean. Any nonzero byte decodes as true.
+func (d *Decoder) Bool() bool {
+	return d.Byte() != 0
+}
+
+// Float decodes a fixed 8-byte IEEE-754 float64.
+func (d *Decoder) Float() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.Remaining() < 8 {
+		d.fail(ErrTruncated)
+		return 0
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(d.buf[d.off:]))
+	d.off += 8
+	return v
+}
+
+// String decodes a length-prefixed string.
+func (d *Decoder) String() string {
+	b := d.Bytes()
+	return string(b)
+}
+
+// Bytes decodes a length-prefixed byte slice. The returned slice
+// aliases the Decoder's input buffer.
+func (d *Decoder) Bytes() []byte {
+	if d.err != nil {
+		return nil
+	}
+	n := d.Uint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(d.Remaining()) {
+		d.fail(ErrTruncated)
+		return nil
+	}
+	b := d.buf[d.off : d.off+int(n)]
+	d.off += int(n)
+	return b
+}
+
+// Time decodes a time.Time written by PutTime.
+func (d *Decoder) Time() time.Time {
+	if d.Bool() {
+		return time.Time{}
+	}
+	sec := d.Int()
+	nsec := d.Int()
+	if d.err != nil {
+		return time.Time{}
+	}
+	return time.Unix(sec, nsec)
+}
+
+// Duration decodes a time.Duration.
+func (d *Decoder) Duration() time.Duration {
+	return time.Duration(d.Int())
+}
+
+// StringSlice decodes a slice written by PutStringSlice.
+func (d *Decoder) StringSlice() []string {
+	n := d.Uint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(d.Remaining()) { // each string needs at least a length byte
+		d.fail(ErrTooLarge)
+		return nil
+	}
+	ss := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		ss = append(ss, d.String())
+	}
+	if d.err != nil {
+		return nil
+	}
+	return ss
+}
+
+// WriteFrame writes a 4-byte big-endian length prefix followed by the
+// payload. It refuses payloads larger than MaxFrameSize.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("%w: frame of %d bytes", ErrTooLarge, len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame written by WriteFrame. It
+// returns io.EOF when the stream ends cleanly at a frame boundary and
+// io.ErrUnexpectedEOF when it ends mid-frame.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("%w: frame of %d bytes", ErrTooLarge, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return payload, nil
+}

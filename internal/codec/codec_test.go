@@ -1,0 +1,308 @@
+package codec
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRoundTripScalars(t *testing.T) {
+	e := NewEncoder(64)
+	e.PutUint(0)
+	e.PutUint(math.MaxUint64)
+	e.PutInt(-1)
+	e.PutInt(math.MinInt64)
+	e.PutInt(math.MaxInt64)
+	e.PutByte(0xAB)
+	e.PutBool(true)
+	e.PutBool(false)
+	e.PutFloat(3.14159)
+	e.PutFloat(math.Inf(-1))
+
+	d := NewDecoder(e.Bytes())
+	if got := d.Uint(); got != 0 {
+		t.Errorf("Uint = %d, want 0", got)
+	}
+	if got := d.Uint(); got != math.MaxUint64 {
+		t.Errorf("Uint = %d, want max", got)
+	}
+	if got := d.Int(); got != -1 {
+		t.Errorf("Int = %d, want -1", got)
+	}
+	if got := d.Int(); got != math.MinInt64 {
+		t.Errorf("Int = %d, want min", got)
+	}
+	if got := d.Int(); got != math.MaxInt64 {
+		t.Errorf("Int = %d, want max", got)
+	}
+	if got := d.Byte(); got != 0xAB {
+		t.Errorf("Byte = %x, want ab", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Errorf("Bool roundtrip failed")
+	}
+	if got := d.Float(); got != 3.14159 {
+		t.Errorf("Float = %v", got)
+	}
+	if got := d.Float(); !math.IsInf(got, -1) {
+		t.Errorf("Float = %v, want -Inf", got)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestRoundTripStringsAndBytes(t *testing.T) {
+	e := NewEncoder(0)
+	e.PutString("")
+	e.PutString("hello, 世界")
+	e.PutBytes(nil)
+	e.PutBytes([]byte{1, 2, 3})
+	e.PutStringSlice([]string{"a", "", "ccc"})
+	e.PutStringSlice(nil)
+
+	d := NewDecoder(e.Bytes())
+	if got := d.String(); got != "" {
+		t.Errorf("String = %q", got)
+	}
+	if got := d.String(); got != "hello, 世界" {
+		t.Errorf("String = %q", got)
+	}
+	if got := d.Bytes(); len(got) != 0 {
+		t.Errorf("Bytes = %v, want empty", got)
+	}
+	if got := d.Bytes(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("Bytes = %v", got)
+	}
+	ss := d.StringSlice()
+	if len(ss) != 3 || ss[0] != "a" || ss[1] != "" || ss[2] != "ccc" {
+		t.Errorf("StringSlice = %v", ss)
+	}
+	if got := d.StringSlice(); len(got) != 0 {
+		t.Errorf("StringSlice = %v, want empty", got)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestRoundTripTime(t *testing.T) {
+	now := time.Unix(1136239445, 123456789)
+	e := NewEncoder(0)
+	e.PutTime(time.Time{})
+	e.PutTime(now)
+	e.PutDuration(42 * time.Millisecond)
+	e.PutDuration(-time.Hour)
+
+	d := NewDecoder(e.Bytes())
+	if got := d.Time(); !got.IsZero() {
+		t.Errorf("zero time decoded as %v", got)
+	}
+	if got := d.Time(); !got.Equal(now) {
+		t.Errorf("Time = %v, want %v", got, now)
+	}
+	if got := d.Duration(); got != 42*time.Millisecond {
+		t.Errorf("Duration = %v", got)
+	}
+	if got := d.Duration(); got != -time.Hour {
+		t.Errorf("Duration = %v", got)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestDecoderStickyError(t *testing.T) {
+	d := NewDecoder([]byte{0x01}) // one byte: a valid Uint, then empty
+	if got := d.Uint(); got != 1 {
+		t.Fatalf("Uint = %d", got)
+	}
+	_ = d.Uint() // truncated
+	if d.Err() == nil {
+		t.Fatal("expected sticky error after truncated read")
+	}
+	// All subsequent reads return zero values without panicking.
+	if d.Uint() != 0 || d.Int() != 0 || d.String() != "" || d.Byte() != 0 {
+		t.Error("post-error reads should return zero values")
+	}
+	if d.Finish() == nil {
+		t.Error("Finish should report the sticky error")
+	}
+}
+
+func TestDecoderTruncatedString(t *testing.T) {
+	e := NewEncoder(0)
+	e.PutString("hello")
+	b := e.Bytes()[:3] // cut mid-string
+	d := NewDecoder(b)
+	_ = d.String()
+	if d.Err() == nil {
+		t.Fatal("expected error for truncated string")
+	}
+}
+
+func TestDecoderTrailingBytes(t *testing.T) {
+	e := NewEncoder(0)
+	e.PutUint(7)
+	e.PutUint(8)
+	d := NewDecoder(e.Bytes())
+	if d.Uint() != 7 {
+		t.Fatal("bad decode")
+	}
+	if err := d.Finish(); err == nil {
+		t.Error("Finish should fail with trailing bytes")
+	}
+}
+
+func TestStringSliceBogusCount(t *testing.T) {
+	// A huge count with no payload must fail cleanly, not allocate.
+	e := NewEncoder(0)
+	e.PutUint(math.MaxUint64)
+	d := NewDecoder(e.Bytes())
+	if got := d.StringSlice(); got != nil {
+		t.Errorf("StringSlice = %v, want nil", got)
+	}
+	if d.Err() == nil {
+		t.Error("expected error for bogus count")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("abc"), 1000)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+	for _, want := range payloads {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("frame = %q, want %q", got, want)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Errorf("final ReadFrame err = %v, want io.EOF", err)
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	big := make([]byte, MaxFrameSize+1)
+	if err := WriteFrame(io.Discard, big); err == nil {
+		t.Error("WriteFrame should reject oversized payload")
+	}
+	// A forged header with an absurd length must be rejected on read.
+	hdr := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := ReadFrame(bytes.NewReader(hdr)); err == nil {
+		t.Error("ReadFrame should reject oversized header")
+	}
+}
+
+func TestFrameMidStreamEOF(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadFrame(bytes.NewReader(cut)); err != io.ErrUnexpectedEOF {
+		t.Errorf("err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+// Property: any (uint, int, string, bytes, bool) tuple round-trips.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(u uint64, i int64, s string, b []byte, ok bool, d int64) bool {
+		e := NewEncoder(0)
+		e.PutUint(u)
+		e.PutInt(i)
+		e.PutString(s)
+		e.PutBytes(b)
+		e.PutBool(ok)
+		e.PutDuration(time.Duration(d))
+		dec := NewDecoder(e.Bytes())
+		gu := dec.Uint()
+		gi := dec.Int()
+		gs := dec.String()
+		gb := dec.Bytes()
+		gok := dec.Bool()
+		gd := dec.Duration()
+		if dec.Finish() != nil {
+			return false
+		}
+		return gu == u && gi == i && gs == s && bytes.Equal(gb, b) &&
+			gok == ok && gd == time.Duration(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: decoding arbitrary garbage never panics and either yields a
+// value or a sticky error.
+func TestQuickDecodeGarbage(t *testing.T) {
+	f := func(b []byte) bool {
+		d := NewDecoder(b)
+		_ = d.Uint()
+		_ = d.String()
+		_ = d.Time()
+		_ = d.StringSlice()
+		_ = d.Float()
+		return true // reaching here without panic is the property
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: frames written back-to-back are recovered exactly.
+func TestQuickFrameStream(t *testing.T) {
+	f := func(chunks [][]byte) bool {
+		var buf bytes.Buffer
+		for _, c := range chunks {
+			if len(c) > MaxFrameSize {
+				c = c[:MaxFrameSize]
+			}
+			if err := WriteFrame(&buf, c); err != nil {
+				return false
+			}
+		}
+		for _, want := range chunks {
+			if len(want) > MaxFrameSize {
+				want = want[:MaxFrameSize]
+			}
+			got, err := ReadFrame(&buf)
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		_, err := ReadFrame(&buf)
+		return err == io.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncoderReset(t *testing.T) {
+	e := NewEncoder(16)
+	e.PutString(strings.Repeat("x", 100))
+	if e.Len() == 0 {
+		t.Fatal("Len should be nonzero")
+	}
+	e.Reset()
+	if e.Len() != 0 {
+		t.Fatal("Reset should empty the buffer")
+	}
+	e.PutUint(5)
+	d := NewDecoder(e.Bytes())
+	if d.Uint() != 5 || d.Finish() != nil {
+		t.Fatal("encoder unusable after Reset")
+	}
+}

@@ -1,0 +1,215 @@
+package config
+
+import (
+	"fmt"
+	"sort"
+
+	"joshua/internal/gcs"
+	"joshua/internal/transport"
+	"joshua/internal/transport/tcpnet"
+)
+
+// ClusterFile is the deployment description used by the joshuad,
+// jmomd, and control-command binaries: which head nodes exist, where
+// each of their services listens, and which compute nodes run moms.
+type ClusterFile struct {
+	// ServerName suffixes job IDs; identical on every head.
+	ServerName string
+	Heads      []HeadDecl
+	Computes   []ComputeDecl
+	Exclusive  bool
+	TimeScale  float64
+}
+
+// HeadDecl is one "[head <name>]" section.
+type HeadDecl struct {
+	Name   string
+	GCS    string // TCP listen address of the group endpoint
+	Client string // TCP listen address of the command endpoint
+	PBS    string // TCP listen address of the mom-facing endpoint
+}
+
+// ComputeDecl is one "[compute <name>]" section.
+type ComputeDecl struct {
+	Name string
+	Mom  string // TCP listen address of the mom endpoint
+}
+
+// Logical addresses, mirroring the simulated cluster's scheme.
+
+// GCSAddr returns the head's group endpoint logical address.
+func (h HeadDecl) GCSAddr() transport.Addr {
+	return transport.Addr(h.Name + "/gcs")
+}
+
+// ClientAddr returns the head's command endpoint logical address.
+func (h HeadDecl) ClientAddr() transport.Addr {
+	return transport.Addr(h.Name + "/joshua")
+}
+
+// PBSAddr returns the head's mom-facing logical address.
+func (h HeadDecl) PBSAddr() transport.Addr {
+	return transport.Addr(h.Name + "/pbs")
+}
+
+// MomAddr returns the compute node's mom logical address.
+func (c ComputeDecl) MomAddr() transport.Addr {
+	return transport.Addr(c.Name + "/mom")
+}
+
+// MemberID returns the head's group member identity.
+func (h HeadDecl) MemberID() gcs.MemberID { return gcs.MemberID(h.Name) }
+
+// LoadCluster parses a deployment description.
+func LoadCluster(path string) (*ClusterFile, error) {
+	f, err := Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return ClusterFromFile(f)
+}
+
+// ClusterFromFile interprets a parsed configuration.
+func ClusterFromFile(f *File) (*ClusterFile, error) {
+	c := &ClusterFile{
+		ServerName: f.Global("server_name", "cluster"),
+		TimeScale:  1.0,
+		Exclusive:  true,
+	}
+	for _, sec := range f.SectionsOf("head") {
+		if sec.Name == "" {
+			return nil, fmt.Errorf("config: [head] section at line %d needs a name", sec.Line)
+		}
+		h := HeadDecl{Name: sec.Name}
+		var err error
+		if h.GCS, err = sec.Require("gcs"); err != nil {
+			return nil, err
+		}
+		if h.Client, err = sec.Require("client"); err != nil {
+			return nil, err
+		}
+		if h.PBS, err = sec.Require("pbs"); err != nil {
+			return nil, err
+		}
+		c.Heads = append(c.Heads, h)
+	}
+	for _, sec := range f.SectionsOf("compute") {
+		if sec.Name == "" {
+			return nil, fmt.Errorf("config: [compute] section at line %d needs a name", sec.Line)
+		}
+		d := ComputeDecl{Name: sec.Name}
+		var err error
+		if d.Mom, err = sec.Require("mom"); err != nil {
+			return nil, err
+		}
+		c.Computes = append(c.Computes, d)
+	}
+	if len(c.Heads) == 0 {
+		return nil, fmt.Errorf("config: no [head <name>] sections")
+	}
+	if opts := f.SectionsOf("options"); len(opts) > 0 {
+		var err error
+		if c.Exclusive, err = opts[0].Bool("exclusive", true); err != nil {
+			return nil, err
+		}
+		if c.TimeScale, err = opts[0].Float("time_scale", 1.0); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(c.Heads, func(i, j int) bool { return c.Heads[i].Name < c.Heads[j].Name })
+	sort.Slice(c.Computes, func(i, j int) bool { return c.Computes[i].Name < c.Computes[j].Name })
+	seen := map[string]bool{}
+	for _, h := range c.Heads {
+		if seen[h.Name] {
+			return nil, fmt.Errorf("config: duplicate head %q", h.Name)
+		}
+		seen[h.Name] = true
+	}
+	for _, d := range c.Computes {
+		if seen[d.Name] {
+			return nil, fmt.Errorf("config: duplicate node name %q", d.Name)
+		}
+		seen[d.Name] = true
+	}
+	return c, nil
+}
+
+// Resolver builds the logical-to-TCP address table for every declared
+// service endpoint.
+func (c *ClusterFile) Resolver() tcpnet.StaticResolver {
+	res := tcpnet.StaticResolver{}
+	for _, h := range c.Heads {
+		res[h.GCSAddr()] = h.GCS
+		res[h.ClientAddr()] = h.Client
+		res[h.PBSAddr()] = h.PBS
+	}
+	for _, d := range c.Computes {
+		res[d.MomAddr()] = d.Mom
+	}
+	return res
+}
+
+// Head returns the declaration for a head by name.
+func (c *ClusterFile) Head(name string) (HeadDecl, bool) {
+	for _, h := range c.Heads {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return HeadDecl{}, false
+}
+
+// Compute returns the declaration for a compute node by name.
+func (c *ClusterFile) Compute(name string) (ComputeDecl, bool) {
+	for _, d := range c.Computes {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return ComputeDecl{}, false
+}
+
+// GroupPeers maps every head member ID to its group logical address.
+func (c *ClusterFile) GroupPeers() map[gcs.MemberID]transport.Addr {
+	peers := make(map[gcs.MemberID]transport.Addr, len(c.Heads))
+	for _, h := range c.Heads {
+		peers[h.MemberID()] = h.GCSAddr()
+	}
+	return peers
+}
+
+// HeadClientAddrs lists every head's command address, in name order.
+func (c *ClusterFile) HeadClientAddrs() []transport.Addr {
+	addrs := make([]transport.Addr, 0, len(c.Heads))
+	for _, h := range c.Heads {
+		addrs = append(addrs, h.ClientAddr())
+	}
+	return addrs
+}
+
+// HeadPBSAddrs lists every head's mom-facing address.
+func (c *ClusterFile) HeadPBSAddrs() []transport.Addr {
+	addrs := make([]transport.Addr, 0, len(c.Heads))
+	for _, h := range c.Heads {
+		addrs = append(addrs, h.PBSAddr())
+	}
+	return addrs
+}
+
+// NodeNames lists the compute node names in order.
+func (c *ClusterFile) NodeNames() []string {
+	names := make([]string, 0, len(c.Computes))
+	for _, d := range c.Computes {
+		names = append(names, d.Name)
+	}
+	return names
+}
+
+// MomAddrs maps compute node names to mom logical addresses.
+func (c *ClusterFile) MomAddrs() map[string]transport.Addr {
+	m := make(map[string]transport.Addr, len(c.Computes))
+	for _, d := range c.Computes {
+		m[d.Name] = d.MomAddr()
+	}
+	return m
+}

@@ -1,0 +1,178 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+const sample = `
+# JOSHUA cluster configuration
+server_name = cluster
+
+[head head0]
+gcs    = 127.0.0.1:7000
+client = 127.0.0.1:7001
+pbs    = 127.0.0.1:7002
+
+[head head1]
+gcs    = 127.0.0.1:7010
+client = 127.0.0.1:7011
+pbs    = 127.0.0.1:7012
+
+[compute compute0]
+mom = 127.0.0.1:7100
+
+[options]
+exclusive  = true
+time_scale = 0.5   # scaled-down job wall times
+`
+
+func TestParseSample(t *testing.T) {
+	f, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Global("server_name", "") != "cluster" {
+		t.Errorf("server_name = %q", f.Global("server_name", ""))
+	}
+	heads := f.SectionsOf("head")
+	if len(heads) != 2 || heads[0].Name != "head0" || heads[1].Name != "head1" {
+		t.Fatalf("heads = %+v", heads)
+	}
+	if got := heads[0].Get("client"); got != "127.0.0.1:7001" {
+		t.Errorf("client = %q", got)
+	}
+	opts := f.SectionsOf("options")[0]
+	b, err := opts.Bool("exclusive", false)
+	if err != nil || !b {
+		t.Errorf("exclusive = %v, %v", b, err)
+	}
+	fl, err := opts.Float("time_scale", 1)
+	if err != nil || fl != 0.5 {
+		t.Errorf("time_scale = %v, %v", fl, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"[unterminated":     "unterminated",
+		"[]":                "empty section",
+		"keywithoutvalue":   "expected key",
+		"= value":           "empty key",
+		"a = 1\na = 2":      "duplicate key",
+		"[s]\nx = 1\nx = 2": "duplicate key",
+	}
+	for input, wantSub := range cases {
+		_, err := Parse(strings.NewReader(input))
+		if err == nil {
+			t.Errorf("Parse(%q) should fail", input)
+			continue
+		}
+		if !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("Parse(%q) err = %v, want mention of %q", input, err, wantSub)
+		}
+	}
+}
+
+func TestParseErrorHasLine(t *testing.T) {
+	_, err := Parse(strings.NewReader("ok = 1\nbroken line\n"))
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("err = %T", err)
+	}
+	if pe.Line != 2 {
+		t.Errorf("line = %d, want 2", pe.Line)
+	}
+}
+
+func TestSectionHelpers(t *testing.T) {
+	f, _ := Parse(strings.NewReader("[s one]\nd = 250ms\n[s two]\n"))
+	names := f.SectionNames("s")
+	if len(names) != 2 || names[0] != "one" || names[1] != "two" {
+		t.Errorf("names = %v", names)
+	}
+	s := f.SectionsOf("s")[0]
+	d, err := s.Duration("d", time.Second)
+	if err != nil || d != 250*time.Millisecond {
+		t.Errorf("Duration = %v, %v", d, err)
+	}
+	d, err = s.Duration("missing", time.Second)
+	if err != nil || d != time.Second {
+		t.Errorf("default Duration = %v, %v", d, err)
+	}
+	if _, err := s.Require("missing"); err == nil {
+		t.Error("Require of missing key should fail")
+	}
+	if _, err := s.Bool("d", false); err == nil {
+		t.Error("Bool of non-boolean should fail")
+	}
+}
+
+func TestLoadCluster(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cluster.conf")
+	if err := os.WriteFile(path, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := LoadCluster(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ServerName != "cluster" || !c.Exclusive || c.TimeScale != 0.5 {
+		t.Errorf("cluster = %+v", c)
+	}
+	if len(c.Heads) != 2 || len(c.Computes) != 1 {
+		t.Fatalf("cluster topology = %+v", c)
+	}
+
+	res := c.Resolver()
+	if got, ok := res.Resolve("head1/joshua"); !ok || got != "127.0.0.1:7011" {
+		t.Errorf("resolver head1/joshua = %q, %v", got, ok)
+	}
+	if got, ok := res.Resolve("compute0/mom"); !ok || got != "127.0.0.1:7100" {
+		t.Errorf("resolver compute0/mom = %q, %v", got, ok)
+	}
+
+	peers := c.GroupPeers()
+	if peers["head0"] != "head0/gcs" || len(peers) != 2 {
+		t.Errorf("peers = %v", peers)
+	}
+	if got := c.HeadClientAddrs(); len(got) != 2 || got[0] != "head0/joshua" {
+		t.Errorf("client addrs = %v", got)
+	}
+	if got := c.NodeNames(); len(got) != 1 || got[0] != "compute0" {
+		t.Errorf("node names = %v", got)
+	}
+	h, ok := c.Head("head1")
+	if !ok || h.GCS != "127.0.0.1:7010" {
+		t.Errorf("Head(head1) = %+v, %v", h, ok)
+	}
+	if _, ok := c.Head("nope"); ok {
+		t.Error("Head(nope) should be absent")
+	}
+	if _, ok := c.Compute("compute0"); !ok {
+		t.Error("Compute(compute0) missing")
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	bad := []string{
+		"[head]\ngcs=a\nclient=b\npbs=c\n", // unnamed head
+		"[head h]\nclient=b\npbs=c\n",      // missing gcs
+		"[compute c]\n",                    // missing mom
+		"x = 1\n",                          // no heads at all
+		"[head h]\ngcs=a\nclient=b\npbs=c\n[compute h]\nmom=d", // duplicate name
+	}
+	for _, input := range bad {
+		f, err := Parse(strings.NewReader(input))
+		if err != nil {
+			continue // parse-level failure also acceptable
+		}
+		if _, err := ClusterFromFile(f); err == nil {
+			t.Errorf("ClusterFromFile(%q) should fail", input)
+		}
+	}
+}

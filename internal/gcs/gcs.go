@@ -1,0 +1,1108 @@
+// Package gcs implements the process group communication system that
+// JOSHUA replicates over: reliable, totally ordered message delivery
+// with fault-tolerant group membership, in the tradition of Transis.
+//
+// The paper's requirements (Section 3) are:
+//
+//   - total order: all state-change messages are delivered to all
+//     active services in the same order;
+//   - reliable delivery: no message delivered at one surviving member
+//     is missing at another;
+//   - virtual synchrony: membership changes (join, leave, failure) are
+//     delivered as view events totally ordered with respect to the
+//     message stream, and all members entering a new view have
+//     delivered the same set of messages in the old view;
+//   - state transfer: a joining member receives a snapshot of the
+//     application state consistent with the delivery stream.
+//
+// The implementation is a per-view fixed-sequencer protocol: the
+// lowest member ID of each view sequences messages, receivers deliver
+// in sequence order with NACK-based retransmission, and an
+// acknowledgment-driven stability watermark garbage-collects the
+// retransmission buffer. Membership changes run a coordinator-driven
+// flush that reconciles every survivor's unstable messages before the
+// next view is installed (see flush.go).
+//
+// Failure model: fail-stop, as the paper assumes. Under network
+// partitions, the PartitionPolicy selects between the paper's
+// fail-stop behaviour (every surviving fragment continues — correct
+// when failures really are crashes) and a majority rule that keeps at
+// most one primary component (safe under real partitions, at the cost
+// of availability in minority fragments).
+package gcs
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"joshua/internal/transport"
+)
+
+// MemberID uniquely names a group member. The ordering of member IDs
+// is load-bearing: the lowest ID in a view acts as sequencer and view-
+// change coordinator.
+type MemberID string
+
+// View is one group membership epoch.
+type View struct {
+	// ID increases monotonically at each member. Views of different
+	// partition components may reuse numbers; (ID, Members) is unique
+	// in practice.
+	ID uint64
+	// Members is sorted ascending.
+	Members []MemberID
+	// Primary reports whether this component may make progress under
+	// the configured PartitionPolicy. JOSHUA only executes commands
+	// in a primary view.
+	Primary bool
+}
+
+// Sequencer returns the member that orders messages in this view.
+func (v View) Sequencer() MemberID {
+	if len(v.Members) == 0 {
+		return ""
+	}
+	return v.Members[0]
+}
+
+// Includes reports whether m is a member of the view.
+func (v View) Includes(m MemberID) bool {
+	for _, x := range v.Members {
+		if x == m {
+			return true
+		}
+	}
+	return false
+}
+
+func (v View) String() string {
+	return fmt.Sprintf("view %d %v primary=%v", v.ID, v.Members, v.Primary)
+}
+
+// PartitionPolicy selects which components stay primary after a
+// membership change.
+type PartitionPolicy int
+
+const (
+	// FailStop treats every membership loss as a crash: any surviving
+	// fragment of a primary view remains primary. This matches the
+	// paper's fail-stop assumption ("continuous availability as long
+	// as one head node survives") but permits split-brain under real
+	// network partitions.
+	FailStop PartitionPolicy = iota
+	// Majority keeps a component primary only while it retains a
+	// strict majority of the previous primary view, so at most one
+	// primary component exists at any time.
+	Majority
+)
+
+// Event is the stream the application consumes: deliveries, view
+// changes, snapshot requests, and state transfers arrive in a single
+// totally ordered sequence per member.
+type Event interface{ event() }
+
+// DeliverEvent carries one totally ordered application message.
+type DeliverEvent struct {
+	ViewID    uint64
+	Seq       uint64 // global order within the view, starting at 1
+	Sender    MemberID
+	SenderSeq uint64 // the sender's FIFO counter
+	Payload   []byte
+}
+
+// ViewEvent announces an installed view. The application observes it
+// after every delivery of the previous view and before any delivery of
+// the new one.
+type ViewEvent struct {
+	View View
+}
+
+// SnapshotRequestEvent asks the application for a state snapshot to
+// transfer to a joining member. The application MUST call Reply
+// exactly once (an empty snapshot is fine); the join is aborted after
+// a timeout otherwise. The snapshot must reflect exactly the events
+// delivered before this one.
+type SnapshotRequestEvent struct {
+	Reply func(state []byte)
+}
+
+// StateTransferEvent delivers the application snapshot to a joining
+// member. It precedes the joiner's first ViewEvent.
+type StateTransferEvent struct {
+	State []byte
+}
+
+func (DeliverEvent) event()         {}
+func (ViewEvent) event()            {}
+func (SnapshotRequestEvent) event() {}
+func (StateTransferEvent) event()   {}
+
+// Config parameterizes a Process.
+type Config struct {
+	// Self is this process's member ID. Required.
+	Self MemberID
+	// Endpoint is the transport attachment. Required; the Process
+	// owns it and closes it on Close.
+	Endpoint transport.Endpoint
+	// Peers maps every potential member (including Self) to its
+	// transport address. Required.
+	Peers map[MemberID]transport.Addr
+
+	// InitialMembers, when non-empty, statically bootstraps the group:
+	// the process installs a first primary view with exactly these
+	// members. Every listed process must be configured identically.
+	// When empty, Bootstrap selects between founding a singleton
+	// group and joining an existing one via Peers.
+	InitialMembers []MemberID
+	// Bootstrap makes the process found a new singleton group instead
+	// of joining. Exactly one process of a dynamically formed group
+	// sets it.
+	Bootstrap bool
+
+	// PartitionPolicy defaults to FailStop (the paper's model).
+	PartitionPolicy PartitionPolicy
+
+	// Heartbeat is the failure-detector probe interval.
+	// Default 25ms.
+	Heartbeat time.Duration
+	// FailTimeout is how long a member may be silent before it is
+	// suspected. Default 8×Heartbeat.
+	FailTimeout time.Duration
+	// ResendInterval is how long a sender waits for its own message
+	// to come back sequenced before retransmitting the request, and
+	// how long a receiver waits on a sequence gap before NACKing.
+	// Default 4×Heartbeat.
+	ResendInterval time.Duration
+	// FlushTimeout bounds one view-change attempt. Default
+	// 10×Heartbeat.
+	FlushTimeout time.Duration
+	// SnapshotTimeout bounds the application's snapshot reply during
+	// a join. Default 5s.
+	SnapshotTimeout time.Duration
+	// JoinInterval is how often a joining process re-solicits
+	// admission. Default 8×Heartbeat.
+	JoinInterval time.Duration
+
+	// Window bounds the sender's outstanding (not yet self-delivered)
+	// broadcasts; Broadcast blocks when it is full. Default 256.
+	Window int
+
+	// SafeDelivery delays delivery of each message until every view
+	// member has acknowledged receiving it — the "safe" delivery
+	// guarantee of extended virtual synchrony (Transis/Totem SAFE
+	// messages). It closes the amnesia window where one member
+	// delivers (and acts on) a message that dies with it, at the cost
+	// of an extra acknowledgment round per message. Off by default
+	// (agreed delivery), matching common Transis usage.
+	SafeDelivery bool
+	// LoopbackSelfDelivery routes the sequencer's own sequenced
+	// messages through its transport endpoint instead of the direct
+	// in-process path. Transis-faithful: the original JOSHUA stack
+	// crossed a local daemon socket even for same-node delivery, which
+	// is where the paper's 37% single-head latency overhead lives.
+	// Benchmarks enable it; it changes timing only, not semantics.
+	LoopbackSelfDelivery bool
+
+	// Logger receives protocol diagnostics. Nil disables logging.
+	Logger *log.Logger
+}
+
+func (c *Config) fillDefaults() {
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 25 * time.Millisecond
+	}
+	if c.FailTimeout <= 0 {
+		c.FailTimeout = 8 * c.Heartbeat
+	}
+	if c.ResendInterval <= 0 {
+		c.ResendInterval = 4 * c.Heartbeat
+	}
+	if c.FlushTimeout <= 0 {
+		c.FlushTimeout = 10 * c.Heartbeat
+	}
+	if c.SnapshotTimeout <= 0 {
+		c.SnapshotTimeout = 5 * time.Second
+	}
+	if c.JoinInterval <= 0 {
+		c.JoinInterval = 8 * c.Heartbeat
+	}
+	if c.Window <= 0 {
+		c.Window = 256
+	}
+}
+
+// Process states.
+type status int
+
+const (
+	statusJoining status = iota
+	statusNormal
+	statusFlushing
+	statusClosed
+)
+
+// pendingMsg is one of our own broadcasts not yet delivered back to us.
+type pendingMsg struct {
+	senderSeq uint64
+	payload   []byte
+	lastSent  time.Time
+}
+
+// Errors returned by the public API.
+var (
+	ErrClosed = errors.New("gcs: process closed")
+)
+
+// Process is one group member. Create with Start; consume Events; send
+// with Broadcast.
+type Process struct {
+	cfg Config
+	ep  transport.Endpoint
+
+	actions chan func() // API requests executed on the loop goroutine
+	done    chan struct{}
+	stopped sync.Once
+	events  *eventQueue
+	window  chan struct{}
+
+	viewMu   sync.Mutex
+	viewSnap View  // latest installed view, for the View() accessor
+	stats    Stats // guarded by viewMu
+
+	// --- everything below is owned by the run loop goroutine ---
+
+	st   status
+	view View
+
+	// failure detection
+	lastHeard map[MemberID]time.Time
+	suspected map[MemberID]bool
+	joiners   map[MemberID]bool
+	leavers   map[MemberID]bool
+
+	// sender side
+	senderSeq uint64
+	pending   []pendingMsg
+
+	// total order (per current view)
+	nextSeq     uint64              // sequencer: next global seq to assign
+	nextDeliver uint64              // next global seq to deliver
+	stable      uint64              // GC watermark
+	ordered     map[uint64]*dataMsg // received sequenced messages > stable
+	lastSeqd    map[MemberID]uint64 // sequencer: highest SenderSeq ordered per member
+	reqSeq      map[MemberID]map[uint64]uint64
+	acked       map[MemberID]uint64 // sequencer: cumulative acks
+	delivered   map[MemberID]uint64 // highest SenderSeq delivered per member
+	gapSince    time.Time           // when the current delivery gap appeared
+	// Safe delivery (when enabled): members report their highest
+	// contiguously received sequence to the sequencer, which
+	// aggregates them into a safe watermark and broadcasts it;
+	// delivery never passes the watermark. safeUpTo is the local
+	// watermark; recvAcked is the sequencer's per-member accounting.
+	safeUpTo  uint64
+	recvAcked map[MemberID]uint64
+	lastReAck time.Time
+	// tailSeq is the highest sequence known to have been assigned in
+	// this view (from received DATA and heartbeat advertisements); it
+	// lets a member that missed the tail of the stream NACK it.
+	tailSeq uint64
+
+	// flush state (see flush.go)
+	fl flushState
+	// flushMiss counts consecutive flush attempts a member failed to
+	// report a flush state for (coordinator bookkeeping); a member is
+	// suspected only after two consecutive misses, so one slow round
+	// does not get a healthy member excluded.
+	flushMiss map[MemberID]int
+	// lastNewView caches the most recent NEWVIEW this process
+	// disseminated as coordinator, for retransmission to members
+	// whose copy was lost.
+	lastNewView *message
+
+	// joiner state
+	snapGot     bool
+	snapViewID  uint64
+	snapTable   map[MemberID]uint64
+	snapApp     []byte
+	lastJoinReq time.Time
+}
+
+// Start creates and runs a Process. It returns immediately; the first
+// ViewEvent signals group formation (for bootstrap and static modes)
+// or admission (for joiners).
+func Start(cfg Config) (*Process, error) {
+	if cfg.Self == "" {
+		return nil, errors.New("gcs: Config.Self required")
+	}
+	if cfg.Endpoint == nil {
+		return nil, errors.New("gcs: Config.Endpoint required")
+	}
+	if _, ok := cfg.Peers[cfg.Self]; !ok {
+		return nil, fmt.Errorf("gcs: Peers must include Self (%q)", cfg.Self)
+	}
+	cfg.fillDefaults()
+
+	p := &Process{
+		cfg:       cfg,
+		ep:        cfg.Endpoint,
+		actions:   make(chan func(), 64),
+		done:      make(chan struct{}),
+		events:    newEventQueue(),
+		window:    make(chan struct{}, cfg.Window),
+		lastHeard: make(map[MemberID]time.Time),
+		suspected: make(map[MemberID]bool),
+		joiners:   make(map[MemberID]bool),
+		leavers:   make(map[MemberID]bool),
+		ordered:   make(map[uint64]*dataMsg),
+		lastSeqd:  make(map[MemberID]uint64),
+		reqSeq:    make(map[MemberID]map[uint64]uint64),
+		acked:     make(map[MemberID]uint64),
+		delivered: make(map[MemberID]uint64),
+		recvAcked: make(map[MemberID]uint64),
+		flushMiss: make(map[MemberID]int),
+	}
+
+	switch {
+	case len(cfg.InitialMembers) > 0:
+		members := append([]MemberID(nil), cfg.InitialMembers...)
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		if !(View{Members: members}).Includes(cfg.Self) {
+			return nil, fmt.Errorf("gcs: InitialMembers must include Self (%q)", cfg.Self)
+		}
+		p.installView(View{ID: 1, Members: members, Primary: true})
+		p.st = statusNormal
+		p.events.push(ViewEvent{View: p.View()})
+	case cfg.Bootstrap:
+		p.installView(View{ID: 1, Members: []MemberID{cfg.Self}, Primary: true})
+		p.st = statusNormal
+		p.events.push(ViewEvent{View: p.View()})
+	default:
+		p.st = statusJoining
+	}
+
+	go p.run()
+	return p, nil
+}
+
+// Events returns the ordered event stream. The channel is closed when
+// the process stops. The internal queue is unbounded, so a slow
+// consumer never stalls the protocol, but it must eventually drain.
+func (p *Process) Events() <-chan Event { return p.events.ch }
+
+// Self returns this process's member ID.
+func (p *Process) Self() MemberID { return p.cfg.Self }
+
+// View returns the most recently installed view.
+func (p *Process) View() View {
+	p.viewMu.Lock()
+	defer p.viewMu.Unlock()
+	v := p.viewSnap
+	v.Members = append([]MemberID(nil), v.Members...)
+	return v
+}
+
+// Stats counts protocol activity since the process started.
+type Stats struct {
+	Broadcasts    uint64 // application messages submitted
+	Delivered     uint64 // application messages delivered
+	Sequenced     uint64 // global sequence numbers assigned (sequencer role)
+	Retransmits   uint64 // DATA retransmissions served (NACKs, duplicate requests)
+	NacksSent     uint64 // retransmission requests issued
+	Views         uint64 // views installed
+	FlushAttempts uint64 // view-change attempts coordinated
+}
+
+// Stats returns a snapshot of the protocol counters.
+func (p *Process) Stats() Stats {
+	p.viewMu.Lock()
+	defer p.viewMu.Unlock()
+	return p.stats
+}
+
+// Buffered reports how many sequenced messages are currently held in
+// the retransmission buffer (delivered-but-unstable plus undelivered).
+// Bounded operation depends on the stability watermark draining it;
+// tests assert that. Returns 0 after Close.
+func (p *Process) Buffered() int {
+	reply := make(chan int, 1)
+	if err := p.do(func() { reply <- len(p.ordered) }); err != nil {
+		return 0
+	}
+	select {
+	case n := <-reply:
+		return n
+	case <-p.done:
+		return 0
+	}
+}
+
+// bump mutates the counters; called from the loop goroutine only.
+func (p *Process) bumpStat(f func(*Stats)) {
+	p.viewMu.Lock()
+	f(&p.stats)
+	p.viewMu.Unlock()
+}
+
+// Broadcast submits a payload for totally ordered delivery to the
+// group (including this member). It blocks while the send window is
+// full and returns ErrClosed after Close. Delivery is guaranteed as
+// long as this process stays alive and in the group: the message is
+// retransmitted across view changes until self-delivered.
+func (p *Process) Broadcast(payload []byte) error {
+	select {
+	case <-p.done:
+		return ErrClosed
+	default:
+	}
+	select {
+	case p.window <- struct{}{}:
+	case <-p.done:
+		return ErrClosed
+	}
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+	return p.do(func() { p.startBroadcast(buf) })
+}
+
+// Leave announces a voluntary departure and stops the process. Per the
+// paper, leaving "is actually handled as a forced failure": the member
+// tells the group to exclude it immediately and shuts down without
+// waiting for the resulting view.
+func (p *Process) Leave() {
+	sent := make(chan struct{})
+	err := p.do(func() {
+		m := &message{Kind: kindLeave, From: p.cfg.Self, ViewID: p.view.ID}
+		p.sendToMembers(m)
+		close(sent)
+	})
+	if err == nil {
+		select {
+		case <-sent:
+		case <-p.done:
+		case <-time.After(time.Second):
+		}
+	}
+	p.Close()
+}
+
+// Close stops the process immediately (a local crash: no goodbye is
+// sent; peers detect the failure). Safe to call multiple times.
+func (p *Process) Close() {
+	p.stopped.Do(func() { close(p.done) })
+}
+
+// do runs fn on the loop goroutine, returning ErrClosed if the process
+// has stopped.
+func (p *Process) do(fn func()) error {
+	select {
+	case <-p.done:
+		return ErrClosed
+	default:
+	}
+	select {
+	case p.actions <- fn:
+		return nil
+	case <-p.done:
+		return ErrClosed
+	}
+}
+
+func (p *Process) logf(format string, args ...any) {
+	if p.cfg.Logger != nil {
+		p.cfg.Logger.Printf("[gcs %s] "+format, append([]any{p.cfg.Self}, args...)...)
+	}
+}
+
+// run is the single event-loop goroutine that owns all protocol state.
+func (p *Process) run() {
+	defer func() {
+		p.st = statusClosed
+		p.ep.Close()
+		p.events.close()
+	}()
+
+	tick := time.NewTicker(p.cfg.Heartbeat)
+	defer tick.Stop()
+
+	now := time.Now()
+	for m := range p.cfg.Peers {
+		p.lastHeard[m] = now // grace period at startup
+	}
+
+	for {
+		select {
+		case <-p.done:
+			return
+		case fn := <-p.actions:
+			fn()
+		case msg, ok := <-p.ep.Recv():
+			if !ok {
+				return
+			}
+			p.handleDatagram(msg)
+		case <-tick.C:
+			p.onTick()
+		}
+	}
+}
+
+// handleDatagram decodes and dispatches one incoming datagram.
+func (p *Process) handleDatagram(dg transport.Message) {
+	m, err := decodeMessage(dg.Payload)
+	if err != nil {
+		p.logf("dropping datagram from %s: %v", dg.From, err)
+		return
+	}
+	if m.From == p.cfg.Self && m.Kind != kindData {
+		return // our own echo; only loopback self-delivery DATA is real
+	}
+	p.lastHeard[m.From] = time.Now()
+
+	switch m.Kind {
+	case kindHeartbeat:
+		if m.ViewID == p.view.ID && m.Delivered > p.tailSeq {
+			p.tailSeq = m.Delivered
+		}
+	case kindData:
+		p.onData(m)
+	case kindReq:
+		p.onReq(m)
+	case kindNack:
+		p.onNack(m)
+	case kindAck:
+		p.onAck(m)
+	case kindStable:
+		p.onStable(m)
+	case kindJoin:
+		p.onJoin(m)
+	case kindLeave:
+		p.onLeave(m)
+	case kindSuspect:
+		p.onSuspect(m)
+	case kindPropose:
+		p.onPropose(m)
+	case kindFlushState:
+		p.onFlushState(m)
+	case kindNewView:
+		p.onNewView(m)
+	case kindStateSnap:
+		p.onStateSnap(m)
+	case kindSafe:
+		p.onSafe(m)
+	}
+}
+
+// onTick drives heartbeats, the failure detector, retransmission, and
+// flush/join timeouts.
+func (p *Process) onTick() {
+	now := time.Now()
+	switch p.st {
+	case statusJoining:
+		if now.Sub(p.lastJoinReq) >= p.cfg.JoinInterval {
+			p.lastJoinReq = now
+			m := &message{Kind: kindJoin, From: p.cfg.Self}
+			for peer := range p.cfg.Peers {
+				if peer != p.cfg.Self {
+					p.sendTo(peer, m)
+				}
+			}
+		}
+		return
+	case statusClosed:
+		return
+	}
+
+	// Heartbeats to all current members, advertising the highest
+	// sequence we know was assigned so peers can detect a missed
+	// tail.
+	hb := &message{Kind: kindHeartbeat, From: p.cfg.Self, ViewID: p.view.ID, Delivered: p.tailSeq}
+	if p.view.Sequencer() == p.cfg.Self && p.nextSeq > hb.Delivered {
+		hb.Delivered = p.nextSeq
+	}
+	p.sendToMembers(hb)
+
+	// Failure detection.
+	var newlySuspected []MemberID
+	for _, m := range p.view.Members {
+		if m == p.cfg.Self || p.suspected[m] {
+			continue
+		}
+		if now.Sub(p.lastHeard[m]) > p.cfg.FailTimeout {
+			p.suspected[m] = true
+			newlySuspected = append(newlySuspected, m)
+		}
+	}
+	if len(newlySuspected) > 0 {
+		p.logf("suspecting %v", newlySuspected)
+		p.shareSuspicions()
+	}
+
+	switch p.st {
+	case statusNormal:
+		p.resendPending(now)
+		p.nackGaps(now)
+		p.reAckStalled(now)
+		p.sendAck()
+		p.maybeStartFlush()
+	case statusFlushing:
+		p.flushTick(now)
+	}
+}
+
+// startBroadcast assigns the next sender sequence number and transmits.
+// Runs on the loop goroutine.
+func (p *Process) startBroadcast(payload []byte) {
+	p.bumpStat(func(st *Stats) { st.Broadcasts++ })
+	p.senderSeq++
+	pm := pendingMsg{senderSeq: p.senderSeq, payload: payload}
+	p.pending = append(p.pending, pm)
+	if p.st == statusNormal {
+		p.transmitPending(&p.pending[len(p.pending)-1])
+	}
+	// While flushing or joining, the message stays queued; it is
+	// (re)transmitted when a view is installed.
+}
+
+// transmitPending sends one of our queued messages: self-sequence when
+// we are the sequencer, otherwise request ordering from it.
+func (p *Process) transmitPending(pm *pendingMsg) {
+	pm.lastSent = time.Now()
+	if p.view.Sequencer() == p.cfg.Self {
+		p.sequence(dataMsg{Sender: p.cfg.Self, SenderSeq: pm.senderSeq, Payload: pm.payload})
+		return
+	}
+	m := &message{
+		Kind:   kindReq,
+		From:   p.cfg.Self,
+		ViewID: p.view.ID,
+		Data:   dataMsg{SenderSeq: pm.senderSeq, Payload: pm.payload},
+	}
+	p.sendTo(p.view.Sequencer(), m)
+}
+
+// sequence assigns the next global sequence number (sequencer only)
+// and broadcasts the resulting DATA message to the whole view.
+func (p *Process) sequence(d dataMsg) {
+	last := p.lastSeqd[d.Sender]
+	if d.SenderSeq <= last {
+		// Duplicate request: the DATA we sent may have been lost on
+		// the way back to the sender. Retransmit it if still buffered.
+		if seqs, ok := p.reqSeq[d.Sender]; ok {
+			if gseq, ok := seqs[d.SenderSeq]; ok {
+				if dm, ok := p.ordered[gseq]; ok {
+					p.bumpStat(func(st *Stats) { st.Retransmits++ })
+					p.sendTo(d.Sender, &message{Kind: kindData, From: p.cfg.Self, ViewID: p.view.ID, Data: *dm})
+				}
+			}
+		}
+		return
+	}
+	if d.SenderSeq != last+1 {
+		// A hole in the sender's FIFO stream: with per-flow FIFO
+		// transports this only happens across view changes, where the
+		// sender retries in order; drop and let retransmission fix it.
+		return
+	}
+	p.nextSeq++
+	d.Seq = p.nextSeq
+	p.bumpStat(func(st *Stats) { st.Sequenced++ })
+	p.lastSeqd[d.Sender] = d.SenderSeq
+	if p.reqSeq[d.Sender] == nil {
+		p.reqSeq[d.Sender] = make(map[uint64]uint64)
+	}
+	p.reqSeq[d.Sender][d.SenderSeq] = d.Seq
+
+	m := &message{Kind: kindData, From: p.cfg.Self, ViewID: p.view.ID, Data: d}
+	p.sendToMembers(m)
+	if p.cfg.LoopbackSelfDelivery {
+		// Transis-faithful path: our own message re-enters through
+		// the endpoint, paying the local IPC hop.
+		p.sendTo(p.cfg.Self, m)
+		return
+	}
+	p.acceptData(&d)
+}
+
+// onData handles a sequenced message from the sequencer.
+func (p *Process) onData(m *message) {
+	if m.ViewID != p.view.ID || p.st == statusJoining {
+		return
+	}
+	d := m.Data
+	p.acceptData(&d)
+}
+
+// acceptData buffers a sequenced message and, in normal operation,
+// delivers any newly contiguous prefix. During a flush delivery is
+// frozen: messages are only buffered, and the coordinator's agreed
+// final sequence (deliverTo) decides what gets delivered, preserving
+// virtual synchrony.
+func (p *Process) acceptData(d *dataMsg) {
+	if d.Seq <= p.stable {
+		return // already delivered everywhere and garbage-collected
+	}
+	if d.Seq > p.tailSeq {
+		p.tailSeq = d.Seq
+	}
+	if _, ok := p.ordered[d.Seq]; !ok {
+		p.ordered[d.Seq] = d
+		if p.cfg.SafeDelivery && p.st == statusNormal {
+			if p.view.Sequencer() == p.cfg.Self {
+				p.updateSafeWatermark()
+			} else {
+				p.sendAckNow()
+			}
+		}
+	}
+	if p.st == statusNormal {
+		p.deliverReady()
+	}
+}
+
+// contiguousReceived returns the highest sequence up to which this
+// member holds (or has delivered) every message.
+func (p *Process) contiguousReceived() uint64 {
+	r := p.nextDeliver - 1
+	for {
+		if _, ok := p.ordered[r+1]; !ok {
+			return r
+		}
+		r++
+	}
+}
+
+// sendAckNow immediately reports receipt progress to the sequencer
+// (safe delivery: the sequencer aggregates these into the safe
+// watermark).
+func (p *Process) sendAckNow() {
+	m := &message{
+		Kind:      kindAck,
+		From:      p.cfg.Self,
+		ViewID:    p.view.ID,
+		Delivered: p.nextDeliver - 1,
+		Received:  p.contiguousReceived(),
+	}
+	p.sendTo(p.view.Sequencer(), m)
+}
+
+// updateSafeWatermark recomputes the safe watermark (sequencer only):
+// the highest sequence contiguously received by every view member.
+// Advancing it unblocks delivery everywhere.
+func (p *Process) updateSafeWatermark() {
+	w := p.contiguousReceived()
+	for _, m := range p.view.Members {
+		if m == p.cfg.Self {
+			continue
+		}
+		if p.recvAcked[m] < w {
+			w = p.recvAcked[m]
+		}
+	}
+	if w > p.safeUpTo {
+		p.safeUpTo = w
+		p.broadcastSafe()
+		if p.st == statusNormal {
+			p.deliverReady()
+		}
+	}
+}
+
+// broadcastSafe announces the current safe watermark (sequencer only).
+func (p *Process) broadcastSafe() {
+	m := &message{Kind: kindSafe, From: p.cfg.Self, ViewID: p.view.ID, Delivered: p.safeUpTo}
+	p.sendToMembers(m)
+}
+
+// onSafe adopts the sequencer's safe watermark.
+func (p *Process) onSafe(m *message) {
+	if !p.cfg.SafeDelivery || m.ViewID != p.view.ID {
+		return
+	}
+	if m.From != p.view.Sequencer() {
+		return
+	}
+	if m.Delivered > p.safeUpTo {
+		p.safeUpTo = m.Delivered
+		if p.st == statusNormal {
+			p.deliverReady()
+		}
+	}
+}
+
+// deliverReady delivers the contiguous prefix starting at nextDeliver
+// (subject to the safe-delivery condition when enabled).
+func (p *Process) deliverReady() {
+	for {
+		d, ok := p.ordered[p.nextDeliver]
+		if !ok {
+			break
+		}
+		if p.cfg.SafeDelivery && p.nextDeliver > p.safeUpTo {
+			break // await the safe watermark
+		}
+		p.deliverOne(d)
+		p.nextDeliver++
+	}
+}
+
+// deliverOne emits one DeliverEvent and updates sender bookkeeping.
+func (p *Process) deliverOne(d *dataMsg) {
+	if d.SenderSeq > p.delivered[d.Sender] {
+		p.delivered[d.Sender] = d.SenderSeq
+	}
+	if d.Sender == p.cfg.Self {
+		// Drop from pending and release the window slot.
+		for len(p.pending) > 0 && p.pending[0].senderSeq <= d.SenderSeq {
+			p.pending = p.pending[1:]
+			select {
+			case <-p.window:
+			default:
+			}
+		}
+	}
+	p.bumpStat(func(st *Stats) { st.Delivered++ })
+	p.events.push(DeliverEvent{
+		ViewID:    p.view.ID,
+		Seq:       d.Seq,
+		Sender:    d.Sender,
+		SenderSeq: d.SenderSeq,
+		Payload:   d.Payload,
+	})
+}
+
+// maxOrdered returns the highest buffered sequence and whether a gap
+// exists between nextDeliver and it.
+func (p *Process) maxOrdered() (uint64, bool) {
+	var max uint64
+	for s := range p.ordered {
+		if s > max {
+			max = s
+		}
+	}
+	return max, max >= p.nextDeliver && len(p.ordered) > 0 &&
+		p.ordered[p.nextDeliver] == nil
+}
+
+// onReq handles an ordering request (sequencer only).
+func (p *Process) onReq(m *message) {
+	if m.ViewID != p.view.ID || p.st != statusNormal {
+		return
+	}
+	if p.view.Sequencer() != p.cfg.Self {
+		return // misdirected; sender will retry after the view change
+	}
+	if !p.view.Includes(m.From) {
+		return
+	}
+	p.sequence(m.Data)
+}
+
+// resendPending retransmits our not-yet-delivered messages.
+func (p *Process) resendPending(now time.Time) {
+	for i := range p.pending {
+		pm := &p.pending[i]
+		if now.Sub(pm.lastSent) >= p.cfg.ResendInterval {
+			p.transmitPending(pm)
+		}
+	}
+}
+
+// nackGaps requests retransmission when a delivery gap persists: some
+// sequence up to the known tail is missing from the buffer.
+func (p *Process) nackGaps(now time.Time) {
+	var missing []uint64
+	for s := p.nextDeliver; s <= p.tailSeq && len(missing) < 64; s++ {
+		if _, ok := p.ordered[s]; !ok {
+			missing = append(missing, s)
+		}
+	}
+	if len(missing) == 0 {
+		p.gapSince = time.Time{}
+		return
+	}
+	if p.gapSince.IsZero() {
+		p.gapSince = now // grace period before the first NACK
+		return
+	}
+	if now.Sub(p.gapSince) < p.cfg.ResendInterval {
+		return
+	}
+	p.gapSince = now // rate-limit
+	p.bumpStat(func(st *Stats) { st.NacksSent++ })
+	m := &message{Kind: kindNack, From: p.cfg.Self, ViewID: p.view.ID, Missing: missing}
+	p.sendTo(p.view.Sequencer(), m)
+}
+
+// reAckStalled retransmits receipt acknowledgments while safe
+// delivery is stalled, covering a lost ack or a lost safe watermark
+// (the sequencer's periodic broadcastSafe covers the other side).
+func (p *Process) reAckStalled(now time.Time) {
+	if !p.cfg.SafeDelivery || p.view.Sequencer() == p.cfg.Self {
+		return
+	}
+	if _, ok := p.ordered[p.nextDeliver]; !ok {
+		return // gap, not an ack stall; nackGaps handles it
+	}
+	if now.Sub(p.lastReAck) < p.cfg.ResendInterval {
+		return
+	}
+	p.lastReAck = now
+	p.sendAckNow()
+}
+
+// onNack retransmits requested messages (sequencer only).
+func (p *Process) onNack(m *message) {
+	if m.ViewID != p.view.ID || p.view.Sequencer() != p.cfg.Self {
+		return
+	}
+	for _, seq := range m.Missing {
+		if d, ok := p.ordered[seq]; ok {
+			p.bumpStat(func(st *Stats) { st.Retransmits++ })
+			p.sendTo(m.From, &message{Kind: kindData, From: p.cfg.Self, ViewID: p.view.ID, Data: *d})
+		}
+	}
+}
+
+// sendAck reports cumulative delivery progress to the sequencer.
+func (p *Process) sendAck() {
+	if p.view.Sequencer() == p.cfg.Self {
+		p.acked[p.cfg.Self] = p.nextDeliver - 1
+		p.advanceStability()
+		if p.cfg.SafeDelivery {
+			p.updateSafeWatermark()
+			// Re-announce the watermark so members that missed the
+			// last kindSafe catch up.
+			if p.safeUpTo > 0 {
+				p.broadcastSafe()
+			}
+		}
+		return
+	}
+	p.sendAckNow()
+}
+
+// onAck records a member's progress (sequencer only).
+func (p *Process) onAck(m *message) {
+	if m.ViewID != p.view.ID || p.view.Sequencer() != p.cfg.Self {
+		return
+	}
+	if m.Delivered > p.acked[m.From] {
+		p.acked[m.From] = m.Delivered
+	}
+	if m.Received > p.recvAcked[m.From] {
+		p.recvAcked[m.From] = m.Received
+	}
+	p.advanceStability()
+	if p.cfg.SafeDelivery {
+		p.updateSafeWatermark()
+	}
+}
+
+// advanceStability publishes a new stability watermark when every
+// member has delivered further than the current one (sequencer only).
+func (p *Process) advanceStability() {
+	min := p.nextDeliver - 1
+	for _, m := range p.view.Members {
+		if m == p.cfg.Self {
+			continue
+		}
+		if p.acked[m] < min {
+			min = p.acked[m]
+		}
+	}
+	if min > p.stable {
+		p.applyStable(min)
+		m := &message{Kind: kindStable, From: p.cfg.Self, ViewID: p.view.ID, Stable: min}
+		p.sendToMembers(m)
+	}
+}
+
+// onStable garbage-collects up to the announced watermark.
+func (p *Process) onStable(m *message) {
+	if m.ViewID != p.view.ID {
+		return
+	}
+	p.applyStable(m.Stable)
+}
+
+func (p *Process) applyStable(w uint64) {
+	if w <= p.stable {
+		return
+	}
+	// Never GC beyond what we have delivered ourselves: the buffer
+	// from nextDeliver up is still needed locally.
+	if w > p.nextDeliver-1 {
+		w = p.nextDeliver - 1
+	}
+	for s := p.stable + 1; s <= w; s++ {
+		if d, ok := p.ordered[s]; ok {
+			if seqs, ok2 := p.reqSeq[d.Sender]; ok2 {
+				delete(seqs, d.SenderSeq)
+			}
+			delete(p.ordered, s)
+		}
+	}
+	p.stable = w
+}
+
+// installView replaces the order state for a newly installed view and
+// publishes the snapshot used by the View accessor. Callers emit the
+// ViewEvent themselves (ordering relative to other events matters).
+func (p *Process) installView(v View) {
+	p.view = v
+	p.nextSeq = 0
+	p.nextDeliver = 1
+	p.stable = 0
+	p.ordered = make(map[uint64]*dataMsg)
+	p.lastSeqd = make(map[MemberID]uint64)
+	for m, s := range p.delivered {
+		p.lastSeqd[m] = s
+	}
+	p.reqSeq = make(map[MemberID]map[uint64]uint64)
+	p.acked = make(map[MemberID]uint64)
+	p.safeUpTo = 0
+	p.recvAcked = make(map[MemberID]uint64)
+	p.gapSince = time.Time{}
+	p.tailSeq = 0
+
+	now := time.Now()
+	for _, m := range v.Members {
+		p.lastHeard[m] = now
+	}
+
+	p.viewMu.Lock()
+	p.viewSnap = View{ID: v.ID, Members: append([]MemberID(nil), v.Members...), Primary: v.Primary}
+	p.stats.Views++
+	p.viewMu.Unlock()
+}
+
+// sendTo transmits one message to a peer by member ID.
+func (p *Process) sendTo(to MemberID, m *message) {
+	addr, ok := p.cfg.Peers[to]
+	if !ok {
+		return
+	}
+	_ = p.ep.Send(addr, m.encode())
+}
+
+// sendToMembers transmits to every other member of the current view.
+func (p *Process) sendToMembers(m *message) {
+	for _, member := range p.view.Members {
+		if member != p.cfg.Self {
+			p.sendTo(member, m)
+		}
+	}
+}
+
+func sortedKeys[V any](m map[MemberID]V) []MemberID {
+	ks := make([]MemberID, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}

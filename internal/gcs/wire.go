@@ -1,0 +1,288 @@
+package gcs
+
+import (
+	"fmt"
+
+	"joshua/internal/codec"
+)
+
+// Wire message kinds. The protocol is datagram-based; every datagram
+// carries exactly one message, tagged with a kind byte.
+const (
+	kindHeartbeat  byte = iota + 1
+	kindData            // sequenced broadcast (also used for retransmissions)
+	kindReq             // sender -> sequencer: please order this payload
+	kindNack            // receiver -> sequencer: retransmit these sequence numbers
+	kindAck             // receiver -> sequencer: cumulative delivery acknowledgment
+	kindStable          // sequencer -> all: stability watermark for garbage collection
+	kindJoin            // joiner -> all: request admission
+	kindLeave           // member -> all: voluntary departure
+	kindSuspect         // member -> all: shared failure suspicion
+	kindPropose         // coordinator -> candidates: begin view change
+	kindFlushState      // member -> coordinator: my unstable messages and progress
+	kindNewView         // coordinator -> candidates: install the new view
+	kindStateSnap       // coordinator -> joiner: state transfer before first view
+	kindSafe            // sequencer -> all: cumulative safe-delivery watermark
+)
+
+// dataMsg is one sequenced application message. Seq is the global
+// total-order position within the view; SenderSeq is the sender's own
+// FIFO counter, used for duplicate suppression across view changes.
+type dataMsg struct {
+	Seq       uint64
+	Sender    MemberID
+	SenderSeq uint64
+	Payload   []byte
+}
+
+// message is the union of all wire messages. Only the fields relevant
+// to Kind are populated.
+type message struct {
+	Kind byte
+	From MemberID
+
+	ViewID  uint64
+	Attempt uint64
+
+	// kindData (Seq, Sender, SenderSeq, Payload via Data)
+	Data dataMsg
+
+	// kindNack: sequences to retransmit.
+	Missing []uint64
+
+	// kindAck: cumulative delivery watermark; kindHeartbeat: highest
+	// known assigned sequence; kindSafe: the safe watermark.
+	Delivered uint64
+	// kindAck: highest contiguously received sequence (safe-delivery
+	// accounting; may exceed Delivered while delivery awaits the safe
+	// watermark).
+	Received uint64
+
+	// kindStable
+	Stable uint64
+
+	// kindSuspect
+	Suspects []MemberID
+
+	// kindPropose, kindNewView
+	Members []MemberID
+
+	// kindNewView
+	NewViewID uint64
+	Primary   bool
+	FinalSeq  uint64
+	Msgs      []dataMsg // also kindFlushState
+
+	// kindFlushState
+	NextDeliver uint64
+	StableSeen  uint64
+	DelivTable  map[MemberID]uint64 // also kindStateSnap
+
+	// kindStateSnap
+	AppState []byte
+}
+
+func putMembers(e *codec.Encoder, ms []MemberID) {
+	e.PutUint(uint64(len(ms)))
+	for _, m := range ms {
+		e.PutString(string(m))
+	}
+}
+
+func getMembers(d *codec.Decoder) []MemberID {
+	n := d.Uint()
+	if d.Err() != nil || n > uint64(d.Remaining()) {
+		return nil
+	}
+	ms := make([]MemberID, 0, n)
+	for i := uint64(0); i < n; i++ {
+		ms = append(ms, MemberID(d.String()))
+	}
+	return ms
+}
+
+func putDataMsg(e *codec.Encoder, m dataMsg) {
+	e.PutUint(m.Seq)
+	e.PutString(string(m.Sender))
+	e.PutUint(m.SenderSeq)
+	e.PutBytes(m.Payload)
+}
+
+func getDataMsg(d *codec.Decoder) dataMsg {
+	m := dataMsg{
+		Seq:       d.Uint(),
+		Sender:    MemberID(d.String()),
+		SenderSeq: d.Uint(),
+	}
+	// Copy the payload out of the decode buffer: dataMsg outlives the
+	// datagram (it sits in retransmission buffers).
+	b := d.Bytes()
+	m.Payload = make([]byte, len(b))
+	copy(m.Payload, b)
+	return m
+}
+
+func putDataMsgs(e *codec.Encoder, ms []dataMsg) {
+	e.PutUint(uint64(len(ms)))
+	for _, m := range ms {
+		putDataMsg(e, m)
+	}
+}
+
+func getDataMsgs(d *codec.Decoder) []dataMsg {
+	n := d.Uint()
+	if d.Err() != nil || n > uint64(d.Remaining()) {
+		return nil
+	}
+	ms := make([]dataMsg, 0, n)
+	for i := uint64(0); i < n; i++ {
+		ms = append(ms, getDataMsg(d))
+	}
+	return ms
+}
+
+func putDelivTable(e *codec.Encoder, t map[MemberID]uint64) {
+	e.PutUint(uint64(len(t)))
+	// Deterministic order is not required on the wire, but sorting
+	// keeps encodings reproducible for tests and debugging.
+	for _, m := range sortedKeys(t) {
+		e.PutString(string(m))
+		e.PutUint(t[m])
+	}
+}
+
+func getDelivTable(d *codec.Decoder) map[MemberID]uint64 {
+	n := d.Uint()
+	if d.Err() != nil || n > uint64(d.Remaining()) {
+		return nil
+	}
+	t := make(map[MemberID]uint64, n)
+	for i := uint64(0); i < n; i++ {
+		m := MemberID(d.String())
+		t[m] = d.Uint()
+	}
+	return t
+}
+
+// encode marshals the message for the wire.
+func (m *message) encode() []byte {
+	e := codec.NewEncoder(64 + len(m.Data.Payload) + len(m.AppState))
+	e.PutByte(m.Kind)
+	e.PutString(string(m.From))
+	e.PutUint(m.ViewID)
+	e.PutUint(m.Attempt)
+	switch m.Kind {
+	case kindJoin, kindLeave:
+		// header only
+	case kindHeartbeat:
+		// Delivered carries the sender's highest known assigned
+		// sequence, so peers that missed the tail learn to NACK it.
+		e.PutUint(m.Delivered)
+	case kindData:
+		putDataMsg(e, m.Data)
+	case kindReq:
+		e.PutUint(m.Data.SenderSeq)
+		e.PutBytes(m.Data.Payload)
+	case kindNack:
+		e.PutUint(uint64(len(m.Missing)))
+		for _, s := range m.Missing {
+			e.PutUint(s)
+		}
+	case kindAck:
+		e.PutUint(m.Delivered)
+		e.PutUint(m.Received)
+	case kindSafe:
+		e.PutUint(m.Delivered)
+	case kindStable:
+		e.PutUint(m.Stable)
+	case kindSuspect:
+		putMembers(e, m.Suspects)
+	case kindPropose:
+		putMembers(e, m.Members)
+	case kindFlushState:
+		e.PutUint(m.NextDeliver)
+		e.PutUint(m.StableSeen)
+		putDelivTable(e, m.DelivTable)
+		putDataMsgs(e, m.Msgs)
+	case kindNewView:
+		e.PutUint(m.NewViewID)
+		putMembers(e, m.Members)
+		e.PutBool(m.Primary)
+		e.PutUint(m.FinalSeq)
+		putDataMsgs(e, m.Msgs)
+	case kindStateSnap:
+		e.PutUint(m.NewViewID)
+		putDelivTable(e, m.DelivTable)
+		e.PutBytes(m.AppState)
+	default:
+		panic(fmt.Sprintf("gcs: encoding unknown message kind %d", m.Kind))
+	}
+	return e.Bytes()
+}
+
+// decodeMessage unmarshals one datagram. Unknown kinds and malformed
+// messages return an error; callers drop such datagrams.
+func decodeMessage(b []byte) (*message, error) {
+	d := codec.NewDecoder(b)
+	m := &message{
+		Kind:    d.Byte(),
+		From:    MemberID(d.String()),
+		ViewID:  d.Uint(),
+		Attempt: d.Uint(),
+	}
+	switch m.Kind {
+	case kindJoin, kindLeave:
+	case kindHeartbeat:
+		m.Delivered = d.Uint()
+	case kindData:
+		m.Data = getDataMsg(d)
+	case kindReq:
+		m.Data.Sender = m.From
+		m.Data.SenderSeq = d.Uint()
+		b := d.Bytes()
+		m.Data.Payload = make([]byte, len(b))
+		copy(m.Data.Payload, b)
+	case kindNack:
+		n := d.Uint()
+		if d.Err() == nil && n <= uint64(d.Remaining())+1 {
+			m.Missing = make([]uint64, 0, n)
+			for i := uint64(0); i < n; i++ {
+				m.Missing = append(m.Missing, d.Uint())
+			}
+		}
+	case kindAck:
+		m.Delivered = d.Uint()
+		m.Received = d.Uint()
+	case kindSafe:
+		m.Delivered = d.Uint()
+	case kindStable:
+		m.Stable = d.Uint()
+	case kindSuspect:
+		m.Suspects = getMembers(d)
+	case kindPropose:
+		m.Members = getMembers(d)
+	case kindFlushState:
+		m.NextDeliver = d.Uint()
+		m.StableSeen = d.Uint()
+		m.DelivTable = getDelivTable(d)
+		m.Msgs = getDataMsgs(d)
+	case kindNewView:
+		m.NewViewID = d.Uint()
+		m.Members = getMembers(d)
+		m.Primary = d.Bool()
+		m.FinalSeq = d.Uint()
+		m.Msgs = getDataMsgs(d)
+	case kindStateSnap:
+		m.NewViewID = d.Uint()
+		m.DelivTable = getDelivTable(d)
+		b := d.Bytes()
+		m.AppState = make([]byte, len(b))
+		copy(m.AppState, b)
+	default:
+		return nil, fmt.Errorf("gcs: unknown message kind %d", m.Kind)
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("gcs: decoding kind %d: %w", m.Kind, err)
+	}
+	return m, nil
+}

@@ -1,0 +1,382 @@
+package joshua
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"joshua/internal/pbs"
+	"joshua/internal/transport"
+)
+
+// Client is the control-command library behind jsub, jdel, and jstat
+// (and the jmutex/jdone scripts). It connects to the JOSHUA server
+// group over the network and may be pointed at any or all of the
+// active head nodes: requests are retried against the next head when
+// one stops answering, and the servers' deduplication table makes
+// retries idempotent, so a command submitted during a head-node
+// failure is executed exactly once and answered as soon as a survivor
+// picks it up — the "continuous availability without any interruption
+// of service" the paper demonstrates.
+type Client struct {
+	cfg ClientConfig
+	ep  transport.Endpoint
+
+	reqSeq atomic.Uint64
+
+	mu      sync.Mutex
+	waiters map[string]chan *rpcResponse
+	// preferred is the index of the last head that answered; retries
+	// start there ("sticky" head selection).
+	preferred int
+	closed    bool
+
+	done chan struct{}
+	once sync.Once
+}
+
+// ClientConfig parameterizes a Client.
+type ClientConfig struct {
+	// Endpoint is the client's transport attachment; the client owns
+	// and closes it.
+	Endpoint transport.Endpoint
+	// Heads lists the client-RPC addresses of the head nodes, in
+	// preference order.
+	Heads []transport.Addr
+	// AttemptTimeout bounds one head's answer before the client moves
+	// to the next head. Default 1s.
+	AttemptTimeout time.Duration
+	// Rounds is how many times the full head list is tried before
+	// giving up. Default 3.
+	Rounds int
+}
+
+// Errors returned by the client.
+var (
+	ErrNoHeads   = errors.New("joshua: no head nodes configured")
+	ErrUnreached = errors.New("joshua: no head node answered")
+	ErrClosed    = errors.New("joshua: client closed")
+)
+
+// NewClient creates a client and starts its receive loop.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Endpoint == nil {
+		return nil, errors.New("joshua: ClientConfig.Endpoint required")
+	}
+	if len(cfg.Heads) == 0 {
+		return nil, ErrNoHeads
+	}
+	if cfg.AttemptTimeout <= 0 {
+		cfg.AttemptTimeout = time.Second
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 3
+	}
+	c := &Client{
+		cfg:     cfg,
+		ep:      cfg.Endpoint,
+		waiters: make(map[string]chan *rpcResponse),
+		done:    make(chan struct{}),
+	}
+	go c.recvLoop()
+	return c, nil
+}
+
+// Close shuts the client down; in-flight calls fail promptly.
+func (c *Client) Close() {
+	c.once.Do(func() {
+		c.mu.Lock()
+		c.closed = true
+		c.mu.Unlock()
+		close(c.done)
+		c.ep.Close()
+	})
+}
+
+func (c *Client) recvLoop() {
+	for dg := range c.ep.Recv() {
+		_, resp, err := decodeRPC(dg.Payload)
+		if err != nil || resp == nil {
+			continue
+		}
+		c.mu.Lock()
+		if ch, ok := c.waiters[resp.ReqID]; ok {
+			select {
+			case ch <- resp:
+			default: // duplicate reply; the first one won
+			}
+		}
+		c.mu.Unlock()
+	}
+}
+
+// call sends one request with head failover and waits for the reply.
+func (c *Client) call(op Op, args cmdArgs) (*rpcResponse, error) {
+	reqID := fmt.Sprintf("%s#%d", c.ep.Addr(), c.reqSeq.Add(1))
+	req := &rpcRequest{ReqID: reqID, Op: op, Args: args}
+	payload := req.encode()
+
+	ch := make(chan *rpcResponse, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.waiters[reqID] = ch
+	start := c.preferred
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.waiters, reqID)
+		c.mu.Unlock()
+	}()
+
+	attempts := c.cfg.Rounds * len(c.cfg.Heads)
+	for i := 0; i < attempts; i++ {
+		idx := (start + i) % len(c.cfg.Heads)
+		if err := c.ep.Send(c.cfg.Heads[idx], payload); err != nil {
+			return nil, err
+		}
+		select {
+		case resp := <-ch:
+			if !resp.OK && resp.ErrMsg == ErrNotPrimary.Error() {
+				// This head is alive but cut off from the primary
+				// component; move on to the next head immediately.
+				c.mu.Lock()
+				c.waiters[reqID] = make(chan *rpcResponse, 1)
+				ch = c.waiters[reqID]
+				c.mu.Unlock()
+				continue
+			}
+			c.mu.Lock()
+			c.preferred = idx
+			c.mu.Unlock()
+			return resp, nil
+		case <-time.After(c.cfg.AttemptTimeout):
+			// Head silent (dead, partitioned, or non-primary and
+			// lost): try the next one. The request ID makes any
+			// duplicate execution collapse in the servers'
+			// deduplication table.
+		case <-c.done:
+			return nil, ErrClosed
+		}
+	}
+	return nil, fmt.Errorf("%w after %d attempts (%v)", ErrUnreached, attempts, op)
+}
+
+// rpcErr converts a failed response into an error.
+func rpcErr(resp *rpcResponse) error {
+	if resp.OK {
+		return nil
+	}
+	return errors.New(resp.ErrMsg)
+}
+
+func firstJob(resp *rpcResponse) pbs.Job {
+	if len(resp.Jobs) > 0 {
+		return resp.Jobs[0]
+	}
+	return pbs.Job{}
+}
+
+// Submit runs jsub: replicate a qsub to all active head nodes.
+func (c *Client) Submit(req pbs.SubmitRequest) (pbs.Job, error) {
+	resp, err := c.call(OpSubmit, cmdArgs{
+		Name:      req.Name,
+		Owner:     req.Owner,
+		Script:    req.Script,
+		NodeCount: req.NodeCount,
+		WallTime:  req.WallTime,
+		Hold:      req.Hold,
+	})
+	if err != nil {
+		return pbs.Job{}, err
+	}
+	return firstJob(resp), rpcErr(resp)
+}
+
+// SubmitMany submits n identical jobs one command at a time — the
+// paper's Figure 11 workload (sequential jsub invocations).
+func (c *Client) SubmitMany(req pbs.SubmitRequest, n int) ([]pbs.Job, error) {
+	jobs := make([]pbs.Job, 0, n)
+	for i := 0; i < n; i++ {
+		j, err := c.Submit(req)
+		if err != nil {
+			return jobs, err
+		}
+		jobs = append(jobs, j)
+	}
+	return jobs, nil
+}
+
+// SubmitBatch carries n identical jobs in a single replicated command,
+// paying the total-order cost once — the throughput remedy the paper
+// mentions ("a command line job submission to contain a number of
+// individual jobs").
+func (c *Client) SubmitBatch(req pbs.SubmitRequest, n int) ([]pbs.Job, error) {
+	resp, err := c.call(OpSubmit, cmdArgs{
+		Name:      req.Name,
+		Owner:     req.Owner,
+		Script:    req.Script,
+		NodeCount: req.NodeCount,
+		WallTime:  req.WallTime,
+		Hold:      req.Hold,
+		Count:     n,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Jobs, rpcErr(resp)
+}
+
+// Delete runs jdel.
+func (c *Client) Delete(id pbs.JobID) (pbs.Job, error) {
+	resp, err := c.call(OpDelete, cmdArgs{JobID: id})
+	if err != nil {
+		return pbs.Job{}, err
+	}
+	return firstJob(resp), rpcErr(resp)
+}
+
+// Hold runs jhold (qhold equivalent).
+func (c *Client) Hold(id pbs.JobID) (pbs.Job, error) {
+	resp, err := c.call(OpHold, cmdArgs{JobID: id})
+	if err != nil {
+		return pbs.Job{}, err
+	}
+	return firstJob(resp), rpcErr(resp)
+}
+
+// Release runs jrls (qrls equivalent).
+func (c *Client) Release(id pbs.JobID) (pbs.Job, error) {
+	resp, err := c.call(OpRelease, cmdArgs{JobID: id})
+	if err != nil {
+		return pbs.Job{}, err
+	}
+	return firstJob(resp), rpcErr(resp)
+}
+
+// Signal runs jsig (qsig equivalent).
+func (c *Client) Signal(id pbs.JobID, sig string) (pbs.Job, error) {
+	resp, err := c.call(OpSignal, cmdArgs{JobID: id, Signal: sig})
+	if err != nil {
+		return pbs.Job{}, err
+	}
+	return firstJob(resp), rpcErr(resp)
+}
+
+// Stat runs jstat for one job, totally ordered with respect to
+// mutations (a linearizable read).
+func (c *Client) Stat(id pbs.JobID) (pbs.Job, error) {
+	resp, err := c.call(OpStat, cmdArgs{JobID: id})
+	if err != nil {
+		return pbs.Job{}, err
+	}
+	return firstJob(resp), rpcErr(resp)
+}
+
+// StatAll runs jstat with no arguments.
+func (c *Client) StatAll() ([]pbs.Job, error) {
+	resp, err := c.call(OpStatAll, cmdArgs{})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Jobs, rpcErr(resp)
+}
+
+// StatLocal reads one head's local state without total ordering — the
+// fast, possibly slightly stale read (ablation of ordered reads).
+// Pass an empty ID for all jobs.
+func (c *Client) StatLocal(id pbs.JobID) ([]pbs.Job, error) {
+	resp, err := c.call(OpStatLocal, cmdArgs{JobID: id})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Jobs, rpcErr(resp)
+}
+
+// SetNodeOffline marks a compute node offline for maintenance
+// (pbsnodes -o), replicated so every head excludes it from new
+// allocations.
+func (c *Client) SetNodeOffline(node string) error {
+	resp, err := c.call(OpNodeOffline, cmdArgs{Node: node})
+	if err != nil {
+		return err
+	}
+	return rpcErr(resp)
+}
+
+// SetNodeOnline clears a node's offline state (pbsnodes -c).
+func (c *Client) SetNodeOnline(node string) error {
+	resp, err := c.call(OpNodeOnline, cmdArgs{Node: node})
+	if err != nil {
+		return err
+	}
+	return rpcErr(resp)
+}
+
+// Nodes lists the compute nodes with state and allocation, from one
+// head's local view (pbsnodes).
+func (c *Client) Nodes() ([]pbs.NodeStatus, error) {
+	resp, err := c.call(OpNodesLocal, cmdArgs{})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Nodes, rpcErr(resp)
+}
+
+// Info queries one head's operator report (jadmin): view, protocol
+// counters, and queue gauges.
+func (c *Client) Info() (map[string]string, error) {
+	resp, err := c.call(OpInfoLocal, cmdArgs{})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Info, rpcErr(resp)
+}
+
+// JMutex runs the jmutex script's distributed mutual exclusion:
+// acquire the group-wide launch lock for a job. The first acquire in
+// the total order wins; it returns true exactly once per job across
+// all attempts, which is what guarantees a replicated job starts on
+// the compute nodes only once.
+func (c *Client) JMutex(id pbs.JobID, attemptID string) (bool, error) {
+	resp, err := c.call(OpJMutex, cmdArgs{JobID: id, AttemptID: attemptID})
+	if err != nil {
+		return false, err
+	}
+	return resp.Granted, rpcErr(resp)
+}
+
+// JDone runs the jdone script: release the launch lock after the job
+// finished.
+func (c *Client) JDone(id pbs.JobID) error {
+	resp, err := c.call(OpJDone, cmdArgs{JobID: id})
+	if err != nil {
+		return err
+	}
+	return rpcErr(resp)
+}
+
+// MomHooks builds the prologue/epilogue pair that wires a pbs.Mom
+// into JOSHUA's job-launch mutual exclusion, as the paper's
+// jmutex/jdone scripts do from the PBS mom job prologue.
+func MomHooks(c *Client, momName string) (prologue func(pbs.Job, transport.Addr) bool, epilogue func(pbs.Job)) {
+	prologue = func(j pbs.Job, head transport.Addr) bool {
+		attemptID := fmt.Sprintf("%s+%s", head, momName)
+		granted, err := c.JMutex(j.ID, attemptID)
+		if err != nil {
+			// The lock service is unreachable (all heads down):
+			// emulate. The job stays queued at the heads and is not
+			// lost; the next surviving head's start attempt retries.
+			return false
+		}
+		return granted
+	}
+	epilogue = func(j pbs.Job) {
+		_ = c.JDone(j.ID)
+	}
+	return prologue, epilogue
+}

@@ -1,0 +1,143 @@
+package joshua
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"joshua/internal/pbs"
+	"joshua/internal/transport"
+)
+
+func TestClientSticksToAnsweringHead(t *testing.T) {
+	// After failing over away from a dead head, the client should keep
+	// using the head that answered instead of timing out on the dead
+	// one for every subsequent call.
+	r := newRawRig(t, 2, nil)
+	cliEP, err := r.net.Endpoint("user/sticky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := NewClient(ClientConfig{
+		Endpoint:       cliEP,
+		Heads:          []transport.Addr{clientAddr(0), clientAddr(1)},
+		AttemptTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	// head0 (the preferred first hop) dies before any call.
+	r.net.CrashHost("head0")
+	r.heads[0].Close()
+
+	// First call pays the failover timeout once.
+	start := time.Now()
+	if _, err := cli.Submit(pbs.SubmitRequest{Hold: true}); err != nil {
+		t.Fatal(err)
+	}
+	first := time.Since(start)
+	if first < 150*time.Millisecond {
+		t.Logf("first call unexpectedly fast (%v); failover may have been immediate", first)
+	}
+
+	// Subsequent calls go straight to the live head: far under one
+	// attempt timeout each.
+	start = time.Now()
+	for i := 0; i < 5; i++ {
+		if _, err := cli.Submit(pbs.SubmitRequest{Hold: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	per := time.Since(start) / 5
+	if per > 150*time.Millisecond {
+		t.Errorf("per-call latency after failover = %v; client is not sticky", per)
+	}
+}
+
+func TestClientConcurrentCalls(t *testing.T) {
+	r := newRawRig(t, 2, nil)
+	cliEP, err := r.net.Endpoint("user/conc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := NewClient(ClientConfig{
+		Endpoint: cliEP,
+		Heads:    []transport.Addr{clientAddr(0), clientAddr(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	const goroutines = 8
+	const perG = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*perG)
+	ids := make(chan pbs.JobID, goroutines*perG)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				j, err := cli.Submit(pbs.SubmitRequest{Name: fmt.Sprintf("c%d-%d", g, i), Hold: true})
+				if err != nil {
+					errs <- err
+					return
+				}
+				ids <- j.ID
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	close(ids)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// All job IDs are distinct (no cross-talk between concurrent
+	// requests sharing the client endpoint).
+	seen := map[pbs.JobID]bool{}
+	n := 0
+	for id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate job ID %s returned to two callers", id)
+		}
+		seen[id] = true
+		n++
+	}
+	if n != goroutines*perG {
+		t.Fatalf("got %d jobs, want %d", n, goroutines*perG)
+	}
+}
+
+func TestMomHooksEmulateWhenHeadsUnreachable(t *testing.T) {
+	// With every head dead, the prologue must emulate (return false)
+	// rather than execute unilaterally — the job is not lost, it stays
+	// queued at whatever heads exist.
+	net := newRawRig(t, 1, nil) // gives us a simnet
+	net.net.CrashHost("head0")
+	net.heads[0].Close()
+
+	cliEP, err := net.net.Endpoint("compute9/jmutex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := NewClient(ClientConfig{
+		Endpoint:       cliEP,
+		Heads:          []transport.Addr{clientAddr(0)},
+		AttemptTimeout: 50 * time.Millisecond,
+		Rounds:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	prologue, _ := MomHooks(cli, "compute9")
+	if prologue(pbs.Job{ID: "1.cluster"}, "head0/pbs") {
+		t.Fatal("prologue executed with no reachable lock service")
+	}
+}

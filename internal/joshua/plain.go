@@ -1,0 +1,91 @@
+package joshua
+
+import (
+	"fmt"
+	"sync"
+
+	"joshua/internal/pbs"
+	"joshua/internal/transport"
+)
+
+// PlainServer is the unreplicated baseline of the paper's evaluation:
+// a single head node exposing the same command protocol as a JOSHUA
+// server group, applied directly to the local batch service with no
+// group communication. The same Client works against it, so the
+// latency and throughput comparisons of Figures 10 and 11 measure
+// exactly the replication overhead.
+//
+// Requests are processed sequentially, as the single-threaded TORQUE
+// server of the paper's testbed did.
+type PlainServer struct {
+	ep     transport.Endpoint
+	daemon *pbs.Daemon
+	done   chan struct{}
+	once   sync.Once
+}
+
+// StartPlainServer runs a baseline head node on the given endpoint.
+func StartPlainServer(ep transport.Endpoint, daemon *pbs.Daemon) *PlainServer {
+	s := &PlainServer{ep: ep, daemon: daemon, done: make(chan struct{})}
+	go s.run()
+	return s
+}
+
+// Close stops the server.
+func (s *PlainServer) Close() {
+	s.once.Do(func() {
+		close(s.done)
+		s.ep.Close()
+		s.daemon.Close()
+	})
+}
+
+// Daemon exposes the underlying batch service.
+func (s *PlainServer) Daemon() *pbs.Daemon { return s.daemon }
+
+func (s *PlainServer) run() {
+	// The plain baseline has no group, hence no jmutex service: the
+	// lock table still answers so the mom prologue works unchanged
+	// with a single head.
+	locks := make(map[pbs.JobID]string)
+	for {
+		select {
+		case <-s.done:
+			return
+		case dg, ok := <-s.ep.Recv():
+			if !ok {
+				return
+			}
+			req, _, err := decodeRPC(dg.Payload)
+			if err != nil || req == nil {
+				continue
+			}
+			var resp *rpcResponse
+			switch req.Op {
+			case OpJMutex:
+				owner, held := locks[req.Args.JobID]
+				if !held {
+					locks[req.Args.JobID] = req.Args.AttemptID
+					owner = req.Args.AttemptID
+				}
+				resp = &rpcResponse{ReqID: req.ReqID, OK: true, Granted: owner == req.Args.AttemptID}
+			case OpJDone:
+				delete(locks, req.Args.JobID)
+				resp = &rpcResponse{ReqID: req.ReqID, OK: true}
+			case OpInfoLocal:
+				waiting, running, completed := s.daemon.Server().QueueLengths()
+				resp = &rpcResponse{ReqID: req.ReqID, OK: true, Info: map[string]string{
+					"mode":           "plain",
+					"jobs_waiting":   fmt.Sprintf("%d", waiting),
+					"jobs_running":   fmt.Sprintf("%d", running),
+					"jobs_completed": fmt.Sprintf("%d", completed),
+				}}
+			case OpStatLocal, OpNodesLocal:
+				resp = executeLocalOn(s.daemon, req.Op, &req.Args, req.ReqID)
+			default:
+				resp = executeOn(s.daemon, req.Op, &req.Args, req.ReqID)
+			}
+			_ = s.ep.Send(dg.From, resp.encode())
+		}
+	}
+}

@@ -1,0 +1,622 @@
+// Package joshua implements the paper's primary contribution: JOSHUA
+// (job scheduler for high availability using active replication), a
+// virtually synchronous environment that makes a PBS-compliant job and
+// resource management service symmetric active/active highly
+// available by external replication — no service code is modified.
+//
+// Each head node runs a Server, which plays the role of the joshua
+// server process: it intercepts PBS user commands arriving from the
+// control commands (jsub, jdel, jstat — see the Client type and
+// cmd/jsub et al.), pushes them through the group communication system
+// for reliable totally ordered delivery, executes each delivered
+// command against the local batch service (internal/pbs, the
+// TORQUE+Maui equivalent), and relays the output back to the user
+// exactly once. The jmutex/jdone distributed mutual exclusion that the
+// paper runs in the PBS mom job prologue is provided by MomHooks.
+//
+// As long as one head node survives, the service remains available
+// with no interruption and no loss of state: there is no failover,
+// surviving heads simply continue, and the compute-node moms adapt.
+package joshua
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+
+	"joshua/internal/gcs"
+	"joshua/internal/pbs"
+	"joshua/internal/transport"
+)
+
+// OutputPolicy selects which head node relays command output back to
+// the client — the "distributed mutual exclusion to ensure that output
+// is delivered only once" of the paper. Both policies are
+// deterministic given the totally ordered command and view streams.
+type OutputPolicy int
+
+const (
+	// OriginReplies lets the head that intercepted the command answer
+	// the client. If that head dies before answering, the client's
+	// retry is served from the deduplication table by another head.
+	// This is the paper's structure: the JOSHUA server the control
+	// command connected to relays the output back.
+	OriginReplies OutputPolicy = iota
+	// LeaderReplies lets the lowest-ID member of the current view
+	// answer every command, regardless of which head intercepted it.
+	// An ablation: one hop more predictable, but concentrates reply
+	// traffic on one head.
+	LeaderReplies
+)
+
+// Config parameterizes a JOSHUA head-node server.
+type Config struct {
+	// Self is this head node's member identity (e.g. "head0").
+	Self gcs.MemberID
+	// GroupEndpoint carries group communication; the server owns it.
+	GroupEndpoint transport.Endpoint
+	// ClientEndpoint receives control-command RPCs; the server owns
+	// it.
+	ClientEndpoint transport.Endpoint
+	// Peers maps every potential head node to its group address.
+	Peers map[gcs.MemberID]transport.Addr
+
+	// Group formation: exactly one of InitialMembers (static
+	// bootstrap), Bootstrap (found a new group), or neither (join an
+	// existing group through Peers).
+	InitialMembers []gcs.MemberID
+	Bootstrap      bool
+
+	// PartitionPolicy is forwarded to the group layer. The default
+	// FailStop matches the paper's fail-stop model.
+	PartitionPolicy gcs.PartitionPolicy
+
+	// Daemon is the local batch service (the TORQUE+Maui equivalent
+	// of this head node). Required.
+	Daemon *pbs.Daemon
+
+	// OutputPolicy defaults to OriginReplies.
+	OutputPolicy OutputPolicy
+
+	// OrderedCompletions routes mom completion reports through the
+	// total order instead of applying them directly at each head.
+	// The paper's design lets every head react to mom reports
+	// independently, which is deterministic under the Maui
+	// FIFO/exclusive policy it mandates; ordering the completions
+	// makes *every* scheduling policy (e.g. first-fit packing)
+	// deterministic across replicas, with identical node allocations
+	// everywhere — at the cost of one total-order round per
+	// completion. An extension of the paper's "this restriction may
+	// be lifted in the future if deterministic allocation behavior
+	// can be assured".
+	OrderedCompletions bool
+
+	// DedupLimit bounds the client-request deduplication table.
+	// Default 4096 entries.
+	DedupLimit int
+
+	// TuneGCS, when non-nil, may adjust group communication timings
+	// before the group process starts (tests and benchmarks shorten
+	// them).
+	TuneGCS func(*gcs.Config)
+
+	// Logger receives diagnostics; nil disables logging.
+	Logger *log.Logger
+}
+
+// Server is one JOSHUA head node.
+type Server struct {
+	cfg      Config
+	group    *gcs.Process
+	clientEP transport.Endpoint
+	daemon   *pbs.Daemon
+
+	done chan struct{}
+	once sync.Once
+
+	// ready is closed when the first view is installed (group formed
+	// or join complete).
+	ready     chan struct{}
+	readyOnce sync.Once
+
+	// --- owned by the run loop ---
+	view gcs.View
+	// dedup maps request IDs to the encoded response each head
+	// computed when the command was applied; it makes client retries
+	// idempotent. ordered list drives FIFO eviction. Replicated:
+	// every head builds the same table from the same command stream.
+	dedup      map[string][]byte
+	dedupOrder []string
+	// locks is the jmutex table: job ID -> winning attempt.
+	locks map[pbs.JobID]string
+
+	statsMu sync.Mutex
+	stats   Stats
+}
+
+// Stats counts server activity.
+type Stats struct {
+	Intercepted uint64 // client requests received
+	Applied     uint64 // replicated commands applied
+	Replied     uint64 // responses sent to clients
+	DedupHits   uint64 // retried requests answered from the table
+	Views       uint64 // views installed
+}
+
+// Errors.
+var (
+	ErrNotPrimary = errors.New("joshua: head node not in primary component")
+)
+
+// StartServer creates and runs a head-node server. The returned
+// server is accepting client commands once Ready() is closed.
+func StartServer(cfg Config) (*Server, error) {
+	if cfg.Daemon == nil {
+		return nil, errors.New("joshua: Config.Daemon required")
+	}
+	if cfg.ClientEndpoint == nil {
+		return nil, errors.New("joshua: Config.ClientEndpoint required")
+	}
+	if cfg.DedupLimit <= 0 {
+		cfg.DedupLimit = 4096
+	}
+
+	s := &Server{
+		cfg:      cfg,
+		clientEP: cfg.ClientEndpoint,
+		daemon:   cfg.Daemon,
+		done:     make(chan struct{}),
+		ready:    make(chan struct{}),
+		dedup:    make(map[string][]byte),
+		locks:    make(map[pbs.JobID]string),
+	}
+
+	gcfg := gcs.Config{
+		Self:            cfg.Self,
+		Endpoint:        cfg.GroupEndpoint,
+		Peers:           cfg.Peers,
+		InitialMembers:  cfg.InitialMembers,
+		Bootstrap:       cfg.Bootstrap,
+		PartitionPolicy: cfg.PartitionPolicy,
+		Logger:          cfg.Logger,
+	}
+	if cfg.TuneGCS != nil {
+		cfg.TuneGCS(&gcfg)
+	}
+	group, err := gcs.Start(gcfg)
+	if err != nil {
+		return nil, err
+	}
+	s.group = group
+
+	if cfg.OrderedCompletions {
+		s.daemon.SetDoneInterceptor(s.interceptDone)
+	}
+
+	go s.run()
+	return s, nil
+}
+
+// interceptDone replicates a mom completion report through the total
+// order (ordered-completions mode). The request ID is derived from the
+// report contents alone, so the copies every head broadcasts (each
+// hears the mom independently) collapse in the deduplication table and
+// the completion applies exactly once, at the same point in the
+// command stream on every head.
+func (s *Server) interceptDone(id pbs.JobID, exitCode int, output string) bool {
+	cmd := &repCommand{
+		ReqID:  fmt.Sprintf("jobdone/%s/%d", id, exitCode),
+		Op:     OpJobDone,
+		Args:   cmdArgs{JobID: id, ExitCode: exitCode, Output: output},
+		Origin: s.cfg.Self,
+	}
+	// Broadcast may block briefly on the send window; the daemon's
+	// receive loop tolerates that, and the mom keeps retransmitting
+	// until its report is acknowledged (which the daemon already did).
+	if err := s.group.Broadcast(cmd.encode()); err != nil {
+		return false // shutting down: fall back to direct application
+	}
+	return true
+}
+
+// Ready is closed once the head has joined (or formed) the group and
+// installed its first view.
+func (s *Server) Ready() <-chan struct{} { return s.ready }
+
+// Self returns the head's member identity.
+func (s *Server) Self() gcs.MemberID { return s.cfg.Self }
+
+// View returns the most recent group view.
+func (s *Server) View() gcs.View { return s.group.View() }
+
+// Daemon returns the local batch service (for inspection in tests and
+// status tooling).
+func (s *Server) Daemon() *pbs.Daemon { return s.daemon }
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() Stats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.stats
+}
+
+// Leave announces a voluntary departure (the paper handles it as a
+// forced failure) and shuts the head down.
+func (s *Server) Leave() {
+	s.group.Leave()
+	s.Close()
+}
+
+// Close stops the head node immediately, simulating a crash.
+func (s *Server) Close() {
+	s.once.Do(func() {
+		close(s.done)
+		s.group.Close()
+		s.clientEP.Close()
+		s.daemon.Close()
+	})
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf("[joshua %s] "+format, append([]any{s.cfg.Self}, args...)...)
+	}
+}
+
+func (s *Server) bump(f func(*Stats)) {
+	s.statsMu.Lock()
+	f(&s.stats)
+	s.statsMu.Unlock()
+}
+
+// run is the server's event loop: replicated events from the group on
+// one side, client RPCs on the other.
+func (s *Server) run() {
+	events := s.group.Events()
+	for {
+		select {
+		case <-s.done:
+			return
+		case e, ok := <-events:
+			if !ok {
+				return
+			}
+			s.handleGroupEvent(e)
+		case dg, ok := <-s.clientEP.Recv():
+			if !ok {
+				return
+			}
+			s.handleClientDatagram(dg)
+		}
+	}
+}
+
+func (s *Server) handleGroupEvent(e gcs.Event) {
+	switch ev := e.(type) {
+	case gcs.ViewEvent:
+		s.view = ev.View
+		s.bump(func(st *Stats) { st.Views++ })
+		s.readyOnce.Do(func() { close(s.ready) })
+		s.logf("view %d members=%v primary=%v", ev.View.ID, ev.View.Members, ev.View.Primary)
+	case gcs.DeliverEvent:
+		cmd, err := decodeRepCommand(ev.Payload)
+		if err != nil {
+			s.logf("dropping malformed replicated command: %v", err)
+			return
+		}
+		s.applyCommand(cmd)
+	case gcs.SnapshotRequestEvent:
+		ev.Reply(s.encodeState())
+	case gcs.StateTransferEvent:
+		if err := s.restoreState(ev.State); err != nil {
+			s.logf("state transfer failed: %v", err)
+		} else {
+			s.logf("state transfer applied (%d bytes)", len(ev.State))
+		}
+	}
+}
+
+// handleClientDatagram intercepts one control-command request.
+func (s *Server) handleClientDatagram(dg transport.Message) {
+	req, _, err := decodeRPC(dg.Payload)
+	if err != nil || req == nil {
+		return
+	}
+	s.bump(func(st *Stats) { st.Intercepted++ })
+
+	if req.Op == OpJobDone {
+		// Internal operation: heads originate it themselves from mom
+		// reports; it is not part of the user-facing PBS interface.
+		resp := &rpcResponse{ReqID: req.ReqID, OK: false, ErrMsg: "joshua: jobdone is not a client operation"}
+		_ = s.clientEP.Send(dg.From, resp.encode())
+		return
+	}
+
+	// Retried request already applied? Answer from the table without
+	// re-executing (exactly-once semantics across head failures).
+	if resp, ok := s.dedup[req.ReqID]; ok {
+		s.bump(func(st *Stats) { st.DedupHits++; st.Replied++ })
+		_ = s.clientEP.Send(dg.From, resp)
+		return
+	}
+
+	// Non-mutating fast path: serve from local state.
+	if !req.Op.mutating() {
+		resp := s.executeLocal(req.Op, &req.Args, req.ReqID)
+		_ = s.clientEP.Send(dg.From, resp.encode())
+		s.bump(func(st *Stats) { st.Replied++ })
+		return
+	}
+
+	if !s.view.Primary {
+		resp := &rpcResponse{ReqID: req.ReqID, OK: false, ErrMsg: ErrNotPrimary.Error()}
+		_ = s.clientEP.Send(dg.From, resp.encode())
+		return
+	}
+
+	cmd := &repCommand{
+		ReqID:  req.ReqID,
+		Op:     req.Op,
+		Args:   req.Args,
+		Origin: s.cfg.Self,
+		Client: dg.From,
+	}
+	if err := s.group.Broadcast(cmd.encode()); err != nil {
+		resp := &rpcResponse{ReqID: req.ReqID, OK: false, ErrMsg: "head node shutting down"}
+		_ = s.clientEP.Send(dg.From, resp.encode())
+	}
+}
+
+// applyCommand executes one totally ordered command against the local
+// batch service. Every head runs this for every command in the same
+// order; exactly one (per OutputPolicy) relays the output.
+func (s *Server) applyCommand(cmd *repCommand) {
+	var respBytes []byte
+	if prev, ok := s.dedup[cmd.ReqID]; ok {
+		// The same request was replicated twice (client retried at a
+		// second head before the first head's broadcast was
+		// delivered). Apply once; reuse the recorded response.
+		respBytes = prev
+	} else {
+		resp := s.execute(cmd.Op, &cmd.Args, cmd.ReqID)
+		respBytes = resp.encode()
+		s.dedupInsert(cmd.ReqID, respBytes)
+		s.bump(func(st *Stats) { st.Applied++ })
+	}
+
+	// Output mutual exclusion, and output suppression outside the
+	// primary component: a minority fragment may keep its local state
+	// self-consistent, but its results must never reach users — the
+	// primary component's are authoritative. Internally originated
+	// commands (ordered completions) have no client at all.
+	if cmd.Client != "" && s.view.Primary && s.shouldReply(cmd) {
+		_ = s.clientEP.Send(cmd.Client, respBytes)
+		s.bump(func(st *Stats) { st.Replied++ })
+	}
+}
+
+// shouldReply implements the output mutual exclusion.
+func (s *Server) shouldReply(cmd *repCommand) bool {
+	switch s.cfg.OutputPolicy {
+	case LeaderReplies:
+		return len(s.view.Members) > 0 && s.view.Members[0] == s.cfg.Self
+	default: // OriginReplies
+		return cmd.Origin == s.cfg.Self
+	}
+}
+
+// execute applies one mutating operation to the local service and
+// builds the response. The jmutex lock table lives in the Server; all
+// PBS interface operations are shared with the unreplicated baseline
+// via executeOn.
+func (s *Server) execute(op Op, a *cmdArgs, reqID string) *rpcResponse {
+	switch op {
+	case OpJMutex:
+		owner, held := s.locks[a.JobID]
+		if !held {
+			s.locks[a.JobID] = a.AttemptID
+			owner = a.AttemptID
+		}
+		return &rpcResponse{ReqID: reqID, OK: true, Granted: owner == a.AttemptID}
+	case OpJDone:
+		delete(s.locks, a.JobID)
+		return &rpcResponse{ReqID: reqID, OK: true}
+	case OpJobDone:
+		s.daemon.ApplyDone(a.JobID, a.ExitCode, a.Output)
+		return &rpcResponse{ReqID: reqID, OK: true}
+	default:
+		return executeOn(s.daemon, op, a, reqID)
+	}
+}
+
+// executeLocal serves non-replicated reads.
+func (s *Server) executeLocal(op Op, a *cmdArgs, reqID string) *rpcResponse {
+	if op == OpInfoLocal {
+		return &rpcResponse{ReqID: reqID, OK: true, Info: s.infoLocked()}
+	}
+	return executeLocalOn(s.daemon, op, a, reqID)
+}
+
+// infoLocked builds the jadmin report. Runs on the loop goroutine, so
+// it may read loop-owned state directly.
+func (s *Server) infoLocked() map[string]string {
+	waiting, running, completed := s.daemon.Server().QueueLengths()
+	st := s.Stats()
+	gst := s.group.Stats()
+	return map[string]string{
+		"head":            string(s.cfg.Self),
+		"mode":            "replicated",
+		"view":            fmt.Sprintf("%d", s.view.ID),
+		"members":         fmt.Sprintf("%v", s.view.Members),
+		"primary":         fmt.Sprintf("%v", s.view.Primary),
+		"jobs_waiting":    fmt.Sprintf("%d", waiting),
+		"jobs_running":    fmt.Sprintf("%d", running),
+		"jobs_completed":  fmt.Sprintf("%d", completed),
+		"cmds_applied":    fmt.Sprintf("%d", st.Applied),
+		"cmds_replied":    fmt.Sprintf("%d", st.Replied),
+		"dedup_entries":   fmt.Sprintf("%d", len(s.dedup)),
+		"dedup_hits":      fmt.Sprintf("%d", st.DedupHits),
+		"locks_held":      fmt.Sprintf("%d", len(s.locks)),
+		"gcs_broadcasts":  fmt.Sprintf("%d", gst.Broadcasts),
+		"gcs_delivered":   fmt.Sprintf("%d", gst.Delivered),
+		"gcs_retransmits": fmt.Sprintf("%d", gst.Retransmits),
+		"gcs_views":       fmt.Sprintf("%d", gst.Views),
+	}
+}
+
+// executeOn applies one PBS interface operation to a batch service.
+func executeOn(d *pbs.Daemon, op Op, a *cmdArgs, reqID string) *rpcResponse {
+	resp := &rpcResponse{ReqID: reqID, OK: true}
+	fail := func(err error) *rpcResponse {
+		resp.OK = false
+		resp.ErrMsg = err.Error()
+		return resp
+	}
+	switch op {
+	case OpSubmit:
+		count := a.Count
+		if count <= 0 {
+			count = 1
+		}
+		// A submission may carry several jobs in one command — the
+		// batching remedy for total-order throughput overhead that
+		// the paper points to ("a command line job submission to
+		// contain a number of individual jobs").
+		for i := 0; i < count; i++ {
+			j, err := d.Submit(pbs.SubmitRequest{
+				Name:      a.Name,
+				Owner:     a.Owner,
+				Script:    a.Script,
+				NodeCount: a.NodeCount,
+				WallTime:  a.WallTime,
+				Hold:      a.Hold,
+			})
+			if err != nil {
+				return fail(err)
+			}
+			resp.Jobs = append(resp.Jobs, j)
+		}
+	case OpDelete:
+		j, err := d.Delete(a.JobID)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Jobs = []pbs.Job{j}
+	case OpHold:
+		j, err := d.Hold(a.JobID)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Jobs = []pbs.Job{j}
+	case OpRelease:
+		j, err := d.Release(a.JobID)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Jobs = []pbs.Job{j}
+	case OpSignal:
+		j, err := d.Signal(a.JobID, a.Signal)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Jobs = []pbs.Job{j}
+	case OpStat:
+		j, err := d.Status(a.JobID)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Jobs = []pbs.Job{j}
+	case OpStatAll:
+		resp.Jobs = d.StatusAll()
+	case OpNodeOffline:
+		if err := d.Server().SetNodeOffline(a.Node, true); err != nil {
+			return fail(err)
+		}
+	case OpNodeOnline:
+		if err := d.Server().SetNodeOffline(a.Node, false); err != nil {
+			return fail(err)
+		}
+		d.FlushActions()
+	default:
+		return fail(fmt.Errorf("joshua: unknown operation %v", op))
+	}
+	return resp
+}
+
+// executeLocalOn serves non-replicated reads from local state.
+func executeLocalOn(d *pbs.Daemon, op Op, a *cmdArgs, reqID string) *rpcResponse {
+	resp := &rpcResponse{ReqID: reqID, OK: true}
+	switch op {
+	case OpNodesLocal:
+		resp.Nodes = d.Server().NodesStatus()
+	case OpStatLocal:
+		if a.JobID != "" {
+			j, err := d.Status(a.JobID)
+			if err != nil {
+				resp.OK = false
+				resp.ErrMsg = err.Error()
+				return resp
+			}
+			resp.Jobs = []pbs.Job{j}
+		} else {
+			resp.Jobs = d.StatusAll()
+		}
+	default:
+		resp.OK = false
+		resp.ErrMsg = fmt.Sprintf("joshua: operation %v is not a local read", op)
+	}
+	return resp
+}
+
+// dedupInsert records a response with FIFO eviction. Because every
+// head applies the same commands in the same order, the table (and
+// its eviction) is identical everywhere.
+func (s *Server) dedupInsert(reqID string, resp []byte) {
+	if _, exists := s.dedup[reqID]; exists {
+		return
+	}
+	s.dedup[reqID] = resp
+	s.dedupOrder = append(s.dedupOrder, reqID)
+	for len(s.dedupOrder) > s.cfg.DedupLimit {
+		victim := s.dedupOrder[0]
+		s.dedupOrder = s.dedupOrder[1:]
+		delete(s.dedup, victim)
+	}
+}
+
+// encodeState builds the join-time state transfer: PBS snapshot,
+// dedup table, lock table.
+func (s *Server) encodeState() []byte {
+	st := &serverState{
+		PBS:   s.daemon.Server().Snapshot(),
+		Locks: s.locks,
+	}
+	st.DedupIDs = append(st.DedupIDs, s.dedupOrder...)
+	for _, id := range s.dedupOrder {
+		st.DedupResp = append(st.DedupResp, s.dedup[id])
+	}
+	return st.encode()
+}
+
+// restoreState applies a join-time state transfer.
+func (s *Server) restoreState(b []byte) error {
+	st, err := decodeServerState(b)
+	if err != nil {
+		return err
+	}
+	if err := s.daemon.Restore(st.PBS); err != nil {
+		return err
+	}
+	s.dedup = make(map[string][]byte, len(st.DedupIDs))
+	s.dedupOrder = s.dedupOrder[:0]
+	for i, id := range st.DedupIDs {
+		s.dedup[id] = st.DedupResp[i]
+		s.dedupOrder = append(s.dedupOrder, id)
+	}
+	s.locks = st.Locks
+	if s.locks == nil {
+		s.locks = make(map[pbs.JobID]string)
+	}
+	return nil
+}

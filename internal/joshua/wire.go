@@ -1,0 +1,366 @@
+package joshua
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"joshua/internal/codec"
+	"joshua/internal/gcs"
+	"joshua/internal/pbs"
+	"joshua/internal/transport"
+)
+
+// Op identifies one PBS service-interface operation carried by the
+// JOSHUA command protocol. The same operation encoding is used on the
+// client RPC leg (jsub/jdel/jstat -> joshua server) and inside the
+// replicated command stream (joshua server -> group).
+type Op byte
+
+// Operations. OpSubmit/OpDelete/OpStat mirror the paper's
+// jsub/jdel/jstat control commands; OpHold/OpRelease/OpSignal complete
+// the PBS interface (holds are possible here because state transfer is
+// snapshot-based, see DESIGN.md); OpJMutex/OpJDone are the distributed
+// mutual exclusion the jmutex/jdone scripts perform during job launch;
+// OpStatLocal is a non-replicated read served from the receiving
+// head's local state (an ablation of ordered reads).
+const (
+	OpSubmit Op = iota + 1
+	OpDelete
+	OpStat
+	OpStatAll
+	OpHold
+	OpRelease
+	OpSignal
+	OpJMutex
+	OpJDone
+	OpStatLocal
+	// OpJobDone is internal: a mom completion report replicated
+	// through the total order (ordered-completions mode). Heads
+	// originate it themselves; client requests carrying it are
+	// rejected.
+	OpJobDone
+	// Node management (the pbsnodes interface): offline/online are
+	// replicated state changes; the listing is a local read.
+	OpNodeOffline
+	OpNodeOnline
+	OpNodesLocal
+	// OpInfoLocal is a non-replicated operator query: one head's view,
+	// protocol counters, and queue gauges (the jadmin command).
+	OpInfoLocal
+)
+
+// String names the operation after its PBS/JOSHUA command.
+func (o Op) String() string {
+	switch o {
+	case OpSubmit:
+		return "jsub"
+	case OpDelete:
+		return "jdel"
+	case OpStat, OpStatAll:
+		return "jstat"
+	case OpHold:
+		return "jhold"
+	case OpRelease:
+		return "jrls"
+	case OpSignal:
+		return "jsig"
+	case OpJMutex:
+		return "jmutex"
+	case OpJDone:
+		return "jdone"
+	case OpStatLocal:
+		return "jstat-local"
+	case OpJobDone:
+		return "jobdone"
+	case OpNodeOffline:
+		return "jnodes -o"
+	case OpNodeOnline:
+		return "jnodes -c"
+	case OpNodesLocal:
+		return "jnodes"
+	case OpInfoLocal:
+		return "jadmin"
+	}
+	return fmt.Sprintf("op(%d)", byte(o))
+}
+
+// mutating reports whether the operation changes service state and
+// must therefore flow through the total order.
+func (o Op) mutating() bool {
+	switch o {
+	case OpStatLocal, OpNodesLocal, OpInfoLocal:
+		return false
+	default:
+		return true
+	}
+}
+
+// cmdArgs is the argument record shared by client requests and
+// replicated commands.
+type cmdArgs struct {
+	// OpSubmit.
+	Name      string
+	Owner     string
+	Script    string
+	NodeCount int
+	WallTime  time.Duration
+	Hold      bool
+	// Count lets one OpSubmit carry several identical jobs (batch
+	// submission); 0 and 1 both mean a single job.
+	Count int
+	// Job-addressed operations.
+	JobID pbs.JobID
+	// OpSignal.
+	Signal string
+	// OpJMutex / OpJDone.
+	AttemptID string
+	// OpJobDone (ordered completions).
+	ExitCode int
+	Output   string
+	// OpNodeOffline / OpNodeOnline.
+	Node string
+}
+
+func putArgs(e *codec.Encoder, a *cmdArgs) {
+	e.PutString(a.Name)
+	e.PutString(a.Owner)
+	e.PutString(a.Script)
+	e.PutUint(uint64(a.NodeCount))
+	e.PutDuration(a.WallTime)
+	e.PutBool(a.Hold)
+	e.PutUint(uint64(a.Count))
+	e.PutString(string(a.JobID))
+	e.PutString(a.Signal)
+	e.PutString(a.AttemptID)
+	e.PutInt(int64(a.ExitCode))
+	e.PutString(a.Output)
+	e.PutString(a.Node)
+}
+
+func getArgs(d *codec.Decoder) cmdArgs {
+	return cmdArgs{
+		Name:      d.String(),
+		Owner:     d.String(),
+		Script:    d.String(),
+		NodeCount: int(d.Uint()),
+		WallTime:  d.Duration(),
+		Hold:      d.Bool(),
+		Count:     int(d.Uint()),
+		JobID:     pbs.JobID(d.String()),
+		Signal:    d.String(),
+		AttemptID: d.String(),
+		ExitCode:  int(d.Int()),
+		Output:    d.String(),
+		Node:      d.String(),
+	}
+}
+
+// Client RPC message kinds.
+const (
+	rpcKindRequest byte = iota + 1
+	rpcKindResponse
+)
+
+// rpcRequest is one client command sent to a joshua server.
+type rpcRequest struct {
+	ReqID string
+	Op    Op
+	Args  cmdArgs
+}
+
+func (r *rpcRequest) encode() []byte {
+	e := codec.NewEncoder(128 + len(r.Args.Script))
+	e.PutByte(rpcKindRequest)
+	e.PutString(r.ReqID)
+	e.PutByte(byte(r.Op))
+	putArgs(e, &r.Args)
+	return e.Bytes()
+}
+
+// rpcResponse is the reply relayed back to the client by exactly one
+// head node (the output mutual exclusion of the paper).
+type rpcResponse struct {
+	ReqID   string
+	OK      bool
+	ErrMsg  string
+	Jobs    []pbs.Job
+	Granted bool // OpJMutex
+	Nodes   []pbs.NodeStatus
+	Info    map[string]string // OpInfoLocal
+}
+
+func (r *rpcResponse) encode() []byte {
+	e := codec.NewEncoder(128)
+	e.PutByte(rpcKindResponse)
+	e.PutString(r.ReqID)
+	e.PutBool(r.OK)
+	e.PutString(r.ErrMsg)
+	e.PutUint(uint64(len(r.Jobs)))
+	for _, j := range r.Jobs {
+		pbs.EncodeJob(e, j)
+	}
+	e.PutBool(r.Granted)
+	e.PutUint(uint64(len(r.Nodes)))
+	for _, n := range r.Nodes {
+		pbs.EncodeNodeStatus(e, n)
+	}
+	e.PutUint(uint64(len(r.Info)))
+	keys := make([]string, 0, len(r.Info))
+	for k := range r.Info {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e.PutString(k)
+		e.PutString(r.Info[k])
+	}
+	return e.Bytes()
+}
+
+// decodeRPC decodes either RPC message; exactly one of the returns is
+// non-nil on success.
+func decodeRPC(b []byte) (*rpcRequest, *rpcResponse, error) {
+	d := codec.NewDecoder(b)
+	switch kind := d.Byte(); kind {
+	case rpcKindRequest:
+		req := &rpcRequest{
+			ReqID: d.String(),
+			Op:    Op(d.Byte()),
+		}
+		req.Args = getArgs(d)
+		if err := d.Finish(); err != nil {
+			return nil, nil, err
+		}
+		return req, nil, nil
+	case rpcKindResponse:
+		resp := &rpcResponse{
+			ReqID:  d.String(),
+			OK:     d.Bool(),
+			ErrMsg: d.String(),
+		}
+		n := d.Uint()
+		if d.Err() == nil && n <= uint64(d.Remaining())+1 {
+			resp.Jobs = make([]pbs.Job, 0, n)
+			for i := uint64(0); i < n; i++ {
+				resp.Jobs = append(resp.Jobs, pbs.DecodeJob(d))
+			}
+		}
+		resp.Granted = d.Bool()
+		nn := d.Uint()
+		for i := uint64(0); i < nn && d.Err() == nil; i++ {
+			resp.Nodes = append(resp.Nodes, pbs.DecodeNodeStatus(d))
+		}
+		in := d.Uint()
+		if in > 0 && d.Err() == nil {
+			resp.Info = make(map[string]string, in)
+			for i := uint64(0); i < in && d.Err() == nil; i++ {
+				k := d.String()
+				resp.Info[k] = d.String()
+			}
+		}
+		if err := d.Finish(); err != nil {
+			return nil, nil, err
+		}
+		return nil, resp, nil
+	default:
+		return nil, nil, fmt.Errorf("joshua: unknown rpc kind %d", kind)
+	}
+}
+
+// repCommand is one replicated command inside the group communication
+// payload: the intercepted PBS user command, plus enough routing
+// information for the output mutual exclusion (which head answers the
+// client).
+type repCommand struct {
+	ReqID  string
+	Op     Op
+	Args   cmdArgs
+	Origin gcs.MemberID   // head that intercepted the command
+	Client transport.Addr // where the reply goes
+}
+
+func (c *repCommand) encode() []byte {
+	e := codec.NewEncoder(160 + len(c.Args.Script))
+	e.PutString(c.ReqID)
+	e.PutByte(byte(c.Op))
+	putArgs(e, &c.Args)
+	e.PutString(string(c.Origin))
+	e.PutString(string(c.Client))
+	return e.Bytes()
+}
+
+func decodeRepCommand(b []byte) (*repCommand, error) {
+	d := codec.NewDecoder(b)
+	c := &repCommand{
+		ReqID: d.String(),
+		Op:    Op(d.Byte()),
+	}
+	c.Args = getArgs(d)
+	c.Origin = gcs.MemberID(d.String())
+	c.Client = transport.Addr(d.String())
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// serverState is the application state transferred to joining head
+// nodes: the PBS server snapshot, the request deduplication table
+// (so client retries do not re-execute on the joiner), and the jmutex
+// lock table.
+type serverState struct {
+	PBS       []byte
+	DedupIDs  []string
+	DedupResp [][]byte
+	Locks     map[pbs.JobID]string
+}
+
+func (s *serverState) encode() []byte {
+	e := codec.NewEncoder(len(s.PBS) + 256)
+	e.PutBytes(s.PBS)
+	e.PutUint(uint64(len(s.DedupIDs)))
+	for i, id := range s.DedupIDs {
+		e.PutString(id)
+		e.PutBytes(s.DedupResp[i])
+	}
+	e.PutUint(uint64(len(s.Locks)))
+	ids := make([]string, 0, len(s.Locks))
+	for id := range s.Locks {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		e.PutString(id)
+		e.PutString(s.Locks[pbs.JobID(id)])
+	}
+	return e.Bytes()
+}
+
+func decodeServerState(b []byte) (*serverState, error) {
+	d := codec.NewDecoder(b)
+	s := &serverState{Locks: make(map[pbs.JobID]string)}
+	pb := d.Bytes()
+	s.PBS = make([]byte, len(pb))
+	copy(s.PBS, pb)
+	n := d.Uint()
+	if d.Err() != nil || n > uint64(d.Remaining())+1 {
+		return nil, fmt.Errorf("joshua: corrupt state: %v", d.Err())
+	}
+	for i := uint64(0); i < n; i++ {
+		s.DedupIDs = append(s.DedupIDs, d.String())
+		rb := d.Bytes()
+		resp := make([]byte, len(rb))
+		copy(resp, rb)
+		s.DedupResp = append(s.DedupResp, resp)
+	}
+	ln := d.Uint()
+	for i := uint64(0); i < ln && d.Err() == nil; i++ {
+		id := pbs.JobID(d.String())
+		s.Locks[id] = d.String()
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,167 @@
+package joshua
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"joshua/internal/pbs"
+)
+
+func TestRPCRequestRoundTrip(t *testing.T) {
+	req := &rpcRequest{
+		ReqID: "cli-1/client#42",
+		Op:    OpSubmit,
+		Args: cmdArgs{
+			Name:      "job",
+			Owner:     "alice",
+			Script:    "#!/bin/sh\ntrue\n",
+			NodeCount: 2,
+			WallTime:  3 * time.Second,
+			Hold:      true,
+			Count:     5,
+		},
+	}
+	gotReq, gotResp, err := decodeRPC(req.encode())
+	if err != nil || gotResp != nil {
+		t.Fatalf("decode: %v (resp %v)", err, gotResp)
+	}
+	if !reflect.DeepEqual(req, gotReq) {
+		t.Errorf("roundtrip mismatch:\n got %+v\nwant %+v", gotReq, req)
+	}
+}
+
+func TestRPCResponseRoundTrip(t *testing.T) {
+	resp := &rpcResponse{
+		ReqID:   "x#1",
+		OK:      true,
+		Granted: true,
+		Jobs: []pbs.Job{
+			{ID: "1.cluster", Seq: 1, Name: "a", Owner: "u", State: pbs.StateRunning, NodeCount: 1, Nodes: []string{"c0"}},
+			{ID: "2.cluster", Seq: 2, Name: "b", State: pbs.StateCompleted, ExitCode: -271},
+		},
+	}
+	gotReq, gotResp, err := decodeRPC(resp.encode())
+	if err != nil || gotReq != nil {
+		t.Fatalf("decode: %v (req %v)", err, gotReq)
+	}
+	if gotResp.ReqID != resp.ReqID || !gotResp.OK || !gotResp.Granted {
+		t.Errorf("header mismatch: %+v", gotResp)
+	}
+	if len(gotResp.Jobs) != 2 || gotResp.Jobs[0].ID != "1.cluster" || gotResp.Jobs[1].ExitCode != -271 {
+		t.Errorf("jobs mismatch: %+v", gotResp.Jobs)
+	}
+}
+
+func TestRPCErrorResponse(t *testing.T) {
+	resp := &rpcResponse{ReqID: "x#2", OK: false, ErrMsg: "pbs: qstat 9.c: Unknown Job Id"}
+	_, got, err := decodeRPC(resp.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.OK || got.ErrMsg != resp.ErrMsg {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestRPCDecodeGarbage(t *testing.T) {
+	for _, b := range [][]byte{nil, {0}, {99}, {rpcKindRequest}, {rpcKindResponse, 0xFF}} {
+		if _, _, err := decodeRPC(b); err == nil {
+			t.Errorf("decodeRPC(%v) should fail", b)
+		}
+	}
+}
+
+func TestRepCommandRoundTrip(t *testing.T) {
+	cmd := &repCommand{
+		ReqID:  "c#9",
+		Op:     OpJMutex,
+		Args:   cmdArgs{JobID: "3.cluster", AttemptID: "head1/pbs+compute0"},
+		Origin: "head1",
+		Client: "compute0/jmutex",
+	}
+	got, err := decodeRepCommand(cmd.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cmd, got) {
+		t.Errorf("roundtrip mismatch:\n got %+v\nwant %+v", got, cmd)
+	}
+}
+
+func TestServerStateRoundTrip(t *testing.T) {
+	srv := pbs.NewServer(pbs.Config{ServerName: "cluster", Nodes: []string{"c0"}})
+	srv.Submit(pbs.SubmitRequest{Name: "x"})
+	st := &serverState{
+		PBS:       srv.Snapshot(),
+		DedupIDs:  []string{"a#1", "b#2"},
+		DedupResp: [][]byte{{1, 2}, {3}},
+		Locks:     map[pbs.JobID]string{"1.cluster": "head0/pbs+compute0"},
+	}
+	got, err := decodeServerState(st.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.PBS, st.PBS) {
+		t.Error("PBS snapshot mismatch")
+	}
+	if !reflect.DeepEqual(got.DedupIDs, st.DedupIDs) || !reflect.DeepEqual(got.DedupResp, st.DedupResp) {
+		t.Errorf("dedup mismatch: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Locks, st.Locks) {
+		t.Errorf("locks mismatch: %+v", got.Locks)
+	}
+}
+
+func TestServerStateEncodingDeterministic(t *testing.T) {
+	st := &serverState{
+		PBS:   []byte("snap"),
+		Locks: map[pbs.JobID]string{"b": "2", "a": "1", "c": "3"},
+	}
+	b1, b2 := st.encode(), st.encode()
+	if !bytes.Equal(b1, b2) {
+		t.Error("serverState encoding is nondeterministic")
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	cases := map[Op]string{
+		OpSubmit: "jsub", OpDelete: "jdel", OpStat: "jstat",
+		OpJMutex: "jmutex", OpJDone: "jdone", OpStatLocal: "jstat-local",
+		Op(200): "op(200)",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", op, got, want)
+		}
+	}
+	if OpStatLocal.mutating() || !OpSubmit.mutating() || !OpJMutex.mutating() {
+		t.Error("mutating classification wrong")
+	}
+}
+
+// Property: arbitrary command args survive the round trip through a
+// replicated command.
+func TestQuickRepCommand(t *testing.T) {
+	f := func(reqID, name, owner, script, jobID, attempt string, nodes uint8, wall int64, hold bool, count uint8) bool {
+		cmd := &repCommand{
+			ReqID: reqID,
+			Op:    OpSubmit,
+			Args: cmdArgs{
+				Name: name, Owner: owner, Script: script,
+				NodeCount: int(nodes), WallTime: time.Duration(wall),
+				Hold: hold, Count: int(count),
+				JobID: pbs.JobID(jobID), AttemptID: attempt,
+			},
+			Origin: "h",
+			Client: "c/x",
+		}
+		got, err := decodeRepCommand(cmd.encode())
+		return err == nil && reflect.DeepEqual(cmd, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

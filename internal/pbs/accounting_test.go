@@ -1,0 +1,152 @@
+package pbs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func acctServer(sink AccountingSink) *Server {
+	return NewServer(Config{
+		ServerName: "cluster",
+		Nodes:      []string{"c0", "c1"},
+		Exclusive:  true,
+		Clock:      fixedClock(),
+		Accounting: sink,
+	})
+}
+
+func recordTypes(rs []AccountingRecord) string {
+	var b strings.Builder
+	for _, r := range rs {
+		b.WriteByte(r.Type)
+	}
+	return b.String()
+}
+
+func TestAccountingLifecycle(t *testing.T) {
+	sink := &MemoryAccounting{}
+	s := acctServer(sink)
+
+	j, _ := s.Submit(SubmitRequest{Name: "acct", Owner: "alice", WallTime: time.Minute})
+	s.TakeActions()
+	s.JobDone(j.ID, 0, "")
+
+	got := recordTypes(sink.ForJob(j.ID))
+	if got != "QSE" {
+		t.Fatalf("record sequence = %q, want QSE", got)
+	}
+	end := sink.ForJob(j.ID)[2]
+	if end.Attrs["exit_status"] != "0" || end.Attrs["exec_host"] != "c0" {
+		t.Errorf("end record attrs = %v", end.Attrs)
+	}
+	if end.Attrs["user"] != "alice" || end.Attrs["jobname"] != "acct" {
+		t.Errorf("common attrs = %v", end.Attrs)
+	}
+}
+
+func TestAccountingHoldReleaseDelete(t *testing.T) {
+	sink := &MemoryAccounting{}
+	s := acctServer(sink)
+
+	blocker, _ := s.Submit(SubmitRequest{})
+	s.TakeActions()
+
+	j, _ := s.Submit(SubmitRequest{})
+	s.Hold(j.ID)
+	s.Hold(j.ID) // idempotent: no second H record
+	s.Release(j.ID)
+	s.Delete(j.ID)
+	if got := recordTypes(sink.ForJob(j.ID)); got != "QHRD" {
+		t.Fatalf("record sequence = %q, want QHRD", got)
+	}
+
+	// Held submit records Q then H.
+	h, _ := s.Submit(SubmitRequest{Hold: true})
+	if got := recordTypes(sink.ForJob(h.ID)); got != "QH" {
+		t.Fatalf("held submit sequence = %q, want QH", got)
+	}
+
+	// Deleting a running job records D, then E when the kill lands.
+	s.Delete(blocker.ID)
+	s.JobDone(blocker.ID, ExitCodeKilled, "")
+	if got := recordTypes(sink.ForJob(blocker.ID)); got != "QSDE" {
+		t.Fatalf("running-delete sequence = %q, want QSDE", got)
+	}
+}
+
+func TestAccountingLineFormat(t *testing.T) {
+	r := AccountingRecord{
+		Time: time.Date(2026, 7, 6, 12, 34, 56, 0, time.UTC),
+		Type: AcctEnded,
+		Job:  "17.cluster",
+		Attrs: map[string]string{
+			"user":        "alice",
+			"exit_status": "0",
+		},
+	}
+	got := r.Line()
+	want := "07/06/2026 12:34:56;E;17.cluster;exit_status=0 user=alice"
+	if got != want {
+		t.Errorf("Line() = %q, want %q", got, want)
+	}
+}
+
+func TestWriterAccounting(t *testing.T) {
+	var buf bytes.Buffer
+	s := acctServer(NewWriterAccounting(&buf))
+	j, _ := s.Submit(SubmitRequest{Name: "w", Owner: "bob"})
+	s.TakeActions()
+	s.JobDone(j.ID, 3, "")
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines:\n%s", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[0], ";Q;1.cluster;") {
+		t.Errorf("line 0 = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "exit_status=3") {
+		t.Errorf("line 2 = %q", lines[2])
+	}
+}
+
+func TestAccountingDisabledByDefault(t *testing.T) {
+	s := testServer() // no sink configured
+	j, _ := s.Submit(SubmitRequest{})
+	s.TakeActions()
+	s.JobDone(j.ID, 0, "") // must not panic with nil sink
+}
+
+func TestAccountingIdenticalAcrossReplicas(t *testing.T) {
+	// Two replicas fed the same command stream produce identical
+	// accounting (modulo timestamps, which the fixed clock equalizes).
+	mk := func() (*Server, *MemoryAccounting) {
+		m := &MemoryAccounting{}
+		return acctServer(m), m
+	}
+	a, am := mk()
+	b, bm := mk()
+	drive := func(s *Server) {
+		j1, _ := s.Submit(SubmitRequest{Name: "x", Owner: "u"})
+		s.TakeActions()
+		j2, _ := s.Submit(SubmitRequest{Name: "y", Owner: "u", Hold: true})
+		s.Release(j2.ID)
+		s.JobDone(j1.ID, 0, "")
+		s.TakeActions()
+		s.JobDone(j2.ID, 0, "")
+	}
+	drive(a)
+	drive(b)
+	ra, rb := am.Records(), bm.Records()
+	if len(ra) != len(rb) {
+		t.Fatalf("record counts differ: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i].Line() != rb[i].Line() {
+			t.Fatalf("record %d differs:\n%s\n%s", i, ra[i].Line(), rb[i].Line())
+		}
+	}
+
+}

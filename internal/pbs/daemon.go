@@ -1,0 +1,276 @@
+package pbs
+
+import (
+	"sync"
+	"time"
+
+	"joshua/internal/transport"
+)
+
+// Daemon binds a Server state machine to the network: it relays the
+// server's scheduling decisions (start/kill) to the compute-node moms
+// and feeds mom completion reports back into the state machine. It is
+// the piece of a TORQUE head node that talks RPP to the moms.
+//
+// A standalone Daemon is a complete single-head batch system — the
+// baseline of the paper's evaluation. The JOSHUA server wraps a
+// Daemon per head node and routes the command interface through the
+// group communication system.
+type Daemon struct {
+	srv *Server
+	cfg DaemonConfig
+
+	mu sync.Mutex
+	// outstanding start/kill requests not yet resolved by a
+	// completion report, for retransmission over the lossy datagram
+	// transport.
+	outstanding map[JobID]*outstandingJob
+	interceptor DoneInterceptor
+	done        chan struct{}
+	once        sync.Once
+}
+
+// SetDoneInterceptor installs (or clears) the completion interceptor.
+// Safe to call after the daemon started; JOSHUA installs it when
+// ordered completions are enabled.
+func (d *Daemon) SetDoneInterceptor(f DoneInterceptor) {
+	d.mu.Lock()
+	d.interceptor = f
+	d.mu.Unlock()
+}
+
+// ApplyDone applies a completion that was diverted by the
+// interceptor (after it has been totally ordered).
+func (d *Daemon) ApplyDone(id JobID, exitCode int, output string) {
+	before, _ := d.srv.Status(id)
+	d.srv.JobDone(id, exitCode, output)
+	d.mu.Lock()
+	delete(d.outstanding, id)
+	d.mu.Unlock()
+	if d.cfg.OnJobDone != nil && (before.State == StateRunning || before.State == StateExiting) {
+		d.cfg.OnJobDone(id, exitCode)
+	}
+	d.flush()
+}
+
+type outstandingJob struct {
+	job      Job
+	kill     bool
+	lastSent time.Time
+}
+
+// DaemonConfig parameterizes a Daemon.
+type DaemonConfig struct {
+	// Endpoint receives mom reports; the daemon owns and closes it.
+	Endpoint transport.Endpoint
+	// Moms maps compute-node names (Server Config.Nodes) to mom
+	// transport addresses.
+	Moms map[string]transport.Addr
+	// ResendInterval is the retransmission period for unresolved
+	// start/kill requests. Default 200ms.
+	ResendInterval time.Duration
+	// OnJobDone, when non-nil, is invoked after a completion report
+	// is applied (JOSHUA uses it to track job turnaround).
+	OnJobDone func(id JobID, exitCode int)
+}
+
+// DoneInterceptor diverts mom completion reports away from direct
+// application: return true to claim the report (JOSHUA's ordered-
+// completions mode replicates it through the total order and applies
+// it later via ApplyDone); return false for the default direct path.
+type DoneInterceptor func(id JobID, exitCode int, output string) bool
+
+// NewDaemon creates and runs a daemon for srv.
+func NewDaemon(srv *Server, cfg DaemonConfig) *Daemon {
+	if cfg.ResendInterval <= 0 {
+		cfg.ResendInterval = 200 * time.Millisecond
+	}
+	d := &Daemon{
+		srv:         srv,
+		cfg:         cfg,
+		outstanding: make(map[JobID]*outstandingJob),
+		done:        make(chan struct{}),
+	}
+	go d.run()
+	return d
+}
+
+// Server exposes the underlying state machine (status queries,
+// snapshots).
+func (d *Daemon) Server() *Server { return d.srv }
+
+// Close stops the daemon.
+func (d *Daemon) Close() {
+	d.once.Do(func() {
+		close(d.done)
+		d.cfg.Endpoint.Close()
+	})
+}
+
+// Submit runs qsub and dispatches any resulting job starts.
+func (d *Daemon) Submit(req SubmitRequest) (Job, error) {
+	j, err := d.srv.Submit(req)
+	d.flush()
+	return j, err
+}
+
+// Delete runs qdel and dispatches any resulting kills/starts.
+func (d *Daemon) Delete(id JobID) (Job, error) {
+	j, err := d.srv.Delete(id)
+	d.flush()
+	return j, err
+}
+
+// Hold runs qhold.
+func (d *Daemon) Hold(id JobID) (Job, error) {
+	j, err := d.srv.Hold(id)
+	d.flush()
+	return j, err
+}
+
+// Release runs qrls and dispatches any resulting starts.
+func (d *Daemon) Release(id JobID) (Job, error) {
+	j, err := d.srv.Release(id)
+	d.flush()
+	return j, err
+}
+
+// Signal runs qsig.
+func (d *Daemon) Signal(id JobID, sig string) (Job, error) {
+	return d.srv.Signal(id, sig)
+}
+
+// FlushActions dispatches any pending scheduling actions. Callers that
+// mutate the Server directly (e.g. bringing a node back online) use it
+// to relay the resulting job starts to the moms.
+func (d *Daemon) FlushActions() { d.flush() }
+
+// Status runs qstat for one job.
+func (d *Daemon) Status(id JobID) (Job, error) { return d.srv.Status(id) }
+
+// StatusAll runs qstat for all jobs.
+func (d *Daemon) StatusAll() []Job { return d.srv.StatusAll() }
+
+// Restore replaces server state from a snapshot (JOSHUA state
+// transfer for a joining head node). Outstanding requests are
+// dropped: running jobs were started by the established head nodes,
+// whose daemons keep retransmitting if needed; this daemon only needs
+// to hear the completion reports, which the moms address to every
+// configured head.
+func (d *Daemon) Restore(snapshot []byte) error {
+	if err := d.srv.Restore(snapshot); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.outstanding = make(map[JobID]*outstandingJob)
+	d.mu.Unlock()
+	return nil
+}
+
+func (d *Daemon) run() {
+	tick := time.NewTicker(d.cfg.ResendInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-d.done:
+			return
+		case dg, ok := <-d.cfg.Endpoint.Recv():
+			if !ok {
+				return
+			}
+			msg, err := decodeMomMsg(dg.Payload)
+			if err != nil || msg.Kind != momKindDone {
+				continue
+			}
+			d.onJobDone(msg, dg.From)
+		case <-tick.C:
+			d.resend()
+		}
+	}
+}
+
+func (d *Daemon) onJobDone(msg *momMsg, from transport.Addr) {
+	// Acknowledge first: even a duplicate report deserves an ack so
+	// the mom stops retransmitting.
+	ack := &momMsg{Kind: momKindDoneAck, JobID: msg.JobID}
+	_ = d.cfg.Endpoint.Send(from, ack.encode())
+
+	d.mu.Lock()
+	intercept := d.interceptor
+	d.mu.Unlock()
+	if intercept != nil && intercept(msg.JobID, msg.ExitCode, msg.Output) {
+		return // the interceptor owns this report (ordered completions)
+	}
+	d.ApplyDone(msg.JobID, msg.ExitCode, msg.Output)
+}
+
+// flush drains the server's action outbox onto the wire.
+func (d *Daemon) flush() {
+	for _, a := range d.srv.TakeActions() {
+		switch act := a.(type) {
+		case StartAction:
+			d.mu.Lock()
+			d.outstanding[act.Job.ID] = &outstandingJob{job: act.Job, lastSent: time.Now()}
+			d.mu.Unlock()
+			d.sendStart(act.Job)
+		case KillAction:
+			d.mu.Lock()
+			d.outstanding[act.Job.ID] = &outstandingJob{job: act.Job, kill: true, lastSent: time.Now()}
+			d.mu.Unlock()
+			d.sendKill(act.Job)
+		}
+	}
+}
+
+func (d *Daemon) sendStart(j Job) {
+	msg := &momMsg{
+		Kind:     momKindStart,
+		JobID:    j.ID,
+		Name:     j.Name,
+		Owner:    j.Owner,
+		Script:   j.Script,
+		WallTime: j.WallTime,
+		Nodes:    j.Nodes,
+	}
+	b := msg.encode()
+	for _, node := range j.Nodes {
+		if addr, ok := d.cfg.Moms[node]; ok {
+			_ = d.cfg.Endpoint.Send(addr, b)
+		}
+	}
+}
+
+func (d *Daemon) sendKill(j Job) {
+	msg := &momMsg{Kind: momKindKill, JobID: j.ID}
+	b := msg.encode()
+	for _, node := range j.Nodes {
+		if addr, ok := d.cfg.Moms[node]; ok {
+			_ = d.cfg.Endpoint.Send(addr, b)
+		}
+	}
+}
+
+// resend retransmits unresolved start/kill requests.
+func (d *Daemon) resend() {
+	now := time.Now()
+	var starts, kills []Job
+	d.mu.Lock()
+	for _, o := range d.outstanding {
+		if now.Sub(o.lastSent) < d.cfg.ResendInterval {
+			continue
+		}
+		o.lastSent = now
+		if o.kill {
+			kills = append(kills, o.job)
+		} else {
+			starts = append(starts, o.job)
+		}
+	}
+	d.mu.Unlock()
+	for _, j := range starts {
+		d.sendStart(j)
+	}
+	for _, j := range kills {
+		d.sendKill(j)
+	}
+}

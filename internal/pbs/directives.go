@@ -1,0 +1,151 @@
+package pbs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// PBS directive parsing. Batch scripts conventionally embed their
+// resource requests as "#PBS" comment lines, which qsub reads so the
+// command line stays clean:
+//
+//	#!/bin/sh
+//	#PBS -N my-simulation
+//	#PBS -l nodes=2,walltime=01:30:00
+//	#PBS -h
+//	mpirun ./sim
+//
+// ApplyDirectives scans a script for such lines and fills the
+// corresponding SubmitRequest fields. Explicitly set fields win over
+// directives (command-line flags override the script, as in PBS).
+
+// ApplyDirectives parses #PBS lines in req.Script and applies them to
+// req. Fields already set (non-zero) are left alone. Unknown options
+// and malformed resource lists are errors, mirroring qsub's strictness.
+func ApplyDirectives(req *SubmitRequest) error {
+	if req.Script == "" {
+		return nil
+	}
+	for lineNo, raw := range strings.Split(req.Script, "\n") {
+		line := strings.TrimSpace(raw)
+		rest, ok := strings.CutPrefix(line, "#PBS")
+		if !ok {
+			// Directives must precede the first non-comment command
+			// line, as in PBS.
+			if line != "" && !strings.HasPrefix(line, "#") {
+				break
+			}
+			continue
+		}
+		if err := applyDirectiveLine(req, strings.TrimSpace(rest)); err != nil {
+			return fmt.Errorf("pbs: script line %d: %w", lineNo+1, err)
+		}
+	}
+	return nil
+}
+
+func applyDirectiveLine(req *SubmitRequest, line string) error {
+	fields := strings.Fields(line)
+	for i := 0; i < len(fields); i++ {
+		switch fields[i] {
+		case "-N":
+			i++
+			if i >= len(fields) {
+				return fmt.Errorf("-N requires a job name")
+			}
+			if req.Name == "" {
+				req.Name = fields[i]
+			}
+		case "-h":
+			req.Hold = true
+		case "-l":
+			i++
+			if i >= len(fields) {
+				return fmt.Errorf("-l requires a resource list")
+			}
+			if err := applyResourceList(req, fields[i]); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unsupported directive %q", fields[i])
+		}
+	}
+	return nil
+}
+
+// applyResourceList parses "nodes=2,walltime=01:30:00" style lists.
+func applyResourceList(req *SubmitRequest, list string) error {
+	for _, item := range strings.Split(list, ",") {
+		key, val, ok := strings.Cut(item, "=")
+		if !ok {
+			return fmt.Errorf("malformed resource %q", item)
+		}
+		switch key {
+		case "nodes", "nodect":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return fmt.Errorf("invalid node count %q", val)
+			}
+			if req.NodeCount == 0 {
+				req.NodeCount = n
+			}
+		case "walltime":
+			d, err := ParseWalltime(val)
+			if err != nil {
+				return err
+			}
+			if req.WallTime == 0 {
+				req.WallTime = d
+			}
+		default:
+			return fmt.Errorf("unsupported resource %q", key)
+		}
+	}
+	return nil
+}
+
+// FormatWalltime renders a duration in the PBS HH:MM:SS form used by
+// qstat and the accounting log.
+func FormatWalltime(d time.Duration) string {
+	if d < 0 {
+		d = 0
+	}
+	total := int64(d / time.Second)
+	return fmt.Sprintf("%02d:%02d:%02d", total/3600, (total/60)%60, total%60)
+}
+
+// ParseWalltime accepts the PBS HH:MM:SS form (also MM:SS and plain
+// seconds) as well as Go duration strings ("90m", "1.5h").
+func ParseWalltime(s string) (time.Duration, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty walltime")
+	}
+	if strings.Contains(s, ":") {
+		parts := strings.Split(s, ":")
+		if len(parts) > 3 {
+			return 0, fmt.Errorf("invalid walltime %q", s)
+		}
+		var total time.Duration
+		for _, p := range parts {
+			n, err := strconv.Atoi(p)
+			if err != nil || n < 0 {
+				return 0, fmt.Errorf("invalid walltime %q", s)
+			}
+			total = total*60 + time.Duration(n)*time.Second
+		}
+		return total, nil
+	}
+	if n, err := strconv.Atoi(s); err == nil {
+		if n < 0 {
+			return 0, fmt.Errorf("invalid walltime %q", s)
+		}
+		return time.Duration(n) * time.Second, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d < 0 {
+		return 0, fmt.Errorf("invalid walltime %q", s)
+	}
+	return d, nil
+}

@@ -1,0 +1,167 @@
+// Package pbs implements the batch-system substrate that JOSHUA
+// replicates: a PBS-compliant job and resource management service
+// modeled on the TORQUE server with a Maui-style FIFO scheduler, and
+// the PBS mom compute-node daemon.
+//
+// The paper treats TORQUE/Maui as a deterministic black box behind the
+// PBS service interface (qsub, qdel, qstat, qsig); JOSHUA replicates
+// the interface calls, not the implementation. Accordingly the Server
+// here is a strictly deterministic state machine: the same sequence of
+// interface calls produces byte-identical state on every replica,
+// which is the property symmetric active/active replication rests on.
+// The Maui scheduling policy is FIFO with exclusive access, exactly
+// the configuration the paper uses "to produce deterministic
+// scheduling behavior on all active head nodes"; a first-fit node
+// allocation mode is provided as the extension the paper anticipates
+// ("this restriction may be lifted in the future").
+package pbs
+
+import (
+	"fmt"
+	"time"
+)
+
+// JobID identifies a job, in PBS style: "<sequence>.<servername>".
+// Replicated JOSHUA head nodes configure the same server name so that
+// replica-generated IDs coincide.
+type JobID string
+
+// JobState is the PBS job lifecycle.
+type JobState int
+
+// Job states, following the PBS single-letter conventions
+// (Q, H, R, E, C).
+const (
+	StateQueued JobState = iota
+	StateHeld
+	StateRunning
+	StateExiting
+	StateCompleted
+)
+
+// String returns the PBS single-letter state code.
+func (s JobState) String() string {
+	switch s {
+	case StateQueued:
+		return "Q"
+	case StateHeld:
+		return "H"
+	case StateRunning:
+		return "R"
+	case StateExiting:
+		return "E"
+	case StateCompleted:
+		return "C"
+	}
+	return "?"
+}
+
+// longState returns the human-readable state name for qstat -f style
+// output.
+func (s JobState) longState() string {
+	switch s {
+	case StateQueued:
+		return "Queued"
+	case StateHeld:
+		return "Held"
+	case StateRunning:
+		return "Running"
+	case StateExiting:
+		return "Exiting"
+	case StateCompleted:
+		return "Completed"
+	}
+	return "Unknown"
+}
+
+// Job is one batch job. All fields are part of the replicated state
+// except the timestamps, which each replica stamps from its local
+// clock (cosmetic, never consulted by scheduling decisions).
+type Job struct {
+	ID    JobID
+	Seq   uint64
+	Name  string
+	Owner string
+	// Script is the job payload. The simulated mom does not execute
+	// it; it is carried for fidelity and for test assertions.
+	Script string
+	// NodeCount is the number of compute nodes requested.
+	NodeCount int
+	// WallTime is the simulated execution time on the mom.
+	WallTime time.Duration
+
+	State JobState
+	// Nodes are the compute nodes allocated while Running/Exiting.
+	Nodes []string
+	// ExitCode is meaningful once State == StateCompleted. Killed
+	// jobs report ExitCodeKilled.
+	ExitCode int
+	// Output is the job's captured standard output (what PBS would
+	// write to the .o file), filled in at completion. The simulated
+	// mom interprets "echo ..." lines of the script.
+	Output string
+
+	SubmittedAt time.Time
+	StartedAt   time.Time
+	CompletedAt time.Time
+}
+
+// ExitCodeKilled is reported for jobs deleted while running.
+const ExitCodeKilled = -271 // matches TORQUE's JOB_EXEC_KILLED convention
+
+func (j *Job) clone() Job {
+	c := *j
+	c.Nodes = append([]string(nil), j.Nodes...)
+	return c
+}
+
+// SubmitRequest is the qsub argument set.
+type SubmitRequest struct {
+	Name      string
+	Owner     string
+	Script    string
+	NodeCount int           // defaults to 1
+	WallTime  time.Duration // simulated runtime; defaults to 0 (instant)
+	Hold      bool          // submit in held state (qsub -h)
+}
+
+// Action is an effect the server asks its host daemon to perform on
+// the compute nodes. The Server is a pure state machine; emitting
+// actions instead of doing I/O keeps every replica deterministic and
+// directly testable.
+type Action interface{ action() }
+
+// StartAction directs the daemon to start a job on its allocated
+// nodes (the PBS server "connects to a PBS mom server ... to start
+// the job").
+type StartAction struct {
+	Job Job
+}
+
+// KillAction directs the daemon to terminate a running job on its
+// nodes (qdel of a running job).
+type KillAction struct {
+	Job Job
+}
+
+func (StartAction) action() {}
+func (KillAction) action()  {}
+
+// Errors returned by the server command interface. The messages
+// mirror PBS client diagnostics.
+type Error struct {
+	Op  string
+	ID  JobID
+	Msg string
+}
+
+func (e *Error) Error() string {
+	if e.ID != "" {
+		return fmt.Sprintf("pbs: %s %s: %s", e.Op, e.ID, e.Msg)
+	}
+	return fmt.Sprintf("pbs: %s: %s", e.Op, e.Msg)
+}
+
+func errUnknownJob(op string, id JobID) error {
+	return &Error{Op: op, ID: id, Msg: "Unknown Job Id"}
+}

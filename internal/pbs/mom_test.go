@@ -1,0 +1,286 @@
+package pbs
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"joshua/internal/simnet"
+	"joshua/internal/transport"
+)
+
+// rig is a single-head batch system on a simulated network: one
+// daemon-wrapped server and a set of moms, i.e. the paper's baseline
+// TORQUE configuration.
+type rig struct {
+	net    *simnet.Network
+	daemon *Daemon
+	moms   []*Mom
+}
+
+func newRig(t *testing.T, nodes int, momCfg func(i int, c *MomConfig)) *rig {
+	t.Helper()
+	net := simnet.New(simnet.Config{Latency: simnet.Latency{Remote: time.Millisecond}})
+
+	nodeNames := make([]string, nodes)
+	momAddrs := make(map[string]transport.Addr, nodes)
+	for i := range nodeNames {
+		nodeNames[i] = nodeName(i)
+		momAddrs[nodeNames[i]] = transport.Addr(nodeNames[i] + "/mom")
+	}
+
+	srv := NewServer(Config{ServerName: "cluster", Nodes: nodeNames, Exclusive: true})
+	headEp, err := net.Endpoint("head0/pbs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	daemon := NewDaemon(srv, DaemonConfig{
+		Endpoint:       headEp,
+		Moms:           momAddrs,
+		ResendInterval: 50 * time.Millisecond,
+	})
+
+	r := &rig{net: net, daemon: daemon}
+	for i := 0; i < nodes; i++ {
+		ep, err := net.Endpoint(momAddrs[nodeNames[i]])
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := MomConfig{
+			Name:           nodeNames[i],
+			Endpoint:       ep,
+			Servers:        []transport.Addr{"head0/pbs"},
+			ReportInterval: 50 * time.Millisecond,
+		}
+		if momCfg != nil {
+			momCfg(i, &cfg)
+		}
+		r.moms = append(r.moms, StartMom(cfg))
+	}
+	t.Cleanup(func() {
+		daemon.Close()
+		for _, m := range r.moms {
+			m.Close()
+		}
+		net.Close()
+	})
+	return r
+}
+
+func nodeName(i int) string {
+	return "compute" + string(rune('0'+i))
+}
+
+func waitState(t *testing.T, d *Daemon, id JobID, want JobState, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		j, err := d.Status(id)
+		if err == nil && j.State == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	j, err := d.Status(id)
+	t.Fatalf("job %s never reached %v (now %+v, err %v)", id, want, j, err)
+}
+
+func TestJobRunsToCompletion(t *testing.T) {
+	r := newRig(t, 1, nil)
+	j, err := r.daemon.Submit(SubmitRequest{Name: "hello", WallTime: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, r.daemon, j.ID, StateCompleted, 5*time.Second)
+	got, _ := r.daemon.Status(j.ID)
+	if got.ExitCode != 0 {
+		t.Errorf("exit code = %d", got.ExitCode)
+	}
+}
+
+func TestJobsRunInFIFOOrder(t *testing.T) {
+	r := newRig(t, 1, nil)
+	var ids []JobID
+	for i := 0; i < 5; i++ {
+		j, err := r.daemon.Submit(SubmitRequest{WallTime: 5 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+	}
+	waitState(t, r.daemon, ids[4], StateCompleted, 10*time.Second)
+	// Completion order must match submission order.
+	var prev time.Time
+	for _, id := range ids {
+		j, _ := r.daemon.Status(id)
+		if j.State != StateCompleted {
+			t.Fatalf("job %s not completed", id)
+		}
+		if j.CompletedAt.Before(prev) {
+			t.Fatalf("job %s completed before its FIFO predecessor", id)
+		}
+		prev = j.CompletedAt
+	}
+}
+
+func TestKillRunningJob(t *testing.T) {
+	r := newRig(t, 1, nil)
+	j, _ := r.daemon.Submit(SubmitRequest{WallTime: 10 * time.Second})
+	waitState(t, r.daemon, j.ID, StateRunning, 5*time.Second)
+	if _, err := r.daemon.Delete(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, r.daemon, j.ID, StateCompleted, 5*time.Second)
+	got, _ := r.daemon.Status(j.ID)
+	if got.ExitCode != ExitCodeKilled {
+		t.Errorf("exit code = %d, want %d", got.ExitCode, ExitCodeKilled)
+	}
+}
+
+func TestPrologueElectsSingleExecution(t *testing.T) {
+	var executions atomic.Int32
+	var attempts atomic.Int32
+	var mu sync.Mutex
+	elected := map[JobID]bool{}
+	r := newRig(t, 1, func(i int, c *MomConfig) {
+		c.Prologue = func(job Job, head transport.Addr) bool {
+			attempts.Add(1)
+			mu.Lock()
+			defer mu.Unlock()
+			if elected[job.ID] {
+				return false
+			}
+			elected[job.ID] = true
+			executions.Add(1)
+			return true
+		}
+	})
+	j, _ := r.daemon.Submit(SubmitRequest{WallTime: 5 * time.Millisecond})
+	waitState(t, r.daemon, j.ID, StateCompleted, 5*time.Second)
+	if executions.Load() != 1 {
+		t.Errorf("executions = %d, want 1", executions.Load())
+	}
+}
+
+func TestEpilogueRuns(t *testing.T) {
+	var epilogues atomic.Int32
+	r := newRig(t, 1, func(i int, c *MomConfig) {
+		c.Epilogue = func(job Job) { epilogues.Add(1) }
+	})
+	j, _ := r.daemon.Submit(SubmitRequest{WallTime: time.Millisecond})
+	waitState(t, r.daemon, j.ID, StateCompleted, 5*time.Second)
+	if epilogues.Load() != 1 {
+		t.Errorf("epilogues = %d, want 1", epilogues.Load())
+	}
+}
+
+func TestMultiNodeJob(t *testing.T) {
+	r := newRig(t, 2, nil)
+	j, _ := r.daemon.Submit(SubmitRequest{NodeCount: 2, WallTime: 5 * time.Millisecond})
+	waitState(t, r.daemon, j.ID, StateCompleted, 5*time.Second)
+	got, _ := r.daemon.Status(j.ID)
+	if len(got.Nodes) != 2 {
+		t.Errorf("allocated nodes = %v", got.Nodes)
+	}
+}
+
+func TestStartSurvivesDatagramLoss(t *testing.T) {
+	// Heavy loss: daemon retransmission and mom report retransmission
+	// must still complete the job.
+	net := simnet.New(simnet.Config{
+		Latency:  simnet.Latency{Remote: time.Millisecond},
+		DropRate: 0.4,
+		Seed:     3,
+	})
+	defer net.Close()
+	srv := NewServer(Config{ServerName: "cluster", Nodes: []string{"compute0"}, Exclusive: true})
+	headEp, _ := net.Endpoint("head0/pbs")
+	daemon := NewDaemon(srv, DaemonConfig{
+		Endpoint:       headEp,
+		Moms:           map[string]transport.Addr{"compute0": "compute0/mom"},
+		ResendInterval: 20 * time.Millisecond,
+	})
+	defer daemon.Close()
+	momEp, _ := net.Endpoint("compute0/mom")
+	mom := StartMom(MomConfig{
+		Name:           "compute0",
+		Endpoint:       momEp,
+		Servers:        []transport.Addr{"head0/pbs"},
+		ReportInterval: 20 * time.Millisecond,
+	})
+	defer mom.Close()
+
+	j, _ := daemon.Submit(SubmitRequest{WallTime: time.Millisecond})
+	waitState(t, daemon, j.ID, StateCompleted, 15*time.Second)
+}
+
+func TestMomCrashLeavesJobRunning(t *testing.T) {
+	// The paper's documented limitation: compute-node failure is not
+	// tolerated; the job stays Running at the head.
+	r := newRig(t, 1, nil)
+	j, _ := r.daemon.Submit(SubmitRequest{WallTime: 50 * time.Millisecond})
+	waitState(t, r.daemon, j.ID, StateRunning, 5*time.Second)
+	r.net.CrashHost("compute0")
+	r.moms[0].Close()
+	time.Sleep(300 * time.Millisecond)
+	got, _ := r.daemon.Status(j.ID)
+	if got.State != StateRunning {
+		t.Errorf("state = %v; compute failure handling is documented as out of scope (paper §5)", got.State)
+	}
+}
+
+func TestOnJobDoneCallback(t *testing.T) {
+	var calls atomic.Int32
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	srv := NewServer(Config{ServerName: "cluster", Nodes: []string{"compute0"}, Exclusive: true})
+	headEp, _ := net.Endpoint("head0/pbs")
+	daemon := NewDaemon(srv, DaemonConfig{
+		Endpoint: headEp,
+		Moms:     map[string]transport.Addr{"compute0": "compute0/mom"},
+		OnJobDone: func(id JobID, rc int) {
+			calls.Add(1)
+		},
+	})
+	defer daemon.Close()
+	momEp, _ := net.Endpoint("compute0/mom")
+	mom := StartMom(MomConfig{
+		Name: "compute0", Endpoint: momEp,
+		Servers:        []transport.Addr{"head0/pbs"},
+		ReportInterval: 20 * time.Millisecond,
+	})
+	defer mom.Close()
+
+	j, _ := daemon.Submit(SubmitRequest{WallTime: time.Millisecond})
+	waitState(t, daemon, j.ID, StateCompleted, 5*time.Second)
+	// Duplicate reports must not double-fire the callback.
+	time.Sleep(100 * time.Millisecond)
+	if calls.Load() != 1 {
+		t.Errorf("OnJobDone calls = %d, want 1", calls.Load())
+	}
+}
+
+func TestMomTimeScale(t *testing.T) {
+	r := newRig(t, 1, func(i int, c *MomConfig) { c.TimeScale = 0.1 })
+	start := time.Now()
+	j, _ := r.daemon.Submit(SubmitRequest{WallTime: time.Second})
+	waitState(t, r.daemon, j.ID, StateCompleted, 5*time.Second)
+	if elapsed := time.Since(start); elapsed > 700*time.Millisecond {
+		t.Errorf("scaled job took %v, want ~100ms", elapsed)
+	}
+}
+
+func TestMomRunningJobs(t *testing.T) {
+	r := newRig(t, 1, nil)
+	j, _ := r.daemon.Submit(SubmitRequest{WallTime: 10 * time.Second})
+	waitState(t, r.daemon, j.ID, StateRunning, 5*time.Second)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if ids := r.moms[0].RunningJobs(); len(ids) == 1 && ids[0] == j.ID {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("mom RunningJobs = %v, want [%s]", r.moms[0].RunningJobs(), j.ID)
+}

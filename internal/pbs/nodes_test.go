@@ -1,0 +1,119 @@
+package pbs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOfflineNodeExcludedFromScheduling(t *testing.T) {
+	s := NewServer(Config{ServerName: "c", Nodes: []string{"n0", "n1"}, Clock: fixedClock()})
+	if err := s.SetNodeOffline("n0", true); err != nil {
+		t.Fatal(err)
+	}
+	j, _ := s.Submit(SubmitRequest{NodeCount: 1})
+	acts := s.TakeActions()
+	if len(acts) != 1 {
+		t.Fatalf("actions = %d", len(acts))
+	}
+	start := acts[0].(StartAction)
+	if start.Job.ID != j.ID || start.Job.Nodes[0] != "n1" {
+		t.Fatalf("job allocated to %v, want n1 (n0 is offline)", start.Job.Nodes)
+	}
+}
+
+func TestOfflineBlocksUntilOnline(t *testing.T) {
+	s := NewServer(Config{ServerName: "c", Nodes: []string{"n0", "n1"}, Exclusive: true, Clock: fixedClock()})
+	s.SetNodeOffline("n0", true)
+	s.SetNodeOffline("n1", true)
+	j, _ := s.Submit(SubmitRequest{})
+	if acts := s.TakeActions(); len(acts) != 0 {
+		t.Fatalf("job started with every node offline: %v", acts)
+	}
+	// Bringing one node back releases the queue.
+	if err := s.SetNodeOffline("n1", false); err != nil {
+		t.Fatal(err)
+	}
+	acts := s.TakeActions()
+	if len(acts) != 1 || acts[0].(StartAction).Job.ID != j.ID {
+		t.Fatalf("job did not start after node came online: %v", acts)
+	}
+	if got := acts[0].(StartAction).Job.Nodes[0]; got != "n1" {
+		t.Errorf("allocated to %s, want n1", got)
+	}
+}
+
+func TestOfflineExclusiveNeedsEnoughOnline(t *testing.T) {
+	s := NewServer(Config{ServerName: "c", Nodes: []string{"n0", "n1"}, Exclusive: true, Clock: fixedClock()})
+	s.SetNodeOffline("n1", true)
+	s.Submit(SubmitRequest{NodeCount: 2}) // needs both nodes
+	if acts := s.TakeActions(); len(acts) != 0 {
+		t.Fatalf("2-node job started with 1 node online: %v", acts)
+	}
+}
+
+func TestSetNodeOfflineUnknown(t *testing.T) {
+	s := testServer()
+	if err := s.SetNodeOffline("ghost", true); err == nil {
+		t.Fatal("unknown node should fail")
+	}
+}
+
+func TestRunningJobSurvivesOffline(t *testing.T) {
+	s := testServer()
+	j, _ := s.Submit(SubmitRequest{})
+	s.TakeActions()
+	// Offlining the node the job runs on does not kill it (pbsnodes -o
+	// semantics).
+	s.SetNodeOffline("c0", true)
+	got, _ := s.Status(j.ID)
+	if got.State != StateRunning {
+		t.Fatalf("state = %v", got.State)
+	}
+	if acts := s.TakeActions(); len(acts) != 0 {
+		t.Fatalf("offline emitted actions: %v", acts)
+	}
+}
+
+func TestNodesStatusAndText(t *testing.T) {
+	s := testServer()
+	j, _ := s.Submit(SubmitRequest{})
+	s.TakeActions()
+	s.SetNodeOffline("c1", true)
+
+	nodes := s.NodesStatus()
+	if len(nodes) != 2 {
+		t.Fatalf("nodes = %+v", nodes)
+	}
+	if nodes[0].Name != "c0" || len(nodes[0].Jobs) != 1 || nodes[0].Jobs[0] != j.ID {
+		t.Errorf("c0 = %+v", nodes[0])
+	}
+	if nodes[1].Name != "c1" || !nodes[1].Offline {
+		t.Errorf("c1 = %+v", nodes[1])
+	}
+
+	text := NodesText(nodes)
+	if !strings.Contains(text, "busy") || !strings.Contains(text, "offline") || !strings.Contains(text, "1.cluster") {
+		t.Errorf("NodesText:\n%s", text)
+	}
+}
+
+func TestNodeStateInSnapshot(t *testing.T) {
+	s := testServer()
+	s.SetNodeOffline("c1", true)
+	snap := s.Snapshot()
+
+	r := testServer()
+	if err := r.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	nodes := r.NodesStatus()
+	if !nodes[1].Offline || nodes[0].Offline {
+		t.Errorf("restored nodes = %+v", nodes)
+	}
+	// The restored server respects the offline node.
+	r.Submit(SubmitRequest{NodeCount: 1})
+	acts := r.TakeActions()
+	if len(acts) != 1 || acts[0].(StartAction).Job.Nodes[0] != "c0" {
+		t.Fatalf("restored scheduler ignored offline state: %v", acts)
+	}
+}

@@ -1,0 +1,425 @@
+package pbs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// ServerName suffixes job IDs. Replicated head nodes must agree
+	// on it so replica-generated IDs coincide.
+	ServerName string
+	// Nodes lists the compute nodes this server schedules onto, in a
+	// fixed order (allocation is deterministic first-fit over this
+	// order).
+	Nodes []string
+	// Exclusive grants each job exclusive access to the whole
+	// cluster — the Maui configuration of the paper's prototype. When
+	// false, jobs are packed first-fit by NodeCount.
+	Exclusive bool
+	// KeepCompleted bounds the completed-job history (0 keeps
+	// everything, which suits tests; the daemons set a limit).
+	KeepCompleted int
+	// Clock stamps job lifecycle times; nil uses time.Now. The stamps
+	// are cosmetic (never consulted by scheduling), so replicas may
+	// disagree on them without diverging.
+	Clock func() time.Time
+	// SubmitDelay models the service's qsub processing cost (the
+	// ~98ms a TORQUE submission took on the paper's testbed).
+	// Benchmarks set it so the latency comparison has a realistic
+	// baseline; it is zero in normal operation. Submissions are
+	// processed serially, as TORQUE's single-threaded server did.
+	SubmitDelay time.Duration
+	// Accounting, when non-nil, receives one record per job event
+	// (the PBS accounting log). See AccountingSink.
+	Accounting AccountingSink
+}
+
+// Server is the deterministic TORQUE-equivalent state machine. All
+// methods are safe for concurrent use; determinism is with respect to
+// the serialized order of calls.
+type Server struct {
+	mu sync.Mutex
+
+	cfg     Config
+	nextSeq uint64
+	jobs    map[JobID]*Job
+	// queue holds non-completed jobs in submission order.
+	queue []JobID
+	// completed holds finished jobs in completion order.
+	completed []JobID
+	// busy maps node name -> job occupying it.
+	busy map[string]JobID
+	// actions is the outbox drained by TakeActions.
+	actions []Action
+	// sigCount counts qsig deliveries per job (the paper notes qsig
+	// does not change service state; we track it only for tests).
+	sigCount map[JobID]int
+	// offline holds nodes excluded from new allocations (pbsnodes -o).
+	offline map[string]bool
+}
+
+// NewServer creates a server with no queued jobs.
+func NewServer(cfg Config) *Server {
+	if cfg.ServerName == "" {
+		cfg.ServerName = "pbs"
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &Server{
+		cfg:      cfg,
+		jobs:     make(map[JobID]*Job),
+		busy:     make(map[string]JobID),
+		sigCount: make(map[JobID]int),
+	}
+}
+
+// Name returns the configured server name.
+func (s *Server) Name() string { return s.cfg.ServerName }
+
+// NodeNames returns the configured compute nodes.
+func (s *Server) NodeNames() []string {
+	return append([]string(nil), s.cfg.Nodes...)
+}
+
+// Submit enqueues a job (qsub). It returns the assigned job.
+func (s *Server) Submit(req SubmitRequest) (Job, error) {
+	if s.cfg.SubmitDelay > 0 {
+		time.Sleep(s.cfg.SubmitDelay)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if req.NodeCount <= 0 {
+		req.NodeCount = 1
+	}
+	if req.NodeCount > len(s.cfg.Nodes) {
+		return Job{}, &Error{Op: "qsub", Msg: fmt.Sprintf("cannot satisfy %d nodes (cluster has %d)", req.NodeCount, len(s.cfg.Nodes))}
+	}
+	s.nextSeq++
+	j := &Job{
+		ID:          JobID(fmt.Sprintf("%d.%s", s.nextSeq, s.cfg.ServerName)),
+		Seq:         s.nextSeq,
+		Name:        req.Name,
+		Owner:       req.Owner,
+		Script:      req.Script,
+		NodeCount:   req.NodeCount,
+		WallTime:    req.WallTime,
+		State:       StateQueued,
+		SubmittedAt: s.cfg.Clock(),
+	}
+	if j.Name == "" {
+		j.Name = "STDIN"
+	}
+	if req.Hold {
+		j.State = StateHeld
+	}
+	s.jobs[j.ID] = j
+	s.queue = append(s.queue, j.ID)
+	s.account(AcctQueued, j, nil)
+	if j.State == StateHeld {
+		s.account(AcctHeld, j, nil)
+	}
+	s.schedule()
+	return j.clone(), nil
+}
+
+// Delete removes a job (qdel). Queued and held jobs vanish
+// immediately; running jobs transition to Exiting and a KillAction is
+// emitted for the daemon to relay to the moms.
+func (s *Server) Delete(id JobID) (Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, errUnknownJob("qdel", id)
+	}
+	switch j.State {
+	case StateQueued, StateHeld:
+		s.removeFromQueue(id)
+		delete(s.jobs, id)
+		delete(s.sigCount, id)
+		s.account(AcctDeleted, j, nil)
+		s.schedule()
+		return j.clone(), nil
+	case StateRunning:
+		j.State = StateExiting
+		s.account(AcctDeleted, j, nil)
+		s.actions = append(s.actions, KillAction{Job: j.clone()})
+		return j.clone(), nil
+	case StateExiting:
+		return j.clone(), nil // kill already in flight
+	default:
+		return Job{}, &Error{Op: "qdel", ID: id, Msg: "Request invalid for state of job"}
+	}
+}
+
+// Hold places a queued job on hold (qhold). The paper's prototype
+// could not support holds because its command-replay state transfer
+// corrupted held queues; our snapshot-based transfer lifts that
+// limitation (see DESIGN.md).
+func (s *Server) Hold(id JobID) (Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, errUnknownJob("qhold", id)
+	}
+	switch j.State {
+	case StateQueued, StateHeld:
+		if j.State != StateHeld {
+			s.account(AcctHeld, j, nil)
+		}
+		j.State = StateHeld
+		return j.clone(), nil
+	default:
+		return Job{}, &Error{Op: "qhold", ID: id, Msg: "Request invalid for state of job"}
+	}
+}
+
+// Release releases a held job (qrls).
+func (s *Server) Release(id JobID) (Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, errUnknownJob("qrls", id)
+	}
+	if j.State != StateHeld {
+		return Job{}, &Error{Op: "qrls", ID: id, Msg: "Request invalid for state of job"}
+	}
+	j.State = StateQueued
+	s.account(AcctReleased, j, nil)
+	s.schedule()
+	return j.clone(), nil
+}
+
+// Signal records a qsig delivery. As the paper observes, signalling
+// "does not appear to change the state of the HPC job and resource
+// management service", so this neither reorders nor perturbs
+// scheduling; it exists so the full PBS command set is exercised.
+func (s *Server) Signal(id JobID, sig string) (Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, errUnknownJob("qsig", id)
+	}
+	if j.State != StateRunning {
+		return Job{}, &Error{Op: "qsig", ID: id, Msg: "Request invalid for state of job"}
+	}
+	s.sigCount[id]++
+	return j.clone(), nil
+}
+
+// SignalCount reports how many signals a job has received.
+func (s *Server) SignalCount(id JobID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sigCount[id]
+}
+
+// Status returns one job (qstat <id>).
+func (s *Server) Status(id JobID) (Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, errUnknownJob("qstat", id)
+	}
+	return j.clone(), nil
+}
+
+// StatusAll returns every known job in submission order, completed
+// jobs last in completion order (qstat).
+func (s *Server) StatusAll() []Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Job, 0, len(s.queue)+len(s.completed))
+	for _, id := range s.queue {
+		out = append(out, s.jobs[id].clone())
+	}
+	for _, id := range s.completed {
+		if j, ok := s.jobs[id]; ok {
+			out = append(out, j.clone())
+		}
+	}
+	return out
+}
+
+// JobDone applies a completion report from a mom. Duplicate reports
+// (each head node hears every mom, and retransmissions happen) are
+// idempotent. output is the job's captured standard output.
+func (s *Server) JobDone(id JobID, exitCode int, output string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return
+	}
+	if j.State != StateRunning && j.State != StateExiting {
+		return // duplicate or stale report
+	}
+	j.State = StateCompleted
+	j.ExitCode = exitCode
+	j.Output = output
+	j.CompletedAt = s.cfg.Clock()
+	s.account(AcctEnded, j, map[string]string{
+		"exit_status": fmt.Sprintf("%d", exitCode),
+		"exec_host":   strings.Join(j.Nodes, "+"),
+	})
+	for _, n := range j.Nodes {
+		if s.busy[n] == id {
+			delete(s.busy, n)
+		}
+	}
+	s.removeFromQueue(id)
+	s.completed = append(s.completed, id)
+	if s.cfg.KeepCompleted > 0 {
+		for len(s.completed) > s.cfg.KeepCompleted {
+			victim := s.completed[0]
+			s.completed = s.completed[1:]
+			delete(s.jobs, victim)
+			delete(s.sigCount, victim)
+		}
+	}
+	s.schedule()
+}
+
+// TakeActions drains the action outbox. The host daemon performs the
+// returned actions (starting and killing jobs on moms) in order.
+func (s *Server) TakeActions() []Action {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a := s.actions
+	s.actions = nil
+	return a
+}
+
+// schedule runs the Maui-FIFO policy: walk the queue in submission
+// order and start every job whose resources are free. Under Exclusive
+// (the paper's configuration) a job needs the entire cluster idle.
+// Must be called with s.mu held.
+func (s *Server) schedule() {
+	for _, id := range s.queue {
+		j := s.jobs[id]
+		if j.State != StateQueued {
+			continue
+		}
+		var alloc []string
+		online := s.onlineNodes()
+		if s.cfg.Exclusive {
+			if len(s.busy) != 0 {
+				return // something is running: strict FIFO blocks here
+			}
+			if len(online) < j.NodeCount {
+				return // not enough online nodes yet; wait
+			}
+			alloc = append(alloc, online[:j.NodeCount]...)
+		} else {
+			for _, n := range online {
+				if _, taken := s.busy[n]; !taken {
+					alloc = append(alloc, n)
+					if len(alloc) == j.NodeCount {
+						break
+					}
+				}
+			}
+			if len(alloc) < j.NodeCount {
+				return // FIFO: do not let later jobs jump the queue
+			}
+		}
+		j.State = StateRunning
+		j.Nodes = alloc
+		j.StartedAt = s.cfg.Clock()
+		for _, n := range alloc {
+			s.busy[n] = id
+		}
+		s.account(AcctStarted, j, map[string]string{"exec_host": strings.Join(alloc, "+")})
+		s.actions = append(s.actions, StartAction{Job: j.clone()})
+		if s.cfg.Exclusive {
+			return
+		}
+	}
+}
+
+func (s *Server) removeFromQueue(id JobID) {
+	for i, q := range s.queue {
+		if q == id {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// QueueLengths reports (queued+held, running+exiting, completed)
+// counts, handy for tests and status lines.
+func (s *Server) QueueLengths() (waiting, running, completed int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range s.queue {
+		switch s.jobs[id].State {
+		case StateQueued, StateHeld:
+			waiting++
+		case StateRunning, StateExiting:
+			running++
+		}
+	}
+	return waiting, running, len(s.completed)
+}
+
+// StatusText renders qstat-style output:
+//
+//	Job id            Name             User   S Queue
+//	----------------  ---------------- ------ - -----
+//	0.cluster         job1             alice  R batch
+func StatusText(jobs []Job) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %-16s %-10s %s %s\n", "Job id", "Name", "User", "S", "Queue")
+	fmt.Fprintf(&b, "%-18s %-16s %-10s %s %s\n",
+		strings.Repeat("-", 18), strings.Repeat("-", 16), strings.Repeat("-", 10), "-", "-----")
+	for _, j := range jobs {
+		fmt.Fprintf(&b, "%-18s %-16s %-10s %s %s\n", j.ID, truncate(j.Name, 16), truncate(j.Owner, 10), j.State, "batch")
+	}
+	return b.String()
+}
+
+// FullStatusText renders qstat -f style per-job attribute output.
+func FullStatusText(j Job) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Job Id: %s\n", j.ID)
+	fmt.Fprintf(&b, "    Job_Name = %s\n", j.Name)
+	fmt.Fprintf(&b, "    Job_Owner = %s\n", j.Owner)
+	fmt.Fprintf(&b, "    job_state = %s (%s)\n", j.State, j.State.longState())
+	fmt.Fprintf(&b, "    Resource_List.nodect = %d\n", j.NodeCount)
+	fmt.Fprintf(&b, "    Resource_List.walltime = %s\n", FormatWalltime(j.WallTime))
+	if len(j.Nodes) > 0 {
+		fmt.Fprintf(&b, "    exec_host = %s\n", strings.Join(j.Nodes, "+"))
+	}
+	if j.State == StateCompleted {
+		fmt.Fprintf(&b, "    exit_status = %d\n", j.ExitCode)
+		if j.Output != "" {
+			fmt.Fprintf(&b, "    output = %q\n", j.Output)
+		}
+	}
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}
+
+// sortJobsBySeq orders jobs by submission sequence; used by snapshot
+// encoding for deterministic output.
+func sortJobsBySeq(jobs []*Job) {
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].Seq < jobs[j].Seq })
+}

@@ -1,0 +1,201 @@
+package pbs
+
+import (
+	"fmt"
+
+	"joshua/internal/codec"
+)
+
+// snapshotVersion guards against decoding snapshots from a different
+// build of the wire format.
+const snapshotVersion = 3
+
+// Snapshot serializes the complete server state. JOSHUA transfers it
+// to joining head nodes.
+//
+// The paper's prototype transferred state by "configuration file
+// modification and user command (message) replay", which could not
+// preserve held jobs; serializing the queue directly is the "unified
+// and location independent ... state description" its future-work
+// section calls for, and lifts the hold/release restriction.
+func (s *Server) Snapshot() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	e := codec.NewEncoder(256)
+	e.PutUint(snapshotVersion)
+	e.PutString(s.cfg.ServerName)
+	e.PutUint(s.nextSeq)
+
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	sortJobsBySeq(jobs)
+	e.PutUint(uint64(len(jobs)))
+	for _, j := range jobs {
+		putJob(e, j)
+	}
+
+	e.PutUint(uint64(len(s.queue)))
+	for _, id := range s.queue {
+		e.PutString(string(id))
+	}
+	e.PutUint(uint64(len(s.completed)))
+	for _, id := range s.completed {
+		e.PutString(string(id))
+	}
+
+	busyNodes := make([]string, 0, len(s.busy))
+	for n := range s.busy {
+		busyNodes = append(busyNodes, n)
+	}
+	// Deterministic encoding: iterate nodes in config order.
+	e.PutUint(uint64(len(busyNodes)))
+	for _, n := range s.cfg.Nodes {
+		if id, ok := s.busy[n]; ok {
+			e.PutString(n)
+			e.PutString(string(id))
+		}
+	}
+
+	e.PutUint(uint64(len(s.sigCount)))
+	for _, j := range jobs {
+		if c, ok := s.sigCount[j.ID]; ok {
+			e.PutString(string(j.ID))
+			e.PutUint(uint64(c))
+		}
+	}
+
+	e.PutUint(uint64(len(s.offline)))
+	for _, n := range s.cfg.Nodes {
+		if s.offline[n] {
+			e.PutString(n)
+		}
+	}
+	return e.Bytes()
+}
+
+// Restore replaces the server state with a snapshot taken by
+// Snapshot on a replica with the same configuration. Pending actions
+// are discarded: the snapshot source already performed them.
+func (s *Server) Restore(b []byte) error {
+	d := codec.NewDecoder(b)
+	if v := d.Uint(); v != snapshotVersion {
+		if d.Err() == nil {
+			return fmt.Errorf("pbs: snapshot version %d, want %d", v, snapshotVersion)
+		}
+	}
+	name := d.String()
+	nextSeq := d.Uint()
+
+	n := d.Uint()
+	if d.Err() != nil || n > uint64(d.Remaining()) {
+		return fmt.Errorf("pbs: corrupt snapshot: %v", d.Err())
+	}
+	jobs := make(map[JobID]*Job, n)
+	for i := uint64(0); i < n; i++ {
+		j := getJob(d)
+		if d.Err() != nil {
+			break
+		}
+		jobs[j.ID] = j
+	}
+
+	readIDs := func() []JobID {
+		c := d.Uint()
+		if d.Err() != nil || c > uint64(d.Remaining())+1 {
+			return nil
+		}
+		ids := make([]JobID, 0, c)
+		for i := uint64(0); i < c; i++ {
+			ids = append(ids, JobID(d.String()))
+		}
+		return ids
+	}
+	queue := readIDs()
+	completed := readIDs()
+
+	bn := d.Uint()
+	busy := make(map[string]JobID, bn)
+	for i := uint64(0); i < bn && d.Err() == nil; i++ {
+		node := d.String()
+		busy[node] = JobID(d.String())
+	}
+
+	sn := d.Uint()
+	sig := make(map[JobID]int, sn)
+	for i := uint64(0); i < sn && d.Err() == nil; i++ {
+		id := JobID(d.String())
+		sig[id] = int(d.Uint())
+	}
+
+	on := d.Uint()
+	offline := make(map[string]bool, on)
+	for i := uint64(0); i < on && d.Err() == nil; i++ {
+		offline[d.String()] = true
+	}
+
+	if err := d.Finish(); err != nil {
+		return fmt.Errorf("pbs: corrupt snapshot: %w", err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if name != s.cfg.ServerName {
+		return fmt.Errorf("pbs: snapshot from server %q, this server is %q", name, s.cfg.ServerName)
+	}
+	s.nextSeq = nextSeq
+	s.jobs = jobs
+	s.queue = queue
+	s.completed = completed
+	s.busy = busy
+	s.sigCount = sig
+	s.offline = offline
+	s.actions = nil
+	return nil
+}
+
+func putJob(e *codec.Encoder, j *Job) {
+	e.PutString(string(j.ID))
+	e.PutUint(j.Seq)
+	e.PutString(j.Name)
+	e.PutString(j.Owner)
+	e.PutString(j.Script)
+	e.PutUint(uint64(j.NodeCount))
+	e.PutDuration(j.WallTime)
+	e.PutUint(uint64(j.State))
+	e.PutStringSlice(j.Nodes)
+	e.PutInt(int64(j.ExitCode))
+	e.PutString(j.Output)
+	e.PutTime(j.SubmittedAt)
+	e.PutTime(j.StartedAt)
+	e.PutTime(j.CompletedAt)
+}
+
+func getJob(d *codec.Decoder) *Job {
+	j := &Job{
+		ID:        JobID(d.String()),
+		Seq:       d.Uint(),
+		Name:      d.String(),
+		Owner:     d.String(),
+		Script:    d.String(),
+		NodeCount: int(d.Uint()),
+		WallTime:  d.Duration(),
+		State:     JobState(d.Uint()),
+	}
+	j.Nodes = d.StringSlice()
+	j.ExitCode = int(d.Int())
+	j.Output = d.String()
+	j.SubmittedAt = d.Time()
+	j.StartedAt = d.Time()
+	j.CompletedAt = d.Time()
+	return j
+}
+
+// EncodeJob appends a Job to an encoder; the JOSHUA command protocol
+// carries jobs in responses.
+func EncodeJob(e *codec.Encoder, j Job) { putJob(e, &j) }
+
+// DecodeJob reads a Job written by EncodeJob.
+func DecodeJob(d *codec.Decoder) Job { return *getJob(d) }

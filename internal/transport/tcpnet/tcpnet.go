@@ -1,0 +1,242 @@
+// Package tcpnet carries the transport datagram abstraction over TCP,
+// so the joshuad daemon and the control commands can run as separate
+// processes on separate machines.
+//
+// Each endpoint listens on its own TCP address and maintains a cache
+// of outbound connections. Datagrams are framed with the shared codec
+// framing and prefixed with the sender's logical address. Connection
+// failures simply drop datagrams — the group communication layer
+// supplies reliability, so tcpnet stays faithful to the weak datagram
+// contract of package transport.
+//
+// Logical addresses ("host/service") are mapped to TCP addresses by a
+// Resolver, typically a static table loaded from the cluster
+// configuration file, mirroring how the original JOSHUA prototype
+// distributed a node list via libconfuse configuration.
+package tcpnet
+
+import (
+	"net"
+	"sync"
+
+	"joshua/internal/codec"
+	"joshua/internal/transport"
+)
+
+// Resolver maps logical addresses to TCP dial targets.
+type Resolver interface {
+	// Resolve returns the "host:port" for a logical address, or
+	// ok=false if the address is unknown.
+	Resolve(addr transport.Addr) (string, bool)
+}
+
+// StaticResolver is a fixed address table.
+type StaticResolver map[transport.Addr]string
+
+// Resolve implements Resolver.
+func (s StaticResolver) Resolve(addr transport.Addr) (string, bool) {
+	tcp, ok := s[addr]
+	return tcp, ok
+}
+
+// Endpoint is a TCP-backed transport.Endpoint.
+type Endpoint struct {
+	addr     transport.Addr
+	resolver Resolver
+	listener net.Listener
+	recv     chan transport.Message
+
+	mu     sync.Mutex
+	conns  map[transport.Addr]*sendConn
+	closed bool
+}
+
+// sendConn serializes frame writes: codec.WriteFrame issues two Write
+// calls (header, payload), which must not interleave across goroutines
+// sharing the connection.
+type sendConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (s *sendConn) writeFrame(b []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return codec.WriteFrame(s.conn, b)
+}
+
+var _ transport.Endpoint = (*Endpoint)(nil)
+
+// Listen creates an endpoint with logical address addr accepting TCP
+// connections on tcpAddr (e.g. ":7001"). The resolver maps peer
+// logical addresses for outbound sends.
+func Listen(addr transport.Addr, tcpAddr string, resolver Resolver) (*Endpoint, error) {
+	l, err := net.Listen("tcp", tcpAddr)
+	if err != nil {
+		return nil, err
+	}
+	e := &Endpoint{
+		addr:     addr,
+		resolver: resolver,
+		listener: l,
+		recv:     make(chan transport.Message, 4096),
+		conns:    make(map[transport.Addr]*sendConn),
+	}
+	go e.acceptLoop()
+	return e, nil
+}
+
+// Addr returns the endpoint's logical address.
+func (e *Endpoint) Addr() transport.Addr { return e.addr }
+
+// TCPAddr returns the actual listen address, useful when the endpoint
+// was created with port 0.
+func (e *Endpoint) TCPAddr() string { return e.listener.Addr().String() }
+
+// Recv returns the incoming datagram channel.
+func (e *Endpoint) Recv() <-chan transport.Message { return e.recv }
+
+// Send transmits one datagram to the peer with the given logical
+// address. Unknown or unreachable peers drop the datagram silently, in
+// keeping with the best-effort transport contract.
+func (e *Endpoint) Send(to transport.Addr, payload []byte) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return transport.ErrClosed
+	}
+	conn := e.conns[to]
+	e.mu.Unlock()
+
+	if conn == nil {
+		tcp, ok := e.resolver.Resolve(to)
+		if !ok {
+			return nil // unknown peer: best-effort drop
+		}
+		c, err := net.Dial("tcp", tcp)
+		if err != nil {
+			return nil // unreachable peer: best-effort drop
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			c.Close()
+			return transport.ErrClosed
+		}
+		if existing := e.conns[to]; existing != nil {
+			// Lost a race with a concurrent Send; reuse theirs.
+			c.Close()
+			conn = existing
+		} else {
+			conn = &sendConn{conn: c}
+			e.conns[to] = conn
+			// Read replies multiplexed on this outbound connection
+			// (servers answer clients over the inbound socket).
+			go e.readLoop(c)
+		}
+		e.mu.Unlock()
+	}
+
+	enc := codec.NewEncoder(len(payload) + len(e.addr) + len(to) + 8)
+	enc.PutString(string(e.addr))
+	enc.PutString(string(to))
+	enc.PutBytes(payload)
+	if err := conn.writeFrame(enc.Bytes()); err != nil {
+		// Connection went bad: discard it so the next Send redials.
+		e.mu.Lock()
+		if e.conns[to] == conn {
+			delete(e.conns, to)
+		}
+		e.mu.Unlock()
+		conn.conn.Close()
+	}
+	return nil
+}
+
+// Close shuts down the listener and all cached connections.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	conns := e.conns
+	e.conns = map[transport.Addr]*sendConn{}
+	close(e.recv)
+	e.mu.Unlock()
+
+	err := e.listener.Close()
+	for _, c := range conns {
+		c.conn.Close()
+	}
+	return err
+}
+
+func (e *Endpoint) acceptLoop() {
+	for {
+		conn, err := e.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go e.readLoop(conn)
+	}
+}
+
+func (e *Endpoint) readLoop(conn net.Conn) {
+	sc := &sendConn{conn: conn}
+	var peer transport.Addr
+	defer func() {
+		conn.Close()
+		if peer != "" {
+			e.mu.Lock()
+			if e.conns[peer] == sc {
+				delete(e.conns, peer)
+			}
+			e.mu.Unlock()
+		}
+	}()
+	for {
+		frame, err := codec.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		dec := codec.NewDecoder(frame)
+		from := transport.Addr(dec.String())
+		to := transport.Addr(dec.String())
+		payload := dec.Bytes()
+		if dec.Finish() != nil || to != e.addr {
+			continue // malformed or misrouted: drop
+		}
+		if peer == "" && from != "" {
+			// Learn the inbound peer so replies can reuse this
+			// connection — clients (jsub, jstat, the mom's jmutex)
+			// are not in the static resolver table.
+			peer = from
+			e.mu.Lock()
+			if !e.closed {
+				if _, ok := e.conns[peer]; !ok {
+					e.conns[peer] = sc
+				}
+			}
+			e.mu.Unlock()
+		}
+		p := make([]byte, len(payload))
+		copy(p, payload)
+
+		// The closed check and the channel send share the mutex with
+		// Close, which closes e.recv under the same lock; this keeps
+		// the send from racing a channel close.
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			return
+		}
+		select {
+		case e.recv <- transport.Message{From: from, To: to, Payload: p}:
+		default:
+			// Receive queue full: drop, as a UDP socket would.
+		}
+		e.mu.Unlock()
+	}
+}

@@ -1,0 +1,247 @@
+package tcpnet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"joshua/internal/transport"
+)
+
+// pair creates two endpoints on loopback that can resolve each other.
+func pair(t *testing.T) (*Endpoint, *Endpoint) {
+	t.Helper()
+	res := StaticResolver{}
+	a, err := Listen("h1/a", "127.0.0.1:0", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Listen("h2/b", "127.0.0.1:0", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res["h1/a"] = a.TCPAddr()
+	res["h2/b"] = b.TCPAddr()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+func recvWithin(t *testing.T, ep transport.Endpoint, d time.Duration) (transport.Message, bool) {
+	t.Helper()
+	select {
+	case m, ok := <-ep.Recv():
+		return m, ok
+	case <-time.After(d):
+		return transport.Message{}, false
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	a, b := pair(t)
+	if err := a.Send("h2/b", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := recvWithin(t, b, 2*time.Second)
+	if !ok {
+		t.Fatal("no delivery")
+	}
+	if m.From != "h1/a" || string(m.Payload) != "hello" {
+		t.Errorf("got %+v", m)
+	}
+	// Reply in the other direction (separate connection).
+	if err := b.Send("h1/a", []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	m, ok = recvWithin(t, a, 2*time.Second)
+	if !ok || string(m.Payload) != "world" {
+		t.Fatalf("reply: %+v ok=%v", m, ok)
+	}
+}
+
+func TestManyMessagesInOrder(t *testing.T) {
+	a, b := pair(t)
+	const count = 500
+	for i := 0; i < count; i++ {
+		if err := a.Send("h2/b", []byte(fmt.Sprintf("%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < count; i++ {
+		m, ok := recvWithin(t, b, 2*time.Second)
+		if !ok {
+			t.Fatalf("missing message %d", i)
+		}
+		if string(m.Payload) != fmt.Sprintf("%d", i) {
+			t.Fatalf("message %d out of order: %q", i, m.Payload)
+		}
+	}
+}
+
+func TestUnknownPeerDropsSilently(t *testing.T) {
+	a, _ := pair(t)
+	if err := a.Send("nowhere/x", []byte("lost")); err != nil {
+		t.Errorf("Send to unknown peer should drop silently, got %v", err)
+	}
+}
+
+func TestUnreachablePeerDropsSilently(t *testing.T) {
+	res := StaticResolver{"gone/x": "127.0.0.1:1"} // nothing listens there
+	a, err := Listen("h1/a", "127.0.0.1:0", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Send("gone/x", []byte("lost")); err != nil {
+		t.Errorf("Send to unreachable peer should drop silently, got %v", err)
+	}
+}
+
+func TestSendAfterClose(t *testing.T) {
+	a, _ := pair(t)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("h2/b", []byte("x")); err != transport.ErrClosed {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestReconnectAfterPeerRestart(t *testing.T) {
+	res := StaticResolver{}
+	a, err := Listen("h1/a", "127.0.0.1:0", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Listen("h2/b", "127.0.0.1:0", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res["h2/b"] = b.TCPAddr()
+
+	a.Send("h2/b", []byte("one"))
+	if _, ok := recvWithin(t, b, 2*time.Second); !ok {
+		t.Fatal("first delivery failed")
+	}
+	tcpAddr := b.TCPAddr()
+	b.Close()
+
+	// First send after the peer died may be eaten by the dead cached
+	// connection (best-effort), which also evicts it.
+	a.Send("h2/b", []byte("lost"))
+
+	b2, err := Listen("h2/b", tcpAddr, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+
+	// Following sends must eventually get through on a new connection.
+	var got bool
+	for i := 0; i < 20 && !got; i++ {
+		a.Send("h2/b", []byte("again"))
+		_, got = recvWithin(t, b2, 100*time.Millisecond)
+	}
+	if !got {
+		t.Fatal("no delivery after peer restart")
+	}
+}
+
+func TestMisroutedFrameIgnored(t *testing.T) {
+	// A frame addressed to someone else must be dropped, not surfaced.
+	res := StaticResolver{}
+	a, _ := Listen("h1/a", "127.0.0.1:0", res)
+	b, _ := Listen("h2/b", "127.0.0.1:0", res)
+	defer a.Close()
+	defer b.Close()
+	// Point the resolver's entry for a third party at b's socket.
+	res["h3/c"] = b.TCPAddr()
+	res["h2/b"] = b.TCPAddr()
+	a.Send("h3/c", []byte("misrouted"))
+	if _, ok := recvWithin(t, b, 200*time.Millisecond); ok {
+		t.Fatal("endpoint accepted a frame addressed to another endpoint")
+	}
+	// Correctly addressed traffic still works on the same socket.
+	a.Send("h2/b", []byte("ok"))
+	if _, ok := recvWithin(t, b, 2*time.Second); !ok {
+		t.Fatal("valid frame lost")
+	}
+}
+
+func TestConcurrentSenders(t *testing.T) {
+	a, b := pair(t)
+	const goroutines = 8
+	const per = 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				a.Send("h2/b", []byte("m"))
+			}
+		}()
+	}
+	wg.Wait()
+	got := 0
+	for got < goroutines*per {
+		if _, ok := recvWithin(t, b, 2*time.Second); !ok {
+			break
+		}
+		got++
+	}
+	// TCP is reliable once connected; all sends share one connection.
+	if got != goroutines*per {
+		t.Fatalf("received %d of %d", got, goroutines*per)
+	}
+}
+
+func TestReplyToUnregisteredPeer(t *testing.T) {
+	// A server must be able to answer a client that is absent from its
+	// resolver table, by reusing the client's inbound connection —
+	// this is how jsub/jstat receive their replies.
+	serverRes := StaticResolver{} // knows nobody
+	server, err := Listen("head/joshua", "127.0.0.1:0", serverRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+
+	clientRes := StaticResolver{"head/joshua": server.TCPAddr()}
+	client, err := Listen("cli-1/client", "127.0.0.1:0", clientRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	if err := client.Send("head/joshua", []byte("request")); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := recvWithin(t, server, 2*time.Second)
+	if !ok || string(m.Payload) != "request" {
+		t.Fatalf("server recv: %+v ok=%v", m, ok)
+	}
+	// Reply to the learned peer address.
+	if err := server.Send(m.From, []byte("response")); err != nil {
+		t.Fatal(err)
+	}
+	r, ok := recvWithin(t, client, 2*time.Second)
+	if !ok || string(r.Payload) != "response" {
+		t.Fatalf("client recv: %+v ok=%v", r, ok)
+	}
+	// Several round trips over the same multiplexed connection.
+	for i := 0; i < 10; i++ {
+		client.Send("head/joshua", []byte("ping"))
+		if _, ok := recvWithin(t, server, 2*time.Second); !ok {
+			t.Fatalf("ping %d lost", i)
+		}
+		server.Send("cli-1/client", []byte("pong"))
+		if _, ok := recvWithin(t, client, 2*time.Second); !ok {
+			t.Fatalf("pong %d lost", i)
+		}
+	}
+}

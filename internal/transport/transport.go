@@ -1,0 +1,73 @@
+// Package transport defines the datagram abstraction that the group
+// communication system and the PBS substrate are built on.
+//
+// Two implementations exist: internal/simnet provides an in-memory
+// network with a configurable latency/loss/partition model (the
+// substrate for every reproducible experiment in this repository), and
+// internal/transport/tcpnet carries the same datagrams over TCP for
+// real multi-process deployments of the joshuad daemon.
+//
+// Semantics are deliberately weak — unreliable, unordered across
+// peers, FIFO per (sender, receiver) pair — because the group
+// communication layer supplies reliability and total order itself,
+// exactly as Transis did over UDP in the original JOSHUA prototype.
+package transport
+
+import "errors"
+
+// Addr names an endpoint. The convention is "host/service", e.g.
+// "head1/joshua" or "compute0/mom". Everything before the first '/'
+// identifies the physical node, which the simulated network uses to
+// distinguish intra-node IPC from LAN hops.
+type Addr string
+
+// Host returns the physical-node component of the address (the part
+// before the first '/'), or the whole address if it has no service
+// part.
+func (a Addr) Host() string {
+	for i := 0; i < len(a); i++ {
+		if a[i] == '/' {
+			return string(a[:i])
+		}
+	}
+	return string(a)
+}
+
+// Message is one datagram delivered to an endpoint.
+type Message struct {
+	From    Addr
+	To      Addr
+	Payload []byte
+}
+
+// Endpoint is one attachment point on a network.
+//
+// Send is best-effort and non-blocking: the datagram may be dropped by
+// the network (loss, partition, crashed receiver, full receive queue)
+// without error. Errors indicate local misuse (closed endpoint).
+type Endpoint interface {
+	// Addr returns the endpoint's own address.
+	Addr() Addr
+	// Send transmits a datagram. The payload is not aliased after
+	// Send returns.
+	Send(to Addr, payload []byte) error
+	// Recv returns the channel on which incoming datagrams arrive.
+	// The channel is closed when the endpoint is closed.
+	Recv() <-chan Message
+	// Close detaches the endpoint. Safe to call more than once.
+	Close() error
+}
+
+// Network creates endpoints. Implementations must allow concurrent
+// use.
+type Network interface {
+	// Endpoint attaches a new endpoint at addr. It is an error to
+	// attach two live endpoints at the same address.
+	Endpoint(addr Addr) (Endpoint, error)
+}
+
+// ErrClosed is returned by Send on a closed endpoint.
+var ErrClosed = errors.New("transport: endpoint closed")
+
+// ErrAddrInUse is returned when attaching a duplicate address.
+var ErrAddrInUse = errors.New("transport: address already in use")
