@@ -15,6 +15,7 @@ import (
 	"sort"
 	"time"
 
+	"joshua/internal/cli"
 	"joshua/internal/config"
 	"joshua/internal/joshua"
 	"joshua/internal/transport"
@@ -23,6 +24,7 @@ import (
 
 func main() {
 	configPath := flag.String("config", "", "cluster configuration file")
+	bindAddr := flag.String("bind", "", "local TCP address to listen on for replies (overrides JOSHUA_BIND and client_bind)")
 	flag.Parse()
 
 	path := *configPath
@@ -39,7 +41,7 @@ func main() {
 	// the failover view a normal client sees.
 	for _, h := range conf.Heads {
 		fmt.Printf("=== %s (%s) ===\n", h.Name, h.Client)
-		info, err := queryHead(conf, h.ClientAddr())
+		info, err := queryHead(conf, h.ClientAddr(), *bindAddr)
 		if err != nil {
 			fmt.Printf("  unreachable: %v\n", err)
 			continue
@@ -55,9 +57,9 @@ func main() {
 	}
 }
 
-func queryHead(conf *config.ClusterFile, head transport.Addr) (map[string]string, error) {
+func queryHead(conf *config.ClusterFile, head transport.Addr, bind string) (map[string]string, error) {
 	logical := transport.Addr(fmt.Sprintf("jadmin-%d-%s/client", os.Getpid(), head.Host()))
-	ep, err := tcpnet.Listen(logical, "127.0.0.1:0", conf.Resolver())
+	ep, err := tcpnet.Listen(logical, cli.BindAddr(bind, conf), conf.Resolver())
 	if err != nil {
 		return nil, err
 	}

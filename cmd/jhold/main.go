@@ -19,6 +19,7 @@ import (
 
 func main() {
 	configPath := flag.String("config", "", "cluster configuration file")
+	bindAddr := flag.String("bind", "", "local TCP address to listen on for replies (overrides JOSHUA_BIND and client_bind)")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		cli.Fatalf("jhold: usage: jhold -config cluster.conf job-id [job-id ...]")
@@ -27,7 +28,7 @@ func main() {
 	if err != nil {
 		cli.Fatalf("jhold: %v", err)
 	}
-	client, err := cli.NewClient(conf, 3*time.Second)
+	client, err := cli.NewClientBind(conf, 3*time.Second, *bindAddr)
 	if err != nil {
 		cli.Fatalf("jhold: %v", err)
 	}

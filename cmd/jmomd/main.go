@@ -28,6 +28,7 @@ import (
 func main() {
 	var (
 		configPath = flag.String("config", "", "cluster configuration file")
+		bindAddr   = flag.String("bind", "", "local TCP address the lock client listens on for replies (overrides JOSHUA_BIND and client_bind)")
 		id         = flag.String("id", "", "this compute node's name (a [compute <name>] section)")
 	)
 	flag.Parse()
@@ -45,7 +46,7 @@ func main() {
 	if err != nil {
 		cli.Fatalf("jmomd: mom endpoint: %v", err)
 	}
-	lockClient, err := cli.NewClient(conf, 2*time.Second)
+	lockClient, err := cli.NewClientBind(conf, 2*time.Second, *bindAddr)
 	if err != nil {
 		cli.Fatalf("jmomd: jmutex client: %v", err)
 	}

@@ -22,6 +22,7 @@ import (
 func main() {
 	var (
 		configPath = flag.String("config", "", "cluster configuration file")
+		bindAddr   = flag.String("bind", "", "local TCP address to listen on for replies (overrides JOSHUA_BIND and client_bind)")
 		offline    = flag.String("o", "", "mark this node offline")
 		clear      = flag.String("c", "", "clear this node's offline state")
 	)
@@ -31,7 +32,7 @@ func main() {
 	if err != nil {
 		cli.Fatalf("jnodes: %v", err)
 	}
-	client, err := cli.NewClient(conf, 3*time.Second)
+	client, err := cli.NewClientBind(conf, 3*time.Second, *bindAddr)
 	if err != nil {
 		cli.Fatalf("jnodes: %v", err)
 	}

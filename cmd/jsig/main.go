@@ -20,6 +20,7 @@ import (
 func main() {
 	var (
 		configPath = flag.String("config", "", "cluster configuration file")
+		bindAddr   = flag.String("bind", "", "local TCP address to listen on for replies (overrides JOSHUA_BIND and client_bind)")
 		sig        = flag.String("s", "SIGTERM", "signal name to deliver")
 	)
 	flag.Parse()
@@ -30,7 +31,7 @@ func main() {
 	if err != nil {
 		cli.Fatalf("jsig: %v", err)
 	}
-	client, err := cli.NewClient(conf, 3*time.Second)
+	client, err := cli.NewClientBind(conf, 3*time.Second, *bindAddr)
 	if err != nil {
 		cli.Fatalf("jsig: %v", err)
 	}

@@ -20,6 +20,7 @@ import (
 func main() {
 	var (
 		configPath = flag.String("config", "", "cluster configuration file")
+		bindAddr   = flag.String("bind", "", "local TCP address to listen on for replies (overrides JOSHUA_BIND and client_bind)")
 		full       = flag.Bool("f", false, "full display (qstat -f)")
 		local      = flag.Bool("local", false, "read one head's local state (fast, possibly stale)")
 	)
@@ -29,7 +30,7 @@ func main() {
 	if err != nil {
 		cli.Fatalf("jstat: %v", err)
 	}
-	client, err := cli.NewClient(conf, 3*time.Second)
+	client, err := cli.NewClientBind(conf, 3*time.Second, *bindAddr)
 	if err != nil {
 		cli.Fatalf("jstat: %v", err)
 	}

@@ -39,6 +39,7 @@ func flagPassed(name string) bool {
 func main() {
 	var (
 		configPath = flag.String("config", "", "cluster configuration file")
+		bindAddr   = flag.String("bind", "", "local TCP address to listen on for replies (overrides JOSHUA_BIND and client_bind)")
 		name       = flag.String("N", "", "job name (default: script file name or STDIN)")
 		owner      = flag.String("o", os.Getenv("USER"), "job owner")
 		nodes      = flag.Int("l", 1, "number of compute nodes (nodect)")
@@ -71,7 +72,7 @@ func main() {
 		script = string(b)
 	}
 
-	client, err := cli.NewClient(conf, 3*time.Second)
+	client, err := cli.NewClientBind(conf, 3*time.Second, *bindAddr)
 	if err != nil {
 		cli.Fatalf("jsub: %v", err)
 	}

@@ -26,17 +26,41 @@ func LoadConfig(path string) (*config.ClusterFile, error) {
 	return config.LoadCluster(path)
 }
 
+// BindAddr resolves the local TCP address a control command should
+// listen on for replies: the -bind flag value if given, else the
+// JOSHUA_BIND environment variable, else the configuration's
+// client_bind key, else an ephemeral loopback port (which only works
+// when the head nodes run on the same machine).
+func BindAddr(explicit string, conf *config.ClusterFile) string {
+	if explicit != "" {
+		return explicit
+	}
+	if env := os.Getenv("JOSHUA_BIND"); env != "" {
+		return env
+	}
+	if conf != nil && conf.ClientBind != "" {
+		return conf.ClientBind
+	}
+	return "127.0.0.1:0"
+}
+
 // NewClient builds a control-command client talking TCP to the
-// cluster's head nodes. The client gets an ephemeral listen socket and
-// a process-unique logical address; servers reply over the inbound
-// connection.
+// cluster's head nodes, listening on the configured bind address (see
+// BindAddr) under a process-unique logical address; servers reply
+// over the inbound connection.
 func NewClient(conf *config.ClusterFile, timeout time.Duration) (*joshua.Client, error) {
+	return NewClientBind(conf, timeout, "")
+}
+
+// NewClientBind is NewClient with an explicit bind address (normally
+// the -bind flag), overriding JOSHUA_BIND and the configuration.
+func NewClientBind(conf *config.ClusterFile, timeout time.Duration, bind string) (*joshua.Client, error) {
 	host, _ := os.Hostname()
 	if host == "" {
 		host = "client"
 	}
 	logical := transport.Addr(fmt.Sprintf("cli-%s-%d/client", host, os.Getpid()))
-	ep, err := tcpnet.Listen(logical, "127.0.0.1:0", conf.Resolver())
+	ep, err := tcpnet.Listen(logical, BindAddr(bind, conf), conf.Resolver())
 	if err != nil {
 		return nil, err
 	}

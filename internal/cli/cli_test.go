@@ -43,6 +43,70 @@ func TestLoadConfigSources(t *testing.T) {
 	}
 }
 
+func TestBindAddrPrecedence(t *testing.T) {
+	conf := &config.ClusterFile{ClientBind: "10.0.0.7:0"}
+
+	t.Setenv("JOSHUA_BIND", "")
+	if got := BindAddr("", nil); got != "127.0.0.1:0" {
+		t.Errorf("default = %q", got)
+	}
+	if got := BindAddr("", conf); got != "10.0.0.7:0" {
+		t.Errorf("config = %q", got)
+	}
+	t.Setenv("JOSHUA_BIND", "192.168.1.2:0")
+	if got := BindAddr("", conf); got != "192.168.1.2:0" {
+		t.Errorf("env should beat config, got %q", got)
+	}
+	if got := BindAddr("0.0.0.0:9999", conf); got != "0.0.0.0:9999" {
+		t.Errorf("flag should beat env and config, got %q", got)
+	}
+}
+
+func TestNewClientUsesConfiguredBind(t *testing.T) {
+	// A config-supplied client_bind must reach the client's listen
+	// socket (observable through the resulting TCP address).
+	srv := pbs.NewServer(pbs.Config{ServerName: "bindtest", Nodes: []string{"c0"}, Exclusive: true})
+	pbsEP, err := tcpnet.Listen("h0/pbs", "127.0.0.1:0", tcpnet.StaticResolver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	daemon := pbs.NewDaemon(srv, pbs.DaemonConfig{Endpoint: pbsEP, Moms: map[string]transport.Addr{}})
+	clientEP, err := tcpnet.Listen("h0/joshua", "127.0.0.1:0", tcpnet.StaticResolver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := joshua.StartPlainServer(clientEP, daemon)
+	defer head.Close()
+
+	path := writeConfig(t, `
+server_name = bindtest
+client_bind = 127.0.0.1:0
+[head h0]
+gcs    = 127.0.0.1:1
+client = `+clientEP.TCPAddr()+`
+pbs    = 127.0.0.1:1
+`)
+	conf, err := config.LoadCluster(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv("JOSHUA_BIND", "")
+	cli, err := NewClient(conf, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := cli.Submit(pbs.SubmitRequest{Name: "bound", Hold: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	// And an unusable bind address fails loudly instead of silently
+	// falling back to loopback.
+	if _, err := NewClientBind(conf, time.Second, "203.0.113.1:1"); err == nil {
+		t.Error("NewClientBind with an unbindable address should fail")
+	}
+}
+
 func TestNewClientAgainstLiveHead(t *testing.T) {
 	// Stand up a single plain head over real TCP, point a config at
 	// it, and run a full command through the cli-built client.

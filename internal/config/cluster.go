@@ -19,6 +19,13 @@ type ClusterFile struct {
 	Computes   []ComputeDecl
 	Exclusive  bool
 	TimeScale  float64
+	// ClientBind is the local TCP address control commands listen on
+	// for replies ("client_bind", globally or under [options]). Empty
+	// means an ephemeral loopback port, which only works when the
+	// head nodes run on the same machine; multi-machine deployments
+	// set it to an address the heads can route back to, e.g.
+	// "10.0.0.7:0" or "0.0.0.0:0".
+	ClientBind string
 }
 
 // HeadDecl is one "[head <name>]" section.
@@ -75,6 +82,7 @@ func ClusterFromFile(f *File) (*ClusterFile, error) {
 		ServerName: f.Global("server_name", "cluster"),
 		TimeScale:  1.0,
 		Exclusive:  true,
+		ClientBind: f.Global("client_bind", ""),
 	}
 	for _, sec := range f.SectionsOf("head") {
 		if sec.Name == "" {
@@ -114,6 +122,9 @@ func ClusterFromFile(f *File) (*ClusterFile, error) {
 		}
 		if c.TimeScale, err = opts[0].Float("time_scale", 1.0); err != nil {
 			return nil, err
+		}
+		if v := opts[0].Get("client_bind"); v != "" {
+			c.ClientBind = v
 		}
 	}
 	sort.Slice(c.Heads, func(i, j int) bool { return c.Heads[i].Name < c.Heads[j].Name })

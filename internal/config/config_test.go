@@ -158,6 +158,37 @@ func TestLoadCluster(t *testing.T) {
 	}
 }
 
+func TestClusterClientBind(t *testing.T) {
+	head := "[head h]\ngcs=a\nclient=b\npbs=c\n"
+
+	parse := func(input string) *ClusterFile {
+		t.Helper()
+		f, err := Parse(strings.NewReader(input))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := ClusterFromFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	if c := parse(head); c.ClientBind != "" {
+		t.Errorf("default ClientBind = %q, want empty", c.ClientBind)
+	}
+	if c := parse("client_bind = 10.0.0.7:0\n" + head); c.ClientBind != "10.0.0.7:0" {
+		t.Errorf("global ClientBind = %q", c.ClientBind)
+	}
+	if c := parse(head + "[options]\nclient_bind = 0.0.0.0:0\n"); c.ClientBind != "0.0.0.0:0" {
+		t.Errorf("options ClientBind = %q", c.ClientBind)
+	}
+	// The [options] key overrides the global.
+	if c := parse("client_bind = 10.0.0.7:0\n" + head + "[options]\nclient_bind = 0.0.0.0:0\n"); c.ClientBind != "0.0.0.0:0" {
+		t.Errorf("override ClientBind = %q", c.ClientBind)
+	}
+}
+
 func TestClusterValidation(t *testing.T) {
 	bad := []string{
 		"[head]\ngcs=a\nclient=b\npbs=c\n", // unnamed head

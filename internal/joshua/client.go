@@ -133,11 +133,18 @@ func (c *Client) call(op Op, args cmdArgs) (*rpcResponse, error) {
 		c.mu.Unlock()
 	}()
 
+	var lastErr error
 	attempts := c.cfg.Rounds * len(c.cfg.Heads)
 	for i := 0; i < attempts; i++ {
 		idx := (start + i) % len(c.cfg.Heads)
 		if err := c.ep.Send(c.cfg.Heads[idx], payload); err != nil {
-			return nil, err
+			if errors.Is(err, transport.ErrClosed) {
+				return nil, ErrClosed
+			}
+			// This head is unreachable — the same condition a silent
+			// head signals by timeout, learned sooner. Move on.
+			lastErr = err
+			continue
 		}
 		select {
 		case resp := <-ch:
@@ -162,6 +169,9 @@ func (c *Client) call(op Op, args cmdArgs) (*rpcResponse, error) {
 		case <-c.done:
 			return nil, ErrClosed
 		}
+	}
+	if lastErr != nil {
+		return nil, fmt.Errorf("%w after %d attempts (%v): last send error: %v", ErrUnreached, attempts, op, lastErr)
 	}
 	return nil, fmt.Errorf("%w after %d attempts (%v)", ErrUnreached, attempts, op)
 }

@@ -1,6 +1,7 @@
 package joshua
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -9,6 +10,103 @@ import (
 	"joshua/internal/pbs"
 	"joshua/internal/transport"
 )
+
+// sendErrEndpoint is a stub transport that fails Send to designated
+// heads (the way tcpnet reports an unreachable peer) and answers every
+// request reaching a live head with an OK response.
+type sendErrEndpoint struct {
+	dead map[transport.Addr]bool
+	recv chan transport.Message
+
+	mu    sync.Mutex
+	sends []transport.Addr
+}
+
+func newSendErrEndpoint(dead ...transport.Addr) *sendErrEndpoint {
+	m := make(map[transport.Addr]bool, len(dead))
+	for _, a := range dead {
+		m[a] = true
+	}
+	return &sendErrEndpoint{dead: m, recv: make(chan transport.Message, 16)}
+}
+
+func (e *sendErrEndpoint) Addr() transport.Addr { return "user/stub" }
+
+func (e *sendErrEndpoint) Send(to transport.Addr, payload []byte) error {
+	e.mu.Lock()
+	e.sends = append(e.sends, to)
+	e.mu.Unlock()
+	if e.dead[to] {
+		return fmt.Errorf("stub: dial %s: connection refused", to)
+	}
+	req, _, err := decodeRPC(payload)
+	if err != nil || req == nil {
+		return nil
+	}
+	resp := &rpcResponse{ReqID: req.ReqID, OK: true}
+	e.recv <- transport.Message{From: to, To: e.Addr(), Payload: resp.encode()}
+	return nil
+}
+
+func (e *sendErrEndpoint) Recv() <-chan transport.Message { return e.recv }
+
+func (e *sendErrEndpoint) Close() error { return nil }
+
+func (e *sendErrEndpoint) sentTo() []transport.Addr {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]transport.Addr(nil), e.sends...)
+}
+
+func TestClientSendErrorAdvancesToNextHead(t *testing.T) {
+	// A Send error on one head (connection refused, unknown peer) must
+	// count as that head being down: the call advances to the next head
+	// instead of aborting, and does so without waiting out a timeout.
+	ep := newSendErrEndpoint(clientAddr(0))
+	cli, err := NewClient(ClientConfig{
+		Endpoint:       ep,
+		Heads:          []transport.Addr{clientAddr(0), clientAddr(1)},
+		AttemptTimeout: 5 * time.Second, // a timeout would blow the test deadline
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	start := time.Now()
+	if _, err := cli.Stat("1.cluster"); err != nil {
+		t.Fatalf("call should fail over past the send error: %v", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("failover took %v; send errors should skip ahead immediately", d)
+	}
+	sends := ep.sentTo()
+	if len(sends) != 2 || sends[0] != clientAddr(0) || sends[1] != clientAddr(1) {
+		t.Errorf("send sequence = %v, want [head0 head1]", sends)
+	}
+}
+
+func TestClientAllSendsFailReportsLastError(t *testing.T) {
+	ep := newSendErrEndpoint(clientAddr(0), clientAddr(1))
+	cli, err := NewClient(ClientConfig{
+		Endpoint:       ep,
+		Heads:          []transport.Addr{clientAddr(0), clientAddr(1)},
+		AttemptTimeout: 5 * time.Second,
+		Rounds:         2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	_, callErr := cli.Stat("1.cluster")
+	if !errors.Is(callErr, ErrUnreached) {
+		t.Fatalf("err = %v, want ErrUnreached", callErr)
+	}
+	if got := len(ep.sentTo()); got != 4 {
+		t.Errorf("attempted %d sends, want 4 (2 rounds x 2 heads)", got)
+	}
+}
 
 func TestClientSticksToAnsweringHead(t *testing.T) {
 	// After failing over away from a dead head, the client should keep

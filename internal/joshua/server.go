@@ -7,12 +7,19 @@
 // Each head node runs a Server, which plays the role of the joshua
 // server process: it intercepts PBS user commands arriving from the
 // control commands (jsub, jdel, jstat — see the Client type and
-// cmd/jsub et al.), pushes them through the group communication system
-// for reliable totally ordered delivery, executes each delivered
-// command against the local batch service (internal/pbs, the
-// TORQUE+Maui equivalent), and relays the output back to the user
-// exactly once. The jmutex/jdone distributed mutual exclusion that the
-// paper runs in the PBS mom job prologue is provided by MomHooks.
+// cmd/jsub et al.), pushes them through the generic replication
+// engine (internal/rsm) for reliable totally ordered execution
+// against the local batch service (internal/pbs, the TORQUE+Maui
+// equivalent), and relays the output back to the user exactly once.
+// The jmutex/jdone distributed mutual exclusion that the paper runs
+// in the PBS mom job prologue is a second replicated service composed
+// behind the same engine; MomHooks wires it to the moms.
+//
+// The service-independent machinery — total order, request
+// deduplication, output mutual exclusion, join-time state transfer —
+// lives entirely in internal/rsm; this package contributes only the
+// PBS protocol (wire.go), the two service adapters (service.go), and
+// the head-node assembly below.
 //
 // As long as one head node survives, the service remains available
 // with no interruption and no loss of state: there is no failover,
@@ -23,10 +30,10 @@ import (
 	"errors"
 	"fmt"
 	"log"
-	"sync"
 
 	"joshua/internal/gcs"
 	"joshua/internal/pbs"
+	"joshua/internal/rsm"
 	"joshua/internal/transport"
 )
 
@@ -105,34 +112,13 @@ type Config struct {
 	Logger *log.Logger
 }
 
-// Server is one JOSHUA head node.
+// Server is one JOSHUA head node: the PBS batch service and the
+// jmutex lock table composed behind a generic replication engine.
 type Server struct {
-	cfg      Config
-	group    *gcs.Process
-	clientEP transport.Endpoint
-	daemon   *pbs.Daemon
-
-	done chan struct{}
-	once sync.Once
-
-	// ready is closed when the first view is installed (group formed
-	// or join complete).
-	ready     chan struct{}
-	readyOnce sync.Once
-
-	// --- owned by the run loop ---
-	view gcs.View
-	// dedup maps request IDs to the encoded response each head
-	// computed when the command was applied; it makes client retries
-	// idempotent. ordered list drives FIFO eviction. Replicated:
-	// every head builds the same table from the same command stream.
-	dedup      map[string][]byte
-	dedupOrder []string
-	// locks is the jmutex table: job ID -> winning attempt.
-	locks map[pbs.JobID]string
-
-	statsMu sync.Mutex
-	stats   Stats
+	cfg    Config
+	rep    *rsm.Replica
+	daemon *pbs.Daemon
+	locks  *lockService
 }
 
 // Stats counts server activity.
@@ -158,44 +144,66 @@ func StartServer(cfg Config) (*Server, error) {
 	if cfg.ClientEndpoint == nil {
 		return nil, errors.New("joshua: Config.ClientEndpoint required")
 	}
-	if cfg.DedupLimit <= 0 {
-		cfg.DedupLimit = 4096
-	}
 
 	s := &Server{
-		cfg:      cfg,
-		clientEP: cfg.ClientEndpoint,
-		daemon:   cfg.Daemon,
-		done:     make(chan struct{}),
-		ready:    make(chan struct{}),
-		dedup:    make(map[string][]byte),
-		locks:    make(map[pbs.JobID]string),
+		cfg:    cfg,
+		daemon: cfg.Daemon,
+		locks:  newLockService(),
 	}
+	services := rsm.NewMux(routeRequest).
+		Register(svcPBS, &pbsService{daemon: cfg.Daemon}).
+		Register(svcLocks, s.locks)
 
-	gcfg := gcs.Config{
+	rep, err := rsm.Start(rsm.Config{
 		Self:            cfg.Self,
-		Endpoint:        cfg.GroupEndpoint,
+		GroupEndpoint:   cfg.GroupEndpoint,
+		ClientEndpoint:  cfg.ClientEndpoint,
 		Peers:           cfg.Peers,
 		InitialMembers:  cfg.InitialMembers,
 		Bootstrap:       cfg.Bootstrap,
 		PartitionPolicy: cfg.PartitionPolicy,
-		Logger:          cfg.Logger,
-	}
-	if cfg.TuneGCS != nil {
-		cfg.TuneGCS(&gcfg)
-	}
-	group, err := gcs.Start(gcfg)
+		Service:         services,
+		Classify:        s.classify,
+		OutputPolicy:    rsm.OutputPolicy(cfg.OutputPolicy),
+		DedupLimit:      cfg.DedupLimit,
+		RejectNotPrimary: func(reqID string) []byte {
+			return (&rpcResponse{ReqID: reqID, OK: false, ErrMsg: ErrNotPrimary.Error()}).encode()
+		},
+		RejectShutdown: func(reqID string) []byte {
+			return (&rpcResponse{ReqID: reqID, OK: false, ErrMsg: "head node shutting down"}).encode()
+		},
+		TuneGCS: cfg.TuneGCS,
+		Logger:  cfg.Logger,
+	})
 	if err != nil {
 		return nil, err
 	}
-	s.group = group
+	s.rep = rep
 
 	if cfg.OrderedCompletions {
 		s.daemon.SetDoneInterceptor(s.interceptDone)
 	}
-
-	go s.run()
 	return s, nil
+}
+
+// classify sorts one control-command datagram: local reads are
+// answered immediately from this head's state, mutations flow through
+// the total order. It runs on the replica's event loop goroutine.
+func (s *Server) classify(payload []byte) rsm.Classification {
+	req, _, err := decodeRPC(payload)
+	if err != nil || req == nil {
+		return rsm.Classification{Verdict: rsm.Ignore}
+	}
+	if req.Op == OpJobDone {
+		// Internal operation: heads originate it themselves from mom
+		// reports; it is not part of the user-facing PBS interface.
+		resp := &rpcResponse{ReqID: req.ReqID, OK: false, ErrMsg: "joshua: jobdone is not a client operation"}
+		return rsm.Classification{Verdict: rsm.Reply, Response: resp.encode()}
+	}
+	if !req.Op.mutating() {
+		return rsm.Classification{Verdict: rsm.Reply, Response: s.executeLocal(req.Op, &req.Args, req.ReqID).encode()}
+	}
+	return rsm.Classification{Verdict: rsm.Replicate, ReqID: req.ReqID}
 }
 
 // interceptDone replicates a mom completion report through the total
@@ -205,16 +213,16 @@ func StartServer(cfg Config) (*Server, error) {
 // the completion applies exactly once, at the same point in the
 // command stream on every head.
 func (s *Server) interceptDone(id pbs.JobID, exitCode int, output string) bool {
-	cmd := &repCommand{
-		ReqID:  fmt.Sprintf("jobdone/%s/%d", id, exitCode),
-		Op:     OpJobDone,
-		Args:   cmdArgs{JobID: id, ExitCode: exitCode, Output: output},
-		Origin: s.cfg.Self,
+	reqID := fmt.Sprintf("jobdone/%s/%d", id, exitCode)
+	req := &rpcRequest{
+		ReqID: reqID,
+		Op:    OpJobDone,
+		Args:  cmdArgs{JobID: id, ExitCode: exitCode, Output: output},
 	}
-	// Broadcast may block briefly on the send window; the daemon's
+	// Propose may block briefly on the send window; the daemon's
 	// receive loop tolerates that, and the mom keeps retransmitting
 	// until its report is acknowledged (which the daemon already did).
-	if err := s.group.Broadcast(cmd.encode()); err != nil {
+	if err := s.rep.Propose(reqID, req.encode()); err != nil {
 		return false // shutting down: fall back to direct application
 	}
 	return true
@@ -222,212 +230,45 @@ func (s *Server) interceptDone(id pbs.JobID, exitCode int, output string) bool {
 
 // Ready is closed once the head has joined (or formed) the group and
 // installed its first view.
-func (s *Server) Ready() <-chan struct{} { return s.ready }
+func (s *Server) Ready() <-chan struct{} { return s.rep.Ready() }
 
 // Self returns the head's member identity.
 func (s *Server) Self() gcs.MemberID { return s.cfg.Self }
 
 // View returns the most recent group view.
-func (s *Server) View() gcs.View { return s.group.View() }
+func (s *Server) View() gcs.View { return s.rep.View() }
 
 // Daemon returns the local batch service (for inspection in tests and
 // status tooling).
 func (s *Server) Daemon() *pbs.Daemon { return s.daemon }
 
+// Replica returns the underlying replication engine (for inspection
+// in tests and status tooling).
+func (s *Server) Replica() *rsm.Replica { return s.rep }
+
 // Stats returns a snapshot of the server counters.
 func (s *Server) Stats() Stats {
-	s.statsMu.Lock()
-	defer s.statsMu.Unlock()
-	return s.stats
+	st := s.rep.Stats()
+	return Stats{
+		Intercepted: st.Intercepted,
+		Applied:     st.Applied,
+		Replied:     st.Replied,
+		DedupHits:   st.DedupHits,
+		Views:       st.Views,
+	}
 }
 
 // Leave announces a voluntary departure (the paper handles it as a
 // forced failure) and shuts the head down.
 func (s *Server) Leave() {
-	s.group.Leave()
-	s.Close()
+	s.rep.Leave()
+	s.daemon.Close()
 }
 
 // Close stops the head node immediately, simulating a crash.
 func (s *Server) Close() {
-	s.once.Do(func() {
-		close(s.done)
-		s.group.Close()
-		s.clientEP.Close()
-		s.daemon.Close()
-	})
-}
-
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logger != nil {
-		s.cfg.Logger.Printf("[joshua %s] "+format, append([]any{s.cfg.Self}, args...)...)
-	}
-}
-
-func (s *Server) bump(f func(*Stats)) {
-	s.statsMu.Lock()
-	f(&s.stats)
-	s.statsMu.Unlock()
-}
-
-// run is the server's event loop: replicated events from the group on
-// one side, client RPCs on the other.
-func (s *Server) run() {
-	events := s.group.Events()
-	for {
-		select {
-		case <-s.done:
-			return
-		case e, ok := <-events:
-			if !ok {
-				return
-			}
-			s.handleGroupEvent(e)
-		case dg, ok := <-s.clientEP.Recv():
-			if !ok {
-				return
-			}
-			s.handleClientDatagram(dg)
-		}
-	}
-}
-
-func (s *Server) handleGroupEvent(e gcs.Event) {
-	switch ev := e.(type) {
-	case gcs.ViewEvent:
-		s.view = ev.View
-		s.bump(func(st *Stats) { st.Views++ })
-		s.readyOnce.Do(func() { close(s.ready) })
-		s.logf("view %d members=%v primary=%v", ev.View.ID, ev.View.Members, ev.View.Primary)
-	case gcs.DeliverEvent:
-		cmd, err := decodeRepCommand(ev.Payload)
-		if err != nil {
-			s.logf("dropping malformed replicated command: %v", err)
-			return
-		}
-		s.applyCommand(cmd)
-	case gcs.SnapshotRequestEvent:
-		ev.Reply(s.encodeState())
-	case gcs.StateTransferEvent:
-		if err := s.restoreState(ev.State); err != nil {
-			s.logf("state transfer failed: %v", err)
-		} else {
-			s.logf("state transfer applied (%d bytes)", len(ev.State))
-		}
-	}
-}
-
-// handleClientDatagram intercepts one control-command request.
-func (s *Server) handleClientDatagram(dg transport.Message) {
-	req, _, err := decodeRPC(dg.Payload)
-	if err != nil || req == nil {
-		return
-	}
-	s.bump(func(st *Stats) { st.Intercepted++ })
-
-	if req.Op == OpJobDone {
-		// Internal operation: heads originate it themselves from mom
-		// reports; it is not part of the user-facing PBS interface.
-		resp := &rpcResponse{ReqID: req.ReqID, OK: false, ErrMsg: "joshua: jobdone is not a client operation"}
-		_ = s.clientEP.Send(dg.From, resp.encode())
-		return
-	}
-
-	// Retried request already applied? Answer from the table without
-	// re-executing (exactly-once semantics across head failures).
-	if resp, ok := s.dedup[req.ReqID]; ok {
-		s.bump(func(st *Stats) { st.DedupHits++; st.Replied++ })
-		_ = s.clientEP.Send(dg.From, resp)
-		return
-	}
-
-	// Non-mutating fast path: serve from local state.
-	if !req.Op.mutating() {
-		resp := s.executeLocal(req.Op, &req.Args, req.ReqID)
-		_ = s.clientEP.Send(dg.From, resp.encode())
-		s.bump(func(st *Stats) { st.Replied++ })
-		return
-	}
-
-	if !s.view.Primary {
-		resp := &rpcResponse{ReqID: req.ReqID, OK: false, ErrMsg: ErrNotPrimary.Error()}
-		_ = s.clientEP.Send(dg.From, resp.encode())
-		return
-	}
-
-	cmd := &repCommand{
-		ReqID:  req.ReqID,
-		Op:     req.Op,
-		Args:   req.Args,
-		Origin: s.cfg.Self,
-		Client: dg.From,
-	}
-	if err := s.group.Broadcast(cmd.encode()); err != nil {
-		resp := &rpcResponse{ReqID: req.ReqID, OK: false, ErrMsg: "head node shutting down"}
-		_ = s.clientEP.Send(dg.From, resp.encode())
-	}
-}
-
-// applyCommand executes one totally ordered command against the local
-// batch service. Every head runs this for every command in the same
-// order; exactly one (per OutputPolicy) relays the output.
-func (s *Server) applyCommand(cmd *repCommand) {
-	var respBytes []byte
-	if prev, ok := s.dedup[cmd.ReqID]; ok {
-		// The same request was replicated twice (client retried at a
-		// second head before the first head's broadcast was
-		// delivered). Apply once; reuse the recorded response.
-		respBytes = prev
-	} else {
-		resp := s.execute(cmd.Op, &cmd.Args, cmd.ReqID)
-		respBytes = resp.encode()
-		s.dedupInsert(cmd.ReqID, respBytes)
-		s.bump(func(st *Stats) { st.Applied++ })
-	}
-
-	// Output mutual exclusion, and output suppression outside the
-	// primary component: a minority fragment may keep its local state
-	// self-consistent, but its results must never reach users — the
-	// primary component's are authoritative. Internally originated
-	// commands (ordered completions) have no client at all.
-	if cmd.Client != "" && s.view.Primary && s.shouldReply(cmd) {
-		_ = s.clientEP.Send(cmd.Client, respBytes)
-		s.bump(func(st *Stats) { st.Replied++ })
-	}
-}
-
-// shouldReply implements the output mutual exclusion.
-func (s *Server) shouldReply(cmd *repCommand) bool {
-	switch s.cfg.OutputPolicy {
-	case LeaderReplies:
-		return len(s.view.Members) > 0 && s.view.Members[0] == s.cfg.Self
-	default: // OriginReplies
-		return cmd.Origin == s.cfg.Self
-	}
-}
-
-// execute applies one mutating operation to the local service and
-// builds the response. The jmutex lock table lives in the Server; all
-// PBS interface operations are shared with the unreplicated baseline
-// via executeOn.
-func (s *Server) execute(op Op, a *cmdArgs, reqID string) *rpcResponse {
-	switch op {
-	case OpJMutex:
-		owner, held := s.locks[a.JobID]
-		if !held {
-			s.locks[a.JobID] = a.AttemptID
-			owner = a.AttemptID
-		}
-		return &rpcResponse{ReqID: reqID, OK: true, Granted: owner == a.AttemptID}
-	case OpJDone:
-		delete(s.locks, a.JobID)
-		return &rpcResponse{ReqID: reqID, OK: true}
-	case OpJobDone:
-		s.daemon.ApplyDone(a.JobID, a.ExitCode, a.Output)
-		return &rpcResponse{ReqID: reqID, OK: true}
-	default:
-		return executeOn(s.daemon, op, a, reqID)
-	}
+	s.rep.Close()
+	s.daemon.Close()
 }
 
 // executeLocal serves non-replicated reads.
@@ -438,26 +279,27 @@ func (s *Server) executeLocal(op Op, a *cmdArgs, reqID string) *rpcResponse {
 	return executeLocalOn(s.daemon, op, a, reqID)
 }
 
-// infoLocked builds the jadmin report. Runs on the loop goroutine, so
-// it may read loop-owned state directly.
+// infoLocked builds the jadmin report. Runs on the replica's event
+// loop goroutine, so it may read loop-owned state directly.
 func (s *Server) infoLocked() map[string]string {
 	waiting, running, completed := s.daemon.Server().QueueLengths()
-	st := s.Stats()
-	gst := s.group.Stats()
+	st := s.rep.Stats()
+	gst := s.rep.GroupStats()
+	view := s.rep.View()
 	return map[string]string{
 		"head":            string(s.cfg.Self),
 		"mode":            "replicated",
-		"view":            fmt.Sprintf("%d", s.view.ID),
-		"members":         fmt.Sprintf("%v", s.view.Members),
-		"primary":         fmt.Sprintf("%v", s.view.Primary),
+		"view":            fmt.Sprintf("%d", view.ID),
+		"members":         fmt.Sprintf("%v", view.Members),
+		"primary":         fmt.Sprintf("%v", view.Primary),
 		"jobs_waiting":    fmt.Sprintf("%d", waiting),
 		"jobs_running":    fmt.Sprintf("%d", running),
 		"jobs_completed":  fmt.Sprintf("%d", completed),
 		"cmds_applied":    fmt.Sprintf("%d", st.Applied),
 		"cmds_replied":    fmt.Sprintf("%d", st.Replied),
-		"dedup_entries":   fmt.Sprintf("%d", len(s.dedup)),
+		"dedup_entries":   fmt.Sprintf("%d", st.DedupEntries),
 		"dedup_hits":      fmt.Sprintf("%d", st.DedupHits),
-		"locks_held":      fmt.Sprintf("%d", len(s.locks)),
+		"locks_held":      fmt.Sprintf("%d", s.locks.Len()),
 		"gcs_broadcasts":  fmt.Sprintf("%d", gst.Broadcasts),
 		"gcs_delivered":   fmt.Sprintf("%d", gst.Delivered),
 		"gcs_retransmits": fmt.Sprintf("%d", gst.Retransmits),
@@ -567,56 +409,4 @@ func executeLocalOn(d *pbs.Daemon, op Op, a *cmdArgs, reqID string) *rpcResponse
 		resp.ErrMsg = fmt.Sprintf("joshua: operation %v is not a local read", op)
 	}
 	return resp
-}
-
-// dedupInsert records a response with FIFO eviction. Because every
-// head applies the same commands in the same order, the table (and
-// its eviction) is identical everywhere.
-func (s *Server) dedupInsert(reqID string, resp []byte) {
-	if _, exists := s.dedup[reqID]; exists {
-		return
-	}
-	s.dedup[reqID] = resp
-	s.dedupOrder = append(s.dedupOrder, reqID)
-	for len(s.dedupOrder) > s.cfg.DedupLimit {
-		victim := s.dedupOrder[0]
-		s.dedupOrder = s.dedupOrder[1:]
-		delete(s.dedup, victim)
-	}
-}
-
-// encodeState builds the join-time state transfer: PBS snapshot,
-// dedup table, lock table.
-func (s *Server) encodeState() []byte {
-	st := &serverState{
-		PBS:   s.daemon.Server().Snapshot(),
-		Locks: s.locks,
-	}
-	st.DedupIDs = append(st.DedupIDs, s.dedupOrder...)
-	for _, id := range s.dedupOrder {
-		st.DedupResp = append(st.DedupResp, s.dedup[id])
-	}
-	return st.encode()
-}
-
-// restoreState applies a join-time state transfer.
-func (s *Server) restoreState(b []byte) error {
-	st, err := decodeServerState(b)
-	if err != nil {
-		return err
-	}
-	if err := s.daemon.Restore(st.PBS); err != nil {
-		return err
-	}
-	s.dedup = make(map[string][]byte, len(st.DedupIDs))
-	s.dedupOrder = s.dedupOrder[:0]
-	for i, id := range st.DedupIDs {
-		s.dedup[id] = st.DedupResp[i]
-		s.dedupOrder = append(s.dedupOrder, id)
-	}
-	s.locks = st.Locks
-	if s.locks == nil {
-		s.locks = make(map[pbs.JobID]string)
-	}
-	return nil
 }

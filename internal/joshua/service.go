@@ -1,0 +1,134 @@
+package joshua
+
+import (
+	"sort"
+
+	"joshua/internal/codec"
+	"joshua/internal/pbs"
+	"joshua/internal/rsm"
+)
+
+// Sub-service names under the head node's rsm.Mux. Part of the
+// replicated contract: every head registers the same names in the
+// same order.
+const (
+	svcPBS   = "pbs"
+	svcLocks = "locks"
+)
+
+// requestOp peeks at the operation of an encoded rpcRequest without a
+// full decode (the Mux route runs on every delivered command).
+func requestOp(payload []byte) (Op, bool) {
+	d := codec.NewDecoder(payload)
+	if d.Byte() != rpcKindRequest {
+		return 0, false
+	}
+	_ = d.String() // skip ReqID
+	op := Op(d.Byte())
+	if d.Err() != nil {
+		return 0, false
+	}
+	return op, true
+}
+
+// routeRequest maps each totally ordered command to the sub-service
+// that applies it: the launch mutual exclusion is its own replicated
+// service, everything else is the batch system.
+func routeRequest(cmd rsm.Command) string {
+	if op, ok := requestOp(cmd.Payload); ok && (op == OpJMutex || op == OpJDone) {
+		return svcLocks
+	}
+	return svcPBS
+}
+
+// pbsService adapts the local batch daemon (the TORQUE+Maui
+// equivalent) to the engine's Service interface: one deterministic
+// state machine behind the PBS command interface, exactly the
+// paper's "service replicated externally, unmodified".
+type pbsService struct {
+	daemon *pbs.Daemon
+}
+
+func (s *pbsService) Apply(cmd rsm.Command) []byte {
+	req, _, err := decodeRPC(cmd.Payload)
+	if err != nil || req == nil {
+		return nil
+	}
+	if req.Op == OpJobDone {
+		// Internally originated (ordered completions): apply the mom
+		// report at this point in the command stream.
+		s.daemon.ApplyDone(req.Args.JobID, req.Args.ExitCode, req.Args.Output)
+		return (&rpcResponse{ReqID: req.ReqID, OK: true}).encode()
+	}
+	return executeOn(s.daemon, req.Op, &req.Args, req.ReqID).encode()
+}
+
+func (s *pbsService) Snapshot() []byte { return s.daemon.Server().Snapshot() }
+
+func (s *pbsService) Restore(state []byte) error { return s.daemon.Restore(state) }
+
+// lockService is the jmutex/jdone distributed mutual exclusion the
+// paper runs in the PBS mom job prologue — a second replicated
+// service composed with the batch system behind the same engine. The
+// first acquire in the total order wins; release clears the entry.
+// All access runs on the replica's event loop goroutine.
+type lockService struct {
+	locks map[pbs.JobID]string // job ID -> winning attempt
+}
+
+func newLockService() *lockService {
+	return &lockService{locks: make(map[pbs.JobID]string)}
+}
+
+func (s *lockService) Apply(cmd rsm.Command) []byte {
+	req, _, err := decodeRPC(cmd.Payload)
+	if err != nil || req == nil {
+		return nil
+	}
+	switch req.Op {
+	case OpJMutex:
+		owner, held := s.locks[req.Args.JobID]
+		if !held {
+			s.locks[req.Args.JobID] = req.Args.AttemptID
+			owner = req.Args.AttemptID
+		}
+		return (&rpcResponse{ReqID: req.ReqID, OK: true, Granted: owner == req.Args.AttemptID}).encode()
+	case OpJDone:
+		delete(s.locks, req.Args.JobID)
+		return (&rpcResponse{ReqID: req.ReqID, OK: true}).encode()
+	}
+	return nil
+}
+
+func (s *lockService) Snapshot() []byte {
+	ids := make([]string, 0, len(s.locks))
+	for id := range s.locks {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	e := codec.NewEncoder(32)
+	e.PutUint(uint64(len(ids)))
+	for _, id := range ids {
+		e.PutString(id)
+		e.PutString(s.locks[pbs.JobID(id)])
+	}
+	return e.Bytes()
+}
+
+func (s *lockService) Restore(state []byte) error {
+	d := codec.NewDecoder(state)
+	n := d.Uint()
+	locks := make(map[pbs.JobID]string, n)
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		id := pbs.JobID(d.String())
+		locks[id] = d.String()
+	}
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	s.locks = locks
+	return nil
+}
+
+// Len reports the held-lock count (event-loop goroutine only).
+func (s *lockService) Len() int { return len(s.locks) }

@@ -6,9 +6,7 @@ import (
 	"time"
 
 	"joshua/internal/codec"
-	"joshua/internal/gcs"
 	"joshua/internal/pbs"
-	"joshua/internal/transport"
 )
 
 // Op identifies one PBS service-interface operation carried by the
@@ -266,101 +264,4 @@ func decodeRPC(b []byte) (*rpcRequest, *rpcResponse, error) {
 	default:
 		return nil, nil, fmt.Errorf("joshua: unknown rpc kind %d", kind)
 	}
-}
-
-// repCommand is one replicated command inside the group communication
-// payload: the intercepted PBS user command, plus enough routing
-// information for the output mutual exclusion (which head answers the
-// client).
-type repCommand struct {
-	ReqID  string
-	Op     Op
-	Args   cmdArgs
-	Origin gcs.MemberID   // head that intercepted the command
-	Client transport.Addr // where the reply goes
-}
-
-func (c *repCommand) encode() []byte {
-	e := codec.NewEncoder(160 + len(c.Args.Script))
-	e.PutString(c.ReqID)
-	e.PutByte(byte(c.Op))
-	putArgs(e, &c.Args)
-	e.PutString(string(c.Origin))
-	e.PutString(string(c.Client))
-	return e.Bytes()
-}
-
-func decodeRepCommand(b []byte) (*repCommand, error) {
-	d := codec.NewDecoder(b)
-	c := &repCommand{
-		ReqID: d.String(),
-		Op:    Op(d.Byte()),
-	}
-	c.Args = getArgs(d)
-	c.Origin = gcs.MemberID(d.String())
-	c.Client = transport.Addr(d.String())
-	if err := d.Finish(); err != nil {
-		return nil, err
-	}
-	return c, nil
-}
-
-// serverState is the application state transferred to joining head
-// nodes: the PBS server snapshot, the request deduplication table
-// (so client retries do not re-execute on the joiner), and the jmutex
-// lock table.
-type serverState struct {
-	PBS       []byte
-	DedupIDs  []string
-	DedupResp [][]byte
-	Locks     map[pbs.JobID]string
-}
-
-func (s *serverState) encode() []byte {
-	e := codec.NewEncoder(len(s.PBS) + 256)
-	e.PutBytes(s.PBS)
-	e.PutUint(uint64(len(s.DedupIDs)))
-	for i, id := range s.DedupIDs {
-		e.PutString(id)
-		e.PutBytes(s.DedupResp[i])
-	}
-	e.PutUint(uint64(len(s.Locks)))
-	ids := make([]string, 0, len(s.Locks))
-	for id := range s.Locks {
-		ids = append(ids, string(id))
-	}
-	sort.Strings(ids)
-	for _, id := range ids {
-		e.PutString(id)
-		e.PutString(s.Locks[pbs.JobID(id)])
-	}
-	return e.Bytes()
-}
-
-func decodeServerState(b []byte) (*serverState, error) {
-	d := codec.NewDecoder(b)
-	s := &serverState{Locks: make(map[pbs.JobID]string)}
-	pb := d.Bytes()
-	s.PBS = make([]byte, len(pb))
-	copy(s.PBS, pb)
-	n := d.Uint()
-	if d.Err() != nil || n > uint64(d.Remaining())+1 {
-		return nil, fmt.Errorf("joshua: corrupt state: %v", d.Err())
-	}
-	for i := uint64(0); i < n; i++ {
-		s.DedupIDs = append(s.DedupIDs, d.String())
-		rb := d.Bytes()
-		resp := make([]byte, len(rb))
-		copy(resp, rb)
-		s.DedupResp = append(s.DedupResp, resp)
-	}
-	ln := d.Uint()
-	for i := uint64(0); i < ln && d.Err() == nil; i++ {
-		id := pbs.JobID(d.String())
-		s.Locks[id] = d.String()
-	}
-	if err := d.Finish(); err != nil {
-		return nil, err
-	}
-	return s, nil
 }

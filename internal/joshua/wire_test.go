@@ -74,55 +74,49 @@ func TestRPCDecodeGarbage(t *testing.T) {
 	}
 }
 
-func TestRepCommandRoundTrip(t *testing.T) {
-	cmd := &repCommand{
-		ReqID:  "c#9",
-		Op:     OpJMutex,
-		Args:   cmdArgs{JobID: "3.cluster", AttemptID: "head1/pbs+compute0"},
-		Origin: "head1",
-		Client: "compute0/jmutex",
+func TestRequestOpPeek(t *testing.T) {
+	req := &rpcRequest{
+		ReqID: "c#9",
+		Op:    OpJMutex,
+		Args:  cmdArgs{JobID: "3.cluster", AttemptID: "head1/pbs+compute0"},
 	}
-	got, err := decodeRepCommand(cmd.encode())
-	if err != nil {
-		t.Fatal(err)
+	op, ok := requestOp(req.encode())
+	if !ok || op != OpJMutex {
+		t.Fatalf("requestOp = %v, %v; want OpJMutex, true", op, ok)
 	}
-	if !reflect.DeepEqual(cmd, got) {
-		t.Errorf("roundtrip mismatch:\n got %+v\nwant %+v", got, cmd)
+	if _, ok := requestOp(nil); ok {
+		t.Error("requestOp(nil) should fail")
 	}
-}
-
-func TestServerStateRoundTrip(t *testing.T) {
-	srv := pbs.NewServer(pbs.Config{ServerName: "cluster", Nodes: []string{"c0"}})
-	srv.Submit(pbs.SubmitRequest{Name: "x"})
-	st := &serverState{
-		PBS:       srv.Snapshot(),
-		DedupIDs:  []string{"a#1", "b#2"},
-		DedupResp: [][]byte{{1, 2}, {3}},
-		Locks:     map[pbs.JobID]string{"1.cluster": "head0/pbs+compute0"},
-	}
-	got, err := decodeServerState(st.encode())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(got.PBS, st.PBS) {
-		t.Error("PBS snapshot mismatch")
-	}
-	if !reflect.DeepEqual(got.DedupIDs, st.DedupIDs) || !reflect.DeepEqual(got.DedupResp, st.DedupResp) {
-		t.Errorf("dedup mismatch: %+v", got)
-	}
-	if !reflect.DeepEqual(got.Locks, st.Locks) {
-		t.Errorf("locks mismatch: %+v", got.Locks)
+	resp := &rpcResponse{ReqID: "c#9", OK: true}
+	if _, ok := requestOp(resp.encode()); ok {
+		t.Error("requestOp on a response should fail")
 	}
 }
 
-func TestServerStateEncodingDeterministic(t *testing.T) {
-	st := &serverState{
-		PBS:   []byte("snap"),
-		Locks: map[pbs.JobID]string{"b": "2", "a": "1", "c": "3"},
+func TestLockServiceSnapshotRoundTrip(t *testing.T) {
+	src := newLockService()
+	src.locks = map[pbs.JobID]string{
+		"1.cluster": "head0/pbs+compute0",
+		"2.cluster": "head1/pbs+compute1",
 	}
-	b1, b2 := st.encode(), st.encode()
+	dst := newLockService()
+	if err := dst.Restore(src.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dst.locks, src.locks) {
+		t.Errorf("locks mismatch:\n got %+v\nwant %+v", dst.locks, src.locks)
+	}
+	if dst.Len() != 2 {
+		t.Errorf("Len = %d, want 2", dst.Len())
+	}
+}
+
+func TestLockServiceSnapshotDeterministic(t *testing.T) {
+	s := newLockService()
+	s.locks = map[pbs.JobID]string{"b": "2", "a": "1", "c": "3"}
+	b1, b2 := s.Snapshot(), s.Snapshot()
 	if !bytes.Equal(b1, b2) {
-		t.Error("serverState encoding is nondeterministic")
+		t.Error("lock table snapshot is nondeterministic")
 	}
 }
 
@@ -143,10 +137,10 @@ func TestOpStrings(t *testing.T) {
 }
 
 // Property: arbitrary command args survive the round trip through a
-// replicated command.
-func TestQuickRepCommand(t *testing.T) {
+// client request (the same bytes the engine replicates verbatim).
+func TestQuickRPCRequest(t *testing.T) {
 	f := func(reqID, name, owner, script, jobID, attempt string, nodes uint8, wall int64, hold bool, count uint8) bool {
-		cmd := &repCommand{
+		req := &rpcRequest{
 			ReqID: reqID,
 			Op:    OpSubmit,
 			Args: cmdArgs{
@@ -155,11 +149,9 @@ func TestQuickRepCommand(t *testing.T) {
 				Hold: hold, Count: int(count),
 				JobID: pbs.JobID(jobID), AttemptID: attempt,
 			},
-			Origin: "h",
-			Client: "c/x",
 		}
-		got, err := decodeRepCommand(cmd.encode())
-		return err == nil && reflect.DeepEqual(cmd, got)
+		got, _, err := decodeRPC(req.encode())
+		return err == nil && reflect.DeepEqual(req, got)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,92 @@
+package rsm
+
+import (
+	"fmt"
+
+	"joshua/internal/codec"
+)
+
+// Mux composes several independent Services behind one Replica: each
+// command is routed to exactly one sub-service, and snapshots carry
+// every sub-service's state, keyed by name. This is how a head node
+// replicates the batch system and the jmutex/jdone lock table through
+// one total order (internal/joshua wires exactly that), and how any
+// further service grows onto the same engine without engine changes.
+//
+// Registration order is part of the replicated contract: every
+// replica must register the same names in the same order, or their
+// snapshots would disagree.
+type Mux struct {
+	route    func(cmd Command) string
+	names    []string
+	services map[string]Service
+}
+
+// NewMux creates a composite service. route maps each totally ordered
+// command to the name of the sub-service that applies it; it must be
+// deterministic on the command alone.
+func NewMux(route func(cmd Command) string) *Mux {
+	return &Mux{route: route, services: make(map[string]Service)}
+}
+
+// Register adds a named sub-service and returns the Mux for chaining.
+// It panics on a duplicate name (a wiring bug, not a runtime
+// condition).
+func (m *Mux) Register(name string, s Service) *Mux {
+	if _, dup := m.services[name]; dup {
+		panic(fmt.Sprintf("rsm: duplicate service %q", name))
+	}
+	m.names = append(m.names, name)
+	m.services[name] = s
+	return m
+}
+
+// Apply routes the command to its sub-service. Commands routed to an
+// unregistered name produce no response (they are recorded in the
+// dedup table as reply-suppressed).
+func (m *Mux) Apply(cmd Command) []byte {
+	s, ok := m.services[m.route(cmd)]
+	if !ok {
+		return nil
+	}
+	return s.Apply(cmd)
+}
+
+// Snapshot concatenates every sub-service's snapshot, tagged by name,
+// in registration order.
+func (m *Mux) Snapshot() []byte {
+	e := codec.NewEncoder(256)
+	e.PutUint(uint64(len(m.names)))
+	for _, name := range m.names {
+		e.PutString(name)
+		e.PutBytes(m.services[name].Snapshot())
+	}
+	return e.Bytes()
+}
+
+// Restore dispatches each tagged snapshot section to its sub-service.
+// Every section must name a registered service, and every registered
+// service must receive a section — a mismatch means the replicas are
+// running different service assemblies.
+func (m *Mux) Restore(state []byte) error {
+	d := codec.NewDecoder(state)
+	n := d.Uint()
+	if d.Err() != nil || n != uint64(len(m.names)) {
+		return fmt.Errorf("rsm: mux snapshot has %d sections, want %d (%v)", n, len(m.names), d.Err())
+	}
+	for i := uint64(0); i < n; i++ {
+		name := d.String()
+		section := d.Bytes()
+		if d.Err() != nil {
+			return fmt.Errorf("rsm: corrupt mux snapshot: %v", d.Err())
+		}
+		s, ok := m.services[name]
+		if !ok {
+			return fmt.Errorf("rsm: mux snapshot names unknown service %q", name)
+		}
+		if err := s.Restore(section); err != nil {
+			return fmt.Errorf("rsm: restoring service %q: %w", name, err)
+		}
+	}
+	return d.Finish()
+}

@@ -1,0 +1,116 @@
+package rsm
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// recService is a scriptable Service for Mux tests.
+type recService struct {
+	name    string
+	applied []string
+	state   []byte
+}
+
+func (s *recService) Apply(cmd Command) []byte {
+	s.applied = append(s.applied, cmd.ReqID)
+	return []byte(s.name + ":" + cmd.ReqID)
+}
+
+func (s *recService) Snapshot() []byte { return append([]byte(nil), s.state...) }
+
+func (s *recService) Restore(state []byte) error {
+	s.state = append([]byte(nil), state...)
+	return nil
+}
+
+func routeByPrefix(cmd Command) string {
+	if len(cmd.Payload) > 0 {
+		return string(cmd.Payload[:1])
+	}
+	return ""
+}
+
+func TestMuxRoutesToSubService(t *testing.T) {
+	a := &recService{name: "a"}
+	b := &recService{name: "b"}
+	m := NewMux(routeByPrefix).Register("a", a).Register("b", b)
+
+	if got := m.Apply(Command{ReqID: "r1", Payload: []byte("a...")}); string(got) != "a:r1" {
+		t.Errorf("Apply -> %q", got)
+	}
+	if got := m.Apply(Command{ReqID: "r2", Payload: []byte("b...")}); string(got) != "b:r2" {
+		t.Errorf("Apply -> %q", got)
+	}
+	if got := m.Apply(Command{ReqID: "r3", Payload: []byte("z...")}); got != nil {
+		t.Errorf("unrouted command should produce nil, got %q", got)
+	}
+	if len(a.applied) != 1 || len(b.applied) != 1 {
+		t.Errorf("applied: a=%v b=%v", a.applied, b.applied)
+	}
+}
+
+func TestMuxSnapshotRestoreRoundTrip(t *testing.T) {
+	src := NewMux(routeByPrefix).
+		Register("a", &recService{name: "a", state: []byte("alpha")}).
+		Register("b", &recService{name: "b", state: []byte("beta")})
+
+	da := &recService{name: "a"}
+	db := &recService{name: "b"}
+	dst := NewMux(routeByPrefix).Register("a", da).Register("b", db)
+	if err := dst.Restore(src.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(da.state, []byte("alpha")) || !bytes.Equal(db.state, []byte("beta")) {
+		t.Errorf("restored states: a=%q b=%q", da.state, db.state)
+	}
+}
+
+func TestMuxSnapshotDeterministic(t *testing.T) {
+	m := NewMux(routeByPrefix).
+		Register("a", &recService{state: []byte("x")}).
+		Register("b", &recService{state: []byte("y")})
+	if !bytes.Equal(m.Snapshot(), m.Snapshot()) {
+		t.Error("mux snapshot is nondeterministic")
+	}
+}
+
+func TestMuxRestoreRejectsMismatchedAssembly(t *testing.T) {
+	one := NewMux(routeByPrefix).Register("a", &recService{})
+	two := NewMux(routeByPrefix).Register("a", &recService{}).Register("b", &recService{})
+	renamed := NewMux(routeByPrefix).Register("c", &recService{})
+
+	if err := two.Restore(one.Snapshot()); err == nil {
+		t.Error("restoring a 1-section snapshot into a 2-service mux should fail")
+	}
+	if err := renamed.Restore(one.Snapshot()); err == nil {
+		t.Error("restoring a snapshot naming an unknown service should fail")
+	}
+	if err := one.Restore([]byte{0xFF, 0xFF}); err == nil {
+		t.Error("restoring garbage should fail")
+	}
+}
+
+func TestMuxDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register should panic")
+		}
+	}()
+	NewMux(routeByPrefix).Register("a", &recService{}).Register("a", &recService{})
+}
+
+func TestMuxManyServicesOrdered(t *testing.T) {
+	// Registration order, not map order, drives the snapshot layout.
+	m1 := NewMux(routeByPrefix)
+	m2 := NewMux(routeByPrefix)
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("s%d", i)
+		m1.Register(name, &recService{state: []byte(name)})
+		m2.Register(name, &recService{state: []byte(name)})
+	}
+	if !bytes.Equal(m1.Snapshot(), m2.Snapshot()) {
+		t.Error("same registration order should give identical snapshots")
+	}
+}

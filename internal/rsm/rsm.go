@@ -1,0 +1,480 @@
+// Package rsm is the service-agnostic replicated-state-machine core
+// of the symmetric active/active architecture: everything the paper's
+// JOSHUA layer does that is independent of the service being
+// replicated. A Replica owns the group communication event loop,
+// applies totally ordered commands to a pluggable Service, keeps the
+// exactly-once request-deduplication table (with FIFO eviction),
+// enforces the output mutual exclusion (origin-replies or
+// leader-replies) and non-primary output suppression, and carries the
+// service state plus the dedup table through join-time state transfer.
+//
+// The paper's central claim is that this machinery is *external*: it
+// wraps any deterministic service behind its command interface, with
+// TORQUE merely the instance evaluated. Accordingly the PBS batch
+// system (internal/joshua wires it up) and the key-value demo store
+// (internal/rsm/kvstore) run on this identical engine; composing
+// several services behind one Replica is what Mux is for.
+package rsm
+
+import (
+	"errors"
+	"log"
+	"sync"
+
+	"joshua/internal/gcs"
+	"joshua/internal/transport"
+)
+
+// Command is one totally ordered command delivered to the Service.
+// Every replica applies the same commands in the same order; Payload
+// is opaque to the engine.
+type Command struct {
+	// ReqID is the client request identifier, the deduplication key.
+	ReqID string
+	// Payload is the service-defined command encoding (for request-
+	// originated commands, the client datagram verbatim).
+	Payload []byte
+	// Origin is the replica that intercepted the command.
+	Origin gcs.MemberID
+	// Client is where the response goes; empty for internally
+	// originated commands (no reply is sent).
+	Client transport.Addr
+}
+
+// Service is the deterministic state machine being replicated. All
+// methods are invoked from the Replica's event loop goroutine, so a
+// Service needs no internal locking against the engine (only against
+// its own out-of-loop readers, if it has any).
+type Service interface {
+	// Apply executes one totally ordered command against local state
+	// and returns the encoded response to relay to the client. A nil
+	// return means the command produces no reply (internal commands,
+	// malformed payloads); it is still recorded in the dedup table.
+	Apply(cmd Command) []byte
+	// Snapshot encodes the full service state for join-time transfer.
+	Snapshot() []byte
+	// Restore replaces the service state from a Snapshot.
+	Restore(state []byte) error
+}
+
+// Verdict tells the Replica what to do with one client datagram.
+type Verdict int
+
+const (
+	// Ignore drops the datagram (malformed, not a request).
+	Ignore Verdict = iota
+	// Reply answers immediately with Classification.Response — local
+	// reads and protocol-level rejections, served without ordering.
+	Reply
+	// Replicate pushes the datagram through the total order; every
+	// replica applies it and the output-mutex winner answers.
+	Replicate
+)
+
+// Classification is the Classifier's decision for one datagram.
+type Classification struct {
+	Verdict Verdict
+	// ReqID is the deduplication key; required for Replicate.
+	ReqID string
+	// Response is the encoded reply; required for Reply.
+	Response []byte
+}
+
+// Classifier inspects one inbound client datagram. It runs on the
+// Replica's event loop goroutine, so it may read loop-owned service
+// state directly (local reads).
+type Classifier func(payload []byte) Classification
+
+// OutputPolicy selects which replica relays command output back to
+// the client — the "distributed mutual exclusion to ensure that
+// output is delivered only once" of the paper. Both policies are
+// deterministic given the totally ordered command and view streams.
+type OutputPolicy int
+
+const (
+	// OriginReplies lets the replica that intercepted the command
+	// answer the client. If it dies before answering, the client's
+	// retry is served from the deduplication table by another replica.
+	OriginReplies OutputPolicy = iota
+	// LeaderReplies lets the lowest-ID member of the current view
+	// answer every command, regardless of which replica intercepted
+	// it.
+	LeaderReplies
+)
+
+// Config parameterizes a Replica.
+type Config struct {
+	// Self is this replica's member identity.
+	Self gcs.MemberID
+	// GroupEndpoint carries group communication; the replica owns it.
+	GroupEndpoint transport.Endpoint
+	// ClientEndpoint receives client request datagrams; the replica
+	// owns it.
+	ClientEndpoint transport.Endpoint
+	// Peers maps every potential replica to its group address.
+	Peers map[gcs.MemberID]transport.Addr
+
+	// Group formation: exactly one of InitialMembers (static
+	// bootstrap), Bootstrap (found a new group), or neither (join an
+	// existing group through Peers).
+	InitialMembers []gcs.MemberID
+	Bootstrap      bool
+
+	// PartitionPolicy is forwarded to the group layer. The default
+	// FailStop matches the paper's fail-stop model.
+	PartitionPolicy gcs.PartitionPolicy
+
+	// Service is the replicated state machine. Required.
+	Service Service
+	// Classify parses client datagrams. Required.
+	Classify Classifier
+
+	// OutputPolicy defaults to OriginReplies.
+	OutputPolicy OutputPolicy
+
+	// DedupLimit bounds the request-deduplication table. Default 4096
+	// entries.
+	DedupLimit int
+
+	// RejectNotPrimary builds the response sent for a replicate-
+	// classified request arriving at a replica outside the primary
+	// component. Nil drops such requests silently (the client's retry
+	// finds a primary replica by failover).
+	RejectNotPrimary func(reqID string) []byte
+	// RejectShutdown builds the response sent when the group layer
+	// refuses a broadcast because the replica is shutting down. Nil
+	// drops the request silently.
+	RejectShutdown func(reqID string) []byte
+
+	// TuneGCS, when non-nil, may adjust group communication timings
+	// before the group process starts (tests and benchmarks shorten
+	// them).
+	TuneGCS func(*gcs.Config)
+
+	// Logger receives diagnostics; nil disables logging.
+	Logger *log.Logger
+}
+
+// Stats counts replica activity.
+type Stats struct {
+	Intercepted  uint64 // client requests received
+	Applied      uint64 // replicated commands applied
+	Replied      uint64 // responses sent to clients
+	DedupHits    uint64 // retried requests answered from the table
+	Views        uint64 // views installed
+	DedupEntries int    // current deduplication-table size (gauge)
+}
+
+// Replica is one symmetric active/active member: the generic
+// replication engine of a head node.
+type Replica struct {
+	cfg      Config
+	group    *gcs.Process
+	clientEP transport.Endpoint
+	service  Service
+
+	done chan struct{}
+	once sync.Once
+
+	// ready is closed when the first view is installed (group formed
+	// or join complete).
+	ready     chan struct{}
+	readyOnce sync.Once
+
+	// --- owned by the run loop ---
+	view gcs.View
+	// dedup maps request IDs to the encoded response each replica
+	// computed when the command was applied; it makes client retries
+	// idempotent. dedupOrder drives FIFO eviction. Replicated: every
+	// replica builds the same table from the same command stream.
+	dedup      map[string][]byte
+	dedupOrder []string
+
+	statsMu sync.Mutex
+	stats   Stats
+}
+
+// Start creates and runs a replica. It is accepting client requests
+// once Ready() is closed.
+func Start(cfg Config) (*Replica, error) {
+	if cfg.Service == nil {
+		return nil, errors.New("rsm: Config.Service required")
+	}
+	if cfg.Classify == nil {
+		return nil, errors.New("rsm: Config.Classify required")
+	}
+	if cfg.ClientEndpoint == nil {
+		return nil, errors.New("rsm: Config.ClientEndpoint required")
+	}
+	if cfg.DedupLimit <= 0 {
+		cfg.DedupLimit = 4096
+	}
+
+	r := &Replica{
+		cfg:      cfg,
+		clientEP: cfg.ClientEndpoint,
+		service:  cfg.Service,
+		done:     make(chan struct{}),
+		ready:    make(chan struct{}),
+		dedup:    make(map[string][]byte),
+	}
+
+	gcfg := gcs.Config{
+		Self:            cfg.Self,
+		Endpoint:        cfg.GroupEndpoint,
+		Peers:           cfg.Peers,
+		InitialMembers:  cfg.InitialMembers,
+		Bootstrap:       cfg.Bootstrap,
+		PartitionPolicy: cfg.PartitionPolicy,
+		Logger:          cfg.Logger,
+	}
+	if cfg.TuneGCS != nil {
+		cfg.TuneGCS(&gcfg)
+	}
+	group, err := gcs.Start(gcfg)
+	if err != nil {
+		return nil, err
+	}
+	r.group = group
+
+	go r.run()
+	return r, nil
+}
+
+// Ready is closed once the replica has joined (or formed) the group
+// and installed its first view.
+func (r *Replica) Ready() <-chan struct{} { return r.ready }
+
+// Self returns the replica's member identity.
+func (r *Replica) Self() gcs.MemberID { return r.cfg.Self }
+
+// View returns the most recent group view.
+func (r *Replica) View() gcs.View { return r.group.View() }
+
+// GroupStats returns the group communication layer's counters.
+func (r *Replica) GroupStats() gcs.Stats { return r.group.Stats() }
+
+// Stats returns a snapshot of the replica counters.
+func (r *Replica) Stats() Stats {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	return r.stats
+}
+
+// Propose replicates an internally originated command (one with no
+// client to answer) through the total order. The request ID must be
+// derived deterministically from the command contents so that copies
+// proposed by several replicas collapse in the deduplication table.
+func (r *Replica) Propose(reqID string, payload []byte) error {
+	env := &envelope{ReqID: reqID, Origin: r.cfg.Self, Payload: payload}
+	return r.group.Broadcast(env.encode())
+}
+
+// Leave announces a voluntary departure (the paper handles it as a
+// forced failure) and shuts the replica down.
+func (r *Replica) Leave() {
+	r.group.Leave()
+	r.Close()
+}
+
+// Close stops the replica immediately, simulating a crash. The
+// Service is not closed; its owner remains responsible for it.
+func (r *Replica) Close() {
+	r.once.Do(func() {
+		close(r.done)
+		r.group.Close()
+		r.clientEP.Close()
+	})
+}
+
+func (r *Replica) logf(format string, args ...any) {
+	if r.cfg.Logger != nil {
+		r.cfg.Logger.Printf("[rsm %s] "+format, append([]any{r.cfg.Self}, args...)...)
+	}
+}
+
+func (r *Replica) bump(f func(*Stats)) {
+	r.statsMu.Lock()
+	f(&r.stats)
+	r.statsMu.Unlock()
+}
+
+// run is the replica's event loop: replicated events from the group
+// on one side, client datagrams on the other.
+func (r *Replica) run() {
+	events := r.group.Events()
+	for {
+		select {
+		case <-r.done:
+			return
+		case e, ok := <-events:
+			if !ok {
+				return
+			}
+			r.handleGroupEvent(e)
+		case dg, ok := <-r.clientEP.Recv():
+			if !ok {
+				return
+			}
+			r.handleClientDatagram(dg)
+		}
+	}
+}
+
+func (r *Replica) handleGroupEvent(e gcs.Event) {
+	switch ev := e.(type) {
+	case gcs.ViewEvent:
+		r.view = ev.View
+		r.bump(func(st *Stats) { st.Views++ })
+		r.readyOnce.Do(func() { close(r.ready) })
+		r.logf("view %d members=%v primary=%v", ev.View.ID, ev.View.Members, ev.View.Primary)
+	case gcs.DeliverEvent:
+		env, err := decodeEnvelope(ev.Payload)
+		if err != nil {
+			r.logf("dropping malformed replicated command: %v", err)
+			return
+		}
+		r.applyEnvelope(env)
+	case gcs.SnapshotRequestEvent:
+		ev.Reply(r.encodeState())
+	case gcs.StateTransferEvent:
+		if err := r.restoreState(ev.State); err != nil {
+			r.logf("state transfer failed: %v", err)
+		} else {
+			r.logf("state transfer applied (%d bytes)", len(ev.State))
+		}
+	}
+}
+
+// handleClientDatagram intercepts one client request.
+func (r *Replica) handleClientDatagram(dg transport.Message) {
+	cls := r.cfg.Classify(dg.Payload)
+	if cls.Verdict == Ignore {
+		return
+	}
+	r.bump(func(st *Stats) { st.Intercepted++ })
+
+	if cls.Verdict == Reply {
+		_ = r.clientEP.Send(dg.From, cls.Response)
+		r.bump(func(st *Stats) { st.Replied++ })
+		return
+	}
+
+	// Retried request already applied? Answer from the table without
+	// re-executing (exactly-once semantics across replica failures).
+	if resp, ok := r.dedup[cls.ReqID]; ok {
+		if resp != nil {
+			r.bump(func(st *Stats) { st.DedupHits++; st.Replied++ })
+			_ = r.clientEP.Send(dg.From, resp)
+		}
+		return
+	}
+
+	if !r.view.Primary {
+		if r.cfg.RejectNotPrimary != nil {
+			_ = r.clientEP.Send(dg.From, r.cfg.RejectNotPrimary(cls.ReqID))
+		}
+		return
+	}
+
+	env := &envelope{
+		ReqID:   cls.ReqID,
+		Origin:  r.cfg.Self,
+		Client:  dg.From,
+		Payload: dg.Payload,
+	}
+	if err := r.group.Broadcast(env.encode()); err != nil {
+		if r.cfg.RejectShutdown != nil {
+			_ = r.clientEP.Send(dg.From, r.cfg.RejectShutdown(cls.ReqID))
+		}
+	}
+}
+
+// applyEnvelope executes one totally ordered command against the
+// local service. Every replica runs this for every command in the
+// same order; exactly one (per OutputPolicy) relays the output.
+func (r *Replica) applyEnvelope(env *envelope) {
+	respBytes, seen := r.dedup[env.ReqID]
+	if !seen {
+		// First delivery: execute. A duplicate (the same request
+		// replicated twice because the client retried at a second
+		// replica before the first replica's broadcast was delivered)
+		// reuses the recorded response.
+		respBytes = r.service.Apply(Command{
+			ReqID:   env.ReqID,
+			Payload: env.Payload,
+			Origin:  env.Origin,
+			Client:  env.Client,
+		})
+		r.dedupInsert(env.ReqID, respBytes)
+		r.bump(func(st *Stats) { st.Applied++ })
+	}
+
+	// Output mutual exclusion, and output suppression outside the
+	// primary component: a minority fragment may keep its local state
+	// self-consistent, but its results must never reach users — the
+	// primary component's are authoritative. Internally originated
+	// commands have no client at all.
+	if env.Client != "" && respBytes != nil && r.view.Primary && r.shouldReply(env) {
+		_ = r.clientEP.Send(env.Client, respBytes)
+		r.bump(func(st *Stats) { st.Replied++ })
+	}
+}
+
+// shouldReply implements the output mutual exclusion.
+func (r *Replica) shouldReply(env *envelope) bool {
+	switch r.cfg.OutputPolicy {
+	case LeaderReplies:
+		return len(r.view.Members) > 0 && r.view.Members[0] == r.cfg.Self
+	default: // OriginReplies
+		return env.Origin == r.cfg.Self
+	}
+}
+
+// dedupInsert records a response with FIFO eviction. Because every
+// replica applies the same commands in the same order, the table (and
+// its eviction) is identical everywhere.
+func (r *Replica) dedupInsert(reqID string, resp []byte) {
+	if _, exists := r.dedup[reqID]; exists {
+		return
+	}
+	r.dedup[reqID] = resp
+	r.dedupOrder = append(r.dedupOrder, reqID)
+	for len(r.dedupOrder) > r.cfg.DedupLimit {
+		victim := r.dedupOrder[0]
+		r.dedupOrder = r.dedupOrder[1:]
+		delete(r.dedup, victim)
+	}
+	r.bump(func(st *Stats) { st.DedupEntries = len(r.dedup) })
+}
+
+// encodeState builds the join-time state transfer: the service
+// snapshot plus the deduplication table (so client retries do not
+// re-execute on the joiner).
+func (r *Replica) encodeState() []byte {
+	st := &replicaState{Service: r.service.Snapshot()}
+	st.DedupIDs = append(st.DedupIDs, r.dedupOrder...)
+	for _, id := range r.dedupOrder {
+		st.DedupResp = append(st.DedupResp, r.dedup[id])
+	}
+	return st.encode()
+}
+
+// restoreState applies a join-time state transfer.
+func (r *Replica) restoreState(b []byte) error {
+	st, err := decodeReplicaState(b)
+	if err != nil {
+		return err
+	}
+	if err := r.service.Restore(st.Service); err != nil {
+		return err
+	}
+	r.dedup = make(map[string][]byte, len(st.DedupIDs))
+	r.dedupOrder = r.dedupOrder[:0]
+	for i, id := range st.DedupIDs {
+		r.dedup[id] = st.DedupResp[i]
+		r.dedupOrder = append(r.dedupOrder, id)
+	}
+	r.bump(func(st *Stats) { st.DedupEntries = len(r.dedup) })
+	return nil
+}

@@ -1,0 +1,94 @@
+package rsm
+
+import (
+	"fmt"
+
+	"joshua/internal/codec"
+	"joshua/internal/gcs"
+	"joshua/internal/transport"
+)
+
+// envelope is one replicated command inside the group communication
+// payload: the service-opaque command bytes plus enough routing
+// information for deduplication and the output mutual exclusion
+// (which replica answers the client).
+type envelope struct {
+	ReqID   string
+	Origin  gcs.MemberID   // replica that intercepted the command
+	Client  transport.Addr // where the reply goes; empty for internal
+	Payload []byte
+}
+
+func (e *envelope) encode() []byte {
+	enc := codec.NewEncoder(64 + len(e.ReqID) + len(e.Payload))
+	enc.PutString(e.ReqID)
+	enc.PutString(string(e.Origin))
+	enc.PutString(string(e.Client))
+	enc.PutBytes(e.Payload)
+	return enc.Bytes()
+}
+
+func decodeEnvelope(b []byte) (*envelope, error) {
+	d := codec.NewDecoder(b)
+	env := &envelope{
+		ReqID:  d.String(),
+		Origin: gcs.MemberID(d.String()),
+		Client: transport.Addr(d.String()),
+	}
+	p := d.Bytes()
+	env.Payload = make([]byte, len(p))
+	copy(env.Payload, p)
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return env, nil
+}
+
+// replicaState is the engine state transferred to joining replicas:
+// the service snapshot and the request deduplication table.
+type replicaState struct {
+	DedupIDs  []string
+	DedupResp [][]byte
+	Service   []byte
+}
+
+func (s *replicaState) encode() []byte {
+	e := codec.NewEncoder(len(s.Service) + 256)
+	e.PutBytes(s.Service)
+	e.PutUint(uint64(len(s.DedupIDs)))
+	for i, id := range s.DedupIDs {
+		e.PutString(id)
+		// A nil response (reply-suppressed command) must survive the
+		// round trip as nil, not as an empty reply to send.
+		e.PutBool(s.DedupResp[i] != nil)
+		e.PutBytes(s.DedupResp[i])
+	}
+	return e.Bytes()
+}
+
+func decodeReplicaState(b []byte) (*replicaState, error) {
+	d := codec.NewDecoder(b)
+	s := &replicaState{}
+	sb := d.Bytes()
+	s.Service = make([]byte, len(sb))
+	copy(s.Service, sb)
+	n := d.Uint()
+	if d.Err() != nil || n > uint64(d.Remaining())+1 {
+		return nil, fmt.Errorf("rsm: corrupt state: %v", d.Err())
+	}
+	for i := uint64(0); i < n; i++ {
+		s.DedupIDs = append(s.DedupIDs, d.String())
+		hasResp := d.Bool()
+		rb := d.Bytes()
+		var resp []byte
+		if hasResp {
+			resp = make([]byte, len(rb))
+			copy(resp, rb)
+		}
+		s.DedupResp = append(s.DedupResp, resp)
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -4,10 +4,11 @@
 //
 // Each endpoint listens on its own TCP address and maintains a cache
 // of outbound connections. Datagrams are framed with the shared codec
-// framing and prefixed with the sender's logical address. Connection
-// failures simply drop datagrams — the group communication layer
-// supplies reliability, so tcpnet stays faithful to the weak datagram
-// contract of package transport.
+// framing and prefixed with the sender's logical address. Delivery
+// stays best-effort — the group communication layer supplies
+// reliability — but Send reports unknown, unreachable, and
+// write-failed peers to the caller, so clients doing head failover
+// can skip a dead head immediately instead of waiting out a timeout.
 //
 // Logical addresses ("host/service") are mapped to TCP addresses by a
 // Resolver, typically a static table loaded from the cluster
@@ -16,6 +17,7 @@
 package tcpnet
 
 import (
+	"fmt"
 	"net"
 	"sync"
 
@@ -97,8 +99,10 @@ func (e *Endpoint) TCPAddr() string { return e.listener.Addr().String() }
 func (e *Endpoint) Recv() <-chan transport.Message { return e.recv }
 
 // Send transmits one datagram to the peer with the given logical
-// address. Unknown or unreachable peers drop the datagram silently, in
-// keeping with the best-effort transport contract.
+// address. The datagram is dropped — and the failure returned — when
+// the peer is unknown to the resolver, cannot be dialed, or the write
+// fails; callers that want the plain best-effort contract ignore the
+// error, callers doing failover use it to advance to the next peer.
 func (e *Endpoint) Send(to transport.Addr, payload []byte) error {
 	e.mu.Lock()
 	if e.closed {
@@ -111,11 +115,11 @@ func (e *Endpoint) Send(to transport.Addr, payload []byte) error {
 	if conn == nil {
 		tcp, ok := e.resolver.Resolve(to)
 		if !ok {
-			return nil // unknown peer: best-effort drop
+			return fmt.Errorf("tcpnet: unknown peer %s", to)
 		}
 		c, err := net.Dial("tcp", tcp)
 		if err != nil {
-			return nil // unreachable peer: best-effort drop
+			return fmt.Errorf("tcpnet: dial %s: %w", to, err)
 		}
 		e.mu.Lock()
 		if e.closed {
@@ -149,6 +153,7 @@ func (e *Endpoint) Send(to transport.Addr, payload []byte) error {
 		}
 		e.mu.Unlock()
 		conn.conn.Close()
+		return fmt.Errorf("tcpnet: write to %s: %w", to, err)
 	}
 	return nil
 }

@@ -78,22 +78,22 @@ func TestManyMessagesInOrder(t *testing.T) {
 	}
 }
 
-func TestUnknownPeerDropsSilently(t *testing.T) {
+func TestUnknownPeerReportsError(t *testing.T) {
 	a, _ := pair(t)
-	if err := a.Send("nowhere/x", []byte("lost")); err != nil {
-		t.Errorf("Send to unknown peer should drop silently, got %v", err)
+	if err := a.Send("nowhere/x", []byte("lost")); err == nil {
+		t.Error("Send to unknown peer should report the drop")
 	}
 }
 
-func TestUnreachablePeerDropsSilently(t *testing.T) {
+func TestUnreachablePeerReportsError(t *testing.T) {
 	res := StaticResolver{"gone/x": "127.0.0.1:1"} // nothing listens there
 	a, err := Listen("h1/a", "127.0.0.1:0", res)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer a.Close()
-	if err := a.Send("gone/x", []byte("lost")); err != nil {
-		t.Errorf("Send to unreachable peer should drop silently, got %v", err)
+	if err := a.Send("gone/x", []byte("lost")); err == nil {
+		t.Error("Send to unreachable peer should report the drop")
 	}
 }
 

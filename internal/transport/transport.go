@@ -44,7 +44,11 @@ type Message struct {
 //
 // Send is best-effort and non-blocking: the datagram may be dropped by
 // the network (loss, partition, crashed receiver, full receive queue)
-// without error. Errors indicate local misuse (closed endpoint).
+// without error. A non-nil error means the endpoint is closed
+// (ErrClosed) or the implementation detected the drop locally
+// (unknown or unreachable peer); best-effort callers may ignore the
+// latter, failover callers use it to advance to the next peer without
+// waiting out a timeout.
 type Endpoint interface {
 	// Addr returns the endpoint's own address.
 	Addr() Addr
