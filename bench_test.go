@@ -17,14 +17,19 @@ package joshua_bench
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"joshua/internal/availability"
 	"joshua/internal/bench"
 	"joshua/internal/codec"
+	"joshua/internal/gcs"
 	"joshua/internal/joshua"
 	"joshua/internal/pbs"
+	"joshua/internal/simnet"
+	"joshua/internal/transport"
+	"joshua/internal/transport/tcpnet"
 )
 
 // benchScale keeps the full benchmark suite quick while preserving the
@@ -175,6 +180,15 @@ func BenchmarkAblation_BatchSubmit100_2heads(b *testing.B) {
 	}
 }
 
+// BenchmarkAblation_NoBatching_2heads is the Transis-faithful
+// one-datagram-per-message counterpart of
+// BenchmarkMicro_GCSBroadcastThroughput: MaxBatch=1 and immediate
+// per-message acks. Compare ops/s between the two to see the batching
+// win (EXPERIMENTS.md records the ratio).
+func BenchmarkAblation_NoBatching_2heads(b *testing.B) {
+	benchGCSBroadcast(b, false)
+}
+
 func BenchmarkAblation_OrderedRead_2heads(b *testing.B) {
 	sys := latencySystem(b, 2, false)
 	j, err := sys.Client.Submit(pbs.SubmitRequest{Name: "probe", Hold: true})
@@ -209,7 +223,7 @@ func BenchmarkMicro_CodecEncodeDecode(b *testing.B) {
 	payload := make([]byte, 256)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		e := codec.NewEncoder(512)
+		e := codec.GetEncoder(512)
 		e.PutUint(uint64(i))
 		e.PutString("1.cluster")
 		e.PutBytes(payload)
@@ -220,6 +234,148 @@ func BenchmarkMicro_CodecEncodeDecode(b *testing.B) {
 		if d.Finish() != nil {
 			b.Fatal("roundtrip failed")
 		}
+		e.Release()
+	}
+}
+
+// benchGCSBroadcast measures raw total-order broadcast throughput of a
+// two-member group on a zero-latency in-memory network, driven from
+// the non-sequencer member so every message crosses the full
+// REQ→sequencer→DATA path (batched: REQBATCH→BATCH). Safe delivery is
+// on, so the ack path is measured too.
+func benchGCSBroadcast(b *testing.B, batching bool) {
+	b.Helper()
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+
+	ids := []gcs.MemberID{"m0", "m1"}
+	peers := map[gcs.MemberID]transport.Addr{
+		"m0": "host0/gcs",
+		"m1": "host1/gcs",
+	}
+	var delivered atomic.Uint64
+	procs := make([]*gcs.Process, len(ids))
+	for i, id := range ids {
+		ep, err := net.Endpoint(peers[id])
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := gcs.Config{
+			Self:           id,
+			Endpoint:       ep,
+			Peers:          peers,
+			InitialMembers: ids,
+			SafeDelivery:   true,
+			Heartbeat:      10 * time.Millisecond,
+			FailTimeout:    300 * time.Millisecond,
+			ResendInterval: 100 * time.Millisecond,
+			FlushTimeout:   500 * time.Millisecond,
+		}
+		if !batching {
+			cfg.MaxBatch = 1  // one datagram per message
+			cfg.AckDelay = -1 // one ack per delivery
+		}
+		p, err := gcs.Start(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(p.Close)
+		procs[i] = p
+		count := i == 1
+		go func(p *gcs.Process, count bool) {
+			for e := range p.Events() {
+				if _, ok := e.(gcs.DeliverEvent); ok && count {
+					delivered.Add(1)
+				}
+			}
+		}(p, count)
+	}
+	sender := procs[1] // m0 is the sequencer; m1 drives the group
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		v := sender.View()
+		if len(v.Members) == 2 && v.Primary {
+			break
+		}
+		if time.Now().After(deadline) {
+			b.Fatal("two-member view never formed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	payload := make([]byte, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sender.Broadcast(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Throughput includes the drain: every broadcast safely delivered
+	// back at the sender.
+	deadline = time.Now().Add(60 * time.Second)
+	for delivered.Load() < uint64(b.N) {
+		if time.Now().After(deadline) {
+			b.Fatalf("delivered %d of %d broadcasts", delivered.Load(), b.N)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	b.StopTimer()
+	st := procs[0].Stats()
+	b.ReportMetric(float64(st.BatchesSent), "batches")
+	b.ReportMetric(float64(st.MsgsPerBatchMax), "max-batch")
+}
+
+func BenchmarkMicro_GCSBroadcastThroughput(b *testing.B) {
+	benchGCSBroadcast(b, true)
+}
+
+func BenchmarkMicro_TCPNetSend(b *testing.B) {
+	res := tcpnet.StaticResolver{}
+	src, err := tcpnet.Listen("bench/src", "127.0.0.1:0", res)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer src.Close()
+	dst, err := tcpnet.Listen("bench/dst", "127.0.0.1:0", res)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer dst.Close()
+	res["bench/src"] = src.TCPAddr()
+	res["bench/dst"] = dst.TCPAddr()
+
+	var received atomic.Uint64
+	go func() {
+		for range dst.Recv() {
+			received.Add(1)
+		}
+	}()
+
+	// Keep at most half the send queue in flight so the drop-oldest
+	// backpressure never engages and every send is delivered.
+	const window = 512
+	payload := make([]byte, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for uint64(i)-received.Load() >= window {
+			time.Sleep(20 * time.Microsecond)
+		}
+		if err := src.Send("bench/dst", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for received.Load() < uint64(b.N) {
+		if time.Now().After(deadline) {
+			b.Fatalf("received %d of %d sends", received.Load(), b.N)
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+	b.StopTimer()
+	if drops := src.Stats().QueueDrops; drops != 0 {
+		b.Fatalf("windowed sender should not drop (drops=%d)", drops)
 	}
 }
 

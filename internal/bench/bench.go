@@ -51,6 +51,10 @@ type Calibration struct {
 	// OrderedCompletions routes mom completion reports through the
 	// total order (the deterministic-allocation extension).
 	OrderedCompletions bool
+	// NoBatching disables sequencer DATA coalescing and ack-delay
+	// piggybacking (MaxBatch=1, immediate per-message acks) — the
+	// Transis-faithful one-datagram-per-message ablation.
+	NoBatching bool
 }
 
 // PaperCalibration returns the model used for the Figure 10/11
@@ -93,6 +97,10 @@ func (cal Calibration) tune(c *gcs.Config) {
 	c.FailTimeout = 8 * cal.Heartbeat
 	c.ResendInterval = 4 * cal.Heartbeat
 	c.FlushTimeout = 10 * cal.Heartbeat
+	if cal.NoBatching {
+		c.MaxBatch = 1
+		c.AckDelay = -1
+	}
 }
 
 // options builds the cluster configuration for one measured system.

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 	"time"
 )
 
@@ -49,6 +50,37 @@ type Encoder struct {
 // capacity.
 func NewEncoder(capacity int) *Encoder {
 	return &Encoder{buf: make([]byte, 0, capacity)}
+}
+
+// maxPooledCapacity bounds the buffers retained by the encoder pool.
+// Occasional giants (state-transfer snapshots) are let go to the GC
+// rather than pinned for the life of the process.
+const maxPooledCapacity = 1 << 20
+
+var encoderPool = sync.Pool{New: func() any { return new(Encoder) }}
+
+// GetEncoder returns an empty Encoder from a package-level pool, grown
+// to at least the given capacity. Callers on hot paths pair it with
+// Release once the encoded bytes have been handed off; the
+// transport.Endpoint contract (payloads are not aliased after Send
+// returns) is what makes releasing after a send safe.
+func GetEncoder(capacity int) *Encoder {
+	e := encoderPool.Get().(*Encoder)
+	e.buf = e.buf[:0]
+	if cap(e.buf) < capacity {
+		e.buf = make([]byte, 0, capacity)
+	}
+	return e
+}
+
+// Release resets e and returns it to the pool. The Encoder, and any
+// slice previously obtained from Bytes, must not be used afterwards.
+func (e *Encoder) Release() {
+	if cap(e.buf) > maxPooledCapacity {
+		return
+	}
+	e.buf = e.buf[:0]
+	encoderPool.Put(e)
 }
 
 // Bytes returns the encoded buffer. The slice aliases the Encoder's

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -305,4 +306,64 @@ func TestEncoderReset(t *testing.T) {
 	if d.Uint() != 5 || d.Finish() != nil {
 		t.Fatal("encoder unusable after Reset")
 	}
+}
+
+func TestPooledEncoder(t *testing.T) {
+	e := GetEncoder(32)
+	if e.Len() != 0 {
+		t.Fatal("pooled encoder should start empty")
+	}
+	e.PutString("hello")
+	e.PutUint(42)
+	d := NewDecoder(e.Bytes())
+	if d.String() != "hello" || d.Uint() != 42 || d.Finish() != nil {
+		t.Fatal("pooled encoder round trip failed")
+	}
+	e.Release()
+
+	// A reused encoder must come back empty regardless of prior use.
+	for i := 0; i < 100; i++ {
+		e := GetEncoder(8)
+		if e.Len() != 0 {
+			t.Fatalf("iteration %d: reused encoder not empty (len %d)", i, e.Len())
+		}
+		e.PutUint(uint64(i))
+		e.Release()
+	}
+
+	// Requested capacity is honored even when the pooled buffer was
+	// smaller.
+	big := GetEncoder(64 << 10)
+	if cap(big.buf) < 64<<10 {
+		t.Fatalf("capacity %d, want >= %d", cap(big.buf), 64<<10)
+	}
+	big.Release()
+
+	// Oversized buffers are dropped rather than pinned in the pool;
+	// Release must still be safe to call on them.
+	huge := GetEncoder(2 << 20)
+	huge.PutBytes(make([]byte, 2<<20))
+	huge.Release()
+}
+
+func TestPooledEncoderConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				e := GetEncoder(16)
+				e.PutUint(uint64(g))
+				e.PutUint(uint64(i))
+				d := NewDecoder(e.Bytes())
+				if d.Uint() != uint64(g) || d.Uint() != uint64(i) || d.Finish() != nil {
+					panic("pooled encoder corrupted under concurrency")
+				}
+				e.Release()
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -90,6 +90,11 @@ func (p *Process) nextCandidates() (candidates, old, joining []MemberID) {
 // beginFlush starts (or restarts) a view change with this member as
 // coordinator.
 func (p *Process) beginFlush(attempt uint64) {
+	// Push out any batch still accumulating in this round before the
+	// flush snapshots p.ordered, so a batch straddling the view change
+	// is reconciled (and cut) exactly like singleton DATA.
+	p.flushOutData()
+	p.flushReqOut()
 	p.bumpStat(func(st *Stats) { st.FlushAttempts++ })
 	candidates, old, joining := p.nextCandidates()
 	p.st = statusFlushing
@@ -114,11 +119,7 @@ func (p *Process) beginFlush(attempt uint64) {
 		Attempt: attempt,
 		Members: candidates,
 	}
-	for _, m := range old {
-		if m != p.cfg.Self {
-			p.sendTo(m, prop)
-		}
-	}
+	p.multicast(old, prop)
 	p.checkFlushComplete()
 }
 
@@ -308,9 +309,7 @@ func (p *Process) completeFlush() {
 				DelivTable: table,
 				AppState:   snapshot,
 			}
-			for _, j := range joining {
-				p.sendTo(j, snap)
-			}
+			p.multicast(joining, snap)
 		}
 	}
 
@@ -325,11 +324,7 @@ func (p *Process) completeFlush() {
 		FinalSeq:  finalSeq,
 		Msgs:      msgs,
 	}
-	for _, c := range candidates {
-		if c != p.cfg.Self {
-			p.sendTo(c, nv)
-		}
-	}
+	p.multicast(candidates, nv)
 	// Keep the NEWVIEW for retransmission: a member whose copy was
 	// lost keeps resending its flush state, which we answer with this.
 	p.lastNewView = nv
@@ -613,11 +608,13 @@ func (p *Process) flushTick(now time.Time) {
 					Attempt: p.fl.attempt,
 					Members: p.fl.candidates,
 				}
+				var lagging []MemberID
 				for _, m := range p.fl.oldMembers {
 					if _, ok := p.fl.states[m]; !ok && m != p.cfg.Self {
-						p.sendTo(m, prop)
+						lagging = append(lagging, m)
 					}
 				}
+				p.multicast(lagging, prop)
 			}
 		} else if now.Sub(p.fl.lastStateSend) >= p.cfg.ResendInterval {
 			p.fl.lastStateSend = now

@@ -39,6 +39,7 @@ import (
 	"sync"
 	"time"
 
+	"joshua/internal/codec"
 	"joshua/internal/transport"
 )
 
@@ -191,6 +192,24 @@ type Config struct {
 	// broadcasts; Broadcast blocks when it is full. Default 256.
 	Window int
 
+	// MaxBatch bounds how many sequenced messages the sequencer packs
+	// into one BATCH frame, and how many queued ordering requests a
+	// sender packs into one REQBATCH frame. Messages available within
+	// the same event-loop round coalesce up to this bound, amortising
+	// the per-frame cost (encode, send, ack) across a burst; an
+	// isolated message still goes out immediately in its own frame, so
+	// batching adds no latency. 1 disables batching — every message
+	// travels alone, the Transis-faithful configuration. Default 64.
+	MaxBatch int
+	// AckDelay shapes receipt-acknowledgment coalescing under
+	// SafeDelivery. 0 (the default) sends at most one ack per
+	// event-loop round, so a burst of sequenced messages arriving
+	// together is acknowledged once. A positive value additionally
+	// holds the ack up to that long to merge acks across rounds
+	// (throughput over latency). A negative value acknowledges every
+	// message immediately, as the original per-message protocol did.
+	AckDelay time.Duration
+
 	// SafeDelivery delays delivery of each message until every view
 	// member has acknowledged receiving it — the "safe" delivery
 	// guarantee of extended virtual synchrony (Transis/Totem SAFE
@@ -233,7 +252,18 @@ func (c *Config) fillDefaults() {
 	if c.Window <= 0 {
 		c.Window = 256
 	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxBatch < 1 {
+		c.MaxBatch = 1
+	}
 }
+
+// maxBatchBytes caps the payload bytes coalesced into one BATCH or
+// REQBATCH frame, keeping a batch of large messages well under the
+// codec frame limit. A single oversized message still goes out alone.
+const maxBatchBytes = 1 << 20
 
 // Process states.
 type status int
@@ -310,6 +340,23 @@ type Process struct {
 	// this view (from received DATA and heartbeat advertisements); it
 	// lets a member that missed the tail of the stream NACK it.
 	tailSeq uint64
+
+	// Batching (see flushRound): output accumulated during one
+	// event-loop round and emitted as coalesced frames at its end.
+	outData []dataMsg // sequencer: sequenced but not yet multicast
+	reqOut  []dataMsg // sender: ordering requests not yet sent
+	// Ack coalescing: ackPending marks a receipt ack owed to the
+	// sequencer; it is satisfied once per round by flushAck, or
+	// piggybacked on an outgoing REQBATCH. ackSince anchors the
+	// AckDelay window; ackArmed tracks whether ackTimer is set.
+	ackPending bool
+	ackSince   time.Time
+	ackArmed   bool
+	ackTimer   *time.Timer
+	// safeDirty marks a safe-watermark announcement owed to the view
+	// (sequencer); flushSafe emits it once per round unless a BATCH
+	// frame already carried it.
+	safeDirty bool
 
 	// flush state (see flush.go)
 	fl flushState
@@ -407,13 +454,17 @@ func (p *Process) View() View {
 
 // Stats counts protocol activity since the process started.
 type Stats struct {
-	Broadcasts    uint64 // application messages submitted
-	Delivered     uint64 // application messages delivered
-	Sequenced     uint64 // global sequence numbers assigned (sequencer role)
-	Retransmits   uint64 // DATA retransmissions served (NACKs, duplicate requests)
-	NacksSent     uint64 // retransmission requests issued
-	Views         uint64 // views installed
-	FlushAttempts uint64 // view-change attempts coordinated
+	Broadcasts      uint64 // application messages submitted
+	Delivered       uint64 // application messages delivered
+	Sequenced       uint64 // global sequence numbers assigned (sequencer role)
+	Retransmits     uint64 // DATA retransmissions served (NACKs, duplicate requests)
+	NacksSent       uint64 // retransmission requests issued
+	Views           uint64 // views installed
+	FlushAttempts   uint64 // view-change attempts coordinated
+	BatchesSent     uint64 // multi-message BATCH/REQBATCH frames sent
+	MsgsPerBatchMax uint64 // most messages coalesced into a single frame
+	AcksCoalesced   uint64 // receipt acks merged into another ack or frame
+	SendQueueDrops  uint64 // datagrams the transport reported dropped on send
 }
 
 // Stats returns a snapshot of the protocol counters.
@@ -528,6 +579,12 @@ func (p *Process) run() {
 	tick := time.NewTicker(p.cfg.Heartbeat)
 	defer tick.Stop()
 
+	p.ackTimer = time.NewTimer(time.Hour)
+	if !p.ackTimer.Stop() {
+		<-p.ackTimer.C
+	}
+	defer p.ackTimer.Stop()
+
 	now := time.Now()
 	for m := range p.cfg.Peers {
 		p.lastHeard[m] = now // grace period at startup
@@ -546,8 +603,175 @@ func (p *Process) run() {
 			p.handleDatagram(msg)
 		case <-tick.C:
 			p.onTick()
+		case <-p.ackTimer.C:
+			p.ackArmed = false // flushRound sends the now-due ack
+		}
+		p.drainInputs()
+		p.flushRound()
+	}
+}
+
+// drainInputs opportunistically processes whatever input is already
+// queued before the round's output goes out, so a burst of commands
+// or datagrams coalesces into batched frames instead of paying one
+// frame each. The bound keeps the ticker (failure detector,
+// retransmission) responsive under sustained load.
+func (p *Process) drainInputs() {
+	for i := 0; i < 4*p.cfg.MaxBatch; i++ {
+		select {
+		case <-p.done:
+			return
+		case fn := <-p.actions:
+			fn()
+		case msg, ok := <-p.ep.Recv():
+			if !ok {
+				return
+			}
+			p.handleDatagram(msg)
+		default:
+			return
 		}
 	}
+}
+
+// flushRound emits the output accumulated during one event-loop
+// round: sequenced DATA batches, queued ordering requests, the safe
+// watermark, and the receipt ack. Deferring the sends to this single
+// point is what turns the opportunistic input drain into wire-level
+// batching and ack coalescing.
+func (p *Process) flushRound() {
+	if p.st == statusClosed {
+		return
+	}
+	p.flushOutData()
+	p.flushReqOut()
+	p.flushSafe()
+	p.flushAck()
+}
+
+// flushOutData multicasts the messages sequenced this round, packing
+// up to MaxBatch of them into each BATCH frame. A lone message uses
+// the plain DATA frame, identical to the unbatched protocol.
+func (p *Process) flushOutData() {
+	for len(p.outData) > 0 {
+		n, bytes := 0, 0
+		for n < len(p.outData) && n < p.cfg.MaxBatch {
+			sz := len(p.outData[n].Payload)
+			if n > 0 && bytes+sz > maxBatchBytes {
+				break
+			}
+			bytes += sz
+			n++
+		}
+		var m *message
+		if n == 1 {
+			m = &message{Kind: kindData, From: p.cfg.Self, ViewID: p.view.ID, Data: p.outData[0]}
+		} else {
+			m = &message{Kind: kindBatch, From: p.cfg.Self, ViewID: p.view.ID, Msgs: p.outData[:n]}
+			if p.cfg.SafeDelivery {
+				// Piggyback the safe watermark; the separate SAFE
+				// frame this round becomes redundant.
+				m.Delivered = p.safeUpTo
+				p.safeDirty = false
+			}
+			p.bumpStat(func(st *Stats) {
+				st.BatchesSent++
+				if uint64(n) > st.MsgsPerBatchMax {
+					st.MsgsPerBatchMax = uint64(n)
+				}
+			})
+		}
+		p.sendToMembers(m)
+		if p.cfg.LoopbackSelfDelivery {
+			p.sendTo(p.cfg.Self, m)
+		}
+		p.outData = p.outData[n:]
+	}
+	p.outData = nil
+}
+
+// flushReqOut sends the ordering requests queued this round to the
+// sequencer, packing up to MaxBatch into each REQBATCH frame with the
+// current delivery/receipt watermarks piggybacked (which also
+// satisfies any pending receipt ack). Requests queued by the time a
+// view change interrupted the round are discarded: adoptView
+// retransmits all pending messages once the new view is installed.
+func (p *Process) flushReqOut() {
+	if len(p.reqOut) == 0 {
+		return
+	}
+	if p.st != statusNormal || p.view.Sequencer() == p.cfg.Self {
+		p.reqOut = nil
+		return
+	}
+	seqr := p.view.Sequencer()
+	for len(p.reqOut) > 0 {
+		n, bytes := 0, 0
+		for n < len(p.reqOut) && n < p.cfg.MaxBatch {
+			sz := len(p.reqOut[n].Payload)
+			if n > 0 && bytes+sz > maxBatchBytes {
+				break
+			}
+			bytes += sz
+			n++
+		}
+		var m *message
+		if n == 1 && !p.ackPending {
+			m = &message{Kind: kindReq, From: p.cfg.Self, ViewID: p.view.ID, Data: p.reqOut[0]}
+		} else {
+			m = &message{
+				Kind:      kindReqBatch,
+				From:      p.cfg.Self,
+				ViewID:    p.view.ID,
+				Msgs:      p.reqOut[:n],
+				Delivered: p.nextDeliver - 1,
+				Received:  p.contiguousReceived(),
+			}
+			if p.ackPending {
+				p.ackPending = false
+				p.bumpStat(func(st *Stats) { st.AcksCoalesced++ })
+			}
+			if n > 1 {
+				p.bumpStat(func(st *Stats) {
+					st.BatchesSent++
+					if uint64(n) > st.MsgsPerBatchMax {
+						st.MsgsPerBatchMax = uint64(n)
+					}
+				})
+			}
+		}
+		p.sendTo(seqr, m)
+		p.reqOut = p.reqOut[n:]
+	}
+	p.reqOut = nil
+}
+
+// flushSafe announces the safe watermark once per round when it moved
+// (or the periodic re-announce is due) and no BATCH frame carried it.
+func (p *Process) flushSafe() {
+	if !p.safeDirty {
+		return
+	}
+	p.safeDirty = false
+	p.sendToMembers(&message{Kind: kindSafe, From: p.cfg.Self, ViewID: p.view.ID, Delivered: p.safeUpTo})
+}
+
+// flushAck sends the coalesced receipt ack owed to the sequencer, or
+// arms the delay timer when AckDelay postpones it past this round.
+func (p *Process) flushAck() {
+	if !p.ackPending {
+		return
+	}
+	if p.cfg.AckDelay > 0 {
+		if wait := p.cfg.AckDelay - time.Since(p.ackSince); wait > 0 {
+			if !p.ackArmed {
+				p.ackArmed = true
+				p.ackTimer.Reset(wait)
+			}
+			return
+		}
+	}
+	p.sendAckNow()
 }
 
 // handleDatagram decodes and dispatches one incoming datagram.
@@ -557,7 +781,7 @@ func (p *Process) handleDatagram(dg transport.Message) {
 		p.logf("dropping datagram from %s: %v", dg.From, err)
 		return
 	}
-	if m.From == p.cfg.Self && m.Kind != kindData {
+	if m.From == p.cfg.Self && m.Kind != kindData && m.Kind != kindBatch {
 		return // our own echo; only loopback self-delivery DATA is real
 	}
 	p.lastHeard[m.From] = time.Now()
@@ -593,6 +817,10 @@ func (p *Process) handleDatagram(dg transport.Message) {
 		p.onStateSnap(m)
 	case kindSafe:
 		p.onSafe(m)
+	case kindBatch:
+		p.onBatch(m)
+	case kindReqBatch:
+		p.onReqBatch(m)
 	}
 }
 
@@ -604,12 +832,7 @@ func (p *Process) onTick() {
 	case statusJoining:
 		if now.Sub(p.lastJoinReq) >= p.cfg.JoinInterval {
 			p.lastJoinReq = now
-			m := &message{Kind: kindJoin, From: p.cfg.Self}
-			for peer := range p.cfg.Peers {
-				if peer != p.cfg.Self {
-					p.sendTo(peer, m)
-				}
-			}
+			p.multicast(sortedKeys(p.cfg.Peers), &message{Kind: kindJoin, From: p.cfg.Self})
 		}
 		return
 	case statusClosed:
@@ -675,12 +898,13 @@ func (p *Process) transmitPending(pm *pendingMsg) {
 		p.sequence(dataMsg{Sender: p.cfg.Self, SenderSeq: pm.senderSeq, Payload: pm.payload})
 		return
 	}
-	m := &message{
-		Kind:   kindReq,
-		From:   p.cfg.Self,
-		ViewID: p.view.ID,
-		Data:   dataMsg{SenderSeq: pm.senderSeq, Payload: pm.payload},
+	d := dataMsg{Sender: p.cfg.Self, SenderSeq: pm.senderSeq, Payload: pm.payload}
+	if p.cfg.MaxBatch > 1 {
+		// Queue for the round's REQBATCH; flushReqOut sends it.
+		p.reqOut = append(p.reqOut, d)
+		return
 	}
+	m := &message{Kind: kindReq, From: p.cfg.Self, ViewID: p.view.ID, Data: d}
 	p.sendTo(p.view.Sequencer(), m)
 }
 
@@ -716,6 +940,18 @@ func (p *Process) sequence(d dataMsg) {
 	}
 	p.reqSeq[d.Sender][d.SenderSeq] = d.Seq
 
+	if p.cfg.MaxBatch > 1 {
+		// Defer the multicast to flushOutData so messages sequenced in
+		// the same round share a frame. Local acceptance is immediate
+		// (loopback self-delivery instead rides the batch sent to
+		// self).
+		p.outData = append(p.outData, d)
+		if !p.cfg.LoopbackSelfDelivery {
+			dd := d
+			p.acceptData(&dd)
+		}
+		return
+	}
 	m := &message{Kind: kindData, From: p.cfg.Self, ViewID: p.view.ID, Data: d}
 	p.sendToMembers(m)
 	if p.cfg.LoopbackSelfDelivery {
@@ -725,6 +961,49 @@ func (p *Process) sequence(d dataMsg) {
 		return
 	}
 	p.acceptData(&d)
+}
+
+// onBatch handles a coalesced frame of sequenced messages, plus its
+// piggybacked safe watermark.
+func (p *Process) onBatch(m *message) {
+	if m.ViewID != p.view.ID || p.st == statusJoining {
+		return
+	}
+	for i := range m.Msgs {
+		d := m.Msgs[i]
+		p.acceptData(&d)
+	}
+	if p.cfg.SafeDelivery && m.From == p.view.Sequencer() && m.Delivered > p.safeUpTo {
+		p.safeUpTo = m.Delivered
+		if p.st == statusNormal {
+			p.deliverReady()
+		}
+	}
+}
+
+// onReqBatch handles a coalesced frame of ordering requests
+// (sequencer only). The piggybacked watermarks are applied exactly
+// like a standalone ACK.
+func (p *Process) onReqBatch(m *message) {
+	if m.ViewID != p.view.ID || p.st != statusNormal {
+		return
+	}
+	if p.view.Sequencer() != p.cfg.Self || !p.view.Includes(m.From) {
+		return
+	}
+	if m.Delivered > p.acked[m.From] {
+		p.acked[m.From] = m.Delivered
+	}
+	if m.Received > p.recvAcked[m.From] {
+		p.recvAcked[m.From] = m.Received
+	}
+	for i := range m.Msgs {
+		p.sequence(m.Msgs[i])
+	}
+	p.advanceStability()
+	if p.cfg.SafeDelivery {
+		p.updateSafeWatermark()
+	}
 }
 
 // onData handles a sequenced message from the sequencer.
@@ -753,8 +1032,10 @@ func (p *Process) acceptData(d *dataMsg) {
 		if p.cfg.SafeDelivery && p.st == statusNormal {
 			if p.view.Sequencer() == p.cfg.Self {
 				p.updateSafeWatermark()
+			} else if p.cfg.AckDelay < 0 {
+				p.sendAckNow() // per-message acks, Transis-faithful
 			} else {
-				p.sendAckNow()
+				p.scheduleAck()
 			}
 		}
 	}
@@ -775,10 +1056,23 @@ func (p *Process) contiguousReceived() uint64 {
 	}
 }
 
+// scheduleAck marks a receipt ack owed to the sequencer; flushRound
+// satisfies it once per round (or per AckDelay window), either as one
+// ACK frame or piggybacked on an outgoing REQBATCH.
+func (p *Process) scheduleAck() {
+	if p.ackPending {
+		p.bumpStat(func(st *Stats) { st.AcksCoalesced++ })
+		return
+	}
+	p.ackPending = true
+	p.ackSince = time.Now()
+}
+
 // sendAckNow immediately reports receipt progress to the sequencer
 // (safe delivery: the sequencer aggregates these into the safe
-// watermark).
+// watermark). It satisfies any coalesced ack still pending.
 func (p *Process) sendAckNow() {
+	p.ackPending = false
 	m := &message{
 		Kind:      kindAck,
 		From:      p.cfg.Self,
@@ -811,10 +1105,11 @@ func (p *Process) updateSafeWatermark() {
 	}
 }
 
-// broadcastSafe announces the current safe watermark (sequencer only).
+// broadcastSafe schedules a safe-watermark announcement (sequencer
+// only); flushSafe emits at most one SAFE frame per round, and an
+// outgoing BATCH frame absorbs it entirely.
 func (p *Process) broadcastSafe() {
-	m := &message{Kind: kindSafe, From: p.cfg.Self, ViewID: p.view.ID, Delivered: p.safeUpTo}
-	p.sendToMembers(m)
+	p.safeDirty = true
 }
 
 // onSafe adopts the sequencer's safe watermark.
@@ -1068,6 +1363,13 @@ func (p *Process) installView(v View) {
 	p.recvAcked = make(map[MemberID]uint64)
 	p.gapSince = time.Time{}
 	p.tailSeq = 0
+	// Unflushed round output belongs to the old view: sequenced
+	// messages live on in p.ordered (the flush reconciled them) and
+	// queued requests are retransmitted by adoptView.
+	p.outData = nil
+	p.reqOut = nil
+	p.ackPending = false
+	p.safeDirty = false
 
 	now := time.Now()
 	for _, m := range v.Members {
@@ -1086,16 +1388,46 @@ func (p *Process) sendTo(to MemberID, m *message) {
 	if !ok {
 		return
 	}
-	_ = p.ep.Send(addr, m.encode())
+	e := m.encodeTo()
+	p.sendRaw(addr, e.Bytes())
+	e.Release()
+}
+
+// sendRaw hands one encoded datagram to the transport, counting
+// locally reported drops (e.g. an overflowing peer send queue).
+func (p *Process) sendRaw(addr transport.Addr, buf []byte) {
+	if err := p.ep.Send(addr, buf); err != nil {
+		p.bumpStat(func(st *Stats) { st.SendQueueDrops++ })
+	}
+}
+
+// multicast transmits one message to every listed member except self,
+// encoding it exactly once. The transport contract (payloads are not
+// aliased after Send returns) lets all recipients share the buffer
+// and the buffer return to the pool afterwards.
+func (p *Process) multicast(targets []MemberID, m *message) {
+	var e *codec.Encoder
+	for _, t := range targets {
+		if t == p.cfg.Self {
+			continue
+		}
+		addr, ok := p.cfg.Peers[t]
+		if !ok {
+			continue
+		}
+		if e == nil {
+			e = m.encodeTo()
+		}
+		p.sendRaw(addr, e.Bytes())
+	}
+	if e != nil {
+		e.Release()
+	}
 }
 
 // sendToMembers transmits to every other member of the current view.
 func (p *Process) sendToMembers(m *message) {
-	for _, member := range p.view.Members {
-		if member != p.cfg.Self {
-			p.sendTo(member, m)
-		}
-	}
+	p.multicast(p.view.Members, m)
 }
 
 func sortedKeys[V any](m map[MemberID]V) []MemberID {

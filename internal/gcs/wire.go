@@ -23,6 +23,8 @@ const (
 	kindNewView         // coordinator -> candidates: install the new view
 	kindStateSnap       // coordinator -> joiner: state transfer before first view
 	kindSafe            // sequencer -> all: cumulative safe-delivery watermark
+	kindBatch           // sequencer -> all: several sequenced messages in one frame
+	kindReqBatch        // sender -> sequencer: several ordering requests + piggybacked ack
 )
 
 // dataMsg is one sequenced application message. Seq is the global
@@ -51,11 +53,14 @@ type message struct {
 	Missing []uint64
 
 	// kindAck: cumulative delivery watermark; kindHeartbeat: highest
-	// known assigned sequence; kindSafe: the safe watermark.
+	// known assigned sequence; kindSafe: the safe watermark; kindBatch
+	// and kindReqBatch piggyback the sender's current watermark here
+	// (safe watermark from the sequencer, delivery watermark from a
+	// member), saving the separate SAFE/ACK frame.
 	Delivered uint64
-	// kindAck: highest contiguously received sequence (safe-delivery
-	// accounting; may exceed Delivered while delivery awaits the safe
-	// watermark).
+	// kindAck, kindReqBatch: highest contiguously received sequence
+	// (safe-delivery accounting; may exceed Delivered while delivery
+	// awaits the safe watermark).
 	Received uint64
 
 	// kindStable
@@ -71,7 +76,7 @@ type message struct {
 	NewViewID uint64
 	Primary   bool
 	FinalSeq  uint64
-	Msgs      []dataMsg // also kindFlushState
+	Msgs      []dataMsg // also kindFlushState, kindBatch, kindReqBatch
 
 	// kindFlushState
 	NextDeliver uint64
@@ -164,9 +169,33 @@ func getDelivTable(d *codec.Decoder) map[MemberID]uint64 {
 	return t
 }
 
-// encode marshals the message for the wire.
+// encodeSize estimates the encoder capacity a message needs.
+func (m *message) encodeSize() int {
+	n := 64 + len(m.Data.Payload) + len(m.AppState)
+	for i := range m.Msgs {
+		n += 32 + len(m.Msgs[i].Payload)
+	}
+	return n
+}
+
+// encode marshals the message into a fresh heap buffer the caller may
+// retain indefinitely.
 func (m *message) encode() []byte {
-	e := codec.NewEncoder(64 + len(m.Data.Payload) + len(m.AppState))
+	e := codec.NewEncoder(m.encodeSize())
+	m.marshal(e)
+	return e.Bytes()
+}
+
+// encodeTo marshals the message into a pooled encoder. The caller
+// must Release it once the bytes have been handed off (safe after
+// Send: transport endpoints do not alias the payload).
+func (m *message) encodeTo() *codec.Encoder {
+	e := codec.GetEncoder(m.encodeSize())
+	m.marshal(e)
+	return e
+}
+
+func (m *message) marshal(e *codec.Encoder) {
 	e.PutByte(m.Kind)
 	e.PutString(string(m.From))
 	e.PutUint(m.ViewID)
@@ -214,10 +243,23 @@ func (m *message) encode() []byte {
 		e.PutUint(m.NewViewID)
 		putDelivTable(e, m.DelivTable)
 		e.PutBytes(m.AppState)
+	case kindBatch:
+		e.PutUint(m.Delivered)
+		putDataMsgs(e, m.Msgs)
+	case kindReqBatch:
+		e.PutUint(m.Delivered)
+		e.PutUint(m.Received)
+		// Requests carry no Seq, and the Sender is implied by the
+		// frame's From, so only (SenderSeq, Payload) pairs go on the
+		// wire.
+		e.PutUint(uint64(len(m.Msgs)))
+		for i := range m.Msgs {
+			e.PutUint(m.Msgs[i].SenderSeq)
+			e.PutBytes(m.Msgs[i].Payload)
+		}
 	default:
 		panic(fmt.Sprintf("gcs: encoding unknown message kind %d", m.Kind))
 	}
-	return e.Bytes()
 }
 
 // decodeMessage unmarshals one datagram. Unknown kinds and malformed
@@ -278,6 +320,23 @@ func decodeMessage(b []byte) (*message, error) {
 		b := d.Bytes()
 		m.AppState = make([]byte, len(b))
 		copy(m.AppState, b)
+	case kindBatch:
+		m.Delivered = d.Uint()
+		m.Msgs = getDataMsgs(d)
+	case kindReqBatch:
+		m.Delivered = d.Uint()
+		m.Received = d.Uint()
+		n := d.Uint()
+		if d.Err() == nil && n <= uint64(d.Remaining())+1 {
+			m.Msgs = make([]dataMsg, 0, n)
+			for i := uint64(0); i < n; i++ {
+				dm := dataMsg{Sender: m.From, SenderSeq: d.Uint()}
+				b := d.Bytes()
+				dm.Payload = make([]byte, len(b))
+				copy(dm.Payload, b)
+				m.Msgs = append(m.Msgs, dm)
+			}
+		}
 	default:
 		return nil, fmt.Errorf("gcs: unknown message kind %d", m.Kind)
 	}

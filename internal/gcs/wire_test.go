@@ -42,6 +42,23 @@ func TestWireRoundTripAllKinds(t *testing.T) {
 			DelivTable: map[MemberID]uint64{"a": 3},
 			AppState:   []byte("app-bytes"),
 		},
+		{
+			Kind: kindBatch, From: "a", ViewID: 2, Delivered: 17,
+			Msgs: []dataMsg{
+				{Seq: 18, Sender: "b", SenderSeq: 6, Payload: []byte("one")},
+				{Seq: 19, Sender: "a", SenderSeq: 9, Payload: nil},
+				{Seq: 20, Sender: "c", SenderSeq: 2, Payload: []byte("three")},
+			},
+		},
+		{Kind: kindBatch, From: "a", ViewID: 2}, // empty batch still round-trips
+		{
+			Kind: kindReqBatch, From: "b", ViewID: 2, Delivered: 8, Received: 11,
+			Msgs: []dataMsg{
+				{Sender: "b", SenderSeq: 12, Payload: []byte("r1")},
+				{Sender: "b", SenderSeq: 13, Payload: []byte("r2")},
+			},
+		},
+		{Kind: kindReqBatch, From: "b", ViewID: 2, Delivered: 3, Received: 3},
 	}
 	for _, m := range msgs {
 		b := m.encode()

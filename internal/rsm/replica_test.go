@@ -365,6 +365,40 @@ func TestLocalReadsSkipTotalOrder(t *testing.T) {
 	}
 }
 
+// TestBatchedCommandsDedupExactlyOnce fires a rapid burst of client
+// requests with every ReqID retried at both replicas, so the group
+// layer coalesces the commands into REQBATCH/BATCH frames while the
+// duplicates race each other. Non-idempotent appends make any dedup
+// slip visible: a doubled value means a command inside a batch was
+// applied twice.
+func TestBatchedCommandsDedupExactlyOnce(t *testing.T) {
+	r := newKVRig(t, 2, nil) // batching is on by default
+
+	const n = 12
+	want := map[string]string{}
+	var last string
+	for k := 0; k < n; k++ {
+		req := &kvstore.Request{
+			ReqID: r.reqID(),
+			Op:    kvstore.OpAppend,
+			Key:   fmt.Sprintf("k%d", k),
+			Value: "x",
+		}
+		// Three copies, interleaved across both replicas, no waiting:
+		// the retries land while the original may still sit in a
+		// pending batch.
+		r.send(0, req)
+		r.send(1, req)
+		r.send(0, req)
+		want[req.Key] = "x"
+		last = req.ReqID
+	}
+	if resp, _ := r.await(last, 5*time.Second); !resp.OK {
+		t.Fatalf("burst tail: %+v", resp)
+	}
+	r.waitConverged(want, 5*time.Second)
+}
+
 // TestStartValidation pins the required-config errors.
 func TestStartValidation(t *testing.T) {
 	net := simnet.New(simnet.Config{})

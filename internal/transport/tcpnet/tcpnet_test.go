@@ -2,6 +2,7 @@ package tcpnet
 
 import (
 	"fmt"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -92,8 +93,18 @@ func TestUnreachablePeerReportsError(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer a.Close()
-	if err := a.Send("gone/x", []byte("lost")); err == nil {
+	// Dialing happens off the Send path, so the failure surfaces on a
+	// subsequent Send to the same peer rather than the first one.
+	var got error
+	for i := 0; i < 100 && got == nil; i++ {
+		got = a.Send("gone/x", []byte("lost"))
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got == nil {
 		t.Error("Send to unreachable peer should report the drop")
+	}
+	if a.Stats().DialFailures == 0 {
+		t.Error("dial failure not counted")
 	}
 }
 
@@ -197,6 +208,149 @@ func TestConcurrentSenders(t *testing.T) {
 	// TCP is reliable once connected; all sends share one connection.
 	if got != goroutines*per {
 		t.Fatalf("received %d of %d", got, goroutines*per)
+	}
+}
+
+func TestStalledPeerDoesNotBlockSend(t *testing.T) {
+	// A peer that stops reading (e.g. a wedged head) fills its TCP
+	// buffers; the old synchronous Send would block the caller — and
+	// with it the gcs event loop — indefinitely. The async sender must
+	// keep returning promptly and shed frames instead.
+	res := StaticResolver{}
+	a, err := Listen("h1/a", "127.0.0.1:0", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	// A raw accept-and-never-read listener stands in for the stalled
+	// peer.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			<-stop // hold the connection open, never read
+			c.Close()
+		}
+	}()
+	res["stalled/x"] = l.Addr().String()
+
+	// Push far more than the TCP buffers plus the send queue can hold.
+	payload := make([]byte, 64<<10)
+	start := time.Now()
+	for i := 0; i < 2000; i++ {
+		before := time.Now()
+		a.Send("stalled/x", payload) // errors (overflow) are expected
+		if d := time.Since(before); d > time.Second {
+			t.Fatalf("Send %d blocked for %v", i, d)
+		}
+	}
+	if total := time.Since(start); total > 10*time.Second {
+		t.Fatalf("2000 sends to a stalled peer took %v", total)
+	}
+	if a.Stats().QueueDrops == 0 {
+		t.Error("expected queue drops against a stalled peer")
+	}
+}
+
+func TestQueueOverflowSurfacesError(t *testing.T) {
+	res := StaticResolver{}
+	a, err := Listen("h1/a", "127.0.0.1:0", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			<-stop
+			c.Close()
+		}
+	}()
+	res["stalled/x"] = l.Addr().String()
+	a.queueLen = 8 // tiny queue so overflow is immediate
+
+	payload := make([]byte, 64<<10) // larger than socket buffers absorb quickly
+	var overflow error
+	for i := 0; i < 1000 && overflow == nil; i++ {
+		overflow = a.Send("stalled/x", payload)
+	}
+	if overflow == nil {
+		t.Fatal("queue overflow never surfaced an error")
+	}
+}
+
+func TestPeerDeathMidStreamRecovers(t *testing.T) {
+	// Kill the peer in the middle of a stream: the dead connection
+	// must be detected and evicted so later sends redial, and an error
+	// must surface in between (the client-failover contract).
+	res := StaticResolver{}
+	a, err := Listen("h1/a", "127.0.0.1:0", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Listen("h2/b", "127.0.0.1:0", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcpAddr := b.TCPAddr()
+	res["h2/b"] = tcpAddr
+
+	for i := 0; i < 10; i++ {
+		if err := a.Send("h2/b", []byte("stream")); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		if _, ok := recvWithin(t, b, 2*time.Second); !ok {
+			t.Fatalf("delivery %d failed", i)
+		}
+	}
+	b.Close() // mid-stream death
+
+	// Keep sending; an error must surface once the failure is
+	// detected (dead connection or refused redial).
+	var sawError bool
+	for i := 0; i < 100 && !sawError; i++ {
+		sawError = a.Send("h2/b", []byte("into the void")) != nil
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !sawError {
+		t.Fatal("no error surfaced after peer died mid-stream")
+	}
+
+	// Restart the peer on the same address: sends must recover on a
+	// fresh connection.
+	b2, err := Listen("h2/b", tcpAddr, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	var got bool
+	for i := 0; i < 50 && !got; i++ {
+		a.Send("h2/b", []byte("recovered"))
+		_, got = recvWithin(t, b2, 100*time.Millisecond)
+	}
+	if !got {
+		t.Fatal("no delivery after peer restarted")
 	}
 }
 
