@@ -5,7 +5,11 @@
 //	jbench -fig 11             # Figure 11: job submission throughput
 //	jbench -fig 12             # Figure 12: availability/downtime
 //	jbench -fig ablations      # DESIGN.md design-choice ablations
+//	jbench -fig readpath       # concurrent vs on-loop query serving
 //	jbench -fig all            # everything
+//
+// -json writes the readpath results to a machine-readable file (the
+// CI benchmark artifact).
 //
 // -scale selects the latency-model scale (1.0 = paper-scale
 // milliseconds; smaller runs proportionally faster). Shapes, not
@@ -14,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,10 +29,11 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "which figure to regenerate: 10, 11, 12, ablations, all")
+		fig      = flag.String("fig", "all", "which figure to regenerate: 10, 11, 12, ablations, readpath, all")
 		scale    = flag.Float64("scale", 0.2, "latency model scale (1.0 = paper milliseconds)")
 		samples  = flag.Int("samples", 20, "latency samples per configuration")
 		maxHeads = flag.Int("maxheads", 4, "largest head-node group")
+		jsonPath = flag.String("json", "", "write readpath results as JSON to this file")
 	)
 	flag.Parse()
 
@@ -85,6 +91,34 @@ func main() {
 		fmt.Println()
 	}
 
+	runReadPath := func() {
+		conc, onLoop, err := bench.AblationReadConcurrency(cal, 2, 4, 6, 25)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Concurrent read path (4 jstat pollers vs a batched submit stream):")
+		for _, r := range []bench.MixedReadResult{conc, onLoop} {
+			fmt.Printf("  %-12s %6.0f reads/s   read mean %-10v batch mean %v\n",
+				r.Variant+":", r.ReadsPerSec, r.ReadMean.Round(time.Millisecond/10), r.SubmitMean.Round(time.Millisecond/10))
+		}
+		if onLoop.ReadsPerSec > 0 {
+			fmt.Printf("  speedup: %.1fx read throughput\n", conc.ReadsPerSec/onLoop.ReadsPerSec)
+		}
+		fmt.Println()
+		if *jsonPath != "" {
+			out, err := json.MarshalIndent(map[string]bench.MixedReadResult{
+				"concurrent": conc,
+				"on_loop":    onLoop,
+			}, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+		}
+	}
+
 	switch *fig {
 	case "10":
 		run10()
@@ -94,11 +128,14 @@ func main() {
 		run12()
 	case "ablations":
 		runAblations()
+	case "readpath":
+		runReadPath()
 	case "all":
 		run10()
 		run11()
 		run12()
 		runAblations()
+		runReadPath()
 	default:
 		fail(fmt.Errorf("unknown -fig %q", *fig))
 	}

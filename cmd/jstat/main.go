@@ -1,11 +1,15 @@
 // Command jstat queries job status from the JOSHUA head-node group —
-// the highly available qstat of the paper. By default the query is
-// totally ordered with respect to mutations (a linearizable read);
-// -local serves it from one head's local state instead.
+// the highly available qstat of the paper. As in the paper, the query
+// stays outside the total order: it is answered from one head's local
+// state (round-robined across the group, prefix-consistent, possibly
+// trailing a mutation in flight). -ordered instead serializes the
+// read through the total order (a linearizable read, at one
+// total-order round of cost); -local forces the explicit local-state
+// operation against a single head.
 //
 // Usage:
 //
-//	jstat -config cluster.conf [-f] [-local] [job-id]
+//	jstat -config cluster.conf [-f] [-ordered] [-local] [job-id]
 package main
 
 import (
@@ -22,6 +26,7 @@ func main() {
 		configPath = flag.String("config", "", "cluster configuration file")
 		bindAddr   = flag.String("bind", "", "local TCP address to listen on for replies (overrides JOSHUA_BIND and client_bind)")
 		full       = flag.Bool("f", false, "full display (qstat -f)")
+		ordered    = flag.Bool("ordered", false, "serialize the query through the total order (linearizable read)")
 		local      = flag.Bool("local", false, "read one head's local state (fast, possibly stale)")
 	)
 	flag.Parse()
@@ -40,6 +45,12 @@ func main() {
 	switch {
 	case *local:
 		jobs, err = client.StatLocal(pbs.JobID(flag.Arg(0)))
+	case *ordered && flag.NArg() > 0:
+		var j pbs.Job
+		j, err = client.StatOrdered(pbs.JobID(flag.Arg(0)))
+		jobs = []pbs.Job{j}
+	case *ordered:
+		jobs, err = client.StatAllOrdered()
 	case flag.NArg() > 0:
 		var j pbs.Job
 		j, err = client.Stat(pbs.JobID(flag.Arg(0)))

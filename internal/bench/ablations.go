@@ -120,7 +120,7 @@ func AblationReads(cal Calibration, heads, samples int) (AblationResult, error) 
 
 	start := time.Now()
 	for i := 0; i < samples; i++ {
-		if _, err := sys.Client.Stat(j.ID); err != nil {
+		if _, err := sys.Client.StatOrdered(j.ID); err != nil {
 			return res, err
 		}
 	}

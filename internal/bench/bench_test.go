@@ -2,10 +2,13 @@ package bench
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"joshua/internal/joshua"
+	"joshua/internal/pbs"
+	"joshua/internal/rsm"
 )
 
 // tiny returns a very small calibration so tests run quickly.
@@ -173,6 +176,100 @@ func TestAblationOrderedCompletions(t *testing.T) {
 			res.Variants["ordered"], res.Variants["direct"])
 	}
 }
+
+func TestMixedReadConcurrencyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mixed-workload measurement")
+	}
+	conc, onLoop, err := AblationReadConcurrency(tiny(), 2, 4, 6, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("concurrent: %.0f reads/s, read mean %v, batch mean %v",
+		conc.ReadsPerSec, conc.ReadMean, conc.SubmitMean)
+	t.Logf("on-loop:    %.0f reads/s, read mean %v, batch mean %v",
+		onLoop.ReadsPerSec, onLoop.ReadMean, onLoop.SubmitMean)
+	if conc.ReadsPerSec < 2*onLoop.ReadsPerSec {
+		t.Errorf("concurrent reads %.0f/s, want >= 2x on-loop %.0f/s",
+			conc.ReadsPerSec, onLoop.ReadsPerSec)
+	}
+	// The pool must not tax the write path: per-batch submission
+	// latency stays comparable (generous bound for timing noise).
+	if conc.SubmitMean > onLoop.SubmitMean*3/2 {
+		t.Errorf("concurrent submit mean %v, want <= 1.5x on-loop %v",
+			conc.SubmitMean, onLoop.SubmitMean)
+	}
+}
+
+// benchmarkMixedReads reports per-listing latency with a batched
+// submit stream occupying the replication loop in the background.
+func benchmarkMixedReads(b *testing.B, readConcurrency int) {
+	cal := tiny()
+	opts := cal.options(2, false)
+	opts.ReadConcurrency = readConcurrency
+	c, err := clusterNew(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.WaitReady(30 * time.Second); err != nil {
+		b.Fatal(err)
+	}
+	submitCli, err := c.ClientFor(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := holdSubmit(submitCli); err != nil {
+		b.Fatal(err)
+	}
+
+	// ClientFor is not safe for concurrent use; hand a client to each
+	// RunParallel goroutine under a lock.
+	var mu sync.Mutex
+	newClient := func() *joshua.Client {
+		mu.Lock()
+		defer mu.Unlock()
+		cli, err := c.ClientFor(0, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return cli
+	}
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := submitCli.SubmitBatch(pbs.SubmitRequest{Name: "bench", Owner: "bench", Hold: true}, 25); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		cli := newClient()
+		for pb.Next() {
+			if _, err := cli.StatAll(); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	<-done
+}
+
+func BenchmarkMixedReadsConcurrent(b *testing.B) { benchmarkMixedReads(b, 0) }
+func BenchmarkMixedReadsOnLoop(b *testing.B)     { benchmarkMixedReads(b, rsm.ReadOnLoop) }
 
 func TestSequencerFailoverStall(t *testing.T) {
 	if testing.Short() {

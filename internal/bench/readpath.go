@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"joshua/internal/joshua"
+	"joshua/internal/pbs"
+	"joshua/internal/rsm"
+)
+
+// This file measures the concurrent read path: jstat-class queries
+// served off the replication event loop by a read-worker pool, against
+// the on-loop ablation (rsm.ReadOnLoop) where every query waits behind
+// command application. The workload is the paper's operational mix — a
+// stream of job submissions with many jstat pollers watching the queue
+// — and the interesting quantity is what polling costs the write path
+// and what the write path costs the pollers.
+
+// MixedReadResult is one measured run of the mixed read/write
+// workload.
+type MixedReadResult struct {
+	// Variant names the configuration ("concurrent" or "on-loop").
+	Variant string `json:"variant"`
+	// Pollers is how many jstat clients polled throughout.
+	Pollers int `json:"pollers"`
+	// Batches and BatchSize describe the submit stream: Batches
+	// batched submissions of BatchSize jobs each.
+	Batches   int `json:"batches"`
+	BatchSize int `json:"batch_size"`
+	// Reads is how many listings the pollers completed while the
+	// submit stream ran.
+	Reads int64 `json:"reads"`
+	// ReadsPerSec is the aggregate poller throughput.
+	ReadsPerSec float64 `json:"reads_per_sec"`
+	// ReadMean is the mean per-listing latency seen by a poller.
+	ReadMean time.Duration `json:"read_mean_ns"`
+	// SubmitMean is the mean per-batch submission latency with the
+	// pollers running — the read path's cost to the write path.
+	SubmitMean time.Duration `json:"submit_mean_ns"`
+}
+
+// MeasureMixedReads runs the mixed workload once: pollers issue
+// back-to-back StatAll queries while a separate client submits
+// `batches` batched submissions of `batchSize` held jobs, and both
+// sides are timed over the submission window. Batched submission is
+// the paper's own throughput remedy, and it is the worst case for
+// on-loop queries: applying one batch occupies the event loop for
+// batchSize qsub-processing intervals, during which an on-loop jstat
+// cannot be answered at all. readConcurrency forwards to the heads
+// (0 = engine default pool, rsm.ReadOnLoop = on-loop ablation).
+func MeasureMixedReads(cal Calibration, heads, pollers, batches, batchSize, readConcurrency int) (MixedReadResult, error) {
+	res := MixedReadResult{Pollers: pollers, Batches: batches, BatchSize: batchSize, Variant: "concurrent"}
+	if readConcurrency == rsm.ReadOnLoop {
+		res.Variant = "on-loop"
+	}
+
+	opts := cal.options(heads, false)
+	opts.ReadConcurrency = readConcurrency
+	c, err := clusterNew(opts)
+	if err != nil {
+		return res, err
+	}
+	defer c.Close()
+	if err := c.WaitReady(30 * time.Second); err != nil {
+		return res, err
+	}
+
+	submitCli, err := c.ClientFor(heads - 1)
+	if err != nil {
+		return res, err
+	}
+	live := make([]int, heads)
+	for i := range live {
+		live[i] = i
+	}
+	pollClients := make([]*joshua.Client, pollers)
+	for p := range pollClients {
+		if pollClients[p], err = c.ClientFor(live...); err != nil {
+			return res, err
+		}
+	}
+
+	// Seed one job so every listing carries real payload, and warm the
+	// submission path.
+	if err := holdSubmit(submitCli); err != nil {
+		return res, err
+	}
+
+	stop := make(chan struct{})
+	errCh := make(chan error, pollers)
+	var reads atomic.Int64
+	var wg sync.WaitGroup
+	for _, cli := range pollClients {
+		wg.Add(1)
+		go func(cli *joshua.Client) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := cli.StatAll(); err != nil {
+					errCh <- err
+					return
+				}
+				reads.Add(1)
+			}
+		}(cli)
+	}
+
+	start := time.Now()
+	for i := 0; i < batches; i++ {
+		if _, err := submitCli.SubmitBatch(pbs.SubmitRequest{Name: "bench", Owner: "bench", Hold: true}, batchSize); err != nil {
+			close(stop)
+			wg.Wait()
+			return res, err
+		}
+	}
+	elapsed := time.Since(start)
+	n := reads.Load()
+	close(stop)
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return res, fmt.Errorf("poller: %w", err)
+	}
+
+	res.Reads = n
+	res.ReadsPerSec = float64(n) / elapsed.Seconds()
+	if n > 0 {
+		res.ReadMean = time.Duration(int64(elapsed) * int64(pollers) / n)
+	}
+	res.SubmitMean = elapsed / time.Duration(batches)
+	return res, nil
+}
+
+// AblationReadConcurrency runs the mixed workload under the default
+// read-worker pool and under the on-loop ablation, on identical
+// clusters. The concurrent path should multiply poller throughput —
+// on-loop, every listing waits behind qsub processing inside command
+// application — without costing the submit stream.
+func AblationReadConcurrency(cal Calibration, heads, pollers, batches, batchSize int) (concurrent, onLoop MixedReadResult, err error) {
+	concurrent, err = MeasureMixedReads(cal, heads, pollers, batches, batchSize, 0)
+	if err != nil {
+		return concurrent, onLoop, err
+	}
+	onLoop, err = MeasureMixedReads(cal, heads, pollers, batches, batchSize, rsm.ReadOnLoop)
+	return concurrent, onLoop, err
+}

@@ -64,6 +64,15 @@ type Options struct {
 	// OrderedCompletions routes mom completion reports through the
 	// total order (see joshua.Config.OrderedCompletions).
 	OrderedCompletions bool
+	// ReadConcurrency forwards to joshua.Config.ReadConcurrency: the
+	// per-head read-worker pool size (0 = engine default,
+	// rsm.ReadOnLoop = serve queries on the event loop).
+	ReadConcurrency int
+	// ClientTimeout is the per-head attempt timeout for clients made
+	// by Client/ClientFor (0 = 1s). Stress tests shorten it so a
+	// client discovers the dead entries of the static head book
+	// quickly.
+	ClientTimeout time.Duration
 }
 
 // Cluster is a running simulated deployment.
@@ -240,6 +249,7 @@ func (c *Cluster) startHead(i int, initial []gcs.MemberID, join bool) error {
 		Daemon:             daemon,
 		OutputPolicy:       c.opts.OutputPolicy,
 		OrderedCompletions: c.opts.OrderedCompletions,
+		ReadConcurrency:    c.opts.ReadConcurrency,
 		TuneGCS:            c.opts.TuneGCS,
 		Logger:             c.opts.Logger,
 	}
@@ -335,7 +345,7 @@ func (c *Cluster) Client() (*joshua.Client, error) {
 	cli, err := joshua.NewClient(joshua.ClientConfig{
 		Endpoint:       ep,
 		Heads:          allHeadClientAddrs(),
-		AttemptTimeout: time.Second,
+		AttemptTimeout: c.clientTimeout(),
 	})
 	if err != nil {
 		ep.Close()
@@ -343,6 +353,13 @@ func (c *Cluster) Client() (*joshua.Client, error) {
 	}
 	c.clients = append(c.clients, cli)
 	return cli, nil
+}
+
+func (c *Cluster) clientTimeout() time.Duration {
+	if c.opts.ClientTimeout > 0 {
+		return c.opts.ClientTimeout
+	}
+	return time.Second
 }
 
 // ClientFor creates a client pinned to specific heads (in preference
@@ -360,7 +377,7 @@ func (c *Cluster) ClientFor(heads ...int) (*joshua.Client, error) {
 	cli, err := joshua.NewClient(joshua.ClientConfig{
 		Endpoint:       ep,
 		Heads:          addrs,
-		AttemptTimeout: time.Second,
+		AttemptTimeout: c.clientTimeout(),
 	})
 	if err != nil {
 		ep.Close()

@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"joshua/internal/gcs"
+	"joshua/internal/pbs"
+)
+
+// TestReadsStayConsistentAcrossViewChanges hammers the unordered
+// jstat read path from many pollers while a submit burst straddles a
+// head join (state transfer) and a head crash (view change). The
+// contract of a local read in a totally ordered system: every
+// answered listing is a *prefix* of the submission order — job
+// sequence numbers 1..k with no gaps and no duplicates — because each
+// head's state is some prefix of the same command stream. Replies
+// must also never be lost or duplicated per request.
+func TestReadsStayConsistentAcrossViewChanges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second stress run")
+	}
+	opts := testOptions(2, 1)
+	// The head book has 8 entries and only 2-3 live heads; a short
+	// attempt timeout lets each poller's health map mark the dead
+	// entries fast, so reads flow at network speed instead of being
+	// timeout-bound.
+	opts.ClientTimeout = 50 * time.Millisecond
+	opts.TuneGCS = func(g *gcs.Config) {
+		fastGCS(g)
+		// The test asserts that every answered submission survives the
+		// origin head's crash. That durability needs safe delivery:
+		// with plain agreed delivery a head may apply and answer a
+		// command, then crash before any survivor received it, and the
+		// reply is a lie. Safe delivery holds each command back until
+		// every view member has it, which is the delivery mode the
+		// paper's prototype uses for exactly this reason.
+		g.SafeDelivery = true
+	}
+	c := newCluster(t, opts)
+
+	const submissions = 60
+	const pollers = 4
+
+	// Submit burst: held jobs so the listing grows monotonically and
+	// the job set is exactly the submitted prefix.
+	// Cluster.Client is not safe for concurrent calls; make every
+	// client up front on this goroutine.
+	submitCli, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitDone := make(chan error, 1)
+	var submitted atomic.Int64
+	go func() {
+		cli := submitCli
+		for i := 0; i < submissions; i++ {
+			if _, err := cli.Submit(pbs.SubmitRequest{Name: "stress", Hold: true}); err != nil {
+				submitDone <- fmt.Errorf("submit %d: %w", i, err)
+				return
+			}
+			submitted.Add(1)
+			time.Sleep(2 * time.Millisecond)
+		}
+		submitDone <- nil
+	}()
+
+	// Pollers: each runs its own client and checks every listing for
+	// prefix consistency. Errors are collected, not reported from the
+	// goroutines.
+	stop := make(chan struct{})
+	errCh := make(chan error, pollers)
+	var reads atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < pollers; p++ {
+		cli, err := c.Client()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				jobs, err := cli.StatAll()
+				if err != nil {
+					// Mid-view-change a head can be unreachable; the
+					// client's failover should hide it, so any error
+					// that escapes is a lost reply.
+					errCh <- fmt.Errorf("poller %d: %w", p, err)
+					return
+				}
+				reads.Add(1)
+				if err := checkPrefix(jobs); err != nil {
+					errCh <- fmt.Errorf("poller %d: %w", p, err)
+					return
+				}
+			}
+		}(p)
+	}
+
+	// Straddle the burst with a join and a crash.
+	time.Sleep(30 * time.Millisecond)
+	if err := c.AddHead(2); err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	c.CrashHead(0)
+
+	if err := <-submitDone; err != nil {
+		t.Fatal(err)
+	}
+
+	// Survivors converge on the full set. The pollers keep hammering
+	// the read path throughout, so recovery is read under load too.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		ok := true
+		var detail strings.Builder
+		for _, i := range c.LiveHeads() {
+			waiting, running, completed := c.Head(i).Daemon().Server().QueueLengths()
+			fmt.Fprintf(&detail, " head%d=%d+%d+%d", i, waiting, running, completed)
+			if waiting+running+completed != submissions {
+				ok = false
+			}
+		}
+		if ok {
+			consistent, diff := headsConsistent(c)
+			if consistent {
+				break
+			}
+			fmt.Fprintf(&detail, " inconsistent:\n%s", diff)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no convergence after view changes:%s", detail.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	close(stop)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if reads.Load() == 0 {
+		t.Fatal("no reads completed; stress is vacuous")
+	}
+	t.Logf("%d reads served across join+crash, %d submissions", reads.Load(), submitted.Load())
+}
+
+// checkPrefix verifies a listing is seq 1..k with no gaps or
+// duplicates.
+func checkPrefix(jobs []pbs.Job) error {
+	seen := make(map[int]bool, len(jobs))
+	max := 0
+	for _, j := range jobs {
+		seq, err := strconv.Atoi(strings.TrimSuffix(string(j.ID), ".cluster"))
+		if err != nil {
+			return fmt.Errorf("unparseable job ID %q", j.ID)
+		}
+		if seen[seq] {
+			return fmt.Errorf("duplicate job seq %d in listing", seq)
+		}
+		seen[seq] = true
+		if seq > max {
+			max = seq
+		}
+	}
+	if max != len(jobs) {
+		return fmt.Errorf("listing is not a prefix: %d jobs but max seq %d", len(jobs), max)
+	}
+	return nil
+}

@@ -135,6 +135,14 @@ func (e *Encoder) PutBytes(b []byte) {
 	e.buf = append(e.buf, b...)
 }
 
+// PutRaw appends pre-encoded bytes verbatim, with no length prefix.
+// It splices a cached encoding (produced by a previous Encoder) into
+// a message without re-walking the structures it encodes; the decoder
+// must know the embedded layout.
+func (e *Encoder) PutRaw(b []byte) {
+	e.buf = append(e.buf, b...)
+}
+
 // PutTime encodes a time.Time with nanosecond precision (Unix epoch).
 // The zero time is encoded as a distinguished marker so it round-trips
 // to a time for which IsZero reports true.

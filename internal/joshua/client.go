@@ -25,13 +25,26 @@ type Client struct {
 	ep  transport.Endpoint
 
 	reqSeq atomic.Uint64
+	// readRR rotates the starting head for read-only queries, spreading
+	// poller load across the group instead of pinning it on the sticky
+	// head every mutation chose. Any head answers a local read, so
+	// there is no reason to prefer one.
+	readRR atomic.Uint64
 
 	mu      sync.Mutex
 	waiters map[string]chan *rpcResponse
-	// preferred is the index of the last head that answered; retries
-	// start there ("sticky" head selection).
+	// preferred is the index of the last head that answered a mutating
+	// (or ordered) command; retries start there ("sticky" head
+	// selection).
 	preferred int
-	closed    bool
+	// healthy tracks which heads have been answering: a head is marked
+	// down on a send error or attempt timeout and up again on any
+	// reply. The read round-robin rotates over healthy heads only, so
+	// pollers don't pay a timeout re-probing a dead (or not yet
+	// started) head on every rotation; the failover loop still visits
+	// every head, which is how a recovered head gets re-marked.
+	healthy []bool
+	closed  bool
 
 	done chan struct{}
 	once sync.Once
@@ -78,7 +91,11 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		cfg:     cfg,
 		ep:      cfg.Endpoint,
 		waiters: make(map[string]chan *rpcResponse),
+		healthy: make([]bool, len(cfg.Heads)),
 		done:    make(chan struct{}),
+	}
+	for i := range c.healthy {
+		c.healthy[i] = true
 	}
 	go c.recvLoop()
 	return c, nil
@@ -114,9 +131,20 @@ func (c *Client) recvLoop() {
 
 // call sends one request with head failover and waits for the reply.
 func (c *Client) call(op Op, args cmdArgs) (*rpcResponse, error) {
+	return c.callReq(&rpcRequest{Op: op, Args: args})
+}
+
+// callOrdered forces a query through the total order (the
+// linearizable-read variant).
+func (c *Client) callOrdered(op Op, args cmdArgs) (*rpcResponse, error) {
+	return c.callReq(&rpcRequest{Op: op, Ordered: true, Args: args})
+}
+
+func (c *Client) callReq(req *rpcRequest) (*rpcResponse, error) {
 	reqID := fmt.Sprintf("%s#%d", c.ep.Addr(), c.reqSeq.Add(1))
-	req := &rpcRequest{ReqID: reqID, Op: op, Args: args}
+	req.ReqID = reqID
 	payload := req.encode()
+	readOnly := !req.Op.mutating() && !req.Ordered
 
 	ch := make(chan *rpcResponse, 1)
 	c.mu.Lock()
@@ -126,6 +154,9 @@ func (c *Client) call(op Op, args cmdArgs) (*rpcResponse, error) {
 	}
 	c.waiters[reqID] = ch
 	start := c.preferred
+	if readOnly {
+		start = c.readStartLocked()
+	}
 	c.mu.Unlock()
 	defer func() {
 		c.mu.Lock()
@@ -143,11 +174,13 @@ func (c *Client) call(op Op, args cmdArgs) (*rpcResponse, error) {
 			}
 			// This head is unreachable — the same condition a silent
 			// head signals by timeout, learned sooner. Move on.
+			c.markHealth(idx, false)
 			lastErr = err
 			continue
 		}
 		select {
 		case resp := <-ch:
+			c.markHealth(idx, true)
 			if !resp.OK && resp.ErrMsg == ErrNotPrimary.Error() {
 				// This head is alive but cut off from the primary
 				// component; move on to the next head immediately.
@@ -157,23 +190,48 @@ func (c *Client) call(op Op, args cmdArgs) (*rpcResponse, error) {
 				c.mu.Unlock()
 				continue
 			}
-			c.mu.Lock()
-			c.preferred = idx
-			c.mu.Unlock()
+			if !readOnly {
+				c.mu.Lock()
+				c.preferred = idx
+				c.mu.Unlock()
+			}
 			return resp, nil
 		case <-time.After(c.cfg.AttemptTimeout):
 			// Head silent (dead, partitioned, or non-primary and
 			// lost): try the next one. The request ID makes any
 			// duplicate execution collapse in the servers'
 			// deduplication table.
+			c.markHealth(idx, false)
 		case <-c.done:
 			return nil, ErrClosed
 		}
 	}
 	if lastErr != nil {
-		return nil, fmt.Errorf("%w after %d attempts (%v): last send error: %v", ErrUnreached, attempts, op, lastErr)
+		return nil, fmt.Errorf("%w after %d attempts (%v): last send error: %v", ErrUnreached, attempts, req.Op, lastErr)
 	}
-	return nil, fmt.Errorf("%w after %d attempts (%v)", ErrUnreached, attempts, op)
+	return nil, fmt.Errorf("%w after %d attempts (%v)", ErrUnreached, attempts, req.Op)
+}
+
+// readStartLocked picks the next read's starting head, rotating over
+// the heads currently believed healthy (over all of them when none
+// are). Callers hold c.mu.
+func (c *Client) readStartLocked() int {
+	alive := make([]int, 0, len(c.healthy))
+	for i, up := range c.healthy {
+		if up {
+			alive = append(alive, i)
+		}
+	}
+	if len(alive) == 0 {
+		return int(c.readRR.Add(1) % uint64(len(c.cfg.Heads)))
+	}
+	return alive[int(c.readRR.Add(1)%uint64(len(alive)))]
+}
+
+func (c *Client) markHealth(idx int, up bool) {
+	c.mu.Lock()
+	c.healthy[idx] = up
+	c.mu.Unlock()
 }
 
 // rpcErr converts a failed response into an error.
@@ -277,8 +335,10 @@ func (c *Client) Signal(id pbs.JobID, sig string) (pbs.Job, error) {
 	return firstJob(resp), rpcErr(resp)
 }
 
-// Stat runs jstat for one job, totally ordered with respect to
-// mutations (a linearizable read).
+// Stat runs jstat for one job. Queries stay outside the total order
+// (the paper keeps jstat unordered): the answer comes from one head's
+// local state, round-robined across the group, and may trail a
+// mutation still in flight. Use StatOrdered for a linearizable read.
 func (c *Client) Stat(id pbs.JobID) (pbs.Job, error) {
 	resp, err := c.call(OpStat, cmdArgs{JobID: id})
 	if err != nil {
@@ -287,9 +347,29 @@ func (c *Client) Stat(id pbs.JobID) (pbs.Job, error) {
 	return firstJob(resp), rpcErr(resp)
 }
 
-// StatAll runs jstat with no arguments.
+// StatAll runs jstat with no arguments; same read semantics as Stat.
 func (c *Client) StatAll() ([]pbs.Job, error) {
 	resp, err := c.call(OpStatAll, cmdArgs{})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Jobs, rpcErr(resp)
+}
+
+// StatOrdered runs jstat for one job through the total order, so the
+// result is serialized with every mutation (a linearizable read, at
+// one total-order round of cost).
+func (c *Client) StatOrdered(id pbs.JobID) (pbs.Job, error) {
+	resp, err := c.callOrdered(OpStat, cmdArgs{JobID: id})
+	if err != nil {
+		return pbs.Job{}, err
+	}
+	return firstJob(resp), rpcErr(resp)
+}
+
+// StatAllOrdered is the linearizable variant of StatAll.
+func (c *Client) StatAllOrdered() ([]pbs.Job, error) {
+	resp, err := c.callOrdered(OpStatAll, cmdArgs{})
 	if err != nil {
 		return nil, err
 	}

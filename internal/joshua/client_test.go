@@ -74,7 +74,9 @@ func TestClientSendErrorAdvancesToNextHead(t *testing.T) {
 	defer cli.Close()
 
 	start := time.Now()
-	if _, err := cli.Stat("1.cluster"); err != nil {
+	// StatOrdered uses the sticky head (index 0, the dead one);
+	// unordered reads round-robin and could start past it.
+	if _, err := cli.StatOrdered("1.cluster"); err != nil {
 		t.Fatalf("call should fail over past the send error: %v", err)
 	}
 	if d := time.Since(start); d > time.Second {
@@ -83,6 +85,52 @@ func TestClientSendErrorAdvancesToNextHead(t *testing.T) {
 	sends := ep.sentTo()
 	if len(sends) != 2 || sends[0] != clientAddr(0) || sends[1] != clientAddr(1) {
 		t.Errorf("send sequence = %v, want [head0 head1]", sends)
+	}
+}
+
+func TestClientReadsRoundRobinAcrossHeads(t *testing.T) {
+	// Read-only queries rotate their starting head so N pollers spread
+	// across the group; mutations stay sticky to the last head that
+	// answered one.
+	ep := newSendErrEndpoint()
+	heads := []transport.Addr{clientAddr(0), clientAddr(1), clientAddr(2)}
+	cli, err := NewClient(ClientConfig{
+		Endpoint:       ep,
+		Heads:          heads,
+		AttemptTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	for i := 0; i < 6; i++ {
+		if _, err := cli.StatAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	perHead := make(map[transport.Addr]int)
+	for _, a := range ep.sentTo() {
+		perHead[a]++
+	}
+	for _, h := range heads {
+		if perHead[h] != 2 {
+			t.Errorf("head %s served %d of 6 reads, want 2 (sends: %v)", h, perHead[h], ep.sentTo())
+		}
+	}
+
+	// A mutation always starts at the sticky head regardless of where
+	// the read rotation stands.
+	before := len(ep.sentTo())
+	for i := 0; i < 3; i++ {
+		if _, err := cli.Delete("1.cluster"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, a := range ep.sentTo()[before:] {
+		if a != clientAddr(0) {
+			t.Errorf("mutation sent to %s, want sticky head %s", a, clientAddr(0))
+		}
 	}
 }
 

@@ -30,7 +30,10 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"sync"
+	"sync/atomic"
 
+	"joshua/internal/codec"
 	"joshua/internal/gcs"
 	"joshua/internal/pbs"
 	"joshua/internal/rsm"
@@ -103,6 +106,17 @@ type Config struct {
 	// Default 4096 entries.
 	DedupLimit int
 
+	// ReadConcurrency sizes the replication engine's read-worker pool,
+	// which serves query commands (jstat, jnodes, jadmin) off the
+	// event loop. Zero selects the engine default (GOMAXPROCS);
+	// rsm.ReadOnLoop serves queries inline on the event loop,
+	// serialized with command application — the pre-concurrent
+	// behaviour, kept as an ablation.
+	ReadConcurrency int
+	// ReplyQueueLen bounds the engine's asynchronous reply queue; zero
+	// selects the engine default.
+	ReplyQueueLen int
+
 	// TuneGCS, when non-nil, may adjust group communication timings
 	// before the group process starts (tests and benchmarks shorten
 	// them).
@@ -119,15 +133,31 @@ type Server struct {
 	rep    *rsm.Replica
 	daemon *pbs.Daemon
 	locks  *lockService
+	stat   statCache
+}
+
+// statCache holds the pre-encoded body (everything after the ReqID
+// field) of a full jstat listing, keyed on the batch server's state
+// version. Under N concurrent pollers the listing is encoded once per
+// mutation instead of once per request; every hit splices the cached
+// bytes behind the caller's own ReqID.
+type statCache struct {
+	mu    sync.Mutex
+	epoch uint64
+	body  []byte
+	hits  atomic.Uint64
 }
 
 // Stats counts server activity.
 type Stats struct {
-	Intercepted uint64 // client requests received
-	Applied     uint64 // replicated commands applied
-	Replied     uint64 // responses sent to clients
-	DedupHits   uint64 // retried requests answered from the table
-	Views       uint64 // views installed
+	Intercepted     uint64 // client requests received
+	Applied         uint64 // replicated commands applied
+	Replied         uint64 // responses sent to clients
+	DedupHits       uint64 // retried requests answered from the table
+	LocalReads      uint64 // queries served outside the total order
+	ReadCacheHits   uint64 // reads answered from a cached snapshot/encoding
+	ReplyQueueDrops uint64 // responses dropped on a full reply queue
+	Views           uint64 // views installed
 }
 
 // Errors.
@@ -166,6 +196,12 @@ func StartServer(cfg Config) (*Server, error) {
 		Classify:        s.classify,
 		OutputPolicy:    rsm.OutputPolicy(cfg.OutputPolicy),
 		DedupLimit:      cfg.DedupLimit,
+		ReadConcurrency: cfg.ReadConcurrency,
+		ReplyQueueLen:   cfg.ReplyQueueLen,
+		ReadCacheHits: func() uint64 {
+			hits, _ := cfg.Daemon.Server().ReadCacheStats()
+			return hits + s.stat.hits.Load()
+		},
 		RejectNotPrimary: func(reqID string) []byte {
 			return (&rpcResponse{ReqID: reqID, OK: false, ErrMsg: ErrNotPrimary.Error()}).encode()
 		},
@@ -186,24 +222,33 @@ func StartServer(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// classify sorts one control-command datagram: local reads are
-// answered immediately from this head's state, mutations flow through
-// the total order. It runs on the replica's event loop goroutine.
+// classify sorts one control-command datagram: query operations go to
+// the replica's read-worker pool (a deferred Respond closure),
+// mutations — and queries carrying the Ordered flag — flow through
+// the total order. It runs on the replica's event-loop receive path,
+// so it only peeks at the request header (kind, ReqID, op, ordered);
+// the full argument decode is deferred to the worker.
 func (s *Server) classify(payload []byte) rsm.Classification {
-	req, _, err := decodeRPC(payload)
-	if err != nil || req == nil {
+	d := codec.NewDecoder(payload)
+	if d.Byte() != rpcKindRequest {
 		return rsm.Classification{Verdict: rsm.Ignore}
 	}
-	if req.Op == OpJobDone {
+	reqID := d.String()
+	op := Op(d.Byte())
+	ordered := d.Bool()
+	if d.Err() != nil {
+		return rsm.Classification{Verdict: rsm.Ignore}
+	}
+	if op == OpJobDone {
 		// Internal operation: heads originate it themselves from mom
 		// reports; it is not part of the user-facing PBS interface.
-		resp := &rpcResponse{ReqID: req.ReqID, OK: false, ErrMsg: "joshua: jobdone is not a client operation"}
+		resp := &rpcResponse{ReqID: reqID, OK: false, ErrMsg: "joshua: jobdone is not a client operation"}
 		return rsm.Classification{Verdict: rsm.Reply, Response: resp.encode()}
 	}
-	if !req.Op.mutating() {
-		return rsm.Classification{Verdict: rsm.Reply, Response: s.executeLocal(req.Op, &req.Args, req.ReqID).encode()}
+	if !op.mutating() && !ordered {
+		return rsm.Classification{Verdict: rsm.Reply, Respond: func() []byte { return s.serveRead(payload) }}
 	}
-	return rsm.Classification{Verdict: rsm.Replicate, ReqID: req.ReqID}
+	return rsm.Classification{Verdict: rsm.Replicate, ReqID: reqID}
 }
 
 // interceptDone replicates a mom completion report through the total
@@ -250,11 +295,14 @@ func (s *Server) Replica() *rsm.Replica { return s.rep }
 func (s *Server) Stats() Stats {
 	st := s.rep.Stats()
 	return Stats{
-		Intercepted: st.Intercepted,
-		Applied:     st.Applied,
-		Replied:     st.Replied,
-		DedupHits:   st.DedupHits,
-		Views:       st.Views,
+		Intercepted:     st.Intercepted,
+		Applied:         st.Applied,
+		Replied:         st.Replied,
+		DedupHits:       st.DedupHits,
+		LocalReads:      st.LocalReads,
+		ReadCacheHits:   st.ReadCacheHits,
+		ReplyQueueDrops: st.ReplyQueueDrops,
+		Views:           st.Views,
 	}
 }
 
@@ -271,39 +319,106 @@ func (s *Server) Close() {
 	s.daemon.Close()
 }
 
-// executeLocal serves non-replicated reads.
-func (s *Server) executeLocal(op Op, a *cmdArgs, reqID string) *rpcResponse {
-	if op == OpInfoLocal {
-		return &rpcResponse{ReqID: reqID, OK: true, Info: s.infoLocked()}
+// serveRead builds the response for one read-classified request. It
+// runs on a read-worker goroutine (or inline on the event loop under
+// the rsm.ReadOnLoop ablation), concurrently with command
+// application, so it touches only concurrency-safe state: the batch
+// server's copy-on-write status snapshot, the lock table behind its
+// RWMutex, and the replica's counter snapshots.
+func (s *Server) serveRead(payload []byte) []byte {
+	req, _, err := decodeRPC(payload)
+	if err != nil || req == nil {
+		return nil
 	}
-	return executeLocalOn(s.daemon, op, a, reqID)
+	resp := &rpcResponse{ReqID: req.ReqID, OK: true}
+	switch req.Op {
+	case OpStatAll:
+		return s.statAllResponse(req.ReqID)
+	case OpStatLocal:
+		if req.Args.JobID == "" {
+			return s.statAllResponse(req.ReqID)
+		}
+		fallthrough
+	case OpStat:
+		j, err := s.daemon.Status(req.Args.JobID)
+		if err != nil {
+			resp.OK = false
+			resp.ErrMsg = err.Error()
+			break
+		}
+		resp.Jobs = []pbs.Job{j}
+	case OpNodesLocal:
+		resp.Nodes = s.daemon.Server().NodesStatus()
+	case OpInfoLocal:
+		resp.Info = s.infoLocked()
+	default:
+		resp.OK = false
+		resp.ErrMsg = fmt.Sprintf("joshua: operation %v is not a local read", req.Op)
+	}
+	return resp.encode()
 }
 
-// infoLocked builds the jadmin report. Runs on the replica's event
-// loop goroutine, so it may read loop-owned state directly.
+// statAllResponse answers a full jstat listing, re-encoding the job
+// table only when the batch server's state version has moved since
+// the cached encoding was built.
+func (s *Server) statAllResponse(reqID string) []byte {
+	epoch := s.daemon.Server().Version()
+	s.stat.mu.Lock()
+	if s.stat.body != nil && s.stat.epoch == epoch {
+		body := s.stat.body
+		s.stat.mu.Unlock()
+		s.stat.hits.Add(1)
+		return spliceResponse(reqID, body)
+	}
+	s.stat.mu.Unlock()
+
+	// Rebuild outside the cache lock: concurrent misses may encode the
+	// same listing twice, but never block each other. The epoch was
+	// read before the listing, so if a mutation lands in between, the
+	// entry is stamped stale and the next poll rebuilds it.
+	e := codec.NewEncoder(256)
+	(&rpcResponse{OK: true, Jobs: s.daemon.StatusAll()}).encodeBody(e)
+	body := e.Bytes()
+
+	s.stat.mu.Lock()
+	if s.stat.body == nil || epoch >= s.stat.epoch {
+		s.stat.epoch, s.stat.body = epoch, body
+	}
+	s.stat.mu.Unlock()
+	return spliceResponse(reqID, body)
+}
+
+// infoLocked builds the jadmin report from concurrency-safe snapshots
+// (it runs on read workers since the concurrent read path landed; the
+// name is historical).
 func (s *Server) infoLocked() map[string]string {
 	waiting, running, completed := s.daemon.Server().QueueLengths()
 	st := s.rep.Stats()
 	gst := s.rep.GroupStats()
 	view := s.rep.View()
 	return map[string]string{
-		"head":            string(s.cfg.Self),
-		"mode":            "replicated",
-		"view":            fmt.Sprintf("%d", view.ID),
-		"members":         fmt.Sprintf("%v", view.Members),
-		"primary":         fmt.Sprintf("%v", view.Primary),
-		"jobs_waiting":    fmt.Sprintf("%d", waiting),
-		"jobs_running":    fmt.Sprintf("%d", running),
-		"jobs_completed":  fmt.Sprintf("%d", completed),
-		"cmds_applied":    fmt.Sprintf("%d", st.Applied),
-		"cmds_replied":    fmt.Sprintf("%d", st.Replied),
-		"dedup_entries":   fmt.Sprintf("%d", st.DedupEntries),
-		"dedup_hits":      fmt.Sprintf("%d", st.DedupHits),
-		"locks_held":      fmt.Sprintf("%d", s.locks.Len()),
-		"gcs_broadcasts":  fmt.Sprintf("%d", gst.Broadcasts),
-		"gcs_delivered":   fmt.Sprintf("%d", gst.Delivered),
-		"gcs_retransmits": fmt.Sprintf("%d", gst.Retransmits),
-		"gcs_views":       fmt.Sprintf("%d", gst.Views),
+		"head":              string(s.cfg.Self),
+		"mode":              "replicated",
+		"view":              fmt.Sprintf("%d", view.ID),
+		"members":           fmt.Sprintf("%v", view.Members),
+		"primary":           fmt.Sprintf("%v", view.Primary),
+		"jobs_waiting":      fmt.Sprintf("%d", waiting),
+		"jobs_running":      fmt.Sprintf("%d", running),
+		"jobs_completed":    fmt.Sprintf("%d", completed),
+		"cmds_applied":      fmt.Sprintf("%d", st.Applied),
+		"cmds_replied":      fmt.Sprintf("%d", st.Replied),
+		"dedup_entries":     fmt.Sprintf("%d", st.DedupEntries),
+		"dedup_hits":        fmt.Sprintf("%d", st.DedupHits),
+		"local_reads":       fmt.Sprintf("%d", st.LocalReads),
+		"read_cache_hits":   fmt.Sprintf("%d", st.ReadCacheHits),
+		"read_workers":      fmt.Sprintf("%d", st.ReadWorkers),
+		"read_queue_depth":  fmt.Sprintf("%d", st.ReadQueueDepth),
+		"reply_queue_drops": fmt.Sprintf("%d", st.ReplyQueueDrops),
+		"locks_held":        fmt.Sprintf("%d", s.locks.Len()),
+		"gcs_broadcasts":    fmt.Sprintf("%d", gst.Broadcasts),
+		"gcs_delivered":     fmt.Sprintf("%d", gst.Delivered),
+		"gcs_retransmits":   fmt.Sprintf("%d", gst.Retransmits),
+		"gcs_views":         fmt.Sprintf("%d", gst.Views),
 	}
 }
 

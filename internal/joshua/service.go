@@ -2,6 +2,7 @@ package joshua
 
 import (
 	"sort"
+	"sync"
 
 	"joshua/internal/codec"
 	"joshua/internal/pbs"
@@ -71,8 +72,11 @@ func (s *pbsService) Restore(state []byte) error { return s.daemon.Restore(state
 // paper runs in the PBS mom job prologue — a second replicated
 // service composed with the batch system behind the same engine. The
 // first acquire in the total order wins; release clears the entry.
-// All access runs on the replica's event loop goroutine.
+// Apply/Snapshot/Restore run on the replica's event loop goroutine;
+// Len is also called from read workers (the jadmin report), so the
+// table is guarded by an RWMutex.
 type lockService struct {
+	mu    sync.RWMutex
 	locks map[pbs.JobID]string // job ID -> winning attempt
 }
 
@@ -85,6 +89,8 @@ func (s *lockService) Apply(cmd rsm.Command) []byte {
 	if err != nil || req == nil {
 		return nil
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	switch req.Op {
 	case OpJMutex:
 		owner, held := s.locks[req.Args.JobID]
@@ -101,6 +107,8 @@ func (s *lockService) Apply(cmd rsm.Command) []byte {
 }
 
 func (s *lockService) Snapshot() []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	ids := make([]string, 0, len(s.locks))
 	for id := range s.locks {
 		ids = append(ids, string(id))
@@ -126,9 +134,15 @@ func (s *lockService) Restore(state []byte) error {
 	if err := d.Finish(); err != nil {
 		return err
 	}
+	s.mu.Lock()
 	s.locks = locks
+	s.mu.Unlock()
 	return nil
 }
 
-// Len reports the held-lock count (event-loop goroutine only).
-func (s *lockService) Len() int { return len(s.locks) }
+// Len reports the held-lock count; safe from any goroutine.
+func (s *lockService) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.locks)
+}

@@ -84,10 +84,14 @@ func (o Op) String() string {
 }
 
 // mutating reports whether the operation changes service state and
-// must therefore flow through the total order.
+// must therefore flow through the total order. Query commands do not
+// change state and need no ordering (the paper keeps jstat outside the
+// total order), so OpStat/OpStatAll default to the local read path;
+// rpcRequest.Ordered forces them through the total order anyway (the
+// linearizable-read ablation).
 func (o Op) mutating() bool {
 	switch o {
-	case OpStatLocal, OpNodesLocal, OpInfoLocal:
+	case OpStat, OpStatAll, OpStatLocal, OpNodesLocal, OpInfoLocal:
 		return false
 	default:
 		return true
@@ -164,7 +168,13 @@ const (
 type rpcRequest struct {
 	ReqID string
 	Op    Op
-	Args  cmdArgs
+	// Ordered forces a query operation (OpStat, OpStatAll) through
+	// the total order — a linearizable read, serialized with every
+	// mutation — instead of the default local read path. It sits in
+	// the header, not cmdArgs, so the server's receive-path peek can
+	// classify without decoding the argument record.
+	Ordered bool
+	Args    cmdArgs
 }
 
 func (r *rpcRequest) encode() []byte {
@@ -172,6 +182,7 @@ func (r *rpcRequest) encode() []byte {
 	e.PutByte(rpcKindRequest)
 	e.PutString(r.ReqID)
 	e.PutByte(byte(r.Op))
+	e.PutBool(r.Ordered)
 	putArgs(e, &r.Args)
 	return e.Bytes()
 }
@@ -192,6 +203,16 @@ func (r *rpcResponse) encode() []byte {
 	e := codec.NewEncoder(128)
 	e.PutByte(rpcKindResponse)
 	e.PutString(r.ReqID)
+	r.encodeBody(e)
+	return e.Bytes()
+}
+
+// encodeBody appends everything after the ReqID field. The body is
+// identical for every requester asking the same question, so the
+// server caches it pre-encoded and splices it behind each request's
+// own ReqID (codec.Encoder.PutRaw) instead of re-walking the job
+// table per poll.
+func (r *rpcResponse) encodeBody(e *codec.Encoder) {
 	e.PutBool(r.OK)
 	e.PutString(r.ErrMsg)
 	e.PutUint(uint64(len(r.Jobs)))
@@ -213,6 +234,15 @@ func (r *rpcResponse) encode() []byte {
 		e.PutString(k)
 		e.PutString(r.Info[k])
 	}
+}
+
+// spliceResponse frames a pre-encoded response body (encodeBody
+// output) behind a per-request ReqID.
+func spliceResponse(reqID string, body []byte) []byte {
+	e := codec.NewEncoder(16 + len(reqID) + len(body))
+	e.PutByte(rpcKindResponse)
+	e.PutString(reqID)
+	e.PutRaw(body)
 	return e.Bytes()
 }
 
@@ -223,8 +253,9 @@ func decodeRPC(b []byte) (*rpcRequest, *rpcResponse, error) {
 	switch kind := d.Byte(); kind {
 	case rpcKindRequest:
 		req := &rpcRequest{
-			ReqID: d.String(),
-			Op:    Op(d.Byte()),
+			ReqID:   d.String(),
+			Op:      Op(d.Byte()),
+			Ordered: d.Bool(),
 		}
 		req.Args = getArgs(d)
 		if err := d.Finish(); err != nil {

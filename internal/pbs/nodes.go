@@ -28,6 +28,7 @@ type NodeStatus struct {
 func (s *Server) SetNodeOffline(name string, offline bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.dirty()
 	if !s.knownNode(name) {
 		return &Error{Op: "pbsnodes", Msg: fmt.Sprintf("unknown node %q", name)}
 	}
@@ -43,11 +44,16 @@ func (s *Server) SetNodeOffline(name string, offline bool) error {
 	return nil
 }
 
-// NodesStatus lists every configured node with its state and
-// current allocation, in configuration order.
+// NodesStatus lists every configured node with its state and current
+// allocation, in configuration order. Served from the shared status
+// snapshot — callers must treat the result as read-only.
 func (s *Server) NodesStatus() []NodeStatus {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	return s.statusSnapshot().nodes
+}
+
+// nodesStatusLocked builds the node listing. Must be called with
+// s.mu held (read or write).
+func (s *Server) nodesStatusLocked() []NodeStatus {
 	out := make([]NodeStatus, 0, len(s.cfg.Nodes))
 	for _, n := range s.cfg.Nodes {
 		st := NodeStatus{Name: n, Offline: s.offline[n]}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -41,9 +42,22 @@ type Config struct {
 
 // Server is the deterministic TORQUE-equivalent state machine. All
 // methods are safe for concurrent use; determinism is with respect to
-// the serialized order of calls.
+// the serialized order of mutating calls. Status-class reads
+// (StatusAll, Status, NodesStatus) are served from an epoch-versioned
+// copy-on-write snapshot invalidated only on mutation, so a
+// qstat-polling storm costs O(1) amortized per poll and never blocks
+// the mutation path.
 type Server struct {
-	mu sync.Mutex
+	mu sync.RWMutex
+
+	// version counts mutations (bumped under mu); cache holds the
+	// immutable status snapshot stamped with the version it was built
+	// at. A reader whose loaded cache matches version serves straight
+	// from it — no lock, no copy.
+	version   atomic.Uint64
+	cache     atomic.Pointer[statusSnapshot]
+	cacheHits atomic.Uint64
+	cacheMiss atomic.Uint64
 
 	cfg     Config
 	nextSeq uint64
@@ -61,6 +75,69 @@ type Server struct {
 	sigCount map[JobID]int
 	// offline holds nodes excluded from new allocations (pbsnodes -o).
 	offline map[string]bool
+}
+
+// statusSnapshot is one immutable copy-on-write view of the job table
+// and node pool, shared by every status-class reader at the epoch it
+// was built. Nothing in it is ever mutated after Store; readers may
+// hold it indefinitely (they see a consistent, possibly slightly
+// stale, state — the paper's jstat semantics).
+type statusSnapshot struct {
+	epoch uint64
+	// jobs holds every known job in StatusAll order (submission order,
+	// completed last in completion order), each deep-cloned.
+	jobs []Job
+	// index maps job ID to its position in jobs.
+	index map[JobID]int
+	// nodes is the NodesStatus listing at the same epoch.
+	nodes []NodeStatus
+}
+
+// statusSnapshot returns the current snapshot, rebuilding it only if
+// a mutation happened since it was last built. The fast path is two
+// atomic loads; the slow path holds the read lock (concurrent with
+// other readers, excluded only by mutators) while copying.
+func (s *Server) statusSnapshot() *statusSnapshot {
+	if c := s.cache.Load(); c != nil && c.epoch == s.version.Load() {
+		s.cacheHits.Add(1)
+		return c
+	}
+	s.cacheMiss.Add(1)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c := &statusSnapshot{
+		epoch: s.version.Load(),
+		jobs:  make([]Job, 0, len(s.queue)+len(s.completed)),
+		index: make(map[JobID]int, len(s.jobs)),
+	}
+	for _, id := range s.queue {
+		c.index[id] = len(c.jobs)
+		c.jobs = append(c.jobs, s.jobs[id].clone())
+	}
+	for _, id := range s.completed {
+		if j, ok := s.jobs[id]; ok {
+			c.index[id] = len(c.jobs)
+			c.jobs = append(c.jobs, j.clone())
+		}
+	}
+	c.nodes = s.nodesStatusLocked()
+	s.cache.Store(c)
+	return c
+}
+
+// dirty bumps the mutation epoch, invalidating the status snapshot.
+// Must be called with s.mu held for writing.
+func (s *Server) dirty() { s.version.Add(1) }
+
+// Version returns the mutation epoch. It changes exactly when a
+// status-class read could observe new state, so callers may key their
+// own caches on it (the JOSHUA head caches a pre-encoded jstat
+// response this way).
+func (s *Server) Version() uint64 { return s.version.Load() }
+
+// ReadCacheStats reports status-snapshot cache hits and misses.
+func (s *Server) ReadCacheStats() (hits, misses uint64) {
+	return s.cacheHits.Load(), s.cacheMiss.Load()
 }
 
 // NewServer creates a server with no queued jobs.
@@ -94,6 +171,7 @@ func (s *Server) Submit(req SubmitRequest) (Job, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.dirty()
 
 	if req.NodeCount <= 0 {
 		req.NodeCount = 1
@@ -135,6 +213,7 @@ func (s *Server) Submit(req SubmitRequest) (Job, error) {
 func (s *Server) Delete(id JobID) (Job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.dirty()
 
 	j, ok := s.jobs[id]
 	if !ok {
@@ -167,6 +246,7 @@ func (s *Server) Delete(id JobID) (Job, error) {
 func (s *Server) Hold(id JobID) (Job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.dirty()
 	j, ok := s.jobs[id]
 	if !ok {
 		return Job{}, errUnknownJob("qhold", id)
@@ -187,6 +267,7 @@ func (s *Server) Hold(id JobID) (Job, error) {
 func (s *Server) Release(id JobID) (Job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.dirty()
 	j, ok := s.jobs[id]
 	if !ok {
 		return Job{}, errUnknownJob("qrls", id)
@@ -220,37 +301,29 @@ func (s *Server) Signal(id JobID, sig string) (Job, error) {
 
 // SignalCount reports how many signals a job has received.
 func (s *Server) SignalCount(id JobID) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.sigCount[id]
 }
 
-// Status returns one job (qstat <id>).
+// Status returns one job (qstat <id>). Served from the status
+// snapshot: concurrent with mutations, possibly one mutation stale.
 func (s *Server) Status(id JobID) (Job, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	j, ok := s.jobs[id]
+	snap := s.statusSnapshot()
+	i, ok := snap.index[id]
 	if !ok {
 		return Job{}, errUnknownJob("qstat", id)
 	}
-	return j.clone(), nil
+	return snap.jobs[i].clone(), nil
 }
 
 // StatusAll returns every known job in submission order, completed
-// jobs last in completion order (qstat).
+// jobs last in completion order (qstat). The returned slice is the
+// shared immutable snapshot — callers must treat it (and the jobs in
+// it) as read-only. An unchanged server answers repeated polls with
+// the same slice: O(1) per poll, no copying, no lock.
 func (s *Server) StatusAll() []Job {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]Job, 0, len(s.queue)+len(s.completed))
-	for _, id := range s.queue {
-		out = append(out, s.jobs[id].clone())
-	}
-	for _, id := range s.completed {
-		if j, ok := s.jobs[id]; ok {
-			out = append(out, j.clone())
-		}
-	}
-	return out
+	return s.statusSnapshot().jobs
 }
 
 // JobDone applies a completion report from a mom. Duplicate reports
@@ -259,6 +332,7 @@ func (s *Server) StatusAll() []Job {
 func (s *Server) JobDone(id JobID, exitCode int, output string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.dirty()
 	j, ok := s.jobs[id]
 	if !ok {
 		return
@@ -361,8 +435,8 @@ func (s *Server) removeFromQueue(id JobID) {
 // QueueLengths reports (queued+held, running+exiting, completed)
 // counts, handy for tests and status lines.
 func (s *Server) QueueLengths() (waiting, running, completed int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	for _, id := range s.queue {
 		switch s.jobs[id].State {
 		case StateQueued, StateHeld:

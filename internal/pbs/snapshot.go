@@ -19,8 +19,8 @@ const snapshotVersion = 3
 // and location independent ... state description" its future-work
 // section calls for, and lifts the hold/release restriction.
 func (s *Server) Snapshot() []byte {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 
 	e := codec.NewEncoder(256)
 	e.PutUint(snapshotVersion)
@@ -142,6 +142,7 @@ func (s *Server) Restore(b []byte) error {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.dirty()
 	if name != s.cfg.ServerName {
 		return fmt.Errorf("pbs: snapshot from server %q, this server is %q", name, s.cfg.ServerName)
 	}

@@ -1,0 +1,119 @@
+package pbs
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestStatusCacheInvalidation pins the copy-on-write snapshot
+// contract: repeated queries between mutations are cache hits (no
+// rebuild), every mutating entry point bumps the version, and the
+// served data always matches a freshly built view.
+func TestStatusCacheInvalidation(t *testing.T) {
+	s := testServer()
+
+	j, err := s.Submit(SubmitRequest{Name: "a", Owner: "alice", WallTime: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := s.Version()
+
+	first := s.StatusAll()
+	hits0, miss0 := s.ReadCacheStats()
+	for i := 0; i < 5; i++ {
+		s.StatusAll()
+		s.NodesStatus()
+		if _, err := s.Status(j.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits1, miss1 := s.ReadCacheStats()
+	if miss1 != miss0 {
+		t.Errorf("repeat queries rebuilt the snapshot: misses %d -> %d", miss0, miss1)
+	}
+	if hits1 < hits0+15 {
+		t.Errorf("cache hits %d -> %d, want >= +15", hits0, hits1)
+	}
+	if s.Version() != v {
+		t.Errorf("queries bumped the version: %d -> %d", v, s.Version())
+	}
+
+	// Each mutating entry point invalidates.
+	bump := func(name string, f func()) {
+		t.Helper()
+		before := s.Version()
+		f()
+		if s.Version() == before {
+			t.Errorf("%s did not bump the version", name)
+		}
+	}
+	bump("Submit", func() { s.Submit(SubmitRequest{Name: "b", Owner: "alice", Hold: true}) })
+	bump("Hold", func() { s.Hold(j.ID) })
+	bump("Release", func() { s.Release(j.ID) })
+	bump("SetNodeOffline", func() { s.SetNodeOffline("c1", true) })
+	bump("Delete", func() { s.Delete(j.ID) })
+	bump("Restore", func() {
+		if err := s.Restore(s.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	// After invalidation the next query rebuilds and reflects the
+	// mutations; the pre-mutation snapshot is untouched.
+	if got := s.StatusAll(); reflect.DeepEqual(got, first) {
+		t.Error("post-mutation StatusAll returned the stale listing")
+	}
+	if len(first) != 1 || first[0].ID != j.ID {
+		t.Errorf("earlier snapshot mutated in place: %+v", first)
+	}
+}
+
+// TestStatusCacheConcurrentAccess runs queries against a mutation
+// stream; meaningful under -race, and the final listing must agree
+// with a post-quiescence rebuild.
+func TestStatusCacheConcurrentAccess(t *testing.T) {
+	s := testServer()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, j := range s.StatusAll() {
+					_, _ = s.Status(j.ID)
+				}
+				s.NodesStatus()
+				s.QueueLengths()
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		j, err := s.Submit(SubmitRequest{Name: fmt.Sprintf("job%d", i), Owner: "alice", Hold: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			s.Release(j.ID)
+		}
+		if i%7 == 0 {
+			s.Delete(j.ID)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// The cached listing agrees with the live queue gauges once the
+	// mutation stream has quiesced.
+	waiting, running, completed := s.QueueLengths()
+	if got, want := len(s.StatusAll()), waiting+running+completed; got != want {
+		t.Errorf("final listing has %d jobs, queue gauges say %d", got, want)
+	}
+}

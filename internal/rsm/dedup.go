@@ -1,0 +1,96 @@
+package rsm
+
+import (
+	"hash/maphash"
+	"sync"
+)
+
+// dedupShards fixes the shard count of the deduplication table. A
+// power of two so the shard pick is a mask, sized so that read workers
+// probing retries rarely contend with the event loop inserting fresh
+// responses.
+const dedupShards = 16
+
+var dedupSeed = maphash.MakeSeed()
+
+// dedupTable is the request-deduplication table, sharded behind
+// RWMutexes so the dedup-retry fast path is servable off the event
+// loop: read workers probe shards concurrently while the loop inserts
+// each applied command's response. FIFO eviction order is not kept
+// here — it is loop-owned state (Replica.dedupOrder), since only the
+// loop inserts and evicts.
+type dedupTable struct {
+	shards [dedupShards]dedupShard
+}
+
+type dedupShard struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+func newDedupTable(sizeHint int) *dedupTable {
+	t := &dedupTable{}
+	per := sizeHint/dedupShards + 1
+	for i := range t.shards {
+		t.shards[i].m = make(map[string][]byte, per)
+	}
+	return t
+}
+
+func (t *dedupTable) shard(reqID string) *dedupShard {
+	return &t.shards[maphash.String(dedupSeed, reqID)&(dedupShards-1)]
+}
+
+// get probes the table; it is safe from any goroutine.
+func (t *dedupTable) get(reqID string) ([]byte, bool) {
+	s := t.shard(reqID)
+	s.mu.RLock()
+	resp, ok := s.m[reqID]
+	s.mu.RUnlock()
+	return resp, ok
+}
+
+// put records a response; it reports false if the ID was present.
+func (t *dedupTable) put(reqID string, resp []byte) bool {
+	s := t.shard(reqID)
+	s.mu.Lock()
+	_, exists := s.m[reqID]
+	if !exists {
+		s.m[reqID] = resp
+	}
+	s.mu.Unlock()
+	return !exists
+}
+
+// remove evicts one entry.
+func (t *dedupTable) remove(reqID string) {
+	s := t.shard(reqID)
+	s.mu.Lock()
+	delete(s.m, reqID)
+	s.mu.Unlock()
+}
+
+// reset empties the table, replacing each shard's map with a fresh
+// allocation sized to the expected reload (join-time state transfer):
+// the old maps' bucket arrays are released rather than pinned.
+func (t *dedupTable) reset(sizeHint int) {
+	per := sizeHint/dedupShards + 1
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		s.m = make(map[string][]byte, per)
+		s.mu.Unlock()
+	}
+}
+
+// size counts entries across shards.
+func (t *dedupTable) size() int {
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}

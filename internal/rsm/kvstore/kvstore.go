@@ -109,10 +109,11 @@ func DecodeResponse(b []byte) (*Response, error) {
 }
 
 // Store is the deterministic state machine: a string map. Mutations
-// arrive on the replica's event loop; the mutex only guards the
-// out-of-loop readers (Dump, Len — tests and status tooling).
+// arrive on the replica's event loop; the RWMutex lets the engine's
+// read workers serve Get concurrently with each other (and with Dump
+// and Len) while Apply holds the write side.
 type Store struct {
-	mu   sync.Mutex
+	mu   sync.RWMutex
 	data map[string]string
 }
 
@@ -148,8 +149,8 @@ func (s *Store) Apply(cmd rsm.Command) []byte {
 
 // Snapshot encodes the map, sorted for determinism.
 func (s *Store) Snapshot() []byte {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	keys := make([]string, 0, len(s.data))
 	for k := range s.data {
 		keys = append(keys, k)
@@ -182,18 +183,18 @@ func (s *Store) Restore(state []byte) error {
 	return nil
 }
 
-// Get reads one key from local state.
+// Get reads one key from local state; safe from any goroutine.
 func (s *Store) Get(key string) (string, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	v, ok := s.data[key]
 	return v, ok
 }
 
 // Dump copies the full map (tests compare replicas with it).
 func (s *Store) Dump() map[string]string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make(map[string]string, len(s.data))
 	for k, v := range s.data {
 		out[k] = v
@@ -203,13 +204,15 @@ func (s *Store) Dump() map[string]string {
 
 // Len returns the number of keys.
 func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.data)
 }
 
 // Classifier builds the rsm.Classifier for a store: gets are local
-// reads, mutations are replicated.
+// reads served on the engine's read workers (the deferred Respond
+// closure keeps the map probe and response encoding off the event
+// loop), mutations are replicated.
 func Classifier(s *Store) rsm.Classifier {
 	return func(payload []byte) rsm.Classification {
 		req, err := DecodeRequest(payload)
@@ -217,9 +220,11 @@ func Classifier(s *Store) rsm.Classifier {
 			return rsm.Classification{Verdict: rsm.Ignore}
 		}
 		if req.Op == OpGet {
-			resp := &Response{ReqID: req.ReqID, OK: true}
-			resp.Value, resp.Found = s.Get(req.Key)
-			return rsm.Classification{Verdict: rsm.Reply, Response: EncodeResponse(resp)}
+			return rsm.Classification{Verdict: rsm.Reply, Respond: func() []byte {
+				resp := &Response{ReqID: req.ReqID, OK: true}
+				resp.Value, resp.Found = s.Get(req.Key)
+				return EncodeResponse(resp)
+			}}
 		}
 		return rsm.Classification{Verdict: rsm.Replicate, ReqID: req.ReqID}
 	}

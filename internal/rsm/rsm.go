@@ -8,6 +8,14 @@
 // leader-replies) and non-primary output suppression, and carries the
 // service state plus the dedup table through join-time state transfer.
 //
+// Query commands do not change state and need no ordering, so the
+// engine splits the two paths: totally ordered commands apply on the
+// single event-loop goroutine (determinism), while Reply-classified
+// datagrams — local reads and protocol-level rejections — are served
+// by a pool of read workers against a concurrency-safe service view,
+// and every response leaves through a bounded asynchronous reply
+// queue so a slow client socket never stalls command application.
+//
 // The paper's central claim is that this machinery is *external*: it
 // wraps any deterministic service behind its command interface, with
 // TORQUE merely the instance evaluated. Accordingly the PBS batch
@@ -19,6 +27,7 @@ package rsm
 import (
 	"errors"
 	"log"
+	"runtime"
 	"sync"
 
 	"joshua/internal/gcs"
@@ -41,10 +50,13 @@ type Command struct {
 	Client transport.Addr
 }
 
-// Service is the deterministic state machine being replicated. All
-// methods are invoked from the Replica's event loop goroutine, so a
-// Service needs no internal locking against the engine (only against
-// its own out-of-loop readers, if it has any).
+// Service is the deterministic state machine being replicated. Apply,
+// Snapshot, and Restore are invoked from the Replica's event loop
+// goroutine only, so a Service needs no internal locking against the
+// engine's ordered path — but any state a Classifier's deferred
+// Respond closure reads runs on read-worker goroutines concurrently
+// with Apply, and must be guarded (an RWMutex or a copy-on-write
+// snapshot; see internal/pbs for the pattern).
 type Service interface {
 	// Apply executes one totally ordered command against local state
 	// and returns the encoded response to relay to the client. A nil
@@ -63,8 +75,9 @@ type Verdict int
 const (
 	// Ignore drops the datagram (malformed, not a request).
 	Ignore Verdict = iota
-	// Reply answers immediately with Classification.Response — local
-	// reads and protocol-level rejections, served without ordering.
+	// Reply answers immediately with the classification's response —
+	// local reads and protocol-level rejections, served without
+	// ordering (and, with a read-worker pool, off the event loop).
 	Reply
 	// Replicate pushes the datagram through the total order; every
 	// replica applies it and the output-mutex winner answers.
@@ -76,13 +89,24 @@ type Classification struct {
 	Verdict Verdict
 	// ReqID is the deduplication key; required for Replicate.
 	ReqID string
-	// Response is the encoded reply; required for Reply.
+	// Response is the encoded reply, built inline on the receive
+	// path. For anything heavier than a fixed rejection, prefer
+	// Respond so the construction runs on a read worker.
 	Response []byte
+	// Respond, when non-nil, builds the reply lazily on a read-worker
+	// goroutine (or on the event loop under the ReadOnLoop ablation).
+	// It must be safe to call from any goroutine: it runs concurrently
+	// with Service.Apply. It takes precedence over Response.
+	Respond func() []byte
 }
 
-// Classifier inspects one inbound client datagram. It runs on the
-// Replica's event loop goroutine, so it may read loop-owned service
-// state directly (local reads).
+// Classifier inspects one inbound client datagram and returns the
+// verdict plus either a prebuilt response or a deferred Respond
+// closure. It runs on the Replica's receive path — the intercept
+// goroutine, concurrent with Service.Apply (the event loop only under
+// the ReadOnLoop ablation) — so it must be safe to call from any
+// goroutine and should stay cheap: parse the verdict and request ID,
+// and push response construction into Respond.
 type Classifier func(payload []byte) Classification
 
 // OutputPolicy selects which replica relays command output back to
@@ -101,6 +125,13 @@ const (
 	// it.
 	LeaderReplies
 )
+
+// ReadOnLoop disables the read-worker pool: Reply-classified
+// datagrams and dedup-retry probes are served on the event-loop
+// goroutine, serialized against command application — the original
+// engine behaviour, kept as an ablation (and for single-core
+// deployments where the pool buys nothing).
+const ReadOnLoop = -1
 
 // Config parameterizes a Replica.
 type Config struct {
@@ -136,6 +167,29 @@ type Config struct {
 	// entries.
 	DedupLimit int
 
+	// ReadConcurrency sizes the read-worker pool that serves
+	// Reply-classified datagrams and dedup-retry probes off the event
+	// loop. Zero selects the default, runtime.GOMAXPROCS(0);
+	// ReadOnLoop (any negative value) disables the pool and serves
+	// reads on the event loop, the pre-concurrent ablation.
+	ReadConcurrency int
+	// ReadQueueLen bounds the queue feeding the read workers. When it
+	// fills, the event loop serves the datagram inline rather than
+	// dropping it. Default 256.
+	ReadQueueLen int
+	// ReplyQueueLen bounds the asynchronous reply queue through which
+	// every clientEP.Send flows (command output, local reads, dedup
+	// hits, rejections). When it fills, the reply is dropped and
+	// counted in Stats.ReplyQueueDrops; the client's retry recovers it
+	// (reads re-execute, command responses come from the dedup
+	// table). Default 1024.
+	ReplyQueueLen int
+
+	// ReadCacheHits, when non-nil, reports the service's read-cache
+	// hit counter; Stats folds it in so one Stats() call describes the
+	// whole read path.
+	ReadCacheHits func() uint64
+
 	// RejectNotPrimary builds the response sent for a replicate-
 	// classified request arriving at a replica outside the primary
 	// component. Nil drops such requests silently (the client's retry
@@ -157,12 +211,30 @@ type Config struct {
 
 // Stats counts replica activity.
 type Stats struct {
-	Intercepted  uint64 // client requests received
-	Applied      uint64 // replicated commands applied
-	Replied      uint64 // responses sent to clients
-	DedupHits    uint64 // retried requests answered from the table
-	Views        uint64 // views installed
-	DedupEntries int    // current deduplication-table size (gauge)
+	Intercepted     uint64 // client requests received
+	Applied         uint64 // replicated commands applied
+	Replied         uint64 // responses sent to clients
+	DedupHits       uint64 // retried requests answered from the table
+	LocalReads      uint64 // Reply-classified datagrams served locally
+	ReadCacheHits   uint64 // service read-cache hits (Config.ReadCacheHits)
+	ReplyQueueDrops uint64 // replies dropped on a full reply queue
+	Views           uint64 // views installed
+	DedupEntries    int    // current deduplication-table size (gauge)
+	ReadQueueDepth  int    // datagrams waiting for a read worker (gauge)
+	ReadWorkers     int    // read-worker pool size (0 = on-loop)
+}
+
+// readTask is one classified client datagram handed to a read worker.
+type readTask struct {
+	from    transport.Addr
+	payload []byte
+	cls     Classification
+}
+
+// reply is one queued outbound response.
+type reply struct {
+	to      transport.Addr
+	payload []byte
 }
 
 // Replica is one symmetric active/active member: the generic
@@ -181,13 +253,25 @@ type Replica struct {
 	ready     chan struct{}
 	readyOnce sync.Once
 
-	// --- owned by the run loop ---
-	view gcs.View
 	// dedup maps request IDs to the encoded response each replica
 	// computed when the command was applied; it makes client retries
-	// idempotent. dedupOrder drives FIFO eviction. Replicated: every
-	// replica builds the same table from the same command stream.
-	dedup      map[string][]byte
+	// idempotent. It is sharded behind RWMutexes so read workers can
+	// probe retries concurrently with the loop's inserts. Replicated:
+	// every replica builds the same table from the same command
+	// stream.
+	dedup *dedupTable
+
+	// readQ feeds the read-worker pool; nil under ReadOnLoop.
+	readQ chan readTask
+	// replyQ carries every outbound client response; a dedicated
+	// replier goroutine drains it so no protocol goroutine ever blocks
+	// in clientEP.Send.
+	replyQ chan reply
+
+	// --- owned by the run loop ---
+	view gcs.View
+	// dedupOrder drives the table's FIFO eviction; only the loop
+	// appends (on apply) and evicts, so it needs no lock.
 	dedupOrder []string
 
 	statsMu sync.Mutex
@@ -209,6 +293,18 @@ func Start(cfg Config) (*Replica, error) {
 	if cfg.DedupLimit <= 0 {
 		cfg.DedupLimit = 4096
 	}
+	if cfg.ReadConcurrency == 0 {
+		cfg.ReadConcurrency = runtime.GOMAXPROCS(0)
+	}
+	if cfg.ReadConcurrency < 0 {
+		cfg.ReadConcurrency = 0 // ReadOnLoop ablation
+	}
+	if cfg.ReadQueueLen <= 0 {
+		cfg.ReadQueueLen = 256
+	}
+	if cfg.ReplyQueueLen <= 0 {
+		cfg.ReplyQueueLen = 1024
+	}
 
 	r := &Replica{
 		cfg:      cfg,
@@ -216,8 +312,10 @@ func Start(cfg Config) (*Replica, error) {
 		service:  cfg.Service,
 		done:     make(chan struct{}),
 		ready:    make(chan struct{}),
-		dedup:    make(map[string][]byte),
+		dedup:    newDedupTable(cfg.DedupLimit),
+		replyQ:   make(chan reply, cfg.ReplyQueueLen),
 	}
+	r.stats.ReadWorkers = cfg.ReadConcurrency
 
 	gcfg := gcs.Config{
 		Self:            cfg.Self,
@@ -237,6 +335,14 @@ func Start(cfg Config) (*Replica, error) {
 	}
 	r.group = group
 
+	go r.replier()
+	if cfg.ReadConcurrency > 0 {
+		r.readQ = make(chan readTask, cfg.ReadQueueLen)
+		for i := 0; i < cfg.ReadConcurrency; i++ {
+			go r.readWorker()
+		}
+		go r.intercept()
+	}
 	go r.run()
 	return r, nil
 }
@@ -257,8 +363,15 @@ func (r *Replica) GroupStats() gcs.Stats { return r.group.Stats() }
 // Stats returns a snapshot of the replica counters.
 func (r *Replica) Stats() Stats {
 	r.statsMu.Lock()
-	defer r.statsMu.Unlock()
-	return r.stats
+	st := r.stats
+	r.statsMu.Unlock()
+	if r.readQ != nil {
+		st.ReadQueueDepth = len(r.readQ)
+	}
+	if r.cfg.ReadCacheHits != nil {
+		st.ReadCacheHits = r.cfg.ReadCacheHits()
+	}
+	return st
 }
 
 // Propose replicates an internally originated command (one with no
@@ -299,10 +412,17 @@ func (r *Replica) bump(f func(*Stats)) {
 	r.statsMu.Unlock()
 }
 
-// run is the replica's event loop: replicated events from the group
-// on one side, client datagrams on the other.
+// run is the replica's event loop. With the read-worker pool enabled
+// the intercept goroutine owns the client endpoint and this loop
+// handles group events only, so a slow Apply never delays datagram
+// interception; under ReadOnLoop client datagrams are handled here,
+// serialized against command application (the ablation's contract).
 func (r *Replica) run() {
 	events := r.group.Events()
+	var recv <-chan transport.Message // nil when intercept owns the endpoint
+	if r.readQ == nil {
+		recv = r.clientEP.Recv()
+	}
 	for {
 		select {
 		case <-r.done:
@@ -312,7 +432,25 @@ func (r *Replica) run() {
 				return
 			}
 			r.handleGroupEvent(e)
-		case dg, ok := <-r.clientEP.Recv():
+		case dg, ok := <-recv:
+			if !ok {
+				return
+			}
+			r.handleClientDatagram(dg)
+		}
+	}
+}
+
+// intercept drains client datagrams on a dedicated goroutine so the
+// classify/dispatch step runs concurrently with command application on
+// the event loop.
+func (r *Replica) intercept() {
+	recv := r.clientEP.Recv()
+	for {
+		select {
+		case <-r.done:
+			return
+		case dg, ok := <-recv:
 			if !ok {
 				return
 			}
@@ -346,7 +484,13 @@ func (r *Replica) handleGroupEvent(e gcs.Event) {
 	}
 }
 
-// handleClientDatagram intercepts one client request.
+// handleClientDatagram intercepts one client request: the cheap
+// verdict/ReqID parse runs here on the receive path (the intercept
+// goroutine, or the event loop under ReadOnLoop), then the work —
+// response construction for reads, the dedup-retry probe and
+// broadcast for commands — is handed to the read-worker pool. If the
+// pool is saturated (or disabled by ReadOnLoop) the datagram is
+// served inline so nothing is ever lost to a full queue.
 func (r *Replica) handleClientDatagram(dg transport.Message) {
 	cls := r.cfg.Classify(dg.Payload)
 	if cls.Verdict == Ignore {
@@ -354,25 +498,56 @@ func (r *Replica) handleClientDatagram(dg transport.Message) {
 	}
 	r.bump(func(st *Stats) { st.Intercepted++ })
 
+	if r.readQ != nil {
+		select {
+		case r.readQ <- readTask{from: dg.From, payload: dg.Payload, cls: cls}:
+			return
+		default: // pool saturated: degrade to inline service
+		}
+	}
+	r.serveRequest(dg.From, dg.Payload, cls)
+}
+
+// readWorker serves classified datagrams off the event loop.
+func (r *Replica) readWorker() {
+	for {
+		select {
+		case <-r.done:
+			return
+		case t := <-r.readQ:
+			r.serveRequest(t.from, t.payload, t.cls)
+		}
+	}
+}
+
+// serveRequest finishes one classified datagram. It runs on a read
+// worker (or inline on the event loop under ReadOnLoop/overflow), so
+// it may touch only concurrency-safe state: the sharded dedup table,
+// the group layer's view, and whatever the Respond closure guards.
+func (r *Replica) serveRequest(from transport.Addr, payload []byte, cls Classification) {
 	if cls.Verdict == Reply {
-		_ = r.clientEP.Send(dg.From, cls.Response)
-		r.bump(func(st *Stats) { st.Replied++ })
+		resp := cls.Response
+		if cls.Respond != nil {
+			resp = cls.Respond()
+		}
+		r.bump(func(st *Stats) { st.LocalReads++ })
+		r.sendAsync(from, resp)
 		return
 	}
 
 	// Retried request already applied? Answer from the table without
 	// re-executing (exactly-once semantics across replica failures).
-	if resp, ok := r.dedup[cls.ReqID]; ok {
+	if resp, ok := r.dedup.get(cls.ReqID); ok {
 		if resp != nil {
-			r.bump(func(st *Stats) { st.DedupHits++; st.Replied++ })
-			_ = r.clientEP.Send(dg.From, resp)
+			r.bump(func(st *Stats) { st.DedupHits++ })
+			r.sendAsync(from, resp)
 		}
 		return
 	}
 
-	if !r.view.Primary {
+	if !r.group.View().Primary {
 		if r.cfg.RejectNotPrimary != nil {
-			_ = r.clientEP.Send(dg.From, r.cfg.RejectNotPrimary(cls.ReqID))
+			r.sendAsync(from, r.cfg.RejectNotPrimary(cls.ReqID))
 		}
 		return
 	}
@@ -380,12 +555,39 @@ func (r *Replica) handleClientDatagram(dg transport.Message) {
 	env := &envelope{
 		ReqID:   cls.ReqID,
 		Origin:  r.cfg.Self,
-		Client:  dg.From,
-		Payload: dg.Payload,
+		Client:  from,
+		Payload: payload,
 	}
 	if err := r.group.Broadcast(env.encode()); err != nil {
 		if r.cfg.RejectShutdown != nil {
-			_ = r.clientEP.Send(dg.From, r.cfg.RejectShutdown(cls.ReqID))
+			r.sendAsync(from, r.cfg.RejectShutdown(cls.ReqID))
+		}
+	}
+}
+
+// sendAsync queues one response for the replier goroutine. A full
+// queue drops the reply — the bounded-buffer backpressure policy: a
+// slow or dead client socket must never stall command application,
+// and the client's retry recovers the answer (reads re-execute, and
+// command responses are replayed from the deduplication table).
+func (r *Replica) sendAsync(to transport.Addr, payload []byte) {
+	select {
+	case r.replyQ <- reply{to: to, payload: payload}:
+	default:
+		r.bump(func(st *Stats) { st.ReplyQueueDrops++ })
+	}
+}
+
+// replier drains the reply queue onto the client endpoint.
+func (r *Replica) replier() {
+	for {
+		select {
+		case <-r.done:
+			return
+		case rep := <-r.replyQ:
+			if r.clientEP.Send(rep.to, rep.payload) == nil {
+				r.bump(func(st *Stats) { st.Replied++ })
+			}
 		}
 	}
 }
@@ -394,7 +596,7 @@ func (r *Replica) handleClientDatagram(dg transport.Message) {
 // local service. Every replica runs this for every command in the
 // same order; exactly one (per OutputPolicy) relays the output.
 func (r *Replica) applyEnvelope(env *envelope) {
-	respBytes, seen := r.dedup[env.ReqID]
+	respBytes, seen := r.dedup.get(env.ReqID)
 	if !seen {
 		// First delivery: execute. A duplicate (the same request
 		// replicated twice because the client retried at a second
@@ -416,8 +618,7 @@ func (r *Replica) applyEnvelope(env *envelope) {
 	// primary component's are authoritative. Internally originated
 	// commands have no client at all.
 	if env.Client != "" && respBytes != nil && r.view.Primary && r.shouldReply(env) {
-		_ = r.clientEP.Send(env.Client, respBytes)
-		r.bump(func(st *Stats) { st.Replied++ })
+		r.sendAsync(env.Client, respBytes)
 	}
 }
 
@@ -433,19 +634,19 @@ func (r *Replica) shouldReply(env *envelope) bool {
 
 // dedupInsert records a response with FIFO eviction. Because every
 // replica applies the same commands in the same order, the table (and
-// its eviction) is identical everywhere.
+// its eviction) is identical everywhere. Only the event loop inserts,
+// so dedupOrder needs no lock.
 func (r *Replica) dedupInsert(reqID string, resp []byte) {
-	if _, exists := r.dedup[reqID]; exists {
+	if !r.dedup.put(reqID, resp) {
 		return
 	}
-	r.dedup[reqID] = resp
 	r.dedupOrder = append(r.dedupOrder, reqID)
 	for len(r.dedupOrder) > r.cfg.DedupLimit {
 		victim := r.dedupOrder[0]
 		r.dedupOrder = r.dedupOrder[1:]
-		delete(r.dedup, victim)
+		r.dedup.remove(victim)
 	}
-	r.bump(func(st *Stats) { st.DedupEntries = len(r.dedup) })
+	r.bump(func(st *Stats) { st.DedupEntries = r.dedup.size() })
 }
 
 // encodeState builds the join-time state transfer: the service
@@ -455,12 +656,16 @@ func (r *Replica) encodeState() []byte {
 	st := &replicaState{Service: r.service.Snapshot()}
 	st.DedupIDs = append(st.DedupIDs, r.dedupOrder...)
 	for _, id := range r.dedupOrder {
-		st.DedupResp = append(st.DedupResp, r.dedup[id])
+		resp, _ := r.dedup.get(id)
+		st.DedupResp = append(st.DedupResp, resp)
 	}
 	return st.encode()
 }
 
-// restoreState applies a join-time state transfer.
+// restoreState applies a join-time state transfer. The replacement
+// slices are allocated fresh, sized to the transferred state: reusing
+// the prior backing arrays (dedupOrder[:0]) would pin the old table's
+// memory for as long as the new one lives.
 func (r *Replica) restoreState(b []byte) error {
 	st, err := decodeReplicaState(b)
 	if err != nil {
@@ -469,12 +674,12 @@ func (r *Replica) restoreState(b []byte) error {
 	if err := r.service.Restore(st.Service); err != nil {
 		return err
 	}
-	r.dedup = make(map[string][]byte, len(st.DedupIDs))
-	r.dedupOrder = r.dedupOrder[:0]
+	r.dedup.reset(len(st.DedupIDs))
+	r.dedupOrder = make([]string, 0, len(st.DedupIDs))
 	for i, id := range st.DedupIDs {
-		r.dedup[id] = st.DedupResp[i]
+		r.dedup.put(id, st.DedupResp[i])
 		r.dedupOrder = append(r.dedupOrder, id)
 	}
-	r.bump(func(st *Stats) { st.DedupEntries = len(r.dedup) })
+	r.bump(func(st *Stats) { st.DedupEntries = r.dedup.size() })
 	return nil
 }
