@@ -6,10 +6,11 @@
 //	jbench -fig 12             # Figure 12: availability/downtime
 //	jbench -fig ablations      # DESIGN.md design-choice ablations
 //	jbench -fig readpath       # concurrent vs on-loop query serving
+//	jbench -fig wal            # WAL fsync-policy ablation vs in-memory
 //	jbench -fig all            # everything
 //
-// -json writes the readpath results to a machine-readable file (the
-// CI benchmark artifact).
+// -json writes the selected figure's results (readpath or wal) to a
+// machine-readable file (the CI benchmark artifact).
 //
 // -scale selects the latency-model scale (1.0 = paper-scale
 // milliseconds; smaller runs proportionally faster). Shapes, not
@@ -119,6 +120,38 @@ func main() {
 		}
 	}
 
+	runWAL := func() {
+		rows, err := bench.MeasureWALPolicies(cal, 2, *samples)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("WAL fsync ablation (submission latency, 2 heads):")
+		var base time.Duration
+		for _, r := range rows {
+			if r.Policy == "in-memory" {
+				base = r.SubmitMean
+			}
+			extra := ""
+			if base > 0 && r.Policy != "in-memory" {
+				extra = fmt.Sprintf("   %+.1f%% vs in-memory", 100*(float64(r.SubmitMean)/float64(base)-1))
+			}
+			if r.Appends > 0 {
+				extra += fmt.Sprintf("   (%d appends, %d fsyncs)", r.Appends, r.Fsyncs)
+			}
+			fmt.Printf("  %-12s %-10v%s\n", r.Policy+":", r.SubmitMean.Round(time.Millisecond/10), extra)
+		}
+		fmt.Println()
+		if *jsonPath != "" {
+			out, err := json.MarshalIndent(map[string][]bench.WALPolicyResult{"wal_policies": rows}, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+		}
+	}
+
 	switch *fig {
 	case "10":
 		run10()
@@ -130,12 +163,15 @@ func main() {
 		runAblations()
 	case "readpath":
 		runReadPath()
+	case "wal":
+		runWAL()
 	case "all":
 		run10()
 		run11()
 		run12()
 		runAblations()
 		runReadPath()
+		runWAL()
 	default:
 		fail(fmt.Errorf("unknown -fig %q", *fig))
 	}

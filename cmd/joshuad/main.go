@@ -5,12 +5,18 @@
 // Usage:
 //
 //	joshuad -config cluster.conf -id head0 [-mode static|bootstrap|join]
+//	        [-data-dir /var/lib/joshua] [-sync-policy always|interval|none]
 //
 // The configuration file declares every head node and compute node
 // (see internal/config). With -mode static (the default) all declared
 // heads form the group together at startup; -mode bootstrap founds a
 // fresh singleton group; -mode join joins a running group with state
 // transfer, the path a repaired head node takes back into service.
+//
+// With -data-dir (or data_dir in the configuration) the head keeps a
+// write-ahead log and periodic checkpoints under <dir>/<id>; after a
+// crash it recovers its state from disk and rejoins with only the
+// missing log suffix instead of a full state transfer.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -26,6 +33,7 @@ import (
 	"joshua/internal/joshua"
 	"joshua/internal/pbs"
 	"joshua/internal/transport/tcpnet"
+	"joshua/internal/wal"
 )
 
 func main() {
@@ -34,6 +42,9 @@ func main() {
 		id         = flag.String("id", "", "this head node's name (a [head <name>] section)")
 		mode       = flag.String("mode", "static", "group formation: static, bootstrap, or join")
 		acctPath   = flag.String("accounting", "", "append PBS accounting records to this file")
+		dataDir    = flag.String("data-dir", "", "durable state root: WAL + checkpoints go to <dir>/<id> (overrides data_dir in config; empty = in-memory)")
+		syncPolicy = flag.String("sync-policy", "", "WAL fsync policy: always, interval, or none (overrides sync_policy in config)")
+		ckptEvery  = flag.Uint64("checkpoint-every", 0, "applied commands between checkpoints (overrides checkpoint_every in config; 0 = default)")
 		verbose    = flag.Bool("v", false, "log protocol diagnostics")
 	)
 	flag.Parse()
@@ -90,6 +101,29 @@ func main() {
 	}
 	if *verbose {
 		cfg.Logger = log.New(os.Stderr, "", log.Ltime|log.Lmicroseconds)
+	}
+
+	root := conf.DataDir
+	if *dataDir != "" {
+		root = *dataDir
+	}
+	if root != "" {
+		cfg.DataDir = filepath.Join(root, *id)
+	}
+	policy := conf.SyncPolicy
+	if *syncPolicy != "" {
+		policy = *syncPolicy
+	}
+	if policy != "" {
+		p, err := wal.ParseSyncPolicy(policy)
+		if err != nil {
+			cli.Fatalf("joshuad: %v", err)
+		}
+		cfg.SyncPolicy = p
+	}
+	cfg.CheckpointEvery = conf.CheckpointEvery
+	if *ckptEvery != 0 {
+		cfg.CheckpointEvery = *ckptEvery
 	}
 	switch *mode {
 	case "static":

@@ -11,6 +11,8 @@ package cluster
 import (
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"time"
 
 	"joshua/internal/gcs"
@@ -18,6 +20,7 @@ import (
 	"joshua/internal/pbs"
 	"joshua/internal/simnet"
 	"joshua/internal/transport"
+	"joshua/internal/wal"
 )
 
 // MaxHeads bounds the head-node pool. Every head's group address is
@@ -73,6 +76,15 @@ type Options struct {
 	// client discovers the dead entries of the static head book
 	// quickly.
 	ClientTimeout time.Duration
+	// DataDir, when set, gives every head a durable write-ahead log
+	// and checkpoints under DataDir/head<i>, enabling crash recovery
+	// via RestartHeads. Empty keeps heads purely in-memory.
+	DataDir string
+	// SyncPolicy, SyncInterval, CheckpointEvery forward to each head's
+	// durability layer (see joshua.Config).
+	SyncPolicy      wal.SyncPolicy
+	SyncInterval    time.Duration
+	CheckpointEvery uint64
 }
 
 // Cluster is a running simulated deployment.
@@ -252,6 +264,10 @@ func (c *Cluster) startHead(i int, initial []gcs.MemberID, join bool) error {
 		ReadConcurrency:    c.opts.ReadConcurrency,
 		TuneGCS:            c.opts.TuneGCS,
 		Logger:             c.opts.Logger,
+		DataDir:            c.headDataDir(i),
+		SyncPolicy:         c.opts.SyncPolicy,
+		SyncInterval:       c.opts.SyncInterval,
+		CheckpointEvery:    c.opts.CheckpointEvery,
 	}
 	if !join {
 		cfg.InitialMembers = initial
@@ -420,7 +436,124 @@ func (c *Cluster) AddHead(i int) error {
 		return fmt.Errorf("cluster: head %d already running", i)
 	}
 	c.Net.RestartHost(headHost(i))
+	if err := c.awaitHeadAddrsFree(i); err != nil {
+		return err
+	}
 	return c.startHead(i, nil, true)
+}
+
+// awaitHeadAddrsFree waits until head i's service addresses can be
+// bound again: a closed head's group endpoint is released by its event
+// loop asynchronously, so an immediate restart can race the
+// deregistration.
+func (c *Cluster) awaitHeadAddrsFree(i int) error {
+	for _, addr := range []transport.Addr{headGroupAddr(i), HeadClientAddr(i), headPBSAddr(i)} {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			ep, err := c.Net.Endpoint(addr)
+			if err == nil {
+				ep.Close()
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("cluster: address %s never freed: %v", addr, err)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// headDataDir returns head i's durability directory, or "" when the
+// cluster runs in-memory.
+func (c *Cluster) headDataDir(i int) string {
+	if c.opts.DataDir == "" {
+		return ""
+	}
+	return filepath.Join(c.opts.DataDir, fmt.Sprintf("head%d", i))
+}
+
+// RestartHeads restarts previously crashed heads from their data
+// directories (Options.DataDir required). When other heads are still
+// running, each restarted head simply rejoins and catches up — a
+// log-suffix delta transfer when the donor still retains the gap.
+// When no head is running (whole-cluster outage), the head whose log
+// reaches the furthest applied index is bootstrapped first: the total
+// order guarantees its prefix covers every command any head
+// acknowledged, so no acknowledged work is lost. The remaining heads
+// then join it.
+func (c *Cluster) RestartHeads(idx ...int) error {
+	if c.opts.DataDir == "" {
+		return fmt.Errorf("cluster: RestartHeads requires Options.DataDir")
+	}
+	if len(idx) == 0 {
+		return nil
+	}
+	for _, i := range idx {
+		if i < 0 || i >= MaxHeads {
+			return fmt.Errorf("cluster: head index %d out of range", i)
+		}
+		if _, ok := c.heads[i]; ok {
+			return fmt.Errorf("cluster: head %d already running", i)
+		}
+	}
+	rest := idx
+	if len(c.heads) == 0 {
+		freshest, err := c.freshestHead(idx)
+		if err != nil {
+			return err
+		}
+		c.Net.RestartHost(headHost(freshest))
+		if err := c.awaitHeadAddrsFree(freshest); err != nil {
+			return err
+		}
+		boot := []gcs.MemberID{headMember(freshest)}
+		if err := c.startHead(freshest, boot, false); err != nil {
+			return err
+		}
+		select {
+		case <-c.heads[freshest].Ready():
+		case <-time.After(10 * time.Second):
+			return fmt.Errorf("cluster: restarted head %d did not become ready", freshest)
+		}
+		rest = make([]int, 0, len(idx)-1)
+		for _, i := range idx {
+			if i != freshest {
+				rest = append(rest, i)
+			}
+		}
+	}
+	for _, i := range rest {
+		if err := c.AddHead(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// freshestHead probes each candidate's write-ahead log and returns
+// the index of the head with the highest durable applied index (ties
+// break toward the lowest head index). A head with no data directory
+// yet counts as index zero.
+func (c *Cluster) freshestHead(idx []int) (int, error) {
+	best, bestLast := -1, uint64(0)
+	for _, i := range idx {
+		var last uint64
+		if _, err := os.Stat(c.headDataDir(i)); err == nil {
+			lg, err := wal.Open(wal.Options{Dir: c.headDataDir(i), Policy: wal.SyncNone})
+			if err != nil {
+				return 0, fmt.Errorf("cluster: probing head %d log: %w", i, err)
+			}
+			last = lg.LastIndex()
+			if err := lg.Close(); err != nil {
+				return 0, fmt.Errorf("cluster: probing head %d log: %w", i, err)
+			}
+		}
+		if best == -1 || last > bestLast {
+			best, bestLast = i, last
+		}
+	}
+	return best, nil
 }
 
 // PartitionHeads splits the head set into two fragments that cannot

@@ -26,6 +26,16 @@ type ClusterFile struct {
 	// set it to an address the heads can route back to, e.g.
 	// "10.0.0.7:0" or "0.0.0.0:0".
 	ClientBind string
+	// DataDir enables each head's durable write-ahead log and
+	// checkpoints under <data_dir>/<head name> ("data_dir", globally
+	// or under [options]). Empty runs heads purely in-memory.
+	DataDir string
+	// SyncPolicy is the WAL fsync policy: "always", "interval", or
+	// "none" ("sync_policy"; default "interval").
+	SyncPolicy string
+	// CheckpointEvery is the applied-command cadence between
+	// checkpoints ("checkpoint_every"; 0 = engine default).
+	CheckpointEvery uint64
 }
 
 // HeadDecl is one "[head <name>]" section.
@@ -83,6 +93,8 @@ func ClusterFromFile(f *File) (*ClusterFile, error) {
 		TimeScale:  1.0,
 		Exclusive:  true,
 		ClientBind: f.Global("client_bind", ""),
+		DataDir:    f.Global("data_dir", ""),
+		SyncPolicy: f.Global("sync_policy", ""),
 	}
 	for _, sec := range f.SectionsOf("head") {
 		if sec.Name == "" {
@@ -125,6 +137,15 @@ func ClusterFromFile(f *File) (*ClusterFile, error) {
 		}
 		if v := opts[0].Get("client_bind"); v != "" {
 			c.ClientBind = v
+		}
+		if v := opts[0].Get("data_dir"); v != "" {
+			c.DataDir = v
+		}
+		if v := opts[0].Get("sync_policy"); v != "" {
+			c.SyncPolicy = v
+		}
+		if c.CheckpointEvery, err = opts[0].Uint("checkpoint_every", 0); err != nil {
+			return nil, err
 		}
 	}
 	sort.Slice(c.Heads, func(i, j int) bool { return c.Heads[i].Name < c.Heads[j].Name })

@@ -179,6 +179,19 @@ func (s *Section) Float(key string, def float64) (float64, error) {
 	return f, nil
 }
 
+// Uint parses a non-negative integer key, returning def when absent.
+func (s *Section) Uint(key string, def uint64) (uint64, error) {
+	v, ok := s.Keys[key]
+	if !ok || v == "" {
+		return def, nil
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("config: key %q: %v", key, err)
+	}
+	return n, nil
+}
+
 // Duration parses a duration key ("250ms", "2s"), returning def when
 // absent.
 func (s *Section) Duration(key string, def time.Duration) (time.Duration, error) {

@@ -285,7 +285,17 @@ func (p *Process) completeFlush() {
 	// disseminated so a snapshot failure can simply drop the joiners
 	// from the proposal.
 	if len(joining) > 0 {
-		snapshot, ok := p.collectSnapshot()
+		// The application may serve the transfer as a delta of
+		// everything after the joiners' recovered state; with several
+		// joiners the minimum advertised version covers them all (each
+		// skips what it already has).
+		since := p.joinSince[joining[0]]
+		for _, j := range joining[1:] {
+			if p.joinSince[j] < since {
+				since = p.joinSince[j]
+			}
+		}
+		snapshot, ok := p.collectSnapshot(since)
 		if !ok {
 			p.logf("snapshot request timed out; admitting no joiners this view")
 			kept := candidates[:0:0]
@@ -300,16 +310,31 @@ func (p *Process) completeFlush() {
 			for m, s := range p.delivered {
 				table[m] = s
 			}
-			snap := &message{
-				Kind:       kindStateSnap,
-				From:       p.cfg.Self,
-				ViewID:     oldViewID,
-				Attempt:    attempt,
-				NewViewID:  newViewID,
-				DelivTable: table,
-				AppState:   snapshot,
+			// Chunk the snapshot so no single frame carries an
+			// unbounded application state.
+			chunkCnt := (len(snapshot) + p.cfg.TransferChunk - 1) / p.cfg.TransferChunk
+			if chunkCnt == 0 {
+				chunkCnt = 1
 			}
-			p.multicast(joining, snap)
+			for i := 0; i < chunkCnt; i++ {
+				lo := i * p.cfg.TransferChunk
+				hi := lo + p.cfg.TransferChunk
+				if hi > len(snapshot) {
+					hi = len(snapshot)
+				}
+				snap := &message{
+					Kind:       kindStateSnap,
+					From:       p.cfg.Self,
+					ViewID:     oldViewID,
+					Attempt:    attempt,
+					NewViewID:  newViewID,
+					DelivTable: table,
+					ChunkIdx:   uint64(i),
+					ChunkCnt:   uint64(chunkCnt),
+					AppState:   snapshot[lo:hi],
+				}
+				p.multicast(joining, snap)
+			}
 		}
 	}
 
@@ -350,10 +375,10 @@ func (p *Process) newViewPrimary() bool {
 // event stream and waits for the reply. Blocking the protocol loop is
 // deliberate: the snapshot must be positioned exactly here in the
 // event order, and the group is quiescent during a flush anyway.
-func (p *Process) collectSnapshot() ([]byte, bool) {
+func (p *Process) collectSnapshot(since uint64) ([]byte, bool) {
 	reply := make(chan []byte, 1)
 	var once bool
-	p.events.push(SnapshotRequestEvent{Reply: func(state []byte) {
+	p.events.push(SnapshotRequestEvent{Since: since, Reply: func(state []byte) {
 		if !once {
 			once = true
 			reply <- state
@@ -427,6 +452,7 @@ func (p *Process) adoptView(v View) {
 	for j := range p.joiners {
 		if v.Includes(j) {
 			delete(p.joiners, j)
+			delete(p.joinSince, j)
 		}
 	}
 	p.events.push(ViewEvent{View: p.View()})
@@ -481,18 +507,49 @@ func (p *Process) joinerInstall(m *message) {
 	p.snapGot = false
 	p.snapTable = nil
 	p.snapApp = nil
+	p.snapChunks = nil
+	p.snapHave = 0
 	p.adoptView(View{ID: m.NewViewID, Members: m.Members, Primary: m.Primary})
 }
 
-// onStateSnap stores the pre-admission state transfer (joiner only).
+// onStateSnap collects one chunk of the pre-admission state transfer
+// (joiner only). snapGot flips once all chunks of one NewViewID are
+// in; a chunk from a different (newer) attempt restarts assembly.
 func (p *Process) onStateSnap(m *message) {
 	if p.st != statusJoining {
 		return
 	}
-	p.snapGot = true
-	p.snapViewID = m.NewViewID
+	const maxChunks = 1 << 16 // sanity bound against a corrupt frame
+	if m.ChunkCnt == 0 || m.ChunkCnt > maxChunks || m.ChunkIdx >= m.ChunkCnt {
+		return
+	}
+	if p.snapChunks == nil || p.snapViewID != m.NewViewID || len(p.snapChunks) != int(m.ChunkCnt) {
+		p.snapGot = false
+		p.snapViewID = m.NewViewID
+		p.snapChunks = make([][]byte, m.ChunkCnt)
+		p.snapHave = 0
+	}
+	if p.snapChunks[m.ChunkIdx] == nil {
+		chunk := m.AppState
+		if chunk == nil {
+			chunk = []byte{}
+		}
+		p.snapChunks[m.ChunkIdx] = chunk
+		p.snapHave++
+	}
 	p.snapTable = m.DelivTable
-	p.snapApp = m.AppState
+	if p.snapHave < len(p.snapChunks) {
+		return
+	}
+	total := 0
+	for _, c := range p.snapChunks {
+		total += len(c)
+	}
+	p.snapApp = make([]byte, 0, total)
+	for _, c := range p.snapChunks {
+		p.snapApp = append(p.snapApp, c...)
+	}
+	p.snapGot = true
 }
 
 // onJoin handles an admission request.
@@ -510,6 +567,7 @@ func (p *Process) onJoin(m *message) {
 		}
 	}
 	p.joiners[m.From] = true
+	p.joinSince[m.From] = m.Since
 	p.maybeStartFlush()
 }
 

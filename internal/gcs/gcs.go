@@ -129,6 +129,11 @@ type ViewEvent struct {
 // delivered before this one.
 type SnapshotRequestEvent struct {
 	Reply func(state []byte)
+	// Since is the minimum state version (Config.StateSince) advertised
+	// by the joiners this snapshot is for. A nonzero value invites the
+	// application to reply with an incremental transfer covering only
+	// what came after; the value is opaque to this layer.
+	Since uint64
 }
 
 // StateTransferEvent delivers the application snapshot to a joining
@@ -166,6 +171,17 @@ type Config struct {
 
 	// PartitionPolicy defaults to FailStop (the paper's model).
 	PartitionPolicy PartitionPolicy
+
+	// StateSince is this process's locally recovered application state
+	// version, advertised in join requests so the group can serve an
+	// incremental state transfer. Zero (no local state) requests a full
+	// transfer. Opaque to this layer.
+	StateSince uint64
+
+	// TransferChunk bounds the application-state bytes carried by one
+	// state-transfer frame; larger snapshots are split and reassembled
+	// at the joiner. Default 256 KiB.
+	TransferChunk int
 
 	// Heartbeat is the failure-detector probe interval.
 	// Default 25ms.
@@ -257,6 +273,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.MaxBatch < 1 {
 		c.MaxBatch = 1
+	}
+	if c.TransferChunk <= 0 {
+		c.TransferChunk = 256 << 10
 	}
 }
 
@@ -370,12 +389,20 @@ type Process struct {
 	// whose copy was lost.
 	lastNewView *message
 
-	// joiner state
+	// joiner state. The snapshot arrives as ChunkCnt chunks (possibly
+	// out of order, possibly re-sent across flush attempts); snapGot
+	// flips only once every chunk of one NewViewID is in.
 	snapGot     bool
 	snapViewID  uint64
 	snapTable   map[MemberID]uint64
 	snapApp     []byte
+	snapChunks  [][]byte
+	snapHave    int
 	lastJoinReq time.Time
+
+	// joinSince records each joiner's advertised recovered state
+	// version (kindJoin.Since) until it is admitted.
+	joinSince map[MemberID]uint64
 }
 
 // Start creates and runs a Process. It returns immediately; the first
@@ -403,6 +430,7 @@ func Start(cfg Config) (*Process, error) {
 		lastHeard: make(map[MemberID]time.Time),
 		suspected: make(map[MemberID]bool),
 		joiners:   make(map[MemberID]bool),
+		joinSince: make(map[MemberID]uint64),
 		leavers:   make(map[MemberID]bool),
 		ordered:   make(map[uint64]*dataMsg),
 		lastSeqd:  make(map[MemberID]uint64),
@@ -832,7 +860,7 @@ func (p *Process) onTick() {
 	case statusJoining:
 		if now.Sub(p.lastJoinReq) >= p.cfg.JoinInterval {
 			p.lastJoinReq = now
-			p.multicast(sortedKeys(p.cfg.Peers), &message{Kind: kindJoin, From: p.cfg.Self})
+			p.multicast(sortedKeys(p.cfg.Peers), &message{Kind: kindJoin, From: p.cfg.Self, Since: p.cfg.StateSince})
 		}
 		return
 	case statusClosed:

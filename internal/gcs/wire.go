@@ -83,8 +83,20 @@ type message struct {
 	StableSeen  uint64
 	DelivTable  map[MemberID]uint64 // also kindStateSnap
 
-	// kindStateSnap
+	// kindStateSnap. The snapshot is split into chunks so one giant
+	// application state never forms a single frame (datagram transports
+	// bound frame sizes, and stream transports would stall a writer
+	// queue); ChunkIdx/ChunkCnt let the joiner reassemble.
 	AppState []byte
+	ChunkIdx uint64
+	ChunkCnt uint64
+
+	// kindJoin: the joiner's locally recovered application state
+	// version (applied command index), opaque to this layer. The
+	// coordinator hands the minimum over admitted joiners to the
+	// application, which may answer the snapshot request with an
+	// incremental transfer instead of a full one.
+	Since uint64
 }
 
 func putMembers(e *codec.Encoder, ms []MemberID) {
@@ -201,8 +213,10 @@ func (m *message) marshal(e *codec.Encoder) {
 	e.PutUint(m.ViewID)
 	e.PutUint(m.Attempt)
 	switch m.Kind {
-	case kindJoin, kindLeave:
+	case kindLeave:
 		// header only
+	case kindJoin:
+		e.PutUint(m.Since)
 	case kindHeartbeat:
 		// Delivered carries the sender's highest known assigned
 		// sequence, so peers that missed the tail learn to NACK it.
@@ -242,6 +256,8 @@ func (m *message) marshal(e *codec.Encoder) {
 	case kindStateSnap:
 		e.PutUint(m.NewViewID)
 		putDelivTable(e, m.DelivTable)
+		e.PutUint(m.ChunkIdx)
+		e.PutUint(m.ChunkCnt)
 		e.PutBytes(m.AppState)
 	case kindBatch:
 		e.PutUint(m.Delivered)
@@ -273,7 +289,9 @@ func decodeMessage(b []byte) (*message, error) {
 		Attempt: d.Uint(),
 	}
 	switch m.Kind {
-	case kindJoin, kindLeave:
+	case kindLeave:
+	case kindJoin:
+		m.Since = d.Uint()
 	case kindHeartbeat:
 		m.Delivered = d.Uint()
 	case kindData:
@@ -317,6 +335,8 @@ func decodeMessage(b []byte) (*message, error) {
 	case kindStateSnap:
 		m.NewViewID = d.Uint()
 		m.DelivTable = getDelivTable(d)
+		m.ChunkIdx = d.Uint()
+		m.ChunkCnt = d.Uint()
 		b := d.Bytes()
 		m.AppState = make([]byte, len(b))
 		copy(m.AppState, b)

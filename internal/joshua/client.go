@@ -70,7 +70,11 @@ type ClientConfig struct {
 var (
 	ErrNoHeads   = errors.New("joshua: no head nodes configured")
 	ErrUnreached = errors.New("joshua: no head node answered")
-	ErrClosed    = errors.New("joshua: client closed")
+	// ErrNoHealthyHeads is the all-heads-down diagnosis: not one of the
+	// configured heads produced a reply across every retry round. It
+	// wraps ErrUnreached, so existing errors.Is checks keep matching.
+	ErrNoHealthyHeads = errors.New("joshua: no healthy head nodes")
+	ErrClosed         = errors.New("joshua: client closed")
 )
 
 // NewClient creates a client and starts its receive loop.
@@ -165,6 +169,7 @@ func (c *Client) callReq(req *rpcRequest) (*rpcResponse, error) {
 	}()
 
 	var lastErr error
+	replies := 0
 	attempts := c.cfg.Rounds * len(c.cfg.Heads)
 	for i := 0; i < attempts; i++ {
 		idx := (start + i) % len(c.cfg.Heads)
@@ -180,6 +185,7 @@ func (c *Client) callReq(req *rpcRequest) (*rpcResponse, error) {
 		}
 		select {
 		case resp := <-ch:
+			replies++
 			c.markHealth(idx, true)
 			if !resp.OK && resp.ErrMsg == ErrNotPrimary.Error() {
 				// This head is alive but cut off from the primary
@@ -206,8 +212,16 @@ func (c *Client) callReq(req *rpcRequest) (*rpcResponse, error) {
 			return nil, ErrClosed
 		}
 	}
-	if lastErr != nil {
-		return nil, fmt.Errorf("%w after %d attempts (%v): last send error: %v", ErrUnreached, attempts, req.Op, lastErr)
+	if replies == 0 {
+		// Not a single head replied — a crashed or partitioned-away
+		// cluster, not one slow head. Name what was tried so the
+		// operator can tell a bad head list from a down cluster.
+		if lastErr != nil {
+			return nil, fmt.Errorf("%w (%w): tried %v over %d attempts (%v): last send error: %v",
+				ErrNoHealthyHeads, ErrUnreached, c.cfg.Heads, attempts, req.Op, lastErr)
+		}
+		return nil, fmt.Errorf("%w (%w): tried %v over %d attempts (%v), all silent",
+			ErrNoHealthyHeads, ErrUnreached, c.cfg.Heads, attempts, req.Op)
 	}
 	return nil, fmt.Errorf("%w after %d attempts (%v)", ErrUnreached, attempts, req.Op)
 }

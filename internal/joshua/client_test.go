@@ -3,6 +3,7 @@ package joshua
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -153,6 +154,49 @@ func TestClientAllSendsFailReportsLastError(t *testing.T) {
 	}
 	if got := len(ep.sentTo()); got != 4 {
 		t.Errorf("attempted %d sends, want 4 (2 rounds x 2 heads)", got)
+	}
+}
+
+// silentEndpoint accepts every Send but never produces a reply — the
+// shape of a whole cluster that is down (a crashed host drops
+// datagrams silently; nothing errors, nothing answers).
+type silentEndpoint struct {
+	recv chan transport.Message
+	once sync.Once
+}
+
+func (e *silentEndpoint) Addr() transport.Addr              { return "user/silent" }
+func (e *silentEndpoint) Send(transport.Addr, []byte) error { return nil }
+func (e *silentEndpoint) Recv() <-chan transport.Message    { return e.recv }
+func (e *silentEndpoint) Close() error                      { e.once.Do(func() { close(e.recv) }); return nil }
+
+func TestClientAllHeadsSilentReportsNoHealthyHeads(t *testing.T) {
+	// Every head down: the client must say so distinctly — naming the
+	// endpoints it tried — instead of returning the generic timeout,
+	// while still matching ErrUnreached for existing callers.
+	heads := []transport.Addr{clientAddr(0), clientAddr(1)}
+	cli, err := NewClient(ClientConfig{
+		Endpoint:       &silentEndpoint{recv: make(chan transport.Message)},
+		Heads:          heads,
+		AttemptTimeout: 20 * time.Millisecond,
+		Rounds:         2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	_, callErr := cli.Stat("1.cluster")
+	if !errors.Is(callErr, ErrNoHealthyHeads) {
+		t.Fatalf("err = %v, want ErrNoHealthyHeads", callErr)
+	}
+	if !errors.Is(callErr, ErrUnreached) {
+		t.Fatalf("err = %v, must still match ErrUnreached", callErr)
+	}
+	for _, h := range heads {
+		if !strings.Contains(callErr.Error(), string(h)) {
+			t.Errorf("error %q does not name attempted head %s", callErr, h)
+		}
 	}
 }
 

@@ -32,12 +32,14 @@ import (
 	"log"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"joshua/internal/codec"
 	"joshua/internal/gcs"
 	"joshua/internal/pbs"
 	"joshua/internal/rsm"
 	"joshua/internal/transport"
+	"joshua/internal/wal"
 )
 
 // OutputPolicy selects which head node relays command output back to
@@ -116,6 +118,26 @@ type Config struct {
 	// ReplyQueueLen bounds the engine's asynchronous reply queue; zero
 	// selects the engine default.
 	ReplyQueueLen int
+
+	// DataDir, when set, enables the replication engine's durability
+	// layer for this head: applied commands are written through a
+	// write-ahead log, the full state (batch service + lock table +
+	// dedup table) is checkpointed every CheckpointEvery commands, and
+	// a restart recovers locally before rejoining the group. Empty
+	// keeps the head purely in-memory.
+	DataDir string
+	// SyncPolicy selects the WAL fsync policy (always/interval/none);
+	// the default is wal.SyncInterval.
+	SyncPolicy wal.SyncPolicy
+	// SyncInterval is the fsync cadence under wal.SyncInterval; zero
+	// uses the wal default.
+	SyncInterval time.Duration
+	// CheckpointEvery is the applied-command cadence between
+	// checkpoints; zero selects the engine default.
+	CheckpointEvery uint64
+	// WALSegmentBytes overrides the log segment rotation size; zero
+	// uses the wal default.
+	WALSegmentBytes int64
 
 	// TuneGCS, when non-nil, may adjust group communication timings
 	// before the group process starts (tests and benchmarks shorten
@@ -198,6 +220,11 @@ func StartServer(cfg Config) (*Server, error) {
 		DedupLimit:      cfg.DedupLimit,
 		ReadConcurrency: cfg.ReadConcurrency,
 		ReplyQueueLen:   cfg.ReplyQueueLen,
+		DataDir:         cfg.DataDir,
+		SyncPolicy:      cfg.SyncPolicy,
+		SyncInterval:    cfg.SyncInterval,
+		CheckpointEvery: cfg.CheckpointEvery,
+		WALSegmentBytes: cfg.WALSegmentBytes,
 		ReadCacheHits: func() uint64 {
 			hits, _ := cfg.Daemon.Server().ReadCacheStats()
 			return hits + s.stat.hits.Load()
@@ -396,7 +423,7 @@ func (s *Server) infoLocked() map[string]string {
 	st := s.rep.Stats()
 	gst := s.rep.GroupStats()
 	view := s.rep.View()
-	return map[string]string{
+	info := map[string]string{
 		"head":              string(s.cfg.Self),
 		"mode":              "replicated",
 		"view":              fmt.Sprintf("%d", view.ID),
@@ -420,6 +447,18 @@ func (s *Server) infoLocked() map[string]string {
 		"gcs_retransmits":   fmt.Sprintf("%d", gst.Retransmits),
 		"gcs_views":         fmt.Sprintf("%d", gst.Views),
 	}
+	if s.cfg.DataDir != "" {
+		info["wal_dir"] = s.cfg.DataDir
+		info["wal_policy"] = s.cfg.SyncPolicy.String()
+		info["wal_appends"] = fmt.Sprintf("%d", st.WALAppends)
+		info["wal_fsyncs"] = fmt.Sprintf("%d", st.WALFsyncs)
+		info["wal_bytes"] = fmt.Sprintf("%d", st.WALBytes)
+		info["wal_segments"] = fmt.Sprintf("%d", st.WALSegments)
+		info["wal_applied_index"] = fmt.Sprintf("%d", st.AppliedIndex)
+		info["wal_checkpoint_index"] = fmt.Sprintf("%d", st.CheckpointIndex)
+		info["wal_recovery_replayed"] = fmt.Sprintf("%d", st.RecoveryReplayed)
+	}
+	return info
 }
 
 // executeOn applies one PBS interface operation to a batch service.

@@ -2,6 +2,7 @@ package rsm
 
 import (
 	"fmt"
+	"hash/crc32"
 
 	"joshua/internal/codec"
 )
@@ -52,14 +53,18 @@ func (m *Mux) Apply(cmd Command) []byte {
 	return s.Apply(cmd)
 }
 
-// Snapshot concatenates every sub-service's snapshot, tagged by name,
-// in registration order.
+// Snapshot concatenates every sub-service's snapshot, tagged by name
+// and guarded by a CRC, in registration order. The CRC lets Restore
+// reject a corrupt or truncated section before handing it to a
+// sub-service whose decoder may not tolerate garbage.
 func (m *Mux) Snapshot() []byte {
 	e := codec.NewEncoder(256)
 	e.PutUint(uint64(len(m.names)))
 	for _, name := range m.names {
+		section := m.services[name].Snapshot()
 		e.PutString(name)
-		e.PutBytes(m.services[name].Snapshot())
+		e.PutUint(uint64(crc32.ChecksumIEEE(section)))
+		e.PutBytes(section)
 	}
 	return e.Bytes()
 }
@@ -76,9 +81,13 @@ func (m *Mux) Restore(state []byte) error {
 	}
 	for i := uint64(0); i < n; i++ {
 		name := d.String()
+		crc := d.Uint()
 		section := d.Bytes()
 		if d.Err() != nil {
 			return fmt.Errorf("rsm: corrupt mux snapshot: %v", d.Err())
+		}
+		if got := uint64(crc32.ChecksumIEEE(section)); got != crc {
+			return fmt.Errorf("rsm: mux snapshot section %q fails CRC (corrupt or truncated transfer)", name)
 		}
 		s, ok := m.services[name]
 		if !ok {

@@ -3,6 +3,7 @@ package rsm
 import (
 	"bytes"
 	"fmt"
+	"strings"
 	"testing"
 )
 
@@ -64,6 +65,21 @@ func TestMuxSnapshotRestoreRoundTrip(t *testing.T) {
 	}
 	if !bytes.Equal(da.state, []byte("alpha")) || !bytes.Equal(db.state, []byte("beta")) {
 		t.Errorf("restored states: a=%q b=%q", da.state, db.state)
+	}
+}
+
+func TestMuxRestoreRejectsCorruptSection(t *testing.T) {
+	src := NewMux(routeByPrefix).
+		Register("a", &recService{name: "a", state: []byte("alpha-section-payload")})
+	dst := NewMux(routeByPrefix).Register("a", &recService{name: "a"})
+
+	snap := src.Snapshot()
+	// Flip one byte inside the section payload: the CRC guard must
+	// reject the snapshot instead of handing garbage to the service.
+	snap[len(snap)-2] ^= 0xFF
+	err := dst.Restore(snap)
+	if err == nil || !strings.Contains(err.Error(), "CRC") {
+		t.Fatalf("Restore(corrupt) = %v, want CRC rejection", err)
 	}
 }
 

@@ -26,12 +26,15 @@ package rsm
 
 import (
 	"errors"
+	"fmt"
 	"log"
 	"runtime"
 	"sync"
+	"time"
 
 	"joshua/internal/gcs"
 	"joshua/internal/transport"
+	"joshua/internal/wal"
 )
 
 // Command is one totally ordered command delivered to the Service.
@@ -200,6 +203,28 @@ type Config struct {
 	// drops the request silently.
 	RejectShutdown func(reqID string) []byte
 
+	// DataDir, when set, enables the durability layer: every applied
+	// command is written through a write-ahead log in this directory,
+	// the full state is checkpointed every CheckpointEvery commands,
+	// and Start recovers the local state (newest checkpoint + log
+	// suffix) before the replica rejoins the group — so a restarted
+	// head needs only an incremental (log-delta) state transfer, and a
+	// whole-cluster restart loses nothing. Empty keeps the replica
+	// purely in-memory (the paper's model).
+	DataDir string
+	// SyncPolicy selects the WAL fsync policy (wal.SyncAlways,
+	// wal.SyncInterval, wal.SyncNone). Default wal.SyncInterval.
+	SyncPolicy wal.SyncPolicy
+	// SyncInterval is the fsync cadence under wal.SyncInterval; zero
+	// uses the wal default.
+	SyncInterval time.Duration
+	// CheckpointEvery is the applied-command cadence between
+	// checkpoints. Default 1024.
+	CheckpointEvery uint64
+	// WALSegmentBytes overrides the log segment rotation size; zero
+	// uses the wal default (tests shrink it to exercise rotation).
+	WALSegmentBytes int64
+
 	// TuneGCS, when non-nil, may adjust group communication timings
 	// before the group process starts (tests and benchmarks shorten
 	// them).
@@ -222,6 +247,23 @@ type Stats struct {
 	DedupEntries    int    // current deduplication-table size (gauge)
 	ReadQueueDepth  int    // datagrams waiting for a read worker (gauge)
 	ReadWorkers     int    // read-worker pool size (0 = on-loop)
+
+	// Durability layer (zero without Config.DataDir).
+	AppliedIndex     uint64 // monotone count of commands applied locally
+	RecoveryReplayed uint64 // log records replayed during local recovery
+	WALAppends       uint64 // records appended to the log
+	WALFsyncs        uint64 // fsync calls issued by the log
+	WALBytes         uint64 // frame bytes appended to the log
+	WALSegments      int    // on-disk log segments (gauge)
+	CheckpointIndex  uint64 // newest durable checkpoint's applied index
+
+	// State transfer accounting (both directions).
+	TransferInBytes  uint64 // transfer bytes received when joining
+	TransferInFull   uint64 // full-snapshot transfers received
+	TransferInDelta  uint64 // log-delta transfers received
+	TransferReplayed uint64 // delta records applied while joining
+	TransferOutFull  uint64 // full-snapshot transfers served
+	TransferOutDelta uint64 // log-delta transfers served
 }
 
 // readTask is one classified client datagram handed to a read worker.
@@ -273,6 +315,22 @@ type Replica struct {
 	// dedupOrder drives the table's FIFO eviction; only the loop
 	// appends (on apply) and evicts, so it needs no lock.
 	dedupOrder []string
+	// appliedIdx numbers applied commands 1,2,3… across the replica's
+	// whole life (unlike gcs sequence numbers, which reset per view).
+	// It is the WAL record index, the checkpoint position, and the
+	// version a restarted head advertises when rejoining.
+	appliedIdx uint64
+	// walDirty marks appends awaiting the end-of-round group commit;
+	// sinceCkpt counts applies since the last checkpoint.
+	walDirty  bool
+	sinceCkpt uint64
+	// pendingReplies defers client responses until the round's WAL
+	// commit, so no client ever sees an acknowledgment for a command
+	// the log could still lose.
+	pendingReplies []reply
+
+	// log is the durability layer; nil without Config.DataDir.
+	log *wal.Log
 
 	statsMu sync.Mutex
 	stats   Stats
@@ -305,6 +363,9 @@ func Start(cfg Config) (*Replica, error) {
 	if cfg.ReplyQueueLen <= 0 {
 		cfg.ReplyQueueLen = 1024
 	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 1024
+	}
 
 	r := &Replica{
 		cfg:      cfg,
@@ -317,6 +378,28 @@ func Start(cfg Config) (*Replica, error) {
 	}
 	r.stats.ReadWorkers = cfg.ReadConcurrency
 
+	// Local recovery runs before the group is joined: restore the
+	// newest checkpoint, replay the log suffix through the dedup
+	// table, and advertise the recovered applied index so peers can
+	// serve an incremental state transfer.
+	if cfg.DataDir != "" {
+		l, err := wal.Open(wal.Options{
+			Dir:          cfg.DataDir,
+			Policy:       cfg.SyncPolicy,
+			Interval:     cfg.SyncInterval,
+			SegmentBytes: cfg.WALSegmentBytes,
+			Logger:       cfg.Logger,
+		})
+		if err != nil {
+			return nil, err
+		}
+		r.log = l
+		if err := r.recoverLocal(); err != nil {
+			l.Close()
+			return nil, err
+		}
+	}
+
 	gcfg := gcs.Config{
 		Self:            cfg.Self,
 		Endpoint:        cfg.GroupEndpoint,
@@ -324,6 +407,7 @@ func Start(cfg Config) (*Replica, error) {
 		InitialMembers:  cfg.InitialMembers,
 		Bootstrap:       cfg.Bootstrap,
 		PartitionPolicy: cfg.PartitionPolicy,
+		StateSince:      r.appliedIdx,
 		Logger:          cfg.Logger,
 	}
 	if cfg.TuneGCS != nil {
@@ -331,6 +415,9 @@ func Start(cfg Config) (*Replica, error) {
 	}
 	group, err := gcs.Start(gcfg)
 	if err != nil {
+		if r.log != nil {
+			r.log.Close()
+		}
 		return nil, err
 	}
 	r.group = group
@@ -371,6 +458,14 @@ func (r *Replica) Stats() Stats {
 	if r.cfg.ReadCacheHits != nil {
 		st.ReadCacheHits = r.cfg.ReadCacheHits()
 	}
+	if r.log != nil {
+		ws := r.log.Stats()
+		st.WALAppends = ws.Appends
+		st.WALFsyncs = ws.Fsyncs
+		st.WALBytes = ws.Bytes
+		st.WALSegments = ws.Segments
+		st.CheckpointIndex = ws.CheckpointIndex
+	}
 	return st
 }
 
@@ -397,6 +492,11 @@ func (r *Replica) Close() {
 		close(r.done)
 		r.group.Close()
 		r.clientEP.Close()
+		if r.log != nil {
+			// Flush what the group-commit policy already admitted;
+			// anything beyond that is exactly what a crash loses.
+			r.log.Close()
+		}
 	})
 }
 
@@ -432,6 +532,13 @@ func (r *Replica) run() {
 				return
 			}
 			r.handleGroupEvent(e)
+			// Drain whatever else arrived this round, then commit
+			// once: under SyncPolicy=always that is one fsync per
+			// round covering the whole batch of applied commands
+			// (group commit), and client replies are released only
+			// after it.
+			r.drainGroupEvents(events)
+			r.commitRound()
 		case dg, ok := <-recv:
 			if !ok {
 				return
@@ -439,6 +546,55 @@ func (r *Replica) run() {
 			r.handleClientDatagram(dg)
 		}
 	}
+}
+
+// maxEventsPerRound bounds one commit round so a firehose of
+// deliveries cannot starve client-datagram handling under ReadOnLoop.
+const maxEventsPerRound = 256
+
+func (r *Replica) drainGroupEvents(events <-chan gcs.Event) {
+	for i := 0; i < maxEventsPerRound; i++ {
+		select {
+		case e, ok := <-events:
+			if !ok {
+				return
+			}
+			r.handleGroupEvent(e)
+		default:
+			return
+		}
+	}
+}
+
+// commitRound ends one event-loop round: group-commit the WAL,
+// checkpoint if the cadence is due, then release the round's deferred
+// client replies.
+func (r *Replica) commitRound() {
+	if r.log != nil && r.walDirty {
+		if err := r.log.Commit(); err != nil {
+			r.logf("wal commit failed: %v", err)
+		}
+		r.walDirty = false
+		if r.sinceCkpt >= r.cfg.CheckpointEvery {
+			r.checkpointNow()
+		}
+	}
+	for _, rep := range r.pendingReplies {
+		r.sendAsync(rep.to, rep.payload)
+	}
+	r.pendingReplies = r.pendingReplies[:0]
+}
+
+// checkpointNow durably snapshots the full replica state at the
+// current applied index; the log releases every segment the
+// checkpoint covers.
+func (r *Replica) checkpointNow() {
+	if err := r.log.SaveCheckpoint(r.appliedIdx, r.encodeState()); err != nil {
+		r.logf("checkpoint at %d failed: %v", r.appliedIdx, err)
+		return
+	}
+	r.sinceCkpt = 0
+	r.logf("checkpoint at applied index %d", r.appliedIdx)
 }
 
 // intercept drains client datagrams on a dedicated goroutine so the
@@ -474,12 +630,12 @@ func (r *Replica) handleGroupEvent(e gcs.Event) {
 		}
 		r.applyEnvelope(env)
 	case gcs.SnapshotRequestEvent:
-		ev.Reply(r.encodeState())
+		ev.Reply(r.encodeTransfer(ev.Since))
 	case gcs.StateTransferEvent:
-		if err := r.restoreState(ev.State); err != nil {
+		if err := r.restoreTransfer(ev.State); err != nil {
 			r.logf("state transfer failed: %v", err)
 		} else {
-			r.logf("state transfer applied (%d bytes)", len(ev.State))
+			r.logf("state transfer applied (%d bytes, now at index %d)", len(ev.State), r.appliedIdx)
 		}
 	}
 }
@@ -602,14 +758,15 @@ func (r *Replica) applyEnvelope(env *envelope) {
 		// replicated twice because the client retried at a second
 		// replica before the first replica's broadcast was delivered)
 		// reuses the recorded response.
-		respBytes = r.service.Apply(Command{
-			ReqID:   env.ReqID,
-			Payload: env.Payload,
-			Origin:  env.Origin,
-			Client:  env.Client,
-		})
-		r.dedupInsert(env.ReqID, respBytes)
-		r.bump(func(st *Stats) { st.Applied++ })
+		respBytes = r.applyCommand(env)
+		if r.log != nil {
+			if err := r.log.Append(r.appliedIdx, env.encode()); err != nil {
+				r.logf("wal append at %d failed: %v", r.appliedIdx, err)
+			} else {
+				r.walDirty = true
+				r.sinceCkpt++
+			}
+		}
 	}
 
 	// Output mutual exclusion, and output suppression outside the
@@ -618,8 +775,33 @@ func (r *Replica) applyEnvelope(env *envelope) {
 	// primary component's are authoritative. Internally originated
 	// commands have no client at all.
 	if env.Client != "" && respBytes != nil && r.view.Primary && r.shouldReply(env) {
-		r.sendAsync(env.Client, respBytes)
+		if r.log != nil {
+			// Held back until the round's WAL commit: acknowledge
+			// only what the log has accepted.
+			r.pendingReplies = append(r.pendingReplies, reply{to: env.Client, payload: respBytes})
+		} else {
+			r.sendAsync(env.Client, respBytes)
+		}
 	}
+}
+
+// applyCommand executes one never-seen command: service apply, dedup
+// insert, applied-index advance. Shared by live delivery, recovery
+// replay, and delta-transfer replay.
+func (r *Replica) applyCommand(env *envelope) []byte {
+	respBytes := r.service.Apply(Command{
+		ReqID:   env.ReqID,
+		Payload: env.Payload,
+		Origin:  env.Origin,
+		Client:  env.Client,
+	})
+	r.dedupInsert(env.ReqID, respBytes)
+	r.appliedIdx++
+	r.bump(func(st *Stats) {
+		st.Applied++
+		st.AppliedIndex = r.appliedIdx
+	})
+	return respBytes
 }
 
 // shouldReply implements the output mutual exclusion.
@@ -649,11 +831,12 @@ func (r *Replica) dedupInsert(reqID string, resp []byte) {
 	r.bump(func(st *Stats) { st.DedupEntries = r.dedup.size() })
 }
 
-// encodeState builds the join-time state transfer: the service
-// snapshot plus the deduplication table (so client retries do not
-// re-execute on the joiner).
+// encodeState builds the full replica state — the service snapshot,
+// its applied index, and the deduplication table (so client retries do
+// not re-execute on the recipient). It is both the checkpoint format
+// and the full state-transfer payload.
 func (r *Replica) encodeState() []byte {
-	st := &replicaState{Service: r.service.Snapshot()}
+	st := &replicaState{Applied: r.appliedIdx, Service: r.service.Snapshot()}
 	st.DedupIDs = append(st.DedupIDs, r.dedupOrder...)
 	for _, id := range r.dedupOrder {
 		resp, _ := r.dedup.get(id)
@@ -662,15 +845,12 @@ func (r *Replica) encodeState() []byte {
 	return st.encode()
 }
 
-// restoreState applies a join-time state transfer. The replacement
-// slices are allocated fresh, sized to the transferred state: reusing
-// the prior backing arrays (dedupOrder[:0]) would pin the old table's
-// memory for as long as the new one lives.
-func (r *Replica) restoreState(b []byte) error {
-	st, err := decodeReplicaState(b)
-	if err != nil {
-		return err
-	}
+// loadState installs a decoded replicaState: service, dedup table,
+// applied index. The replacement slices are allocated fresh, sized to
+// the transferred state: reusing the prior backing arrays
+// (dedupOrder[:0]) would pin the old table's memory for as long as
+// the new one lives.
+func (r *Replica) loadState(st *replicaState) error {
 	if err := r.service.Restore(st.Service); err != nil {
 		return err
 	}
@@ -680,6 +860,141 @@ func (r *Replica) restoreState(b []byte) error {
 		r.dedup.put(id, st.DedupResp[i])
 		r.dedupOrder = append(r.dedupOrder, id)
 	}
-	r.bump(func(st *Stats) { st.DedupEntries = r.dedup.size() })
+	r.appliedIdx = st.Applied
+	r.bump(func(s *Stats) {
+		s.DedupEntries = r.dedup.size()
+		s.AppliedIndex = r.appliedIdx
+	})
+	return nil
+}
+
+// deltaMaxBytes caps the log suffix served as an incremental
+// transfer; a peer lagging further behind than this gets a full
+// snapshot instead (which it may well be smaller than anyway).
+const deltaMaxBytes = 8 << 20
+
+// encodeTransfer answers a join-time snapshot request. A joiner that
+// recovered locally to applied index since gets just the log suffix
+// (since, appliedIdx] when this replica's WAL still retains it; anyone
+// else gets the full state. Both travel framed with a CRC.
+func (r *Replica) encodeTransfer(since uint64) []byte {
+	if r.log != nil && since > 0 && since <= r.appliedIdx {
+		if recs, ok := r.log.ReadSince(since, deltaMaxBytes); ok {
+			drecs := make([]deltaRecord, len(recs))
+			for i, rec := range recs {
+				drecs[i] = deltaRecord{Index: rec.Index, Data: rec.Data}
+			}
+			out := frameTransfer(transferDelta, encodeDelta(r.appliedIdx, drecs))
+			r.bump(func(st *Stats) { st.TransferOutDelta++ })
+			r.logf("serving delta transfer: %d records after index %d", len(recs), since)
+			return out
+		}
+	}
+	r.bump(func(st *Stats) { st.TransferOutFull++ })
+	return frameTransfer(transferFull, r.encodeState())
+}
+
+// restoreTransfer applies a join-time state transfer. A full transfer
+// replaces everything (and resets the local log: the discarded local
+// suffix may diverge from the group's history); a delta replays the
+// donor's log records after our recovered applied index through the
+// normal apply path, which also writes them to our own log.
+func (r *Replica) restoreTransfer(b []byte) error {
+	kind, payload, err := unframeTransfer(b)
+	if err != nil {
+		return err
+	}
+	r.bump(func(st *Stats) { st.TransferInBytes += uint64(len(b)) })
+	switch kind {
+	case transferDelta:
+		donorApplied, recs, err := decodeDelta(payload)
+		if err != nil {
+			return err
+		}
+		var replayed uint64
+		for _, rec := range recs {
+			if rec.Index <= r.appliedIdx {
+				continue // shared delta for several joiners; we have this prefix
+			}
+			if rec.Index != r.appliedIdx+1 {
+				return fmt.Errorf("rsm: delta gap: record %d after applied %d", rec.Index, r.appliedIdx)
+			}
+			env, err := decodeEnvelope(rec.Data)
+			if err != nil {
+				return fmt.Errorf("rsm: delta record %d: %w", rec.Index, err)
+			}
+			r.applyEnvelope(env)
+			replayed++
+		}
+		if r.appliedIdx != donorApplied {
+			return fmt.Errorf("rsm: delta ends at %d, donor applied %d", r.appliedIdx, donorApplied)
+		}
+		r.bump(func(st *Stats) {
+			st.TransferInDelta++
+			st.TransferReplayed += replayed
+		})
+		return nil
+	default: // transferFull
+		st, err := decodeReplicaState(payload)
+		if err != nil {
+			return err
+		}
+		if err := r.loadState(st); err != nil {
+			return err
+		}
+		r.sinceCkpt = 0
+		r.walDirty = false
+		if r.log != nil {
+			if err := r.log.Reset(st.Applied, payload); err != nil {
+				r.logf("wal reset after full transfer failed: %v", err)
+			}
+		}
+		r.bump(func(s *Stats) { s.TransferInFull++ })
+		return nil
+	}
+}
+
+// recoverLocal rebuilds the replica from its data directory before it
+// joins the group: newest checkpoint first, then every log record
+// after it, replayed through the normal dedup-checked apply path.
+func (r *Replica) recoverLocal() error {
+	ckptIdx, ckptState := r.log.Checkpoint()
+	if ckptState != nil {
+		st, err := decodeReplicaState(ckptState)
+		if err != nil {
+			return fmt.Errorf("rsm: corrupt checkpoint at %d: %w", ckptIdx, err)
+		}
+		if err := r.loadState(st); err != nil {
+			return fmt.Errorf("rsm: restoring checkpoint at %d: %w", ckptIdx, err)
+		}
+	}
+	var replayed uint64
+	err := r.log.Replay(r.appliedIdx, func(index uint64, data []byte) error {
+		if index != r.appliedIdx+1 {
+			return fmt.Errorf("rsm: log gap: record %d after applied %d", index, r.appliedIdx)
+		}
+		env, err := decodeEnvelope(data)
+		if err != nil {
+			return fmt.Errorf("rsm: log record %d: %w", index, err)
+		}
+		if _, seen := r.dedup.get(env.ReqID); !seen {
+			r.applyCommand(env)
+		} else {
+			r.appliedIdx = index // logged before the dedup entry checkpointed
+		}
+		replayed++
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	r.bump(func(st *Stats) {
+		st.RecoveryReplayed = replayed
+		st.AppliedIndex = r.appliedIdx
+	})
+	if replayed > 0 || ckptState != nil {
+		r.logf("recovered locally to applied index %d (checkpoint %d + %d replayed)",
+			r.appliedIdx, ckptIdx, replayed)
+	}
 	return nil
 }

@@ -2,6 +2,7 @@ package rsm
 
 import (
 	"fmt"
+	"hash/crc32"
 
 	"joshua/internal/codec"
 	"joshua/internal/gcs"
@@ -44,9 +45,11 @@ func decodeEnvelope(b []byte) (*envelope, error) {
 	return env, nil
 }
 
-// replicaState is the engine state transferred to joining replicas:
-// the service snapshot and the request deduplication table.
+// replicaState is the engine state carried by full state transfers
+// and checkpoint files: the service snapshot, the applied command
+// index it reflects, and the request deduplication table.
 type replicaState struct {
+	Applied   uint64
 	DedupIDs  []string
 	DedupResp [][]byte
 	Service   []byte
@@ -54,6 +57,7 @@ type replicaState struct {
 
 func (s *replicaState) encode() []byte {
 	e := codec.NewEncoder(len(s.Service) + 256)
+	e.PutUint(s.Applied)
 	e.PutBytes(s.Service)
 	e.PutUint(uint64(len(s.DedupIDs)))
 	for i, id := range s.DedupIDs {
@@ -68,7 +72,7 @@ func (s *replicaState) encode() []byte {
 
 func decodeReplicaState(b []byte) (*replicaState, error) {
 	d := codec.NewDecoder(b)
-	s := &replicaState{}
+	s := &replicaState{Applied: d.Uint()}
 	sb := d.Bytes()
 	s.Service = make([]byte, len(sb))
 	copy(s.Service, sb)
@@ -91,4 +95,85 @@ func decodeReplicaState(b []byte) (*replicaState, error) {
 		return nil, err
 	}
 	return s, nil
+}
+
+// State transfers travel as a framed payload: a kind byte selecting
+// full (a complete replicaState) or delta (the donor's log suffix
+// after the joiner's applied index), a length, and a CRC over the
+// payload. The guard rejects corrupt or truncated transfer bytes with
+// a clear error instead of letting them reach a service decoder.
+const (
+	transferFull  byte = 1
+	transferDelta byte = 2
+)
+
+// deltaRecord is one logged command inside a delta transfer.
+type deltaRecord struct {
+	Index uint64
+	Data  []byte
+}
+
+func frameTransfer(kind byte, payload []byte) []byte {
+	e := codec.NewEncoder(len(payload) + 16)
+	e.PutByte(kind)
+	e.PutUint(uint64(len(payload)))
+	e.PutUint(uint64(crc32.ChecksumIEEE(payload)))
+	e.PutRaw(payload)
+	return e.Bytes()
+}
+
+func unframeTransfer(b []byte) (kind byte, payload []byte, err error) {
+	d := codec.NewDecoder(b)
+	kind = d.Byte()
+	n := d.Uint()
+	crc := d.Uint()
+	if d.Err() != nil || n != uint64(d.Remaining()) {
+		return 0, nil, fmt.Errorf("rsm: malformed state transfer frame (%v)", d.Err())
+	}
+	payload = b[len(b)-int(n):]
+	if uint64(crc32.ChecksumIEEE(payload)) != crc {
+		return 0, nil, fmt.Errorf("rsm: state transfer fails CRC (corrupt or truncated)")
+	}
+	if kind != transferFull && kind != transferDelta {
+		return 0, nil, fmt.Errorf("rsm: unknown state transfer kind %d", kind)
+	}
+	return kind, payload, nil
+}
+
+// encodeDelta packs a log suffix: the donor's applied index followed
+// by each (index, envelope) record.
+func encodeDelta(donorApplied uint64, recs []deltaRecord) []byte {
+	size := 16
+	for _, rec := range recs {
+		size += 16 + len(rec.Data)
+	}
+	e := codec.NewEncoder(size)
+	e.PutUint(donorApplied)
+	e.PutUint(uint64(len(recs)))
+	for _, rec := range recs {
+		e.PutUint(rec.Index)
+		e.PutBytes(rec.Data)
+	}
+	return e.Bytes()
+}
+
+func decodeDelta(b []byte) (donorApplied uint64, recs []deltaRecord, err error) {
+	d := codec.NewDecoder(b)
+	donorApplied = d.Uint()
+	n := d.Uint()
+	if d.Err() != nil || n > uint64(d.Remaining())+1 {
+		return 0, nil, fmt.Errorf("rsm: corrupt delta transfer: %v", d.Err())
+	}
+	recs = make([]deltaRecord, 0, n)
+	for i := uint64(0); i < n; i++ {
+		rec := deltaRecord{Index: d.Uint()}
+		rb := d.Bytes()
+		rec.Data = make([]byte, len(rb))
+		copy(rec.Data, rb)
+		recs = append(recs, rec)
+	}
+	if err := d.Finish(); err != nil {
+		return 0, nil, err
+	}
+	return donorApplied, recs, nil
 }

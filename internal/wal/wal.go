@@ -1,0 +1,742 @@
+// Package wal is the durability layer of a head node: a segmented
+// write-ahead log plus checkpoint files, the on-disk half of the
+// replicated state machine. The rsm engine appends every applied
+// ordered command, group-commits the batch with one fsync per event-
+// loop round, and periodically checkpoints the full service snapshot;
+// on restart the head recovers locally — newest checkpoint, then the
+// log suffix — before rejoining the group, and the retained suffix is
+// what lets a restarted head rejoin with an incremental (log-delta)
+// state transfer instead of a full snapshot.
+//
+// On-disk layout (one directory per replica):
+//
+//	seg-<first-index>.wal    log segments, rotated by size
+//	ckpt-<index>.ckpt        checkpoints (the newest two are kept)
+//
+// Each log record is framed [len u32][crc32 u32][uvarint index][data];
+// each checkpoint is [crc32 u32][uvarint index][state]. Torn or
+// corrupt tails — the expected residue of a crash — are truncated at
+// open, never fatal; everything from the first bad frame on is
+// discarded, which is exactly the not-yet-acknowledged suffix.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SyncPolicy selects when appended records are fsynced — the
+// durability/latency trade the EXPERIMENTS.md ablation measures.
+type SyncPolicy int
+
+const (
+	// SyncInterval (the default) group-commits to the OS on every
+	// Commit and fsyncs at most once per Options.Interval, bounding
+	// data loss on power failure to one interval while keeping fsync
+	// off the per-command path.
+	SyncInterval SyncPolicy = iota
+	// SyncAlways fsyncs on every Commit — one fsync per event-loop
+	// round covering the whole batch of commands applied in it (group
+	// commit), not one per record.
+	SyncAlways
+	// SyncNone never fsyncs; durability rests on the OS page cache
+	// (process crashes lose nothing, power loss may). The ablation
+	// baseline.
+	SyncNone
+)
+
+// ParseSyncPolicy maps the config-file / flag spelling to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "interval":
+		return SyncInterval, nil
+	case "always":
+		return SyncAlways, nil
+	case "none":
+		return SyncNone, nil
+	}
+	return SyncInterval, fmt.Errorf("wal: unknown sync policy %q (want always, interval, or none)", s)
+}
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncNone:
+		return "none"
+	default:
+		return "interval"
+	}
+}
+
+// Options parameterizes a Log.
+type Options struct {
+	// Dir is the log directory, created if absent. Required.
+	Dir string
+	// Policy defaults to SyncInterval.
+	Policy SyncPolicy
+	// Interval is the fsync cadence under SyncInterval. Default 50ms.
+	Interval time.Duration
+	// SegmentBytes triggers rotation once the active segment exceeds
+	// it. Default 4 MiB.
+	SegmentBytes int64
+	// Logger receives diagnostics (torn-tail truncation, checkpoint
+	// pruning); nil disables logging.
+	Logger *log.Logger
+}
+
+// Stats counts log activity since Open.
+type Stats struct {
+	Appends         uint64 // records appended
+	Fsyncs          uint64 // fsync calls on segment files
+	Bytes           uint64 // frame bytes appended
+	Segments        int    // on-disk segment count (gauge)
+	FirstIndex      uint64 // oldest record retained (0 = none)
+	LastIndex       uint64 // newest record (or checkpoint index if higher)
+	CheckpointIndex uint64 // newest durable checkpoint
+	TornBytes       uint64 // bytes truncated from torn tails at open
+}
+
+// Record is one log entry surfaced by Replay and ReadSince.
+type Record struct {
+	Index uint64
+	Data  []byte
+}
+
+const (
+	segPrefix    = "seg-"
+	segSuffix    = ".wal"
+	ckptPrefix   = "ckpt-"
+	ckptSuffix   = ".ckpt"
+	frameHdrSize = 8 // [len u32][crc32 u32]
+	// checkpointsKept is how many checkpoint generations survive
+	// pruning: the newest plus one fallback in case the newest is torn
+	// by a crash mid-rename (rename is atomic, but cheap insurance).
+	checkpointsKept = 2
+)
+
+type segment struct {
+	first uint64 // index the segment was created to hold next
+	path  string
+}
+
+// Log is a segmented write-ahead log with checkpoints. All methods are
+// safe for concurrent use, though the rsm engine drives appends from a
+// single goroutine.
+type Log struct {
+	opts Options
+
+	mu       sync.Mutex
+	segments []segment // ascending by first; last entry is active
+	active   *os.File
+	buf      []byte // user-space write buffer, flushed by Commit
+	actSize  int64  // active segment size including buffered bytes
+
+	firstIdx uint64 // oldest record on disk (0 = no records)
+	lastIdx  uint64 // newest record, or checkpoint index if higher
+	ckptIdx  uint64
+	ckpt     []byte
+
+	unsynced bool // bytes reached the file since the last fsync
+	lastSync time.Time
+	stats    Stats
+	closed   bool
+
+	syncDone chan struct{} // stops the background interval syncer
+}
+
+// Open loads (or creates) the log in opts.Dir: newest valid checkpoint
+// wins, segments are scanned in order, and the first torn or corrupt
+// frame truncates everything from itself on.
+func Open(opts Options) (*Log, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("wal: Options.Dir required")
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = 50 * time.Millisecond
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = 4 << 20
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{opts: opts, lastSync: time.Now()}
+	if err := l.loadCheckpoint(); err != nil {
+		return nil, err
+	}
+	if err := l.loadSegments(); err != nil {
+		return nil, err
+	}
+	if l.ckptIdx > l.lastIdx {
+		l.lastIdx = l.ckptIdx
+	}
+	if len(l.segments) == 0 {
+		if err := l.addSegment(l.lastIdx + 1); err != nil {
+			return nil, err
+		}
+	} else {
+		act := l.segments[len(l.segments)-1]
+		f, err := os.OpenFile(act.path, os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		size, err := f.Seek(0, 2)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		l.active = f
+		l.actSize = size
+	}
+	if opts.Policy == SyncInterval {
+		l.syncDone = make(chan struct{})
+		go l.syncLoop()
+	}
+	return l, nil
+}
+
+func (l *Log) logf(format string, args ...any) {
+	if l.opts.Logger != nil {
+		l.opts.Logger.Printf("[wal %s] "+format, append([]any{filepath.Base(l.opts.Dir)}, args...)...)
+	}
+}
+
+// loadCheckpoint picks the newest checkpoint file that validates;
+// older and corrupt ones are left for SaveCheckpoint to prune.
+func (l *Log) loadCheckpoint() error {
+	names, err := filepath.Glob(filepath.Join(l.opts.Dir, ckptPrefix+"*"+ckptSuffix))
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	for _, name := range names {
+		b, err := os.ReadFile(name)
+		if err != nil {
+			continue
+		}
+		idx, state, ok := decodeCheckpoint(b)
+		if !ok {
+			l.logf("checkpoint %s corrupt; trying older", filepath.Base(name))
+			continue
+		}
+		l.ckptIdx = idx
+		l.ckpt = state
+		return nil
+	}
+	return nil
+}
+
+func decodeCheckpoint(b []byte) (index uint64, state []byte, ok bool) {
+	if len(b) < 4 {
+		return 0, nil, false
+	}
+	if crc32.ChecksumIEEE(b[4:]) != binary.BigEndian.Uint32(b) {
+		return 0, nil, false
+	}
+	idx, n := binary.Uvarint(b[4:])
+	if n <= 0 {
+		return 0, nil, false
+	}
+	return idx, b[4+n:], true
+}
+
+// loadSegments scans every segment in index order, truncating at the
+// first invalid frame and discarding any later segments.
+func (l *Log) loadSegments() error {
+	names, err := filepath.Glob(filepath.Join(l.opts.Dir, segPrefix+"*"+segSuffix))
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	segs := make([]segment, 0, len(names))
+	for _, name := range names {
+		base := filepath.Base(name)
+		numeric := strings.TrimSuffix(strings.TrimPrefix(base, segPrefix), segSuffix)
+		first, err := strconv.ParseUint(numeric, 10, 64)
+		if err != nil {
+			l.logf("ignoring stray file %s", base)
+			continue
+		}
+		segs = append(segs, segment{first: first, path: name})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+
+	var prev uint64 // last valid index seen; 0 = none yet
+	for i, seg := range segs {
+		b, err := os.ReadFile(seg.path)
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		validEnd, firstRec, lastRec, bad := scanFrames(b, prev)
+		if firstRec != 0 && l.firstIdx == 0 {
+			l.firstIdx = firstRec
+		}
+		if lastRec != 0 {
+			prev = lastRec
+		}
+		if bad || validEnd < int64(len(b)) {
+			torn := int64(len(b)) - validEnd
+			l.stats.TornBytes += uint64(torn)
+			l.logf("truncating %d torn bytes at %s+%d", torn, filepath.Base(seg.path), validEnd)
+			if err := os.Truncate(seg.path, validEnd); err != nil {
+				return fmt.Errorf("wal: %w", err)
+			}
+			// Everything after a bad frame is unordered garbage.
+			for _, later := range segs[i+1:] {
+				l.logf("dropping segment %s after torn tail", filepath.Base(later.path))
+				os.Remove(later.path)
+			}
+			segs = segs[:i+1]
+			l.segments = segs
+			l.lastIdx = prev
+			return nil
+		}
+	}
+	l.segments = segs
+	l.lastIdx = prev
+	return nil
+}
+
+// scanFrames walks one segment's frames. It returns the end offset of
+// the valid prefix, the first and last record indices seen (0 = none),
+// and whether it stopped on a corrupt (vs merely torn) frame; a frame
+// whose index does not follow prev counts as corrupt.
+func scanFrames(b []byte, prev uint64) (validEnd int64, first, last uint64, bad bool) {
+	var off int64
+	for off+frameHdrSize <= int64(len(b)) {
+		n := int64(binary.BigEndian.Uint32(b[off:]))
+		if off+frameHdrSize+n > int64(len(b)) {
+			return off, first, last, false // torn tail
+		}
+		body := b[off+frameHdrSize : off+frameHdrSize+n]
+		if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(b[off+4:]) {
+			return off, first, last, true
+		}
+		idx, m := binary.Uvarint(body)
+		if m <= 0 || (prev != 0 && idx != prev+1) {
+			return off, first, last, true
+		}
+		if first == 0 {
+			first = idx
+		}
+		last, prev = idx, idx
+		off += frameHdrSize + n
+	}
+	return off, first, last, off != int64(len(b))
+}
+
+func (l *Log) addSegment(first uint64) error {
+	path := filepath.Join(l.opts.Dir, fmt.Sprintf("%s%020d%s", segPrefix, first, segSuffix))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.segments = append(l.segments, segment{first: first, path: path})
+	l.active = f
+	l.actSize = 0
+	return nil
+}
+
+// Append stages one record in the write buffer. Indices must be
+// contiguous: index == LastIndex()+1. Records become crash-durable per
+// the sync policy at the next Commit.
+func (l *Log) Append(index uint64, data []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: closed")
+	}
+	if index != l.lastIdx+1 {
+		return fmt.Errorf("wal: append index %d, want %d", index, l.lastIdx+1)
+	}
+	if l.actSize >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(index); err != nil {
+			return err
+		}
+	}
+	var hdr [frameHdrSize]byte
+	var idxBuf [binary.MaxVarintLen64]byte
+	in := binary.PutUvarint(idxBuf[:], index)
+	bodyLen := in + len(data)
+	binary.BigEndian.PutUint32(hdr[0:], uint32(bodyLen))
+	crc := crc32.ChecksumIEEE(idxBuf[:in])
+	crc = crc32.Update(crc, crc32.IEEETable, data)
+	binary.BigEndian.PutUint32(hdr[4:], crc)
+	l.buf = append(l.buf, hdr[:]...)
+	l.buf = append(l.buf, idxBuf[:in]...)
+	l.buf = append(l.buf, data...)
+	l.actSize += int64(frameHdrSize + bodyLen)
+	l.lastIdx = index
+	if l.firstIdx == 0 {
+		l.firstIdx = index
+	}
+	l.stats.Appends++
+	l.stats.Bytes += uint64(frameHdrSize + bodyLen)
+	return nil
+}
+
+// rotateLocked seals the active segment and opens a fresh one that
+// will start at next.
+func (l *Log) rotateLocked(next uint64) error {
+	if err := l.flushLocked(); err != nil {
+		return err
+	}
+	if l.opts.Policy != SyncNone && l.unsynced {
+		if err := l.fsyncLocked(); err != nil {
+			return err
+		}
+	}
+	if err := l.active.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return l.addSegment(next)
+}
+
+// flushLocked moves the user-space buffer into the OS page cache.
+func (l *Log) flushLocked() error {
+	if len(l.buf) == 0 {
+		return nil
+	}
+	if _, err := l.active.Write(l.buf); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.buf = l.buf[:0]
+	l.unsynced = true
+	return nil
+}
+
+func (l *Log) fsyncLocked() error {
+	if err := l.active.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.unsynced = false
+	l.lastSync = time.Now()
+	l.stats.Fsyncs++
+	return nil
+}
+
+// Commit is the group-commit point, called once per event-loop round
+// after the round's appends: flush the batch, then fsync per policy —
+// every round under SyncAlways, at most once per Interval under
+// SyncInterval, never under SyncNone.
+func (l *Log) Commit() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: closed")
+	}
+	if err := l.flushLocked(); err != nil {
+		return err
+	}
+	switch l.opts.Policy {
+	case SyncAlways:
+		if l.unsynced {
+			return l.fsyncLocked()
+		}
+	case SyncInterval:
+		if l.unsynced && time.Since(l.lastSync) >= l.opts.Interval {
+			return l.fsyncLocked()
+		}
+	}
+	return nil
+}
+
+// syncLoop is the SyncInterval backstop: if traffic stops mid-
+// interval, the tail still reaches disk within one interval.
+func (l *Log) syncLoop() {
+	t := time.NewTicker(l.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.syncDone:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed && (len(l.buf) > 0 || l.unsynced) {
+				if err := l.flushLocked(); err == nil && l.unsynced {
+					l.fsyncLocked()
+				}
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// SaveCheckpoint durably records the application state as of index
+// (write-to-temp, fsync, rename), prunes old checkpoint generations,
+// and releases every segment whose records all fall at or below index.
+func (l *Log) SaveCheckpoint(index uint64, state []byte) error {
+	body := make([]byte, 0, binary.MaxVarintLen64+len(state))
+	var idxBuf [binary.MaxVarintLen64]byte
+	body = append(body, idxBuf[:binary.PutUvarint(idxBuf[:], index)]...)
+	body = append(body, state...)
+	file := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(file, crc32.ChecksumIEEE(body))
+	copy(file[4:], body)
+
+	path := filepath.Join(l.opts.Dir, fmt.Sprintf("%s%020d%s", ckptPrefix, index, ckptSuffix))
+	tmp := path + ".tmp"
+	if err := writeFileSync(tmp, file); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	syncDir(l.opts.Dir)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if index > l.ckptIdx {
+		l.ckptIdx = index
+		l.ckpt = append([]byte(nil), state...)
+	}
+	l.pruneCheckpointsLocked()
+	return l.retainLocked(index)
+}
+
+func writeFileSync(path string, b []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename survives power loss. Errors
+// are ignored: some filesystems refuse directory fsync, and the worst
+// case is re-running recovery from the previous checkpoint.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+func (l *Log) pruneCheckpointsLocked() {
+	names, err := filepath.Glob(filepath.Join(l.opts.Dir, ckptPrefix+"*"+ckptSuffix))
+	if err != nil {
+		return
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	for _, name := range names[min(len(names), checkpointsKept):] {
+		os.Remove(name)
+	}
+}
+
+// retainLocked deletes non-active segments made fully redundant by a
+// checkpoint at index: a segment may go once the next segment starts
+// at or below index+1 (every record the dropped segment holds is then
+// ≤ index, covered by the checkpoint).
+func (l *Log) retainLocked(index uint64) error {
+	drop := 0
+	for drop < len(l.segments)-1 && l.segments[drop+1].first <= index+1 {
+		drop++
+	}
+	for _, seg := range l.segments[:drop] {
+		l.logf("releasing segment %s (checkpoint %d)", filepath.Base(seg.path), index)
+		if err := os.Remove(seg.path); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+	}
+	if drop > 0 {
+		l.segments = append(l.segments[:0], l.segments[drop:]...)
+		l.firstIdx = 0
+		if first := l.segments[0].first; first <= l.lastIdx {
+			l.firstIdx = first
+		}
+	}
+	return nil
+}
+
+// Checkpoint returns the newest checkpoint's index and state (nil if
+// none has been saved).
+func (l *Log) Checkpoint() (uint64, []byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ckptIdx, l.ckpt
+}
+
+// LastIndex returns the newest record index (or the checkpoint index,
+// if higher).
+func (l *Log) LastIndex() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastIdx
+}
+
+// Replay streams every record with index > from, in order. The staged
+// buffer is flushed first so replay sees all appended records.
+func (l *Log) Replay(from uint64, fn func(index uint64, data []byte) error) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return errors.New("wal: closed")
+	}
+	if err := l.flushLocked(); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	segs := append([]segment(nil), l.segments...)
+	l.mu.Unlock()
+
+	for _, seg := range segs {
+		b, err := os.ReadFile(seg.path)
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		var off int64
+		for off+frameHdrSize <= int64(len(b)) {
+			n := int64(binary.BigEndian.Uint32(b[off:]))
+			if off+frameHdrSize+n > int64(len(b)) {
+				return fmt.Errorf("wal: torn frame in %s during replay", filepath.Base(seg.path))
+			}
+			body := b[off+frameHdrSize : off+frameHdrSize+n]
+			if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(b[off+4:]) {
+				return fmt.Errorf("wal: corrupt frame in %s during replay", filepath.Base(seg.path))
+			}
+			idx, m := binary.Uvarint(body)
+			if m <= 0 {
+				return fmt.Errorf("wal: corrupt index in %s during replay", filepath.Base(seg.path))
+			}
+			if idx > from {
+				if err := fn(idx, body[m:]); err != nil {
+					return err
+				}
+			}
+			off += frameHdrSize + n
+		}
+	}
+	return nil
+}
+
+// CanServe reports whether the log holds every record a peer at
+// applied index since needs to catch up — the contiguous range
+// (since, LastIndex] — so a join can be served as a log-suffix delta.
+func (l *Log) CanServe(since uint64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if since > l.lastIdx {
+		return false
+	}
+	if since == l.lastIdx {
+		return true
+	}
+	return l.firstIdx != 0 && l.firstIdx <= since+1
+}
+
+// ReadSince collects the records in (since, LastIndex] for an
+// incremental state transfer. ok is false when the suffix is not fully
+// retained or exceeds maxBytes (0 = unlimited); callers then fall back
+// to a full snapshot.
+func (l *Log) ReadSince(since uint64, maxBytes int) (recs []Record, ok bool) {
+	if !l.CanServe(since) {
+		return nil, false
+	}
+	var total int
+	err := l.Replay(since, func(index uint64, data []byte) error {
+		total += len(data)
+		if maxBytes > 0 && total > maxBytes {
+			return errors.New("wal: delta too large")
+		}
+		recs = append(recs, Record{Index: index, Data: append([]byte(nil), data...)})
+		return nil
+	})
+	if err != nil {
+		return nil, false
+	}
+	return recs, true
+}
+
+// Reset installs externally received state (a full join-time transfer)
+// as a checkpoint at index and discards every log record: the local
+// suffix may diverge from the group's history, so none of it may be
+// replayed or served again.
+func (l *Log) Reset(index uint64, state []byte) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return errors.New("wal: closed")
+	}
+	l.buf = l.buf[:0]
+	if l.active != nil {
+		l.active.Close()
+	}
+	for _, seg := range l.segments {
+		os.Remove(seg.path)
+	}
+	l.segments = nil
+	l.firstIdx = 0
+	l.lastIdx = index
+	l.unsynced = false
+	if err := l.addSegment(index + 1); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	l.mu.Unlock()
+	return l.SaveCheckpoint(index, state)
+}
+
+// Stats returns a snapshot of the counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := l.stats
+	st.Segments = len(l.segments)
+	st.FirstIndex = l.firstIdx
+	st.LastIndex = l.lastIdx
+	st.CheckpointIndex = l.ckptIdx
+	return st
+}
+
+// Close flushes and fsyncs the active segment and releases the file
+// handle. The log must not be used afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.syncDone != nil {
+		close(l.syncDone)
+	}
+	if err := l.flushLocked(); err != nil {
+		l.active.Close()
+		return err
+	}
+	if l.unsynced {
+		if err := l.fsyncLocked(); err != nil {
+			l.active.Close()
+			return err
+		}
+	}
+	return l.active.Close()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
