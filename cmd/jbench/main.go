@@ -7,10 +7,11 @@
 //	jbench -fig ablations      # DESIGN.md design-choice ablations
 //	jbench -fig readpath       # concurrent vs on-loop query serving
 //	jbench -fig wal            # WAL fsync-policy ablation vs in-memory
+//	jbench -fig applypipe      # pipelined apply-path ablation
 //	jbench -fig all            # everything
 //
-// -json writes the selected figure's results (readpath or wal) to a
-// machine-readable file (the CI benchmark artifact).
+// -json writes the selected figure's results (readpath, wal, or
+// applypipe) to a machine-readable file (the CI benchmark artifact).
 //
 // -scale selects the latency-model scale (1.0 = paper-scale
 // milliseconds; smaller runs proportionally faster). Shapes, not
@@ -152,6 +153,32 @@ func main() {
 		}
 	}
 
+	runApplyPipe := func() {
+		res, err := bench.MeasureApplyPipeline(240, 8, time.Millisecond)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Pipelined apply path (SyncPolicy=always, 8 clients, independent keys):")
+		for _, v := range res.Variants {
+			fmt.Printf("  %-10s %7.0f ops/s   p50 %-9v p99 %-9v (runs=%d barriers=%d overlap=%v)\n",
+				v.Name+":", v.Throughput,
+				v.SubmitP50.Round(time.Millisecond/10), v.SubmitP99.Round(time.Millisecond/10),
+				v.ParallelRuns, v.Barriers, v.FsyncOverlap.Round(time.Millisecond))
+		}
+		fmt.Printf("  speedup: %.1fx throughput vs serial, p99 ratio %.2f\n",
+			res.SpeedupParallelVsSerial, res.P99RatioParallelVsSerial)
+		fmt.Println()
+		if *jsonPath != "" {
+			out, err := json.MarshalIndent(map[string]bench.ApplyPipeResult{"apply_pipeline": res}, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+		}
+	}
+
 	switch *fig {
 	case "10":
 		run10()
@@ -165,6 +192,8 @@ func main() {
 		runReadPath()
 	case "wal":
 		runWAL()
+	case "applypipe":
+		runApplyPipe()
 	case "all":
 		run10()
 		run11()
@@ -172,6 +201,7 @@ func main() {
 		runAblations()
 		runReadPath()
 		runWAL()
+		runApplyPipe()
 	default:
 		fail(fmt.Errorf("unknown -fig %q", *fig))
 	}

@@ -45,6 +45,7 @@ func main() {
 		dataDir    = flag.String("data-dir", "", "durable state root: WAL + checkpoints go to <dir>/<id> (overrides data_dir in config; empty = in-memory)")
 		syncPolicy = flag.String("sync-policy", "", "WAL fsync policy: always, interval, or none (overrides sync_policy in config)")
 		ckptEvery  = flag.Uint64("checkpoint-every", 0, "applied commands between checkpoints (overrides checkpoint_every in config; 0 = default)")
+		applyConc  = flag.Int("apply-concurrency", 0, "apply-worker pool size for the pipelined write path (overrides apply_concurrency in config; 0 = GOMAXPROCS, negative = serial ablation)")
 		verbose    = flag.Bool("v", false, "log protocol diagnostics")
 	)
 	flag.Parse()
@@ -124,6 +125,10 @@ func main() {
 	cfg.CheckpointEvery = conf.CheckpointEvery
 	if *ckptEvery != 0 {
 		cfg.CheckpointEvery = *ckptEvery
+	}
+	cfg.ApplyConcurrency = conf.ApplyConcurrency
+	if *applyConc != 0 {
+		cfg.ApplyConcurrency = *applyConc
 	}
 	switch *mode {
 	case "static":

@@ -71,6 +71,10 @@ type Options struct {
 	// per-head read-worker pool size (0 = engine default,
 	// rsm.ReadOnLoop = serve queries on the event loop).
 	ReadConcurrency int
+	// ApplyConcurrency forwards to joshua.Config.ApplyConcurrency: the
+	// per-head apply-worker pool size for the pipelined write path
+	// (0 = engine default, rsm.ApplyOnLoop = the serial ablation).
+	ApplyConcurrency int
 	// ClientTimeout is the per-head attempt timeout for clients made
 	// by Client/ClientFor (0 = 1s). Stress tests shorten it so a
 	// client discovers the dead entries of the static head book
@@ -262,6 +266,7 @@ func (c *Cluster) startHead(i int, initial []gcs.MemberID, join bool) error {
 		OutputPolicy:       c.opts.OutputPolicy,
 		OrderedCompletions: c.opts.OrderedCompletions,
 		ReadConcurrency:    c.opts.ReadConcurrency,
+		ApplyConcurrency:   c.opts.ApplyConcurrency,
 		TuneGCS:            c.opts.TuneGCS,
 		Logger:             c.opts.Logger,
 		DataDir:            c.headDataDir(i),

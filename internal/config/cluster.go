@@ -36,6 +36,10 @@ type ClusterFile struct {
 	// CheckpointEvery is the applied-command cadence between
 	// checkpoints ("checkpoint_every"; 0 = engine default).
 	CheckpointEvery uint64
+	// ApplyConcurrency sizes each head's apply-worker pool
+	// ("apply_concurrency" under [options]; 0 = engine default, any
+	// negative value = the serial pre-pipeline ablation).
+	ApplyConcurrency int
 }
 
 // HeadDecl is one "[head <name>]" section.
@@ -147,6 +151,11 @@ func ClusterFromFile(f *File) (*ClusterFile, error) {
 		if c.CheckpointEvery, err = opts[0].Uint("checkpoint_every", 0); err != nil {
 			return nil, err
 		}
+		ac, err := opts[0].Int("apply_concurrency", 0)
+		if err != nil {
+			return nil, err
+		}
+		c.ApplyConcurrency = int(ac)
 	}
 	sort.Slice(c.Heads, func(i, j int) bool { return c.Heads[i].Name < c.Heads[j].Name })
 	sort.Slice(c.Computes, func(i, j int) bool { return c.Computes[i].Name < c.Computes[j].Name })

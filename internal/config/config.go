@@ -179,6 +179,21 @@ func (s *Section) Float(key string, def float64) (float64, error) {
 	return f, nil
 }
 
+// Int parses a (possibly negative) integer key, returning def when
+// absent. Knobs with a negative-sentinel ablation (apply_concurrency)
+// need the signed form.
+func (s *Section) Int(key string, def int64) (int64, error) {
+	v, ok := s.Keys[key]
+	if !ok || v == "" {
+		return def, nil
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("config: key %q: %v", key, err)
+	}
+	return n, nil
+}
+
 // Uint parses a non-negative integer key, returning def when absent.
 func (s *Section) Uint(key string, def uint64) (uint64, error) {
 	v, ok := s.Keys[key]

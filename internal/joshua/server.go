@@ -119,6 +119,15 @@ type Config struct {
 	// selects the engine default.
 	ReplyQueueLen int
 
+	// ApplyConcurrency sizes the engine's apply-worker pool and enables
+	// the pipelined write path: the WAL fsync of each event-loop round
+	// overlaps command execution, and commands on disjoint conflict
+	// domains (independent jobs) apply in parallel. Zero selects the
+	// engine default (GOMAXPROCS); rsm.ApplyOnLoop restores the strictly
+	// serial apply-then-blocking-commit path — the pre-pipeline
+	// behaviour, kept as an ablation.
+	ApplyConcurrency int
+
 	// DataDir, when set, enables the replication engine's durability
 	// layer for this head: applied commands are written through a
 	// write-ahead log, the full state (batch service + lock table +
@@ -207,24 +216,25 @@ func StartServer(cfg Config) (*Server, error) {
 		Register(svcLocks, s.locks)
 
 	rep, err := rsm.Start(rsm.Config{
-		Self:            cfg.Self,
-		GroupEndpoint:   cfg.GroupEndpoint,
-		ClientEndpoint:  cfg.ClientEndpoint,
-		Peers:           cfg.Peers,
-		InitialMembers:  cfg.InitialMembers,
-		Bootstrap:       cfg.Bootstrap,
-		PartitionPolicy: cfg.PartitionPolicy,
-		Service:         services,
-		Classify:        s.classify,
-		OutputPolicy:    rsm.OutputPolicy(cfg.OutputPolicy),
-		DedupLimit:      cfg.DedupLimit,
-		ReadConcurrency: cfg.ReadConcurrency,
-		ReplyQueueLen:   cfg.ReplyQueueLen,
-		DataDir:         cfg.DataDir,
-		SyncPolicy:      cfg.SyncPolicy,
-		SyncInterval:    cfg.SyncInterval,
-		CheckpointEvery: cfg.CheckpointEvery,
-		WALSegmentBytes: cfg.WALSegmentBytes,
+		Self:             cfg.Self,
+		GroupEndpoint:    cfg.GroupEndpoint,
+		ClientEndpoint:   cfg.ClientEndpoint,
+		Peers:            cfg.Peers,
+		InitialMembers:   cfg.InitialMembers,
+		Bootstrap:        cfg.Bootstrap,
+		PartitionPolicy:  cfg.PartitionPolicy,
+		Service:          services,
+		Classify:         s.classify,
+		OutputPolicy:     rsm.OutputPolicy(cfg.OutputPolicy),
+		DedupLimit:       cfg.DedupLimit,
+		ReadConcurrency:  cfg.ReadConcurrency,
+		ReplyQueueLen:    cfg.ReplyQueueLen,
+		ApplyConcurrency: cfg.ApplyConcurrency,
+		DataDir:          cfg.DataDir,
+		SyncPolicy:       cfg.SyncPolicy,
+		SyncInterval:     cfg.SyncInterval,
+		CheckpointEvery:  cfg.CheckpointEvery,
+		WALSegmentBytes:  cfg.WALSegmentBytes,
 		ReadCacheHits: func() uint64 {
 			hits, _ := cfg.Daemon.Server().ReadCacheStats()
 			return hits + s.stat.hits.Load()
@@ -441,6 +451,11 @@ func (s *Server) infoLocked() map[string]string {
 		"read_workers":      fmt.Sprintf("%d", st.ReadWorkers),
 		"read_queue_depth":  fmt.Sprintf("%d", st.ReadQueueDepth),
 		"reply_queue_drops": fmt.Sprintf("%d", st.ReplyQueueDrops),
+		"apply_workers":     fmt.Sprintf("%d", st.ApplyWorkers),
+		"apply_parallel":    fmt.Sprintf("%d", st.ApplyParallelRuns),
+		"apply_barriers":    fmt.Sprintf("%d", st.ApplyBarriers),
+		"apply_overlap_ns":  fmt.Sprintf("%d", st.FsyncOverlapNs),
+		"apply_dlag_max_ns": fmt.Sprintf("%d", st.DurabilityLagMax),
 		"locks_held":        fmt.Sprintf("%d", s.locks.Len()),
 		"gcs_broadcasts":    fmt.Sprintf("%d", gst.Broadcasts),
 		"gcs_delivered":     fmt.Sprintf("%d", gst.Delivered),

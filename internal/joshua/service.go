@@ -64,6 +64,33 @@ func (s *pbsService) Apply(cmd rsm.Command) []byte {
 	return executeOn(s.daemon, req.Op, &req.Args, req.ReqID).encode()
 }
 
+// ConflictKey classifies the batch-system conflict domains for the
+// engine's parallel apply stage. Only operations that touch a single
+// job's record and never enter the scheduler are job-local: qhold
+// flips one queued job's state, qsig bumps one running job's signal
+// count, and an ordered qstat reads one job. Everything else —
+// submit, delete, release, completions, node state — runs the
+// scheduler over the shared node pool, so it stays a global barrier.
+// (Accounting-sink line order across distinct jobs is unspecified
+// under parallel apply; the sink is local observability, not
+// replicated state.)
+func (s *pbsService) ConflictKey(cmd rsm.Command) string {
+	op, ok := requestOp(cmd.Payload)
+	if !ok {
+		return ""
+	}
+	switch op {
+	case OpHold, OpSignal, OpStat:
+		req, _, err := decodeRPC(cmd.Payload)
+		if err != nil || req == nil || req.Args.JobID == "" {
+			return ""
+		}
+		return "job/" + string(req.Args.JobID)
+	default:
+		return ""
+	}
+}
+
 func (s *pbsService) Snapshot() []byte { return s.daemon.Server().Snapshot() }
 
 func (s *pbsService) Restore(state []byte) error { return s.daemon.Restore(state) }
@@ -104,6 +131,18 @@ func (s *lockService) Apply(cmd rsm.Command) []byte {
 		return (&rpcResponse{ReqID: req.ReqID, OK: true}).encode()
 	}
 	return nil
+}
+
+// ConflictKey partitions the lock table by job: jmutex/jdone commands
+// for distinct jobs touch distinct entries and commute, so prologue
+// races for different jobs may resolve in parallel. Within one job the
+// log order decides the winner, exactly as before.
+func (s *lockService) ConflictKey(cmd rsm.Command) string {
+	req, _, err := decodeRPC(cmd.Payload)
+	if err != nil || req == nil || req.Args.JobID == "" {
+		return ""
+	}
+	return "job/" + string(req.Args.JobID)
 }
 
 func (s *lockService) Snapshot() []byte {

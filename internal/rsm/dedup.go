@@ -23,16 +23,25 @@ type dedupTable struct {
 	shards [dedupShards]dedupShard
 }
 
+// dedupEntry is one recorded response, tagged with the applied index
+// of the command that produced it so the read path can gate dedup-hit
+// retries on the durability watermark (index 0 = always durable:
+// checkpointed or transferred state).
+type dedupEntry struct {
+	resp []byte
+	idx  uint64
+}
+
 type dedupShard struct {
 	mu sync.RWMutex
-	m  map[string][]byte
+	m  map[string]dedupEntry
 }
 
 func newDedupTable(sizeHint int) *dedupTable {
 	t := &dedupTable{}
 	per := sizeHint/dedupShards + 1
 	for i := range t.shards {
-		t.shards[i].m = make(map[string][]byte, per)
+		t.shards[i].m = make(map[string]dedupEntry, per)
 	}
 	return t
 }
@@ -42,21 +51,22 @@ func (t *dedupTable) shard(reqID string) *dedupShard {
 }
 
 // get probes the table; it is safe from any goroutine.
-func (t *dedupTable) get(reqID string) ([]byte, bool) {
+func (t *dedupTable) get(reqID string) ([]byte, uint64, bool) {
 	s := t.shard(reqID)
 	s.mu.RLock()
-	resp, ok := s.m[reqID]
+	ent, ok := s.m[reqID]
 	s.mu.RUnlock()
-	return resp, ok
+	return ent.resp, ent.idx, ok
 }
 
-// put records a response; it reports false if the ID was present.
-func (t *dedupTable) put(reqID string, resp []byte) bool {
+// put records a response under its applied index; it reports false if
+// the ID was present.
+func (t *dedupTable) put(reqID string, resp []byte, idx uint64) bool {
 	s := t.shard(reqID)
 	s.mu.Lock()
 	_, exists := s.m[reqID]
 	if !exists {
-		s.m[reqID] = resp
+		s.m[reqID] = dedupEntry{resp: resp, idx: idx}
 	}
 	s.mu.Unlock()
 	return !exists
@@ -78,7 +88,7 @@ func (t *dedupTable) reset(sizeHint int) {
 	for i := range t.shards {
 		s := &t.shards[i]
 		s.mu.Lock()
-		s.m = make(map[string][]byte, per)
+		s.m = make(map[string]dedupEntry, per)
 		s.mu.Unlock()
 	}
 }

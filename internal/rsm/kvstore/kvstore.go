@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"joshua/internal/codec"
@@ -115,6 +116,11 @@ func DecodeResponse(b []byte) (*Response, error) {
 type Store struct {
 	mu   sync.RWMutex
 	data map[string]string
+
+	// applyCost simulates per-command execution time (see
+	// SetApplyCost); atomic so benchmarks can set it around the
+	// engine's concurrent Apply calls.
+	applyCost atomic.Int64
 }
 
 // NewStore creates an empty store.
@@ -127,6 +133,12 @@ func (s *Store) Apply(cmd rsm.Command) []byte {
 	req, err := DecodeRequest(cmd.Payload)
 	if err != nil {
 		return nil
+	}
+	if d := s.applyCost.Load(); d > 0 {
+		// Simulated execution cost burns outside the lock, so
+		// commands on distinct keys genuinely overlap when the engine
+		// applies them in parallel.
+		time.Sleep(time.Duration(d))
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -146,6 +158,25 @@ func (s *Store) Apply(cmd rsm.Command) []byte {
 	}
 	return EncodeResponse(resp)
 }
+
+// ConflictKey names the key a mutation touches: mutations on distinct
+// keys commute, so the engine may apply them concurrently within one
+// totally ordered round. A malformed payload (and the empty key
+// itself) declares a global barrier, the conservative default.
+func (s *Store) ConflictKey(cmd rsm.Command) string {
+	req, err := DecodeRequest(cmd.Payload)
+	if err != nil {
+		return ""
+	}
+	return req.Key
+}
+
+// SetApplyCost makes every subsequent Apply burn roughly d of
+// simulated execution time before touching the map — a stand-in for
+// real per-command work (job admission, script staging), the way
+// pbs.Config.SubmitDelay simulates it for the batch system. The apply
+// pipeline benchmarks use it to expose apply-stage parallelism.
+func (s *Store) SetApplyCost(d time.Duration) { s.applyCost.Store(int64(d)) }
 
 // Snapshot encodes the map, sorted for determinism.
 func (s *Store) Snapshot() []byte {

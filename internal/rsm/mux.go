@@ -53,6 +53,23 @@ func (m *Mux) Apply(cmd Command) []byte {
 	return s.Apply(cmd)
 }
 
+// ConflictKey routes the conflict-domain question to the command's
+// sub-service and namespaces the answer by service name, so equal keys
+// from different sub-services never alias into one domain. A command
+// routed to an unregistered name, or one whose sub-service declares a
+// global barrier, stays a global barrier here.
+func (m *Mux) ConflictKey(cmd Command) string {
+	s, ok := m.services[m.route(cmd)]
+	if !ok {
+		return ""
+	}
+	key := s.ConflictKey(cmd)
+	if key == "" {
+		return ""
+	}
+	return m.route(cmd) + "/" + key
+}
+
 // Snapshot concatenates every sub-service's snapshot, tagged by name
 // and guarded by a CRC, in registration order. The CRC lets Restore
 // reject a corrupt or truncated section before handing it to a

@@ -10,6 +10,7 @@ import (
 // recService is a scriptable Service for Mux tests.
 type recService struct {
 	name    string
+	key     string // ConflictKey answer ("" = global barrier)
 	applied []string
 	state   []byte
 }
@@ -18,6 +19,8 @@ func (s *recService) Apply(cmd Command) []byte {
 	s.applied = append(s.applied, cmd.ReqID)
 	return []byte(s.name + ":" + cmd.ReqID)
 }
+
+func (s *recService) ConflictKey(cmd Command) string { return s.key }
 
 func (s *recService) Snapshot() []byte { return append([]byte(nil), s.state...) }
 

@@ -141,6 +141,58 @@ func TestDedupRetryServedOffLoop(t *testing.T) {
 	}
 }
 
+// TestSameClientReplyOrderUnderParallelApply pins the pipeline's reply
+// ordering: commands a client sent earlier must never be answered
+// after ones it sent later, even when parallel apply finishes the
+// later command first. A long serial run on one key (six appends, same
+// conflict key, applied in order) batches with a single fast put on
+// another key; the put's execution completes first, but its reply must
+// still trail the whole run.
+func TestSameClientReplyOrderUnderParallelApply(t *testing.T) {
+	r := newKVRig(t, 1, func(c *rsm.Config) { c.ApplyConcurrency = 8 })
+	r.stores[0].SetApplyCost(2 * time.Millisecond)
+
+	// Plug the apply stage so the measured commands queue up into one
+	// batch behind it.
+	for i := 0; i < 2; i++ {
+		r.send(0, &kvstore.Request{ReqID: fmt.Sprintf("user/kv#plug%d", i), Op: kvstore.OpAppend, Key: "plug", Value: "p"})
+	}
+
+	var want []string
+	for i := 0; i < 6; i++ {
+		req := &kvstore.Request{ReqID: fmt.Sprintf("user/kv#slow%d", i), Op: kvstore.OpAppend, Key: "A", Value: "x"}
+		want = append(want, req.ReqID)
+		r.send(0, req)
+	}
+	fast := &kvstore.Request{ReqID: "user/kv#fast", Op: kvstore.OpPut, Key: "B", Value: "y"}
+	want = append(want, fast.ReqID)
+	r.send(0, fast)
+
+	interesting := map[string]bool{}
+	for _, id := range want {
+		interesting[id] = true
+	}
+	var got []string
+	deadline := time.After(10 * time.Second)
+	for len(got) < len(want) {
+		select {
+		case dg := <-r.cli.Recv():
+			resp, err := kvstore.DecodeResponse(dg.Payload)
+			if err != nil || !interesting[resp.ReqID] {
+				continue
+			}
+			got = append(got, resp.ReqID)
+		case <-deadline:
+			t.Fatalf("timed out with replies %v", got)
+		}
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("reply order diverged from send order at %d:\n got  %v\n want %v", i, got, want)
+		}
+	}
+}
+
 // TestReplyAccountingBalances checks the reply-queue bookkeeping under
 // a read burst against a tiny queue: every served read is either sent
 // (Replied) or dropped-and-counted (ReplyQueueDrops) — none vanish.

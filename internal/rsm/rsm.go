@@ -16,6 +16,21 @@
 // and every response leaves through a bounded asynchronous reply
 // queue so a slow client socket never stalls command application.
 //
+// The write path itself is pipelined: each event-loop round appends
+// its commands to the write-ahead log and issues the group-commit
+// fsync asynchronously (wal.CommitAsync), then executes the round's
+// batch while the fsync is in flight — partitioned by
+// Service.ConflictKey into per-key runs so commands on disjoint
+// conflict domains (independent jobs, distinct keys) apply in
+// parallel on a bounded worker pool, while commands sharing a domain
+// stay in log order and an empty key is a global barrier. A releaser
+// goroutine couples the two stages back together, releasing each
+// round's client replies in order only once both its applies and its
+// covering fsync have completed — no client ever sees an
+// acknowledgment the log could still lose. Config.ApplyConcurrency
+// sizes the pool; ApplyOnLoop restores the strictly serial
+// apply-then-blocking-commit ablation.
+//
 // The paper's central claim is that this machinery is *external*: it
 // wraps any deterministic service behind its command interface, with
 // TORQUE merely the instance evaluated. Accordingly the PBS batch
@@ -30,6 +45,7 @@ import (
 	"log"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"joshua/internal/gcs"
@@ -53,19 +69,34 @@ type Command struct {
 	Client transport.Addr
 }
 
-// Service is the deterministic state machine being replicated. Apply,
-// Snapshot, and Restore are invoked from the Replica's event loop
-// goroutine only, so a Service needs no internal locking against the
-// engine's ordered path — but any state a Classifier's deferred
-// Respond closure reads runs on read-worker goroutines concurrently
-// with Apply, and must be guarded (an RWMutex or a copy-on-write
-// snapshot; see internal/pbs for the pattern).
+// Service is the deterministic state machine being replicated.
+// Snapshot and Restore are invoked from the Replica's event loop
+// goroutine only. Apply is invoked from the event loop too — except
+// that within one event-loop round, commands whose ConflictKeys are
+// distinct and non-empty may be executed concurrently on apply-worker
+// goroutines (Config.ApplyConcurrency), so Apply must be safe to call
+// from multiple goroutines. Any state a Classifier's deferred Respond
+// closure reads also runs on read-worker goroutines concurrently with
+// Apply, and must be guarded (an RWMutex or a copy-on-write snapshot;
+// see internal/pbs for the pattern).
 type Service interface {
 	// Apply executes one totally ordered command against local state
 	// and returns the encoded response to relay to the client. A nil
 	// return means the command produces no reply (internal commands,
 	// malformed payloads); it is still recorded in the dedup table.
 	Apply(cmd Command) []byte
+	// ConflictKey names the conflict domain cmd belongs to. Two
+	// commands with distinct non-empty keys must commute — applying
+	// them in either order (or concurrently) yields the same final
+	// state and the same responses — which lets the engine execute
+	// them in parallel inside one totally ordered round. Commands
+	// sharing a key are applied in log order. The empty string is a
+	// global barrier: the command conflicts with everything and is
+	// applied alone, in strict log order (the conservative default
+	// for any operation that touches shared state). The key must be
+	// a pure function of the command, so every replica partitions
+	// the same totally ordered batch identically.
+	ConflictKey(cmd Command) string
 	// Snapshot encodes the full service state for join-time transfer.
 	Snapshot() []byte
 	// Restore replaces the service state from a Snapshot.
@@ -136,6 +167,12 @@ const (
 // deployments where the pool buys nothing).
 const ReadOnLoop = -1
 
+// ApplyOnLoop disables the pipelined apply path: every round applies
+// its commands serially on the event loop and then blocks on the
+// WAL group commit before releasing any reply — the pre-pipeline
+// engine behaviour, kept as an ablation (mirroring ReadOnLoop).
+const ApplyOnLoop = -1
+
 // Config parameterizes a Replica.
 type Config struct {
 	// Self is this replica's member identity.
@@ -187,6 +224,17 @@ type Config struct {
 	// (reads re-execute, command responses come from the dedup
 	// table). Default 1024.
 	ReplyQueueLen int
+
+	// ApplyConcurrency sizes the bounded worker pool that executes
+	// non-conflicting per-key runs of one round's batch in parallel
+	// (see Service.ConflictKey), and enables the pipelined write
+	// path: the round's WAL fsync runs concurrently with execution,
+	// and replies are released by durability watermark instead of an
+	// end-of-round blocking commit. Zero selects the default,
+	// runtime.GOMAXPROCS(0); 1 keeps execution serial while still
+	// overlapping it with the fsync; ApplyOnLoop (any negative value)
+	// disables the pipeline entirely — the pre-pipeline ablation.
+	ApplyConcurrency int
 
 	// ReadCacheHits, when non-nil, reports the service's read-cache
 	// hit counter; Stats folds it in so one Stats() call describes the
@@ -248,6 +296,13 @@ type Stats struct {
 	ReadQueueDepth  int    // datagrams waiting for a read worker (gauge)
 	ReadWorkers     int    // read-worker pool size (0 = on-loop)
 
+	// Pipelined apply path (zero under the ApplyOnLoop ablation).
+	ApplyWorkers      int    // apply-worker pool size (0 = pre-pipeline ablation)
+	ApplyParallelRuns uint64 // per-key runs executed on the worker pool
+	ApplyBarriers     uint64 // commands applied alone as global barriers (empty ConflictKey)
+	FsyncOverlapNs    uint64 // cumulative ns the WAL fsync ran concurrently with the apply stage
+	DurabilityLagMax  uint64 // worst-case ns a round's replies waited on durability after apply finished
+
 	// Durability layer (zero without Config.DataDir).
 	AppliedIndex     uint64 // monotone count of commands applied locally
 	RecoveryReplayed uint64 // log records replayed during local recovery
@@ -277,6 +332,36 @@ type readTask struct {
 type reply struct {
 	to      transport.Addr
 	payload []byte
+}
+
+// pendingApply is one delivery of a pipelined round.
+type pendingApply struct {
+	env   *envelope
+	cmd   Command
+	key   string // conflict key (fresh commands only)
+	index uint64 // applied index (fresh commands only)
+	resp  []byte
+	seen  bool // already in the dedup table (cross-round duplicate)
+	dupOf int  // >= 0: duplicate of cmds[dupOf] within this round; -1 otherwise
+}
+
+// commitResult is the outcome of one asynchronous WAL group commit,
+// stamped with its completion time for the overlap accounting.
+type commitResult struct {
+	err error
+	at  time.Time
+}
+
+// releaseBatch is one round's output, handed to the releaser
+// goroutine: replies held until the round's durability epoch (res)
+// completes. Batches are released strictly in round order, so a later
+// round's replies can never overtake an earlier round's.
+type releaseBatch struct {
+	res      chan commitResult // nil: the round appended nothing awaiting durability
+	maxIndex uint64            // durable watermark once res resolves (0 = none)
+	replies  []reply
+	t0       time.Time // when the round's commit was issued (apply-stage start)
+	applyEnd time.Time // when the round's apply stage finished
 }
 
 // Replica is one symmetric active/active member: the generic
@@ -309,6 +394,21 @@ type Replica struct {
 	// replier goroutine drains it so no protocol goroutine ever blocks
 	// in clientEP.Send.
 	replyQ chan reply
+
+	// applyConc is the resolved apply-pool size; 0 selects the
+	// ApplyOnLoop ablation (serial apply + blocking commit).
+	applyConc int
+	// applySem bounds concurrently executing per-key runs.
+	applySem chan struct{}
+	// relQ feeds the releaser goroutine one releaseBatch per round, in
+	// round order; nil under ApplyOnLoop.
+	relQ chan releaseBatch
+
+	// durableIdx is the highest applied index known covered by an
+	// fsync (or by a durable checkpoint); read workers consult it so a
+	// dedup-table retry is never answered before the command it
+	// acknowledges is durable. Meaningless (and unused) without a log.
+	durableIdx atomic.Uint64
 
 	// --- owned by the run loop ---
 	view gcs.View
@@ -363,20 +463,28 @@ func Start(cfg Config) (*Replica, error) {
 	if cfg.ReplyQueueLen <= 0 {
 		cfg.ReplyQueueLen = 1024
 	}
+	if cfg.ApplyConcurrency == 0 {
+		cfg.ApplyConcurrency = runtime.GOMAXPROCS(0)
+	}
+	if cfg.ApplyConcurrency < 0 {
+		cfg.ApplyConcurrency = 0 // ApplyOnLoop ablation
+	}
 	if cfg.CheckpointEvery == 0 {
 		cfg.CheckpointEvery = 1024
 	}
 
 	r := &Replica{
-		cfg:      cfg,
-		clientEP: cfg.ClientEndpoint,
-		service:  cfg.Service,
-		done:     make(chan struct{}),
-		ready:    make(chan struct{}),
-		dedup:    newDedupTable(cfg.DedupLimit),
-		replyQ:   make(chan reply, cfg.ReplyQueueLen),
+		cfg:       cfg,
+		clientEP:  cfg.ClientEndpoint,
+		service:   cfg.Service,
+		done:      make(chan struct{}),
+		ready:     make(chan struct{}),
+		dedup:     newDedupTable(cfg.DedupLimit),
+		replyQ:    make(chan reply, cfg.ReplyQueueLen),
+		applyConc: cfg.ApplyConcurrency,
 	}
 	r.stats.ReadWorkers = cfg.ReadConcurrency
+	r.stats.ApplyWorkers = cfg.ApplyConcurrency
 
 	// Local recovery runs before the group is joined: restore the
 	// newest checkpoint, replay the log suffix through the dedup
@@ -398,6 +506,8 @@ func Start(cfg Config) (*Replica, error) {
 			l.Close()
 			return nil, err
 		}
+		// Everything recovered from disk is, by definition, durable.
+		r.durableIdx.Store(r.appliedIdx)
 	}
 
 	gcfg := gcs.Config{
@@ -429,6 +539,11 @@ func Start(cfg Config) (*Replica, error) {
 			go r.readWorker()
 		}
 		go r.intercept()
+	}
+	if r.applyConc > 0 {
+		r.applySem = make(chan struct{}, r.applyConc)
+		r.relQ = make(chan releaseBatch, 64)
+		go r.releaser()
 	}
 	go r.run()
 	return r, nil
@@ -531,6 +646,14 @@ func (r *Replica) run() {
 			if !ok {
 				return
 			}
+			if r.applyConc > 0 {
+				// Pipelined write path: the round's WAL fsync runs
+				// concurrently with its (conflict-partitioned) apply
+				// stage, and the releaser couples replies to the
+				// durability watermark.
+				r.runPipelinedRound(e, events)
+				continue
+			}
 			r.handleGroupEvent(e)
 			// Drain whatever else arrived this round, then commit
 			// once: under SyncPolicy=always that is one fsync per
@@ -575,6 +698,7 @@ func (r *Replica) commitRound() {
 			r.logf("wal commit failed: %v", err)
 		}
 		r.walDirty = false
+		r.durableIdx.Store(r.appliedIdx)
 		if r.sinceCkpt >= r.cfg.CheckpointEvery {
 			r.checkpointNow()
 		}
@@ -595,6 +719,302 @@ func (r *Replica) checkpointNow() {
 	}
 	r.sinceCkpt = 0
 	r.logf("checkpoint at applied index %d", r.appliedIdx)
+}
+
+// runPipelinedRound is the pipelined counterpart of one
+// handleGroupEvent+drainGroupEvents+commitRound round: deliveries are
+// collected into a batch and executed through applyBatch (WAL fsync
+// overlapping the conflict-partitioned apply stage), while control
+// events (views, state transfer) act as ordering points — everything
+// delivered before them is applied first, and any side effects they
+// produce are flushed to the releaser before the round continues.
+func (r *Replica) runPipelinedRound(first gcs.Event, events <-chan gcs.Event) {
+	var batch []*envelope
+	flush := func() {
+		r.applyBatch(batch)
+		batch = batch[:0]
+	}
+	handle := func(e gcs.Event) {
+		if ev, ok := e.(gcs.DeliverEvent); ok {
+			env, err := decodeEnvelope(ev.Payload)
+			if err != nil {
+				r.logf("dropping malformed replicated command: %v", err)
+				return
+			}
+			batch = append(batch, env)
+			return
+		}
+		flush()
+		r.handleGroupEvent(e)
+		r.flushControlEffects()
+	}
+	handle(first)
+	for i := 1; i < maxEventsPerRound; i++ {
+		select {
+		case e, ok := <-events:
+			if !ok {
+				flush()
+				return
+			}
+			handle(e)
+		default:
+			flush()
+			return
+		}
+	}
+	flush()
+}
+
+// flushControlEffects pushes side effects produced outside applyBatch
+// — delta-transfer replay appends and replies go through applyEnvelope
+// — into the release pipeline, preserving the durability gate and the
+// in-order release guarantee for them too.
+func (r *Replica) flushControlEffects() {
+	if len(r.pendingReplies) == 0 && !r.walDirty {
+		return
+	}
+	now := time.Now()
+	b := releaseBatch{replies: r.pendingReplies, t0: now, applyEnd: now}
+	r.pendingReplies = nil
+	if r.log != nil && r.walDirty {
+		b.res = r.wrapCommit()
+		b.maxIndex = r.appliedIdx
+		r.walDirty = false
+	}
+	r.dispatch(b)
+}
+
+// applyBatch runs one collected round through the three pipeline
+// stages. Stage 1 (in total order, on the loop): classify each
+// delivery against the dedup table, assign applied indices, and append
+// fresh commands to the WAL; then issue the round's group-commit fsync
+// asynchronously. Stage 2 (concurrent with the fsync): execute the
+// batch, partitioned by ConflictKey into per-key runs on the bounded
+// worker pool. Stage 3: hand the round's replies to the releaser,
+// which holds them until the fsync lands. Dedup inserts and eviction
+// happen back on the loop in total order, so the table stays identical
+// across replicas.
+func (r *Replica) applyBatch(batch []*envelope) {
+	if len(batch) == 0 {
+		return
+	}
+	t0 := time.Now()
+	cmds := make([]*pendingApply, 0, len(batch))
+	pos := make(map[string]int, len(batch)) // ReqID → first copy this round
+	fresh := 0
+	for _, env := range batch {
+		pa := &pendingApply{env: env, dupOf: -1}
+		if j, ok := pos[env.ReqID]; ok {
+			pa.dupOf = j
+		} else if resp, _, seen := r.dedup.get(env.ReqID); seen {
+			pa.seen = true
+			pa.resp = resp
+			pos[env.ReqID] = len(cmds)
+		} else {
+			r.appliedIdx++
+			pa.index = r.appliedIdx
+			pa.cmd = Command{ReqID: env.ReqID, Payload: env.Payload, Origin: env.Origin, Client: env.Client}
+			pa.key = r.service.ConflictKey(pa.cmd)
+			if r.log != nil {
+				// Write-ahead: the record hits the log before Apply
+				// runs. Recovery replay is dedup-checked and replays
+				// the log in index order, so a record that outlives a
+				// crash mid-apply is simply (re)applied at restart.
+				if err := r.log.Append(pa.index, env.encode()); err != nil {
+					r.logf("wal append at %d failed: %v", pa.index, err)
+				} else {
+					r.walDirty = true
+					r.sinceCkpt++
+				}
+			}
+			pos[env.ReqID] = len(cmds)
+			fresh++
+		}
+		cmds = append(cmds, pa)
+	}
+
+	// Stage 1→2 handoff: start the group-commit fsync, then execute
+	// the batch while it is in flight.
+	var res chan commitResult
+	var maxIndex uint64
+	if r.log != nil && r.walDirty {
+		res = r.wrapCommit()
+		maxIndex = r.appliedIdx
+		r.walDirty = false
+	}
+
+	r.applySections(cmds)
+	applyEnd := time.Now()
+
+	// Post-apply bookkeeping, in total order on the loop.
+	var replies []reply
+	for _, pa := range cmds {
+		if pa.dupOf >= 0 {
+			pa.resp = cmds[pa.dupOf].resp
+		} else if !pa.seen {
+			r.dedupInsert(pa.env.ReqID, pa.resp, pa.index)
+		}
+		if pa.env.Client != "" && pa.resp != nil && r.view.Primary && r.shouldReply(pa.env) {
+			replies = append(replies, reply{to: pa.env.Client, payload: pa.resp})
+		}
+	}
+	if fresh > 0 {
+		r.bump(func(st *Stats) {
+			st.Applied += uint64(fresh)
+			st.AppliedIndex = r.appliedIdx
+		})
+	}
+	r.dispatch(releaseBatch{res: res, maxIndex: maxIndex, replies: replies, t0: t0, applyEnd: applyEnd})
+
+	if r.log != nil && r.sinceCkpt >= r.cfg.CheckpointEvery {
+		r.checkpointNow()
+	}
+}
+
+// applySections executes one collected round. Commands with an empty
+// ConflictKey are global barriers, applied alone in log order; maximal
+// spans of keyed commands between barriers are partitioned into
+// per-key runs (log order within each run) and the runs execute
+// concurrently on the bounded apply pool. Every replica partitions the
+// same totally ordered batch identically, and distinct keys commute by
+// the Service contract, so the resulting state is deterministic.
+func (r *Replica) applySections(cmds []*pendingApply) {
+	var parallelRuns, barriers uint64
+	for i := 0; i < len(cmds); {
+		pa := cmds[i]
+		if pa.dupOf >= 0 || pa.seen {
+			i++
+			continue
+		}
+		if pa.key == "" {
+			pa.resp = r.service.Apply(pa.cmd)
+			barriers++
+			i++
+			continue
+		}
+		var order []string
+		runs := make(map[string][]*pendingApply)
+		j := i
+		for ; j < len(cmds); j++ {
+			q := cmds[j]
+			if q.dupOf >= 0 || q.seen {
+				continue
+			}
+			if q.key == "" {
+				break
+			}
+			if _, ok := runs[q.key]; !ok {
+				order = append(order, q.key)
+			}
+			runs[q.key] = append(runs[q.key], q)
+		}
+		if len(order) == 1 || r.applyConc == 1 {
+			for _, key := range order {
+				for _, q := range runs[key] {
+					q.resp = r.service.Apply(q.cmd)
+				}
+			}
+		} else {
+			var wg sync.WaitGroup
+			for _, key := range order {
+				run := runs[key]
+				r.applySem <- struct{}{}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer func() { <-r.applySem }()
+					for _, q := range run {
+						q.resp = r.service.Apply(q.cmd)
+					}
+				}()
+			}
+			wg.Wait()
+			parallelRuns += uint64(len(order))
+		}
+		i = j
+	}
+	if parallelRuns > 0 || barriers > 0 {
+		r.bump(func(st *Stats) {
+			st.ApplyParallelRuns += parallelRuns
+			st.ApplyBarriers += barriers
+		})
+	}
+}
+
+// wrapCommit issues the WAL group commit asynchronously and stamps its
+// completion time for the overlap accounting.
+func (r *Replica) wrapCommit() chan commitResult {
+	ch := r.log.CommitAsync()
+	res := make(chan commitResult, 1)
+	go func() {
+		err := <-ch
+		res <- commitResult{err: err, at: time.Now()}
+	}()
+	return res
+}
+
+// dispatch hands one round's output to the releaser, in round order.
+func (r *Replica) dispatch(b releaseBatch) {
+	if b.res == nil && len(b.replies) == 0 {
+		return
+	}
+	select {
+	case r.relQ <- b:
+	case <-r.done:
+	}
+}
+
+// releaser drains release batches strictly in round order: each
+// batch's replies leave only after its durability epoch resolves, so
+// no client is ever acknowledged for a command the log could still
+// lose, and a later round's reply can never overtake an earlier
+// round's (same-client FIFO holds by construction).
+func (r *Replica) releaser() {
+	for {
+		select {
+		case <-r.done:
+			return
+		case b := <-r.relQ:
+			if b.res != nil {
+				var cr commitResult
+				select {
+				case <-r.done:
+					return
+				case cr = <-b.res:
+				}
+				if cr.err != nil {
+					r.logf("wal commit failed: %v", cr.err)
+				}
+				// Overlap: the interval both the fsync and the apply
+				// stage were running; lag: how long the round's replies
+				// waited on durability after apply finished.
+				end := cr.at
+				if b.applyEnd.Before(end) {
+					end = b.applyEnd
+				}
+				overlap := end.Sub(b.t0)
+				if overlap < 0 {
+					overlap = 0
+				}
+				lag := cr.at.Sub(b.applyEnd)
+				if lag < 0 {
+					lag = 0
+				}
+				r.bump(func(st *Stats) {
+					st.FsyncOverlapNs += uint64(overlap)
+					if uint64(lag) > st.DurabilityLagMax {
+						st.DurabilityLagMax = uint64(lag)
+					}
+				})
+				if cr.err == nil && b.maxIndex > 0 {
+					r.durableIdx.Store(b.maxIndex)
+				}
+			}
+			for _, rep := range b.replies {
+				r.sendAsync(rep.to, rep.payload)
+			}
+		}
+	}
 }
 
 // intercept drains client datagrams on a dedicated goroutine so the
@@ -692,13 +1112,21 @@ func (r *Replica) serveRequest(from transport.Addr, payload []byte, cls Classifi
 	}
 
 	// Retried request already applied? Answer from the table without
-	// re-executing (exactly-once semantics across replica failures).
-	if resp, ok := r.dedup.get(cls.ReqID); ok {
-		if resp != nil {
-			r.bump(func(st *Stats) { st.DedupHits++ })
-			r.sendAsync(from, resp)
+	// re-executing (exactly-once semantics across replica failures) —
+	// but only once the command's index is covered by the durability
+	// watermark: a retry must never be acknowledged ahead of the
+	// fsync that makes the command crash-proof. A pre-durability
+	// retry falls through to the broadcast path; the copy collapses
+	// in the table and its reply is released by the normal
+	// durability-gated path.
+	if resp, idx, ok := r.dedup.get(cls.ReqID); ok {
+		if r.log == nil || idx <= r.durableIdx.Load() {
+			if resp != nil {
+				r.bump(func(st *Stats) { st.DedupHits++ })
+				r.sendAsync(from, resp)
+			}
+			return
 		}
-		return
 	}
 
 	if !r.group.View().Primary {
@@ -752,7 +1180,7 @@ func (r *Replica) replier() {
 // local service. Every replica runs this for every command in the
 // same order; exactly one (per OutputPolicy) relays the output.
 func (r *Replica) applyEnvelope(env *envelope) {
-	respBytes, seen := r.dedup.get(env.ReqID)
+	respBytes, _, seen := r.dedup.get(env.ReqID)
 	if !seen {
 		// First delivery: execute. A duplicate (the same request
 		// replicated twice because the client retried at a second
@@ -785,18 +1213,18 @@ func (r *Replica) applyEnvelope(env *envelope) {
 	}
 }
 
-// applyCommand executes one never-seen command: service apply, dedup
-// insert, applied-index advance. Shared by live delivery, recovery
+// applyCommand executes one never-seen command: applied-index advance,
+// service apply, dedup insert. Shared by live delivery, recovery
 // replay, and delta-transfer replay.
 func (r *Replica) applyCommand(env *envelope) []byte {
+	r.appliedIdx++
 	respBytes := r.service.Apply(Command{
 		ReqID:   env.ReqID,
 		Payload: env.Payload,
 		Origin:  env.Origin,
 		Client:  env.Client,
 	})
-	r.dedupInsert(env.ReqID, respBytes)
-	r.appliedIdx++
+	r.dedupInsert(env.ReqID, respBytes, r.appliedIdx)
 	r.bump(func(st *Stats) {
 		st.Applied++
 		st.AppliedIndex = r.appliedIdx
@@ -814,12 +1242,13 @@ func (r *Replica) shouldReply(env *envelope) bool {
 	}
 }
 
-// dedupInsert records a response with FIFO eviction. Because every
-// replica applies the same commands in the same order, the table (and
-// its eviction) is identical everywhere. Only the event loop inserts,
-// so dedupOrder needs no lock.
-func (r *Replica) dedupInsert(reqID string, resp []byte) {
-	if !r.dedup.put(reqID, resp) {
+// dedupInsert records a response (tagged with its applied index, the
+// durability-gate watermark for retries) with FIFO eviction. Because
+// every replica applies the same commands in the same order, the table
+// (and its eviction) is identical everywhere. Only the event loop
+// inserts, so dedupOrder needs no lock.
+func (r *Replica) dedupInsert(reqID string, resp []byte, index uint64) {
+	if !r.dedup.put(reqID, resp, index) {
 		return
 	}
 	r.dedupOrder = append(r.dedupOrder, reqID)
@@ -839,7 +1268,7 @@ func (r *Replica) encodeState() []byte {
 	st := &replicaState{Applied: r.appliedIdx, Service: r.service.Snapshot()}
 	st.DedupIDs = append(st.DedupIDs, r.dedupOrder...)
 	for _, id := range r.dedupOrder {
-		resp, _ := r.dedup.get(id)
+		resp, _, _ := r.dedup.get(id)
 		st.DedupResp = append(st.DedupResp, resp)
 	}
 	return st.encode()
@@ -857,7 +1286,9 @@ func (r *Replica) loadState(st *replicaState) error {
 	r.dedup.reset(len(st.DedupIDs))
 	r.dedupOrder = make([]string, 0, len(st.DedupIDs))
 	for i, id := range st.DedupIDs {
-		r.dedup.put(id, st.DedupResp[i])
+		// Index 0: transferred/checkpointed responses predate the local
+		// log, so the durability gate treats them as always durable.
+		r.dedup.put(id, st.DedupResp[i], 0)
 		r.dedupOrder = append(r.dedupOrder, id)
 	}
 	r.appliedIdx = st.Applied
@@ -977,7 +1408,7 @@ func (r *Replica) recoverLocal() error {
 		if err != nil {
 			return fmt.Errorf("rsm: log record %d: %w", index, err)
 		}
-		if _, seen := r.dedup.get(env.ReqID); !seen {
+		if _, _, seen := r.dedup.get(env.ReqID); !seen {
 			r.applyCommand(env)
 		} else {
 			r.appliedIdx = index // logged before the dedup entry checkpointed

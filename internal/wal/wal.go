@@ -147,12 +147,30 @@ type Log struct {
 	ckptIdx  uint64
 	ckpt     []byte
 
-	unsynced bool // bytes reached the file since the last fsync
-	lastSync time.Time
-	stats    Stats
-	closed   bool
+	// Flush/sync generations order durability: flushedGen counts
+	// flushes that moved bytes into the OS page cache, syncedGen the
+	// generation covered by the newest fsync. Bytes are unsynced
+	// exactly when syncedGen < flushedGen.
+	flushedGen uint64
+	syncedGen  uint64
+	lastSync   time.Time
+	stats      Stats
+	closed     bool
+
+	// pending holds CommitAsync waiters awaiting an fsync; the
+	// committer goroutine coalesces them into group commits.
+	pending []commitTicket
+	kick    chan struct{} // wakes the committer (buffered 1)
+	quit    chan struct{} // stops the committer
 
 	syncDone chan struct{} // stops the background interval syncer
+}
+
+// commitTicket is one CommitAsync call awaiting the fsync that covers
+// its flush generation.
+type commitTicket struct {
+	gen uint64
+	ch  chan error
 }
 
 // Open loads (or creates) the log in opts.Dir: newest valid checkpoint
@@ -171,7 +189,12 @@ func Open(opts Options) (*Log, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	l := &Log{opts: opts, lastSync: time.Now()}
+	l := &Log{
+		opts:     opts,
+		lastSync: time.Now(),
+		kick:     make(chan struct{}, 1),
+		quit:     make(chan struct{}),
+	}
 	if err := l.loadCheckpoint(); err != nil {
 		return nil, err
 	}
@@ -203,6 +226,7 @@ func Open(opts Options) (*Log, error) {
 		l.syncDone = make(chan struct{})
 		go l.syncLoop()
 	}
+	go l.committer()
 	return l, nil
 }
 
@@ -391,7 +415,7 @@ func (l *Log) rotateLocked(next uint64) error {
 	if err := l.flushLocked(); err != nil {
 		return err
 	}
-	if l.opts.Policy != SyncNone && l.unsynced {
+	if l.opts.Policy != SyncNone && l.unsyncedLocked() {
 		if err := l.fsyncLocked(); err != nil {
 			return err
 		}
@@ -411,44 +435,137 @@ func (l *Log) flushLocked() error {
 		return fmt.Errorf("wal: %w", err)
 	}
 	l.buf = l.buf[:0]
-	l.unsynced = true
+	l.flushedGen++
 	return nil
 }
+
+func (l *Log) unsyncedLocked() bool { return l.syncedGen < l.flushedGen }
 
 func (l *Log) fsyncLocked() error {
 	if err := l.active.Sync(); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
-	l.unsynced = false
+	l.syncedGen = l.flushedGen
 	l.lastSync = time.Now()
 	l.stats.Fsyncs++
 	return nil
 }
 
-// Commit is the group-commit point, called once per event-loop round
-// after the round's appends: flush the batch, then fsync per policy —
-// every round under SyncAlways, at most once per Interval under
-// SyncInterval, never under SyncNone.
-func (l *Log) Commit() error {
+// Commit is the synchronous group-commit point: flush the batch, then
+// fsync per policy — every round under SyncAlways, at most once per
+// Interval under SyncInterval, never under SyncNone. It blocks until
+// the covering fsync (if any) completes.
+func (l *Log) Commit() error { return <-l.CommitAsync() }
+
+// CommitAsync is the pipelined group-commit point, called once per
+// event-loop round after the round's appends: the staged batch is
+// flushed inline, and the returned channel receives the commit's
+// outcome once the fsync the policy demands (if any) has covered it.
+// The fsync itself runs on the committer goroutine, so the appender
+// may keep staging the next round while this round reaches disk;
+// outstanding commits are coalesced into one fsync.
+func (l *Log) CommitAsync() <-chan error {
+	ch := make(chan error, 1)
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
-		return errors.New("wal: closed")
+		l.mu.Unlock()
+		ch <- errors.New("wal: closed")
+		return ch
 	}
 	if err := l.flushLocked(); err != nil {
-		return err
+		l.mu.Unlock()
+		ch <- err
+		return ch
 	}
+	need := false
 	switch l.opts.Policy {
 	case SyncAlways:
-		if l.unsynced {
-			return l.fsyncLocked()
-		}
+		need = l.unsyncedLocked()
 	case SyncInterval:
-		if l.unsynced && time.Since(l.lastSync) >= l.opts.Interval {
-			return l.fsyncLocked()
+		need = l.unsyncedLocked() && time.Since(l.lastSync) >= l.opts.Interval
+	}
+	if !need {
+		l.mu.Unlock()
+		ch <- nil
+		return ch
+	}
+	l.pending = append(l.pending, commitTicket{gen: l.flushedGen, ch: ch})
+	l.mu.Unlock()
+	select {
+	case l.kick <- struct{}{}:
+	default:
+	}
+	return ch
+}
+
+// committer services CommitAsync tickets off the appender's path,
+// coalescing every queued ticket into a single fsync of the active
+// segment. A Sync that loses the race with rotation (or Close)
+// observes os.ErrClosed and counts as success: both seal the file
+// with their own fsync first.
+func (l *Log) committer() {
+	for {
+		select {
+		case <-l.quit:
+			return
+		case <-l.kick:
+		}
+		for l.commitPending() {
 		}
 	}
-	return nil
+}
+
+// commitPending completes one batch of queued tickets; it reports
+// whether there was anything to do.
+func (l *Log) commitPending() bool {
+	l.mu.Lock()
+	tickets := l.pending
+	l.pending = nil
+	if len(tickets) == 0 {
+		l.mu.Unlock()
+		return false
+	}
+	var maxGen uint64
+	for _, t := range tickets {
+		if t.gen > maxGen {
+			maxGen = t.gen
+		}
+	}
+	if l.syncedGen >= maxGen || l.closed {
+		// Already covered by rotation, the interval backstop, or
+		// Close's final fsync.
+		l.mu.Unlock()
+		for _, t := range tickets {
+			t.ch <- nil
+		}
+		return true
+	}
+	file := l.active
+	gen := l.flushedGen
+	l.mu.Unlock()
+
+	err := file.Sync()
+	synced := err == nil
+	if errors.Is(err, os.ErrClosed) {
+		err = nil // rotation/Close fsynced before closing the file
+	} else if err != nil {
+		err = fmt.Errorf("wal: %w", err)
+	}
+	l.mu.Lock()
+	if err == nil {
+		if gen > l.syncedGen {
+			l.syncedGen = gen
+		}
+		if synced {
+			l.lastSync = time.Now()
+			l.stats.Fsyncs++
+		}
+	}
+	l.mu.Unlock()
+	for _, t := range tickets {
+		t.ch <- err
+	}
+	return true
 }
 
 // syncLoop is the SyncInterval backstop: if traffic stops mid-
@@ -462,8 +579,8 @@ func (l *Log) syncLoop() {
 			return
 		case <-t.C:
 			l.mu.Lock()
-			if !l.closed && (len(l.buf) > 0 || l.unsynced) {
-				if err := l.flushLocked(); err == nil && l.unsynced {
+			if !l.closed && (len(l.buf) > 0 || l.unsyncedLocked()) {
+				if err := l.flushLocked(); err == nil && l.unsyncedLocked() {
 					l.fsyncLocked()
 				}
 			}
@@ -688,7 +805,7 @@ func (l *Log) Reset(index uint64, state []byte) error {
 	l.segments = nil
 	l.firstIdx = 0
 	l.lastIdx = index
-	l.unsynced = false
+	l.syncedGen = l.flushedGen
 	if err := l.addSegment(index + 1); err != nil {
 		l.mu.Unlock()
 		return err
@@ -710,28 +827,34 @@ func (l *Log) Stats() Stats {
 }
 
 // Close flushes and fsyncs the active segment and releases the file
-// handle. The log must not be used afterwards.
+// handle. Outstanding CommitAsync waiters are completed by the final
+// fsync. The log must not be used afterwards.
 func (l *Log) Close() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return nil
 	}
 	l.closed = true
 	if l.syncDone != nil {
 		close(l.syncDone)
 	}
-	if err := l.flushLocked(); err != nil {
-		l.active.Close()
+	close(l.quit)
+	pending := l.pending
+	l.pending = nil
+	err := l.flushLocked()
+	if err == nil && l.unsyncedLocked() {
+		err = l.fsyncLocked()
+	}
+	cerr := l.active.Close()
+	l.mu.Unlock()
+	for _, t := range pending {
+		t.ch <- err
+	}
+	if err != nil {
 		return err
 	}
-	if l.unsynced {
-		if err := l.fsyncLocked(); err != nil {
-			l.active.Close()
-			return err
-		}
-	}
-	return l.active.Close()
+	return cerr
 }
 
 func min(a, b int) int {

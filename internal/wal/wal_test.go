@@ -291,6 +291,165 @@ func TestSyncPolicies(t *testing.T) {
 	}
 }
 
+func TestCommitAsyncAlwaysAwaitsFsync(t *testing.T) {
+	l := openT(t, t.TempDir(), func(o *Options) { o.Policy = SyncAlways })
+	defer l.Close()
+	if err := l.Append(1, []byte("a")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := <-l.CommitAsync(); err != nil {
+		t.Fatalf("CommitAsync: %v", err)
+	}
+	if st := l.Stats(); st.Fsyncs != 1 {
+		t.Fatalf("Fsyncs = %d after commit, want 1", st.Fsyncs)
+	}
+	// Nothing new staged: the next commit completes without fsyncing.
+	if err := <-l.CommitAsync(); err != nil {
+		t.Fatalf("idle CommitAsync: %v", err)
+	}
+	if st := l.Stats(); st.Fsyncs != 1 {
+		t.Fatalf("Fsyncs = %d after idle commit, want still 1", st.Fsyncs)
+	}
+}
+
+func TestCommitAsyncCompletesImmediatelyWhenNoFsyncDue(t *testing.T) {
+	none := openT(t, t.TempDir(), func(o *Options) { o.Policy = SyncNone })
+	defer none.Close()
+	if err := none.Append(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-none.CommitAsync():
+		if err != nil {
+			t.Fatalf("SyncNone CommitAsync: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("SyncNone CommitAsync did not complete immediately")
+	}
+	if st := none.Stats(); st.Fsyncs != 0 {
+		t.Fatalf("SyncNone: %d fsyncs", st.Fsyncs)
+	}
+
+	// Within the interval, an interval-policy commit is durability-
+	// deferred: the channel resolves without waiting for an fsync.
+	iv := openT(t, t.TempDir(), func(o *Options) {
+		o.Policy = SyncInterval
+		o.Interval = time.Hour
+	})
+	defer iv.Close()
+	if err := iv.Append(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-iv.CommitAsync(); err != nil {
+		t.Fatalf("SyncInterval CommitAsync: %v", err)
+	}
+	if st := iv.Stats(); st.Fsyncs != 0 {
+		t.Fatalf("SyncInterval fsynced %d times inside the interval", st.Fsyncs)
+	}
+}
+
+func TestCommitAsyncCoalescesOutstandingCommits(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, func(o *Options) { o.Policy = SyncAlways })
+	const n = 16
+	chans := make([]<-chan error, 0, n)
+	for i := uint64(1); i <= n; i++ {
+		if err := l.Append(i, []byte(fmt.Sprintf("record-%d", i))); err != nil {
+			t.Fatalf("Append(%d): %v", i, err)
+		}
+		chans = append(chans, l.CommitAsync())
+	}
+	for i, ch := range chans {
+		if err := <-ch; err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+	st := l.Stats()
+	if st.Fsyncs == 0 || st.Fsyncs > n {
+		t.Fatalf("Fsyncs = %d, want within [1, %d]", st.Fsyncs, n)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Every committed record is durable.
+	l = openT(t, dir, nil)
+	defer l.Close()
+	if recs := collect(t, l, 0); len(recs) != n {
+		t.Fatalf("replayed %d records, want %d", len(recs), n)
+	}
+}
+
+func TestCommitAsyncAcrossRotation(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, func(o *Options) {
+		o.Policy = SyncAlways
+		o.SegmentBytes = 64
+	})
+	const n = 60
+	chans := make([]<-chan error, 0, n)
+	for i := uint64(1); i <= n; i++ {
+		if err := l.Append(i, []byte(fmt.Sprintf("record-%d", i))); err != nil {
+			t.Fatalf("Append(%d): %v", i, err)
+		}
+		chans = append(chans, l.CommitAsync())
+	}
+	for i, ch := range chans {
+		if err := <-ch; err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+	if st := l.Stats(); st.Segments < 2 {
+		t.Fatalf("got %d segments, want rotation during async commits", st.Segments)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l = openT(t, dir, nil)
+	defer l.Close()
+	if recs := collect(t, l, 0); len(recs) != n {
+		t.Fatalf("replayed %d records, want %d", len(recs), n)
+	}
+}
+
+func TestCommitAsyncAfterClose(t *testing.T) {
+	l := openT(t, t.TempDir(), func(o *Options) { o.Policy = SyncAlways })
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-l.CommitAsync(); err == nil {
+		t.Fatal("CommitAsync on a closed log should fail")
+	}
+	if err := l.Commit(); err == nil {
+		t.Fatal("Commit on a closed log should fail")
+	}
+}
+
+func TestCloseCompletesOutstandingCommits(t *testing.T) {
+	// Tickets still queued when Close runs are covered by its final
+	// fsync and must resolve (with nil), not leak.
+	l := openT(t, t.TempDir(), func(o *Options) { o.Policy = SyncAlways })
+	var chans []<-chan error
+	for i := uint64(1); i <= 8; i++ {
+		if err := l.Append(i, []byte("r")); err != nil {
+			t.Fatal(err)
+		}
+		chans = append(chans, l.CommitAsync())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, ch := range chans {
+		select {
+		case err := <-ch:
+			if err != nil {
+				t.Fatalf("commit %d resolved with %v", i, err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("commit %d never resolved after Close", i)
+		}
+	}
+}
+
 func TestParseSyncPolicy(t *testing.T) {
 	for in, want := range map[string]SyncPolicy{
 		"always": SyncAlways, "Interval": SyncInterval, "none": SyncNone, "": SyncInterval,
