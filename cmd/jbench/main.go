@@ -8,10 +8,12 @@
 //	jbench -fig readpath       # concurrent vs on-loop query serving
 //	jbench -fig wal            # WAL fsync-policy ablation vs in-memory
 //	jbench -fig applypipe      # pipelined apply-path ablation
+//	jbench -fig shards         # sharded replication groups scaling sweep
 //	jbench -fig all            # everything
 //
-// -json writes the selected figure's results (readpath, wal, or
-// applypipe) to a machine-readable file (the CI benchmark artifact).
+// -json writes the selected figure's results (readpath, wal,
+// applypipe, or shards) to a machine-readable file (the CI benchmark
+// artifact).
 //
 // -scale selects the latency-model scale (1.0 = paper-scale
 // milliseconds; smaller runs proportionally faster). Shapes, not
@@ -179,6 +181,31 @@ func main() {
 		}
 	}
 
+	runShards := func() {
+		res, err := bench.MeasureShardScaling(192, 8, time.Millisecond)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Sharded replication groups (aggregate submit throughput, 8 clients, 2 heads/shard):")
+		for _, v := range res.Variants {
+			fmt.Printf("  %d shard(s): %7.0f jobs/s   p50 %-9v p99 %-9v speedup %.1fx (%d jobs listed)\n",
+				v.Shards, v.Throughput,
+				v.SubmitP50.Round(time.Millisecond/10), v.SubmitP99.Round(time.Millisecond/10),
+				v.Speedup, v.Listed)
+		}
+		fmt.Printf("  speedup at 4 shards: %.1fx vs single group\n", res.SpeedupAt4)
+		fmt.Println()
+		if *jsonPath != "" {
+			out, err := json.MarshalIndent(map[string]bench.ShardResult{"shard_scaling": res}, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+		}
+	}
+
 	switch *fig {
 	case "10":
 		run10()
@@ -194,6 +221,8 @@ func main() {
 		runWAL()
 	case "applypipe":
 		runApplyPipe()
+	case "shards":
+		runShards()
 	case "all":
 		run10()
 		run11()
@@ -202,6 +231,7 @@ func main() {
 		runReadPath()
 		runWAL()
 		runApplyPipe()
+		runShards()
 	default:
 		fail(fmt.Errorf("unknown -fig %q", *fig))
 	}

@@ -52,15 +52,20 @@ func main() {
 	}
 	prologue, epilogue := joshua.MomHooks(lockClient, node.Name)
 
+	// The mom reports to (and is driven by) only the heads of the
+	// shard that schedules it; in the single-group deployment that is
+	// every head. The lock client above routes jmutex/jdone by job ID,
+	// so it works unchanged under sharding.
+	servers := conf.ShardHeadPBSAddrs(node.Shard)
 	mom := pbs.StartMom(pbs.MomConfig{
 		Name:      node.Name,
 		Endpoint:  momEP,
-		Servers:   conf.HeadPBSAddrs(),
+		Servers:   servers,
 		Prologue:  prologue,
 		Epilogue:  epilogue,
 		TimeScale: conf.TimeScale,
 	})
-	fmt.Printf("jmomd %s: serving %d head nodes\n", node.Name, len(conf.Heads))
+	fmt.Printf("jmomd %s: serving %d head nodes (shard %d)\n", node.Name, len(servers), node.Shard)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

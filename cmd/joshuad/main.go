@@ -17,6 +17,15 @@
 // write-ahead log and periodic checkpoints under <dir>/<id>; after a
 // crash it recovers its state from disk and rejoins with only the
 // missing log suffix instead of a full state transfer.
+//
+// A deployment may be partitioned into several independent
+// replication groups ("shards = N" in the configuration plus
+// "shard = N" in each [head] section; see internal/shard). Each head
+// then forms a group only with the heads of its own shard, schedules
+// only its shard's compute nodes, and mints only job IDs that hash
+// back to its shard — clients route by job ID with no directory. The
+// -shard and -shards flags override the configuration's placement,
+// for single-machine experiments.
 package main
 
 import (
@@ -32,6 +41,7 @@ import (
 	"joshua/internal/cli"
 	"joshua/internal/joshua"
 	"joshua/internal/pbs"
+	"joshua/internal/shard"
 	"joshua/internal/transport/tcpnet"
 	"joshua/internal/wal"
 )
@@ -46,6 +56,8 @@ func main() {
 		syncPolicy = flag.String("sync-policy", "", "WAL fsync policy: always, interval, or none (overrides sync_policy in config)")
 		ckptEvery  = flag.Uint64("checkpoint-every", 0, "applied commands between checkpoints (overrides checkpoint_every in config; 0 = default)")
 		applyConc  = flag.Int("apply-concurrency", 0, "apply-worker pool size for the pipelined write path (overrides apply_concurrency in config; 0 = GOMAXPROCS, negative = serial ablation)")
+		shardIdx   = flag.Int("shard", -1, "override this head's replication group (default: the [head] section's shard key)")
+		shardCount = flag.Int("shards", 0, "override the deployment's shard count (default: the shards config key)")
 		verbose    = flag.Bool("v", false, "log protocol diagnostics")
 	)
 	flag.Parse()
@@ -54,9 +66,20 @@ func main() {
 	if err != nil {
 		cli.Fatalf("joshuad: %v", err)
 	}
+	if *shardCount > 0 {
+		if err := conf.SetShards(*shardCount); err != nil {
+			cli.Fatalf("joshuad: %v", err)
+		}
+	}
 	head, ok := conf.Head(*id)
 	if !ok {
 		cli.Fatalf("joshuad: head %q not declared in configuration", *id)
+	}
+	if *shardIdx >= 0 {
+		if *shardIdx >= conf.Shards {
+			cli.Fatalf("joshuad: -shard %d out of range (shards = %d)", *shardIdx, conf.Shards)
+		}
+		head.Shard = *shardIdx
 	}
 
 	resolver := conf.Resolver()
@@ -73,11 +96,15 @@ func main() {
 		cli.Fatalf("joshuad: pbs endpoint: %v", err)
 	}
 
+	// The head schedules only its shard's slice of the compute pool
+	// and assigns only job IDs its shard owns (in the single-group
+	// deployment both reduce to everything / no filtering).
 	pbsCfg := pbs.Config{
 		ServerName:    conf.ServerName,
-		Nodes:         conf.NodeNames(),
+		Nodes:         conf.ShardNodeNamesOf(head.Shard),
 		Exclusive:     conf.Exclusive,
 		KeepCompleted: 1024,
+		IDFilter:      shard.IDFilter(head.Shard, conf.Shards),
 	}
 	if *acctPath != "" {
 		f, err := os.OpenFile(*acctPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
@@ -90,15 +117,17 @@ func main() {
 	srv := pbs.NewServer(pbsCfg)
 	daemon := pbs.NewDaemon(srv, pbs.DaemonConfig{
 		Endpoint: pbsEP,
-		Moms:     conf.MomAddrs(),
+		Moms:     conf.ShardMomAddrs(head.Shard),
 	})
 
 	cfg := joshua.Config{
 		Self:           head.MemberID(),
 		GroupEndpoint:  groupEP,
 		ClientEndpoint: clientEP,
-		Peers:          conf.GroupPeers(),
+		Peers:          conf.ShardGroupPeers(head.Shard),
 		Daemon:         daemon,
+		Shard:          head.Shard,
+		Shards:         conf.Shards,
 	}
 	if *verbose {
 		cfg.Logger = log.New(os.Stderr, "", log.Ltime|log.Lmicroseconds)
@@ -132,8 +161,12 @@ func main() {
 	}
 	switch *mode {
 	case "static":
+		// Static formation spans only this head's own shard: shards
+		// are independent groups.
 		for _, h := range conf.Heads {
-			cfg.InitialMembers = append(cfg.InitialMembers, h.MemberID())
+			if h.Shard == head.Shard {
+				cfg.InitialMembers = append(cfg.InitialMembers, h.MemberID())
+			}
 		}
 	case "bootstrap":
 		cfg.Bootstrap = true

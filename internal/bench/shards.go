@@ -1,0 +1,236 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"joshua/internal/cluster"
+	"joshua/internal/codec"
+	"joshua/internal/gcs"
+	"joshua/internal/joshua"
+	"joshua/internal/pbs"
+)
+
+// This file measures sharded replication groups (DESIGN.md §6.6):
+// partitioning the job space across N independent rsm groups so
+// aggregate submit throughput scales with the shard count. Within one
+// group every qsub is a global barrier (it enters the scheduler), so
+// submissions serialize through the batch service's per-command
+// processing cost no matter how many clients submit; shards multiply
+// the number of such pipelines. The workload is hold submissions from
+// several concurrent clients — each client's submissions round-robin
+// across shards, so all shards stay fed — on an instant network with
+// a nonzero SubmitDelay, isolating the per-group serialization that
+// sharding attacks rather than simulated wire time.
+
+// ShardVariant is one measured shard count.
+type ShardVariant struct {
+	// Shards is the number of independent replication groups.
+	Shards int `json:"shards"`
+	// Heads is the group size of each shard.
+	Heads int `json:"heads_per_shard"`
+	// Elapsed is the wall time to complete the whole timed workload.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Throughput is acknowledged submissions per second, aggregated
+	// across shards.
+	Throughput float64 `json:"throughput_jobs_per_sec"`
+	// SubmitP50 and SubmitP99 are client-observed per-submission
+	// latency percentiles.
+	SubmitP50 time.Duration `json:"submit_p50_ns"`
+	SubmitP99 time.Duration `json:"submit_p99_ns"`
+	// Listed is the job count a post-run scatter-gather jstat
+	// returned; it must equal the acknowledged submissions (the
+	// merge drops nothing).
+	Listed int `json:"listed_jobs"`
+	// Speedup is this variant's throughput over the 1-shard baseline.
+	Speedup float64 `json:"speedup_vs_one_shard"`
+}
+
+// ShardResult is the full shard-scaling sweep.
+type ShardResult struct {
+	Ops         int            `json:"ops"`
+	Clients     int            `json:"clients"`
+	SubmitDelay time.Duration  `json:"submit_delay_ns"`
+	Variants    []ShardVariant `json:"variants"`
+	// SpeedupAt4 is the 4-shard aggregate throughput over the 1-shard
+	// baseline — the acceptance metric (≥3x).
+	SpeedupAt4 float64 `json:"speedup_at_4_shards"`
+}
+
+// shardCounts is the measured sweep.
+var shardCounts = []int{1, 2, 4, 8}
+
+// MeasureShardScaling runs the sweep: ops hold-submissions from the
+// given number of concurrent clients against 1/2/4/8-shard clusters
+// (two heads per shard), measuring aggregate acknowledged-submission
+// throughput and verifying the scatter-gather listing covers every
+// acknowledged job.
+func MeasureShardScaling(ops, clients int, submitDelay time.Duration) (ShardResult, error) {
+	if clients <= 0 {
+		clients = 8
+	}
+	if ops < clients {
+		ops = clients
+	}
+	if submitDelay <= 0 {
+		submitDelay = time.Millisecond
+	}
+	res := ShardResult{Ops: ops, Clients: clients, SubmitDelay: submitDelay}
+	for _, s := range shardCounts {
+		v, err := measureShardVariant(s, ops, clients, submitDelay)
+		if err != nil {
+			return res, fmt.Errorf("bench: shards=%d: %w", s, err)
+		}
+		res.Variants = append(res.Variants, v)
+	}
+	base := res.Variants[0].Throughput
+	for i := range res.Variants {
+		if base > 0 {
+			res.Variants[i].Speedup = res.Variants[i].Throughput / base
+		}
+		if res.Variants[i].Shards == 4 {
+			res.SpeedupAt4 = res.Variants[i].Speedup
+		}
+	}
+	return res, nil
+}
+
+// measureShardVariant boots one sharded cluster and drives the timed
+// workload through it.
+func measureShardVariant(shards, ops, clients int, submitDelay time.Duration) (ShardVariant, error) {
+	const headsPerShard = 2
+	v := ShardVariant{Shards: shards, Heads: headsPerShard}
+
+	c, err := cluster.New(cluster.Options{
+		Heads:       headsPerShard,
+		Shards:      shards,
+		Computes:    8, // >= the largest sweep point: every shard owns a node
+		Exclusive:   true,
+		SubmitDelay: submitDelay,
+		TuneGCS: func(g *gcs.Config) {
+			g.Heartbeat = 25 * time.Millisecond
+			g.FailTimeout = 500 * time.Millisecond
+		},
+	})
+	if err != nil {
+		return v, err
+	}
+	defer c.Close()
+	if err := c.WaitReady(30 * time.Second); err != nil {
+		return v, err
+	}
+
+	clis := make([]*joshua.Client, clients)
+	for i := range clis {
+		if clis[i], err = c.Client(); err != nil {
+			return v, err
+		}
+	}
+
+	perClient := ops / clients
+	run := func(warmup bool) ([]time.Duration, error) {
+		var wg sync.WaitGroup
+		errs := make([]error, clients)
+		lats := make([][]time.Duration, clients)
+		n := perClient
+		if warmup {
+			n = 2
+		}
+		for i := 0; i < clients; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for k := 0; k < n; k++ {
+					start := time.Now()
+					if err := holdSubmit(clis[i]); err != nil {
+						errs[i] = err
+						return
+					}
+					lats[i] = append(lats[i], time.Since(start))
+				}
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		var all []time.Duration
+		for _, l := range lats {
+			all = append(all, l...)
+		}
+		return all, nil
+	}
+
+	if _, err := run(true); err != nil {
+		return v, err
+	}
+	start := time.Now()
+	lats, err := run(false)
+	if err != nil {
+		return v, err
+	}
+	v.Elapsed = time.Since(start)
+	if v.Elapsed > 0 {
+		v.Throughput = float64(clients*perClient) / v.Elapsed.Seconds()
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	v.SubmitP50 = percentileDur(lats, 0.50)
+	v.SubmitP99 = percentileDur(lats, 0.99)
+
+	// Every acknowledged submission must appear in the merged
+	// whole-cluster listing — the scatter-gather invariant.
+	jobs, err := clis[0].StatAll()
+	if err != nil {
+		return v, err
+	}
+	v.Listed = len(jobs)
+	acked := clients*2 + clients*perClient // warmup + timed
+	if v.Listed != acked {
+		return v, fmt.Errorf("scatter-gather listing has %d jobs, %d were acknowledged", v.Listed, acked)
+	}
+	if err := verifyShardReplicas(c); err != nil {
+		return v, err
+	}
+	return v, nil
+}
+
+// verifyShardReplicas checks that within every shard the replicas'
+// job tables are byte-identical (the wire encoding of each head's
+// full listing compares equal) — sharding must not weaken per-group
+// determinism.
+func verifyShardReplicas(c *cluster.Cluster) error {
+	for s := 0; s < c.Shards(); s++ {
+		var ref []byte
+		refHead := -1
+		for _, i := range c.LiveHeadsOf(s) {
+			enc := encodeJobTable(c.HeadOf(s, i).Daemon().StatusAll())
+			if ref == nil {
+				ref, refHead = enc, i
+				continue
+			}
+			if !bytes.Equal(enc, ref) {
+				return fmt.Errorf("shard %d: head %d's job table is not byte-identical to head %d's", s, i, refHead)
+			}
+		}
+	}
+	return nil
+}
+
+// encodeJobTable renders a job listing in the wire encoding, the
+// byte-identity witness for replica agreement. Lifecycle timestamps
+// are zeroed first: each head stamps them from its own wall clock
+// (pbs.Config.Clock), so they are local metadata, not replicated
+// state.
+func encodeJobTable(jobs []pbs.Job) []byte {
+	e := codec.NewEncoder(256)
+	for _, j := range jobs {
+		j.SubmittedAt, j.StartedAt, j.CompletedAt = time.Time{}, time.Time{}, time.Time{}
+		pbs.EncodeJob(e, j)
+	}
+	return e.Bytes()
+}

@@ -67,11 +67,20 @@ func NewClientBind(conf *config.ClusterFile, timeout time.Duration, bind string)
 	if timeout <= 0 {
 		timeout = 2 * time.Second
 	}
-	cli, err := joshua.NewClient(joshua.ClientConfig{
+	ccfg := joshua.ClientConfig{
 		Endpoint:       ep,
-		Heads:          conf.HeadClientAddrs(),
 		AttemptTimeout: timeout,
-	})
+	}
+	if conf.Shards > 1 {
+		// Sharded deployment: the client owns all routing (job-ID
+		// hash to the owning group, scatter-gather for whole-cluster
+		// queries), so the commands stay unchanged.
+		ccfg.Shards = conf.ShardHeadClientAddrs()
+		ccfg.ShardNodes = conf.ShardNodeNames()
+	} else {
+		ccfg.Heads = conf.HeadClientAddrs()
+	}
+	cli, err := joshua.NewClient(ccfg)
 	if err != nil {
 		ep.Close()
 		return nil, err

@@ -4,6 +4,15 @@
 // clients — on the simulated network, with the paper's failure
 // injection (cable pulls and forced process shutdown) scriptable.
 //
+// A deployment may run several independent replication groups
+// ("shards", Options.Shards): each shard gets its own head set, its
+// own slice of the compute pool (round-robin, matching
+// shard.PartitionNodes), and its own group communication; clients made
+// by Client route across all of them. Shard 0 keeps the historical
+// host names (head0, head1, ...), so every single-group API below
+// (Head, CrashHead, RestartHeads, ...) keeps working unchanged and
+// simply means "shard 0"; the *Of variants address a specific shard.
+//
 // It is the substrate for the integration tests, the examples, and
 // the benchmark harness that regenerates the paper's figures.
 package cluster
@@ -18,21 +27,31 @@ import (
 	"joshua/internal/gcs"
 	"joshua/internal/joshua"
 	"joshua/internal/pbs"
+	"joshua/internal/shard"
 	"joshua/internal/simnet"
 	"joshua/internal/transport"
 	"joshua/internal/wal"
 )
 
-// MaxHeads bounds the head-node pool. Every head's group address is
-// pre-declared so heads can be added dynamically up to this limit
-// (the group layer needs a static address book, as the paper's
+// MaxHeads bounds each shard's head-node pool. Every head's group
+// address is pre-declared so heads can be added dynamically up to this
+// limit (the group layer needs a static address book, as the paper's
 // Transis deployment did).
 const MaxHeads = 8
 
+// MaxShards bounds the shard count (matching jbench's largest sweep).
+const MaxShards = 8
+
 // Options configures a simulated cluster.
 type Options struct {
-	// Heads is the number of head nodes started initially (1..MaxHeads).
+	// Heads is the number of head nodes started initially in each
+	// shard (1..MaxHeads).
 	Heads int
+	// Shards is the number of independent replication groups; 0 and 1
+	// both mean the single-group deployment. Compute nodes are dealt
+	// round-robin across shards, so Computes must be >= Shards (every
+	// shard needs at least one node to schedule).
+	Shards int
 	// Computes is the number of compute nodes (>=1).
 	Computes int
 	// Latency models the interconnect; zero values give an instant
@@ -62,7 +81,7 @@ type Options struct {
 	// (see pbs.Config.SubmitDelay); benchmarks set it.
 	SubmitDelay time.Duration
 	// Plain replaces the JOSHUA group with the paper's unreplicated
-	// single-head baseline (requires Heads == 1).
+	// single-head baseline (requires Heads == 1 and a single shard).
 	Plain bool
 	// OrderedCompletions routes mom completion reports through the
 	// total order (see joshua.Config.OrderedCompletions).
@@ -80,9 +99,14 @@ type Options struct {
 	// client discovers the dead entries of the static head book
 	// quickly.
 	ClientTimeout time.Duration
+	// ClientRedeemAfter forwards to joshua.ClientConfig.RedeemAfter
+	// for clients made by Client/ClientFor (0 = client default,
+	// negative disables read-rotation redemption).
+	ClientRedeemAfter time.Duration
 	// DataDir, when set, gives every head a durable write-ahead log
-	// and checkpoints under DataDir/head<i>, enabling crash recovery
-	// via RestartHeads. Empty keeps heads purely in-memory.
+	// and checkpoints under DataDir/head<i> (shard 0) or
+	// DataDir/s<s>head<i>, enabling crash recovery via RestartHeads.
+	// Empty keeps heads purely in-memory.
 	DataDir string
 	// SyncPolicy, SyncInterval, CheckpointEvery forward to each head's
 	// durability layer (see joshua.Config).
@@ -91,13 +115,20 @@ type Options struct {
 	CheckpointEvery uint64
 }
 
+// headKey addresses one head: replication group s, slot i.
+type headKey struct{ s, i int }
+
 // Cluster is a running simulated deployment.
 type Cluster struct {
-	opts Options
-	Net  *simnet.Network
+	opts   Options
+	shards int
+	// nodeParts is the compute partition: nodeParts[s] are the node
+	// names shard s schedules (round-robin, shard.PartitionNodes).
+	nodeParts [][]string
+	Net       *simnet.Network
 
-	heads      map[int]*joshua.Server // index -> live head
-	acct       map[int]*pbs.MemoryAccounting
+	heads      map[headKey]*joshua.Server // live heads
+	acct       map[headKey]*pbs.MemoryAccounting
 	plain      *joshua.PlainServer // baseline mode (Options.Plain)
 	moms       []*pbs.Mom
 	momClients []*joshua.Client
@@ -105,92 +136,124 @@ type Cluster struct {
 	nextClient int
 }
 
-func headHost(i int) string { return fmt.Sprintf("head%d", i) }
-func headMember(i int) gcs.MemberID {
-	return gcs.MemberID(fmt.Sprintf("head%d", i))
-}
-func headGroupAddr(i int) transport.Addr {
-	return transport.Addr(fmt.Sprintf("head%d/gcs", i))
-}
-
-// HeadClientAddr is the client-RPC address of head i.
-func HeadClientAddr(i int) transport.Addr {
-	return transport.Addr(fmt.Sprintf("head%d/joshua", i))
+// shardHost names the host of head i in shard s. Shard 0 keeps the
+// historical names so single-group tests, data directories, and
+// failure scripts address the same hosts as before sharding existed.
+func shardHost(s, i int) string {
+	if s == 0 {
+		return fmt.Sprintf("head%d", i)
+	}
+	return fmt.Sprintf("s%dhead%d", s, i)
 }
 
-func headPBSAddr(i int) transport.Addr {
-	return transport.Addr(fmt.Sprintf("head%d/pbs", i))
+func headMember(s, i int) gcs.MemberID {
+	return gcs.MemberID(shardHost(s, i))
+}
+func headGroupAddr(s, i int) transport.Addr {
+	return transport.Addr(shardHost(s, i) + "/gcs")
+}
+
+// HeadClientAddr is the client-RPC address of shard 0's head i.
+func HeadClientAddr(i int) transport.Addr { return ShardHeadClientAddr(0, i) }
+
+// ShardHeadClientAddr is the client-RPC address of head i in shard s.
+func ShardHeadClientAddr(s, i int) transport.Addr {
+	return transport.Addr(shardHost(s, i) + "/joshua")
+}
+
+func headPBSAddr(s, i int) transport.Addr {
+	return transport.Addr(shardHost(s, i) + "/pbs")
 }
 func computeName(j int) string { return fmt.Sprintf("compute%d", j) }
 func momAddr(j int) transport.Addr {
 	return transport.Addr(fmt.Sprintf("compute%d/mom", j))
 }
 
-// groupPeers returns the full (static) head address book.
-func groupPeers() map[gcs.MemberID]transport.Addr {
+// groupPeers returns shard s's full (static) head address book.
+func groupPeers(s int) map[gcs.MemberID]transport.Addr {
 	peers := make(map[gcs.MemberID]transport.Addr, MaxHeads)
 	for i := 0; i < MaxHeads; i++ {
-		peers[headMember(i)] = headGroupAddr(i)
+		peers[headMember(s, i)] = headGroupAddr(s, i)
 	}
 	return peers
 }
 
-// allHeadClientAddrs lists every potential head's client address, so
-// clients and moms can fail over to heads added later.
-func allHeadClientAddrs() []transport.Addr {
+// shardClientAddrs lists every potential head's client address in
+// shard s, so clients and moms can fail over to heads added later.
+func shardClientAddrs(s int) []transport.Addr {
 	addrs := make([]transport.Addr, 0, MaxHeads)
 	for i := 0; i < MaxHeads; i++ {
-		addrs = append(addrs, HeadClientAddr(i))
+		addrs = append(addrs, ShardHeadClientAddr(s, i))
 	}
 	return addrs
 }
 
-// allHeadPBSAddrs lists every potential head's mom-facing address.
-func allHeadPBSAddrs() []transport.Addr {
+// shardPBSAddrs lists every potential head's mom-facing address in
+// shard s.
+func shardPBSAddrs(s int) []transport.Addr {
 	addrs := make([]transport.Addr, 0, MaxHeads)
 	for i := 0; i < MaxHeads; i++ {
-		addrs = append(addrs, headPBSAddr(i))
+		addrs = append(addrs, headPBSAddr(s, i))
 	}
 	return addrs
 }
 
-// New builds and starts a cluster. The initial heads form the group
-// statically (the paper's deployment: all head nodes configured
-// together); further heads join dynamically via AddHead.
+// New builds and starts a cluster. The initial heads of every shard
+// form their groups statically (the paper's deployment: all head
+// nodes configured together); further heads join dynamically via
+// AddHead/AddHeadOf.
 func New(opts Options) (*Cluster, error) {
 	if opts.Heads < 1 || opts.Heads > MaxHeads {
 		return nil, fmt.Errorf("cluster: Heads must be 1..%d", MaxHeads)
 	}
-	if opts.Plain && opts.Heads != 1 {
-		return nil, fmt.Errorf("cluster: Plain baseline requires exactly 1 head")
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	if shards > MaxShards {
+		return nil, fmt.Errorf("cluster: Shards must be <= %d", MaxShards)
+	}
+	if opts.Plain && (opts.Heads != 1 || shards != 1) {
+		return nil, fmt.Errorf("cluster: Plain baseline requires exactly 1 head and 1 shard")
 	}
 	if opts.Computes < 1 {
 		return nil, fmt.Errorf("cluster: Computes must be >= 1")
+	}
+	if opts.Computes < shards {
+		return nil, fmt.Errorf("cluster: Computes (%d) must be >= Shards (%d): every shard needs a node to schedule", opts.Computes, shards)
 	}
 	if opts.TimeScale == 0 {
 		opts.TimeScale = 1.0
 	}
 
+	names := make([]string, opts.Computes)
+	for j := range names {
+		names[j] = computeName(j)
+	}
 	c := &Cluster{
-		opts: opts,
+		opts:      opts,
+		shards:    shards,
+		nodeParts: shard.PartitionNodes(names, shards),
 		Net: simnet.New(simnet.Config{
 			Latency:  opts.Latency,
 			TxTime:   opts.TxTime,
 			DropRate: opts.DropRate,
 			Seed:     opts.Seed,
 		}),
-		heads: make(map[int]*joshua.Server),
-		acct:  make(map[int]*pbs.MemoryAccounting),
+		heads: make(map[headKey]*joshua.Server),
+		acct:  make(map[headKey]*pbs.MemoryAccounting),
 	}
 
-	initial := make([]gcs.MemberID, opts.Heads)
-	for i := range initial {
-		initial[i] = headMember(i)
-	}
-	for i := 0; i < opts.Heads; i++ {
-		if err := c.startHead(i, initial, false); err != nil {
-			c.Close()
-			return nil, err
+	for s := 0; s < shards; s++ {
+		initial := make([]gcs.MemberID, opts.Heads)
+		for i := range initial {
+			initial[i] = headMember(s, i)
+		}
+		for i := 0; i < opts.Heads; i++ {
+			if err := c.startHead(s, i, initial, false); err != nil {
+				c.Close()
+				return nil, err
+			}
 		}
 	}
 
@@ -209,30 +272,39 @@ func NewDefault(heads, computes int) (*Cluster, error) {
 	return New(Options{Heads: heads, Computes: computes, Exclusive: true})
 }
 
-// startHead starts head i. initial is non-nil for static bootstrap;
-// join makes the head join the existing group.
-func (c *Cluster) startHead(i int, initial []gcs.MemberID, join bool) error {
-	groupEP, err := c.Net.Endpoint(headGroupAddr(i))
+// Shards reports the number of replication groups.
+func (c *Cluster) Shards() int { return c.shards }
+
+// ShardNodes returns the node names shard s schedules.
+func (c *Cluster) ShardNodes(s int) []string { return c.nodeParts[s] }
+
+// startHead starts head i of shard s. initial is non-nil for static
+// bootstrap; join makes the head join the existing group.
+func (c *Cluster) startHead(s, i int, initial []gcs.MemberID, join bool) error {
+	groupEP, err := c.Net.Endpoint(headGroupAddr(s, i))
 	if err != nil {
 		return err
 	}
-	clientEP, err := c.Net.Endpoint(HeadClientAddr(i))
+	clientEP, err := c.Net.Endpoint(ShardHeadClientAddr(s, i))
 	if err != nil {
 		groupEP.Close()
 		return err
 	}
-	pbsEP, err := c.Net.Endpoint(headPBSAddr(i))
+	pbsEP, err := c.Net.Endpoint(headPBSAddr(s, i))
 	if err != nil {
 		groupEP.Close()
 		clientEP.Close()
 		return err
 	}
 
-	nodeNames := make([]string, c.opts.Computes)
-	moms := make(map[string]transport.Addr, c.opts.Computes)
-	for j := 0; j < c.opts.Computes; j++ {
-		nodeNames[j] = computeName(j)
-		moms[nodeNames[j]] = momAddr(j)
+	// The shard's batch service sees only its own slice of the compute
+	// pool: shard schedulers never race for a machine.
+	nodeNames := c.nodeParts[s]
+	moms := make(map[string]transport.Addr, len(nodeNames))
+	for _, n := range nodeNames {
+		var j int
+		fmt.Sscanf(n, "compute%d", &j)
+		moms[n] = momAddr(j)
 	}
 	acct := &pbs.MemoryAccounting{}
 	srv := pbs.NewServer(pbs.Config{
@@ -242,8 +314,11 @@ func (c *Cluster) startHead(i int, initial []gcs.MemberID, join bool) error {
 		KeepCompleted: c.opts.KeepCompleted,
 		SubmitDelay:   c.opts.SubmitDelay,
 		Accounting:    acct,
+		// Each shard mints only job IDs that hash back to it, so any
+		// client can route by ID alone (see internal/shard).
+		IDFilter: shard.IDFilter(s, c.shards),
 	})
-	c.acct[i] = acct
+	c.acct[headKey{s, i}] = acct
 	daemon := pbs.NewDaemon(srv, pbs.DaemonConfig{
 		Endpoint:       pbsEP,
 		Moms:           moms,
@@ -257,19 +332,21 @@ func (c *Cluster) startHead(i int, initial []gcs.MemberID, join bool) error {
 	}
 
 	cfg := joshua.Config{
-		Self:               headMember(i),
+		Self:               headMember(s, i),
 		GroupEndpoint:      groupEP,
 		ClientEndpoint:     clientEP,
-		Peers:              groupPeers(),
+		Peers:              groupPeers(s),
 		PartitionPolicy:    c.opts.PartitionPolicy,
 		Daemon:             daemon,
 		OutputPolicy:       c.opts.OutputPolicy,
 		OrderedCompletions: c.opts.OrderedCompletions,
 		ReadConcurrency:    c.opts.ReadConcurrency,
 		ApplyConcurrency:   c.opts.ApplyConcurrency,
+		Shard:              s,
+		Shards:             c.shards,
 		TuneGCS:            c.opts.TuneGCS,
 		Logger:             c.opts.Logger,
-		DataDir:            c.headDataDir(i),
+		DataDir:            c.headDataDir(s, i),
 		SyncPolicy:         c.opts.SyncPolicy,
 		SyncInterval:       c.opts.SyncInterval,
 		CheckpointEvery:    c.opts.CheckpointEvery,
@@ -284,12 +361,20 @@ func (c *Cluster) startHead(i int, initial []gcs.MemberID, join bool) error {
 		clientEP.Close()
 		return err
 	}
-	c.heads[i] = head
+	c.heads[headKey{s, i}] = head
 	return nil
 }
 
+// momShard returns the shard owning compute node j (round-robin,
+// matching shard.PartitionNodes).
+func (c *Cluster) momShard(j int) int { return j % c.shards }
+
 // startMom starts compute node j with the JOSHUA jmutex/jdone hooks.
+// The mom belongs to exactly one shard: it reports to that shard's
+// heads and its lock client speaks only to them (every job reaching
+// the mom is owned by that shard by construction).
 func (c *Cluster) startMom(j int) error {
+	s := c.momShard(j)
 	momEP, err := c.Net.Endpoint(momAddr(j))
 	if err != nil {
 		return err
@@ -301,7 +386,7 @@ func (c *Cluster) startMom(j int) error {
 	}
 	cli, err := joshua.NewClient(joshua.ClientConfig{
 		Endpoint:       cliEP,
-		Heads:          allHeadClientAddrs(),
+		Heads:          shardClientAddrs(s),
 		AttemptTimeout: 500 * time.Millisecond,
 	})
 	if err != nil {
@@ -313,7 +398,7 @@ func (c *Cluster) startMom(j int) error {
 	mom := pbs.StartMom(pbs.MomConfig{
 		Name:           computeName(j),
 		Endpoint:       momEP,
-		Servers:        allHeadPBSAddrs(),
+		Servers:        shardPBSAddrs(s),
 		Prologue:       prologue,
 		Epilogue:       epilogue,
 		TimeScale:      c.opts.TimeScale,
@@ -324,8 +409,8 @@ func (c *Cluster) startMom(j int) error {
 	return nil
 }
 
-// WaitReady blocks until every live head has installed its first view
-// or the timeout expires.
+// WaitReady blocks until every live head of every shard has installed
+// its first view or the timeout expires.
 func (c *Cluster) WaitReady(timeout time.Duration) error {
 	deadline := time.After(timeout)
 	for _, h := range c.heads {
@@ -338,14 +423,22 @@ func (c *Cluster) WaitReady(timeout time.Duration) error {
 	return nil
 }
 
-// Head returns head i, or nil if it is not running.
-func (c *Cluster) Head(i int) *joshua.Server { return c.heads[i] }
+// Head returns shard 0's head i, or nil if it is not running.
+func (c *Cluster) Head(i int) *joshua.Server { return c.heads[headKey{0, i}] }
 
-// LiveHeads returns the indices of running heads in ascending order.
-func (c *Cluster) LiveHeads() []int {
+// HeadOf returns head i of shard s, or nil if it is not running.
+func (c *Cluster) HeadOf(s, i int) *joshua.Server { return c.heads[headKey{s, i}] }
+
+// LiveHeads returns the indices of shard 0's running heads in
+// ascending order.
+func (c *Cluster) LiveHeads() []int { return c.LiveHeadsOf(0) }
+
+// LiveHeadsOf returns the indices of shard s's running heads in
+// ascending order.
+func (c *Cluster) LiveHeadsOf(s int) []int {
 	var idx []int
 	for i := 0; i < MaxHeads; i++ {
-		if _, ok := c.heads[i]; ok {
+		if _, ok := c.heads[headKey{s, i}]; ok {
 			idx = append(idx, i)
 		}
 	}
@@ -355,19 +448,36 @@ func (c *Cluster) LiveHeads() []int {
 // Mom returns compute node j's mom.
 func (c *Cluster) Mom(j int) *pbs.Mom { return c.moms[j] }
 
+// shardMap lists every shard's potential head addresses (full static
+// books, so clients fail over to heads added later).
+func (c *Cluster) shardMap() [][]transport.Addr {
+	m := make([][]transport.Addr, c.shards)
+	for s := range m {
+		m[s] = shardClientAddrs(s)
+	}
+	return m
+}
+
 // Client creates a new control-command client (a user session on a
-// login node).
+// login node), routing across every shard.
 func (c *Cluster) Client() (*joshua.Client, error) {
 	c.nextClient++
 	ep, err := c.Net.Endpoint(transport.Addr(fmt.Sprintf("client%d/cli", c.nextClient)))
 	if err != nil {
 		return nil, err
 	}
-	cli, err := joshua.NewClient(joshua.ClientConfig{
+	cfg := joshua.ClientConfig{
 		Endpoint:       ep,
-		Heads:          allHeadClientAddrs(),
 		AttemptTimeout: c.clientTimeout(),
-	})
+		RedeemAfter:    c.opts.ClientRedeemAfter,
+	}
+	if c.shards == 1 {
+		cfg.Heads = shardClientAddrs(0)
+	} else {
+		cfg.Shards = c.shardMap()
+		cfg.ShardNodes = c.nodeParts
+	}
+	cli, err := joshua.NewClient(cfg)
 	if err != nil {
 		ep.Close()
 		return nil, err
@@ -383,9 +493,13 @@ func (c *Cluster) clientTimeout() time.Duration {
 	return time.Second
 }
 
-// ClientFor creates a client pinned to specific heads (in preference
-// order), for experiments that need a fixed first hop.
+// ClientFor creates a client pinned to specific shard-0 heads (in
+// preference order), for experiments that need a fixed first hop.
+// Single-shard clusters only.
 func (c *Cluster) ClientFor(heads ...int) (*joshua.Client, error) {
+	if c.shards != 1 {
+		return nil, fmt.Errorf("cluster: ClientFor requires a single-shard cluster (have %d shards)", c.shards)
+	}
 	c.nextClient++
 	ep, err := c.Net.Endpoint(transport.Addr(fmt.Sprintf("client%d/cli", c.nextClient)))
 	if err != nil {
@@ -399,6 +513,7 @@ func (c *Cluster) ClientFor(heads ...int) (*joshua.Client, error) {
 		Endpoint:       ep,
 		Heads:          addrs,
 		AttemptTimeout: c.clientTimeout(),
+		RedeemAfter:    c.opts.ClientRedeemAfter,
 	})
 	if err != nil {
 		ep.Close()
@@ -408,51 +523,65 @@ func (c *Cluster) ClientFor(heads ...int) (*joshua.Client, error) {
 	return cli, nil
 }
 
-// CrashHead fail-stops head i: its host drops off the network and its
-// processes die, like forcibly shutting the node down.
-func (c *Cluster) CrashHead(i int) {
-	h, ok := c.heads[i]
+// CrashHead fail-stops shard 0's head i: its host drops off the
+// network and its processes die, like forcibly shutting the node down.
+func (c *Cluster) CrashHead(i int) { c.CrashHeadOf(0, i) }
+
+// CrashHeadOf fail-stops head i of shard s.
+func (c *Cluster) CrashHeadOf(s, i int) {
+	h, ok := c.heads[headKey{s, i}]
 	if !ok {
 		return
 	}
-	c.Net.CrashHost(headHost(i))
+	c.Net.CrashHost(shardHost(s, i))
 	h.Close()
-	delete(c.heads, i)
+	delete(c.heads, headKey{s, i})
 }
 
-// LeaveHead removes head i gracefully (operator-initiated departure).
-func (c *Cluster) LeaveHead(i int) {
-	h, ok := c.heads[i]
+// LeaveHead removes shard 0's head i gracefully (operator-initiated
+// departure).
+func (c *Cluster) LeaveHead(i int) { c.LeaveHeadOf(0, i) }
+
+// LeaveHeadOf removes head i of shard s gracefully.
+func (c *Cluster) LeaveHeadOf(s, i int) {
+	h, ok := c.heads[headKey{s, i}]
 	if !ok {
 		return
 	}
 	h.Leave()
-	delete(c.heads, i)
+	delete(c.heads, headKey{s, i})
 }
 
-// AddHead starts head i (new or previously crashed) and joins it to
-// the running group with state transfer. The host is restored on the
+// AddHead starts shard 0's head i (new or previously crashed) and
+// joins it to the running group with state transfer.
+func (c *Cluster) AddHead(i int) error { return c.AddHeadOf(0, i) }
+
+// AddHeadOf starts head i of shard s and joins it to that shard's
+// running group with state transfer. The host is restored on the
 // network first.
-func (c *Cluster) AddHead(i int) error {
+func (c *Cluster) AddHeadOf(s, i int) error {
+	if s < 0 || s >= c.shards {
+		return fmt.Errorf("cluster: shard index %d out of range", s)
+	}
 	if i < 0 || i >= MaxHeads {
 		return fmt.Errorf("cluster: head index %d out of range", i)
 	}
-	if _, ok := c.heads[i]; ok {
-		return fmt.Errorf("cluster: head %d already running", i)
+	if _, ok := c.heads[headKey{s, i}]; ok {
+		return fmt.Errorf("cluster: head %d (shard %d) already running", i, s)
 	}
-	c.Net.RestartHost(headHost(i))
-	if err := c.awaitHeadAddrsFree(i); err != nil {
+	c.Net.RestartHost(shardHost(s, i))
+	if err := c.awaitHeadAddrsFree(s, i); err != nil {
 		return err
 	}
-	return c.startHead(i, nil, true)
+	return c.startHead(s, i, nil, true)
 }
 
-// awaitHeadAddrsFree waits until head i's service addresses can be
+// awaitHeadAddrsFree waits until the head's service addresses can be
 // bound again: a closed head's group endpoint is released by its event
 // loop asynchronously, so an immediate restart can race the
 // deregistration.
-func (c *Cluster) awaitHeadAddrsFree(i int) error {
-	for _, addr := range []transport.Addr{headGroupAddr(i), HeadClientAddr(i), headPBSAddr(i)} {
+func (c *Cluster) awaitHeadAddrsFree(s, i int) error {
+	for _, addr := range []transport.Addr{headGroupAddr(s, i), ShardHeadClientAddr(s, i), headPBSAddr(s, i)} {
 		deadline := time.Now().Add(5 * time.Second)
 		for {
 			ep, err := c.Net.Endpoint(addr)
@@ -469,25 +598,29 @@ func (c *Cluster) awaitHeadAddrsFree(i int) error {
 	return nil
 }
 
-// headDataDir returns head i's durability directory, or "" when the
+// headDataDir returns the head's durability directory, or "" when the
 // cluster runs in-memory.
-func (c *Cluster) headDataDir(i int) string {
+func (c *Cluster) headDataDir(s, i int) string {
 	if c.opts.DataDir == "" {
 		return ""
 	}
-	return filepath.Join(c.opts.DataDir, fmt.Sprintf("head%d", i))
+	return filepath.Join(c.opts.DataDir, shardHost(s, i))
 }
 
-// RestartHeads restarts previously crashed heads from their data
-// directories (Options.DataDir required). When other heads are still
+// RestartHeads restarts previously crashed shard-0 heads from their
+// data directories (Options.DataDir required). See RestartHeadsOf.
+func (c *Cluster) RestartHeads(idx ...int) error { return c.RestartHeadsOf(0, idx...) }
+
+// RestartHeadsOf restarts previously crashed heads of shard s from
+// their data directories. When other heads of the shard are still
 // running, each restarted head simply rejoins and catches up — a
 // log-suffix delta transfer when the donor still retains the gap.
-// When no head is running (whole-cluster outage), the head whose log
+// When none is running (whole-shard outage), the head whose log
 // reaches the furthest applied index is bootstrapped first: the total
 // order guarantees its prefix covers every command any head
 // acknowledged, so no acknowledged work is lost. The remaining heads
 // then join it.
-func (c *Cluster) RestartHeads(idx ...int) error {
+func (c *Cluster) RestartHeadsOf(s int, idx ...int) error {
 	if c.opts.DataDir == "" {
 		return fmt.Errorf("cluster: RestartHeads requires Options.DataDir")
 	}
@@ -498,28 +631,28 @@ func (c *Cluster) RestartHeads(idx ...int) error {
 		if i < 0 || i >= MaxHeads {
 			return fmt.Errorf("cluster: head index %d out of range", i)
 		}
-		if _, ok := c.heads[i]; ok {
-			return fmt.Errorf("cluster: head %d already running", i)
+		if _, ok := c.heads[headKey{s, i}]; ok {
+			return fmt.Errorf("cluster: head %d (shard %d) already running", i, s)
 		}
 	}
 	rest := idx
-	if len(c.heads) == 0 {
-		freshest, err := c.freshestHead(idx)
+	if len(c.LiveHeadsOf(s)) == 0 {
+		freshest, err := c.freshestHead(s, idx)
 		if err != nil {
 			return err
 		}
-		c.Net.RestartHost(headHost(freshest))
-		if err := c.awaitHeadAddrsFree(freshest); err != nil {
+		c.Net.RestartHost(shardHost(s, freshest))
+		if err := c.awaitHeadAddrsFree(s, freshest); err != nil {
 			return err
 		}
-		boot := []gcs.MemberID{headMember(freshest)}
-		if err := c.startHead(freshest, boot, false); err != nil {
+		boot := []gcs.MemberID{headMember(s, freshest)}
+		if err := c.startHead(s, freshest, boot, false); err != nil {
 			return err
 		}
 		select {
-		case <-c.heads[freshest].Ready():
+		case <-c.heads[headKey{s, freshest}].Ready():
 		case <-time.After(10 * time.Second):
-			return fmt.Errorf("cluster: restarted head %d did not become ready", freshest)
+			return fmt.Errorf("cluster: restarted head %d (shard %d) did not become ready", freshest, s)
 		}
 		rest = make([]int, 0, len(idx)-1)
 		for _, i := range idx {
@@ -529,7 +662,7 @@ func (c *Cluster) RestartHeads(idx ...int) error {
 		}
 	}
 	for _, i := range rest {
-		if err := c.AddHead(i); err != nil {
+		if err := c.AddHeadOf(s, i); err != nil {
 			return err
 		}
 	}
@@ -540,12 +673,12 @@ func (c *Cluster) RestartHeads(idx ...int) error {
 // the index of the head with the highest durable applied index (ties
 // break toward the lowest head index). A head with no data directory
 // yet counts as index zero.
-func (c *Cluster) freshestHead(idx []int) (int, error) {
+func (c *Cluster) freshestHead(s int, idx []int) (int, error) {
 	best, bestLast := -1, uint64(0)
 	for _, i := range idx {
 		var last uint64
-		if _, err := os.Stat(c.headDataDir(i)); err == nil {
-			lg, err := wal.Open(wal.Options{Dir: c.headDataDir(i), Policy: wal.SyncNone})
+		if _, err := os.Stat(c.headDataDir(s, i)); err == nil {
+			lg, err := wal.Open(wal.Options{Dir: c.headDataDir(s, i), Policy: wal.SyncNone})
 			if err != nil {
 				return 0, fmt.Errorf("cluster: probing head %d log: %w", i, err)
 			}
@@ -561,12 +694,20 @@ func (c *Cluster) freshestHead(idx []int) (int, error) {
 	return best, nil
 }
 
-// PartitionHeads splits the head set into two fragments that cannot
-// reach each other (compute nodes keep reaching both sides).
+// PartitionHeads splits shard 0's head set into two fragments that
+// cannot reach each other (compute nodes keep reaching both sides).
 func (c *Cluster) PartitionHeads(sideA, sideB []int) {
+	c.PartitionHeadsOf(0, sideA, sideB)
+}
+
+// PartitionHeadsOf splits shard s's head set into two fragments that
+// cannot reach each other. Other shards are unaffected: shards share
+// no group communication, so a partition in one group never stalls
+// another.
+func (c *Cluster) PartitionHeadsOf(s int, sideA, sideB []int) {
 	for _, a := range sideA {
 		for _, b := range sideB {
-			c.Net.Partition(headHost(a), headHost(b))
+			c.Net.Partition(shardHost(s, a), shardHost(s, b))
 		}
 	}
 }
@@ -580,9 +721,12 @@ func (c *Cluster) CrashCompute(j int) {
 // Plain returns the baseline server when running with Options.Plain.
 func (c *Cluster) Plain() *joshua.PlainServer { return c.plain }
 
-// Accounting returns head i's accounting log (every head writes its
-// own; the replicated command stream makes them agree).
-func (c *Cluster) Accounting(i int) *pbs.MemoryAccounting { return c.acct[i] }
+// Accounting returns shard 0 head i's accounting log (every head
+// writes its own; the replicated command stream makes them agree).
+func (c *Cluster) Accounting(i int) *pbs.MemoryAccounting { return c.acct[headKey{0, i}] }
+
+// AccountingOf returns the accounting log of head i in shard s.
+func (c *Cluster) AccountingOf(s, i int) *pbs.MemoryAccounting { return c.acct[headKey{s, i}] }
 
 // Close tears the whole cluster down.
 func (c *Cluster) Close() {
@@ -598,9 +742,9 @@ func (c *Cluster) Close() {
 	for _, m := range c.moms {
 		m.Close()
 	}
-	for i, h := range c.heads {
+	for k, h := range c.heads {
 		h.Close()
-		delete(c.heads, i)
+		delete(c.heads, k)
 	}
 	c.Net.Close()
 }

@@ -3,6 +3,7 @@ package config
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"joshua/internal/gcs"
 	"joshua/internal/transport"
@@ -15,10 +16,17 @@ import (
 type ClusterFile struct {
 	// ServerName suffixes job IDs; identical on every head.
 	ServerName string
-	Heads      []HeadDecl
-	Computes   []ComputeDecl
-	Exclusive  bool
-	TimeScale  float64
+	// Shards is the number of independent replication groups the
+	// deployment is partitioned into ("shards", globally or under
+	// [options]; default 1). With more than one shard every [head]
+	// section must carry a "shard = N" key placing it in a group, and
+	// compute nodes either all declare "shard = N" or are dealt
+	// round-robin across shards in name order.
+	Shards    int
+	Heads     []HeadDecl
+	Computes  []ComputeDecl
+	Exclusive bool
+	TimeScale float64
 	// ClientBind is the local TCP address control commands listen on
 	// for replies ("client_bind", globally or under [options]). Empty
 	// means an ephemeral loopback port, which only works when the
@@ -40,6 +48,11 @@ type ClusterFile struct {
 	// ("apply_concurrency" under [options]; 0 = engine default, any
 	// negative value = the serial pre-pipeline ablation).
 	ApplyConcurrency int
+
+	// explicitComputes records whether the compute shard placement
+	// came from the file (every section declared "shard = N") or was
+	// derived round-robin; SetShards re-derives only the latter.
+	explicitComputes bool
 }
 
 // HeadDecl is one "[head <name>]" section.
@@ -48,12 +61,14 @@ type HeadDecl struct {
 	GCS    string // TCP listen address of the group endpoint
 	Client string // TCP listen address of the command endpoint
 	PBS    string // TCP listen address of the mom-facing endpoint
+	Shard  int    // replication group ("shard = N"; 0 in single-group files)
 }
 
 // ComputeDecl is one "[compute <name>]" section.
 type ComputeDecl struct {
-	Name string
-	Mom  string // TCP listen address of the mom endpoint
+	Name  string
+	Mom   string // TCP listen address of the mom endpoint
+	Shard int    // owning group ("shard = N"; -1 = assign round-robin)
 }
 
 // Logical addresses, mirroring the simulated cluster's scheme.
@@ -115,6 +130,11 @@ func ClusterFromFile(f *File) (*ClusterFile, error) {
 		if h.PBS, err = sec.Require("pbs"); err != nil {
 			return nil, err
 		}
+		sh, err := sec.Int("shard", 0)
+		if err != nil {
+			return nil, err
+		}
+		h.Shard = int(sh)
 		c.Heads = append(c.Heads, h)
 	}
 	for _, sec := range f.SectionsOf("compute") {
@@ -126,10 +146,23 @@ func ClusterFromFile(f *File) (*ClusterFile, error) {
 		if d.Mom, err = sec.Require("mom"); err != nil {
 			return nil, err
 		}
+		sh, err := sec.Int("shard", -1)
+		if err != nil {
+			return nil, err
+		}
+		d.Shard = int(sh)
 		c.Computes = append(c.Computes, d)
 	}
 	if len(c.Heads) == 0 {
 		return nil, fmt.Errorf("config: no [head <name>] sections")
+	}
+	c.Shards = 1
+	if v := f.Global("shards", ""); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("config: shards must be a positive integer, got %q", v)
+		}
+		c.Shards = n
 	}
 	if opts := f.SectionsOf("options"); len(opts) > 0 {
 		var err error
@@ -156,6 +189,13 @@ func ClusterFromFile(f *File) (*ClusterFile, error) {
 			return nil, err
 		}
 		c.ApplyConcurrency = int(ac)
+		if v := opts[0].Get("shards"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("config: shards must be a positive integer, got %q", v)
+			}
+			c.Shards = n
+		}
 	}
 	sort.Slice(c.Heads, func(i, j int) bool { return c.Heads[i].Name < c.Heads[j].Name })
 	sort.Slice(c.Computes, func(i, j int) bool { return c.Computes[i].Name < c.Computes[j].Name })
@@ -172,7 +212,84 @@ func ClusterFromFile(f *File) (*ClusterFile, error) {
 		}
 		seen[d.Name] = true
 	}
+	for _, d := range c.Computes {
+		if d.Shard >= 0 {
+			c.explicitComputes = true
+		}
+	}
+	if err := c.validateShards(); err != nil {
+		return nil, err
+	}
 	return c, nil
+}
+
+// SetShards overrides the shard count after parsing (the joshuad
+// -shards flag) and re-validates the placement. Round-robin compute
+// assignments are re-derived for the new count; explicit ones must
+// still fit it.
+func (c *ClusterFile) SetShards(n int) error {
+	if n < 1 {
+		return fmt.Errorf("config: shards must be >= 1, got %d", n)
+	}
+	c.Shards = n
+	if !c.explicitComputes {
+		for i := range c.Computes {
+			c.Computes[i].Shard = -1
+		}
+	}
+	return c.validateShards()
+}
+
+// validateShards checks the shard placement: every head's shard in
+// range, every shard populated with at least one head, and compute
+// declarations either all explicit or all implicit.
+func (c *ClusterFile) validateShards() error {
+	if c.Shards == 1 {
+		for _, h := range c.Heads {
+			if h.Shard != 0 {
+				return fmt.Errorf("config: head %q declares shard %d but the deployment has 1 shard", h.Name, h.Shard)
+			}
+		}
+		for i := range c.Computes {
+			if c.Computes[i].Shard > 0 {
+				return fmt.Errorf("config: compute %q declares shard %d but the deployment has 1 shard", c.Computes[i].Name, c.Computes[i].Shard)
+			}
+			c.Computes[i].Shard = 0
+		}
+		return nil
+	}
+	populated := make([]bool, c.Shards)
+	for _, h := range c.Heads {
+		if h.Shard < 0 || h.Shard >= c.Shards {
+			return fmt.Errorf("config: head %q shard %d out of range (shards = %d)", h.Name, h.Shard, c.Shards)
+		}
+		populated[h.Shard] = true
+	}
+	for s, ok := range populated {
+		if !ok {
+			return fmt.Errorf("config: shard %d has no head nodes", s)
+		}
+	}
+	explicit := 0
+	for _, d := range c.Computes {
+		if d.Shard >= 0 {
+			explicit++
+			if d.Shard >= c.Shards {
+				return fmt.Errorf("config: compute %q shard %d out of range (shards = %d)", d.Name, d.Shard, c.Shards)
+			}
+		}
+	}
+	if explicit != 0 && explicit != len(c.Computes) {
+		return fmt.Errorf("config: either every [compute] section declares a shard or none does (%d of %d do)", explicit, len(c.Computes))
+	}
+	if explicit == 0 {
+		// Deal round-robin in name order — the same partition the
+		// simulated cluster and shard.PartitionNodes use.
+		for i := range c.Computes {
+			c.Computes[i].Shard = i % c.Shards
+		}
+	}
+	return nil
 }
 
 // Resolver builds the logical-to-TCP address table for every declared
@@ -244,6 +361,86 @@ func (c *ClusterFile) NodeNames() []string {
 		names = append(names, d.Name)
 	}
 	return names
+}
+
+// ShardHeads groups the head declarations by shard, in name order
+// within each shard.
+func (c *ClusterFile) ShardHeads() [][]HeadDecl {
+	groups := make([][]HeadDecl, c.Shards)
+	for _, h := range c.Heads {
+		groups[h.Shard] = append(groups[h.Shard], h)
+	}
+	return groups
+}
+
+// ShardHeadClientAddrs lists every shard's head command addresses —
+// the client-side shard map (joshua.ClientConfig.Shards).
+func (c *ClusterFile) ShardHeadClientAddrs() [][]transport.Addr {
+	groups := make([][]transport.Addr, c.Shards)
+	for _, h := range c.Heads {
+		groups[h.Shard] = append(groups[h.Shard], h.ClientAddr())
+	}
+	return groups
+}
+
+// ShardNodeNames lists every shard's compute node names — the
+// client-side node partition (joshua.ClientConfig.ShardNodes).
+func (c *ClusterFile) ShardNodeNames() [][]string {
+	groups := make([][]string, c.Shards)
+	for _, d := range c.Computes {
+		groups[d.Shard] = append(groups[d.Shard], d.Name)
+	}
+	return groups
+}
+
+// ShardOfHead returns the shard a head belongs to (by name).
+func (c *ClusterFile) ShardOfHead(name string) (int, bool) {
+	h, ok := c.Head(name)
+	return h.Shard, ok
+}
+
+// ShardNodeNamesOf lists the compute node names owned by one shard.
+func (c *ClusterFile) ShardNodeNamesOf(s int) []string {
+	var names []string
+	for _, d := range c.Computes {
+		if d.Shard == s {
+			names = append(names, d.Name)
+		}
+	}
+	return names
+}
+
+// ShardMomAddrs maps one shard's compute node names to mom addresses.
+func (c *ClusterFile) ShardMomAddrs(s int) map[string]transport.Addr {
+	m := make(map[string]transport.Addr)
+	for _, d := range c.Computes {
+		if d.Shard == s {
+			m[d.Name] = d.MomAddr()
+		}
+	}
+	return m
+}
+
+// ShardGroupPeers maps one shard's head member IDs to group addresses.
+func (c *ClusterFile) ShardGroupPeers(s int) map[gcs.MemberID]transport.Addr {
+	peers := make(map[gcs.MemberID]transport.Addr)
+	for _, h := range c.Heads {
+		if h.Shard == s {
+			peers[h.MemberID()] = h.GCSAddr()
+		}
+	}
+	return peers
+}
+
+// ShardHeadPBSAddrs lists one shard's head mom-facing addresses.
+func (c *ClusterFile) ShardHeadPBSAddrs(s int) []transport.Addr {
+	var addrs []transport.Addr
+	for _, h := range c.Heads {
+		if h.Shard == s {
+			addrs = append(addrs, h.PBSAddr())
+		}
+	}
+	return addrs
 }
 
 // MomAddrs maps compute node names to mom logical addresses.

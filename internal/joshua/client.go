@@ -3,11 +3,15 @@ package joshua
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"joshua/internal/pbs"
+	"joshua/internal/shard"
 	"joshua/internal/transport"
 )
 
@@ -20,19 +24,50 @@ import (
 // failure is executed exactly once and answered as soon as a survivor
 // picks it up — the "continuous availability without any interruption
 // of service" the paper demonstrates.
+//
+// A deployment may run several independent replicated groups
+// ("shards", see internal/shard), each owning a slice of the job
+// space and node pool. The client owns all routing, so submitters
+// still see one logical scheduler: job-addressed commands go sticky
+// to the owning shard (computed locally from the job ID hash),
+// submissions spread round-robin, and whole-cluster queries (jstat
+// with no arguments, jnodes) scatter-gather across every shard and
+// merge the per-shard prefix-consistent snapshots. Head failover and
+// health tracking run independently per shard.
 type Client struct {
 	cfg ClientConfig
 	ep  transport.Endpoint
 
+	// shards holds one failover state per replication group; the
+	// unsharded deployment is the one-shard special case.
+	shards []*headSet
+	// nodes is the compute-node partition (may be nil: node commands
+	// then fan out).
+	nodes [][]string
+
 	reqSeq atomic.Uint64
+	// submitRR spreads submissions (which carry no job ID yet) across
+	// shards; each shard mints IDs that route back to itself, so any
+	// shard may take any submission.
+	submitRR atomic.Uint64
 	// readRR rotates the starting head for read-only queries, spreading
-	// poller load across the group instead of pinning it on the sticky
-	// head every mutation chose. Any head answers a local read, so
-	// there is no reason to prefer one.
+	// poller load across each shard's group instead of pinning it on
+	// the sticky head every mutation chose.
 	readRR atomic.Uint64
 
 	mu      sync.Mutex
 	waiters map[string]chan *rpcResponse
+	closed  bool
+
+	done chan struct{}
+	once sync.Once
+}
+
+// headSet is the per-shard failover state: the shard's head address
+// book, the sticky head, and per-head health marks. Guarded by the
+// client's mu.
+type headSet struct {
+	addrs []transport.Addr
 	// preferred is the index of the last head that answered a mutating
 	// (or ordered) command; retries start there ("sticky" head
 	// selection).
@@ -42,12 +77,16 @@ type Client struct {
 	// reply. The read round-robin rotates over healthy heads only, so
 	// pollers don't pay a timeout re-probing a dead (or not yet
 	// started) head on every rotation; the failover loop still visits
-	// every head, which is how a recovered head gets re-marked.
+	// every head, and a background prober (ClientConfig.RedeemAfter)
+	// re-probes down-marked heads off the request path so a recovered
+	// head rejoins the rotation even when no sticky mutation happens
+	// to land on it.
 	healthy []bool
-	closed  bool
-
-	done chan struct{}
-	once sync.Once
+	// minEpoch is the highest batch-state version this client has
+	// observed from the shard — raised by both reads and acked
+	// mutations; scatter-gather listings refuse to regress below it
+	// (per-shard monotonic reads plus read-your-writes).
+	minEpoch uint64
 }
 
 // ClientConfig parameterizes a Client.
@@ -56,14 +95,36 @@ type ClientConfig struct {
 	// and closes it.
 	Endpoint transport.Endpoint
 	// Heads lists the client-RPC addresses of the head nodes, in
-	// preference order.
+	// preference order — the single-group deployment. Exactly one of
+	// Heads or Shards must be set.
 	Heads []transport.Addr
+	// Shards lists the head addresses of every replication group in a
+	// sharded deployment: Shards[s] are shard s's heads in preference
+	// order (shard.Map.Heads). Routing is deterministic per
+	// internal/shard; every client and server must agree on the shard
+	// order.
+	Shards [][]transport.Addr
+	// ShardNodes is the compute-node partition (shard.Map.Nodes),
+	// used to route node commands (jnodes -o/-c) to the owning shard.
+	// Optional: without it node commands fan out across shards.
+	ShardNodes [][]string
 	// AttemptTimeout bounds one head's answer before the client moves
 	// to the next head. Default 1s.
 	AttemptTimeout time.Duration
 	// Rounds is how many times the full head list is tried before
 	// giving up. Default 3.
 	Rounds int
+	// RedeemAfter is the interval of the client's background health
+	// prober: an initial round probes every configured address (so
+	// spare slots with no head behind them are discovered off the
+	// request path instead of costing an attempt timeout each in the
+	// failover walk), then every RedeemAfter it re-probes each
+	// down-marked head, and any reply puts the head back into the
+	// read rotation. A client call never waits on a probe, so
+	// permanently absent addresses cost nothing beyond the probe
+	// datagram. Zero defaults to 5s; negative disables the prober (a
+	// down mark then lasts until a failover reply revives the head).
+	RedeemAfter time.Duration
 }
 
 // Errors returned by the client.
@@ -77,13 +138,31 @@ var (
 	ErrClosed         = errors.New("joshua: client closed")
 )
 
+// defaultRedeemAfter is how long an unhealthy mark lasts when
+// ClientConfig.RedeemAfter is zero.
+const defaultRedeemAfter = 5 * time.Second
+
 // NewClient creates a client and starts its receive loop.
 func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.Endpoint == nil {
 		return nil, errors.New("joshua: ClientConfig.Endpoint required")
 	}
-	if len(cfg.Heads) == 0 {
-		return nil, ErrNoHeads
+	groups := cfg.Shards
+	if len(groups) == 0 {
+		if len(cfg.Heads) == 0 {
+			return nil, ErrNoHeads
+		}
+		groups = [][]transport.Addr{cfg.Heads}
+	} else if len(cfg.Heads) > 0 {
+		return nil, errors.New("joshua: set ClientConfig.Heads or Shards, not both")
+	}
+	for s, heads := range groups {
+		if len(heads) == 0 {
+			return nil, fmt.Errorf("%w (shard %d)", ErrNoHeads, s)
+		}
+	}
+	if cfg.ShardNodes != nil && len(cfg.ShardNodes) != len(groups) {
+		return nil, fmt.Errorf("joshua: ShardNodes covers %d shards, Shards has %d", len(cfg.ShardNodes), len(groups))
 	}
 	if cfg.AttemptTimeout <= 0 {
 		cfg.AttemptTimeout = time.Second
@@ -91,18 +170,52 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.Rounds <= 0 {
 		cfg.Rounds = 3
 	}
+	if cfg.RedeemAfter == 0 {
+		cfg.RedeemAfter = defaultRedeemAfter
+	}
 	c := &Client{
 		cfg:     cfg,
 		ep:      cfg.Endpoint,
+		nodes:   cfg.ShardNodes,
 		waiters: make(map[string]chan *rpcResponse),
-		healthy: make([]bool, len(cfg.Heads)),
 		done:    make(chan struct{}),
 	}
-	for i := range c.healthy {
-		c.healthy[i] = true
+	for _, heads := range groups {
+		hs := &headSet{
+			addrs:   append([]transport.Addr(nil), heads...),
+			healthy: make([]bool, len(heads)),
+		}
+		for i := range hs.healthy {
+			hs.healthy[i] = true
+		}
+		c.shards = append(c.shards, hs)
 	}
+	// Stagger the rotation starting points per client (hashing the
+	// endpoint address, which is unique per client): a fleet of
+	// submitters created together would otherwise all start at shard 0
+	// and convoy through the shards in lockstep — every client queued
+	// on the same group while the others sit idle — capping aggregate
+	// throughput at a single group's capacity no matter the shard
+	// count.
+	h := fnv.New64a()
+	h.Write([]byte(cfg.Endpoint.Addr()))
+	seed := h.Sum64()
+	c.submitRR.Store(seed)
+	c.readRR.Store(seed >> 32)
 	go c.recvLoop()
+	if cfg.RedeemAfter > 0 {
+		go c.probeLoop()
+	}
 	return c, nil
+}
+
+// ShardCount reports how many replication groups the client routes
+// across (1 for the unsharded deployment).
+func (c *Client) ShardCount() int { return len(c.shards) }
+
+// routeJob returns the shard owning a job ID.
+func (c *Client) routeJob(id pbs.JobID) int {
+	return shard.RouteJob(id, len(c.shards))
 }
 
 // Close shuts the client down; in-flight calls fail promptly.
@@ -133,22 +246,30 @@ func (c *Client) recvLoop() {
 	}
 }
 
-// call sends one request with head failover and waits for the reply.
-func (c *Client) call(op Op, args cmdArgs) (*rpcResponse, error) {
-	return c.callReq(&rpcRequest{Op: op, Args: args})
+// call sends one request to shard s with head failover and waits for
+// the reply.
+func (c *Client) call(s int, op Op, args cmdArgs) (*rpcResponse, error) {
+	return c.callReq(s, &rpcRequest{Op: op, Args: args})
 }
 
-// callOrdered forces a query through the total order (the
+// callOrdered forces a query through shard s's total order (the
 // linearizable-read variant).
-func (c *Client) callOrdered(op Op, args cmdArgs) (*rpcResponse, error) {
-	return c.callReq(&rpcRequest{Op: op, Ordered: true, Args: args})
+func (c *Client) callOrdered(s int, op Op, args cmdArgs) (*rpcResponse, error) {
+	return c.callReq(s, &rpcRequest{Op: op, Ordered: true, Args: args})
 }
 
-func (c *Client) callReq(req *rpcRequest) (*rpcResponse, error) {
-	reqID := fmt.Sprintf("%s#%d", c.ep.Addr(), c.reqSeq.Add(1))
-	req.ReqID = reqID
+// callReq runs the per-shard failover loop. A req whose ReqID is
+// already set keeps it — the cross-shard fan-out path reuses one
+// request ID so every shard's deduplication table collapses retries
+// of the same logical command.
+func (c *Client) callReq(s int, req *rpcRequest) (*rpcResponse, error) {
+	if req.ReqID == "" {
+		req.ReqID = fmt.Sprintf("%s#%d", c.ep.Addr(), c.reqSeq.Add(1))
+	}
+	reqID := req.ReqID
 	payload := req.encode()
 	readOnly := !req.Op.mutating() && !req.Ordered
+	hs := c.shards[s]
 
 	ch := make(chan *rpcResponse, 1)
 	c.mu.Lock()
@@ -157,9 +278,9 @@ func (c *Client) callReq(req *rpcRequest) (*rpcResponse, error) {
 		return nil, ErrClosed
 	}
 	c.waiters[reqID] = ch
-	start := c.preferred
+	start := hs.preferred
 	if readOnly {
-		start = c.readStartLocked()
+		start = c.readStartLocked(hs)
 	}
 	c.mu.Unlock()
 	defer func() {
@@ -168,25 +289,57 @@ func (c *Client) callReq(req *rpcRequest) (*rpcResponse, error) {
 		c.mu.Unlock()
 	}()
 
+	// The failover walk covers every head each round, but visits
+	// down-marked heads last: a call never waits out a timeout on a
+	// known-down head while a live one remains untried. The target is
+	// picked per attempt against the *current* health map — while
+	// this call sits out a timeout, the background prober may be
+	// down-marking other phantoms, and a stale precomputed order
+	// would walk straight into them.
+	n := len(hs.addrs)
+	tried := make([]bool, n)
+	triedCount := 0
 	var lastErr error
 	replies := 0
-	attempts := c.cfg.Rounds * len(c.cfg.Heads)
+	attempts := c.cfg.Rounds * n
 	for i := 0; i < attempts; i++ {
-		idx := (start + i) % len(c.cfg.Heads)
-		if err := c.ep.Send(c.cfg.Heads[idx], payload); err != nil {
+		if triedCount == n { // next round: every head eligible again
+			tried = make([]bool, n)
+			triedCount = 0
+		}
+		idx := -1
+		c.mu.Lock()
+		for j := 0; j < n; j++ {
+			if k := (start + j) % n; !tried[k] && hs.healthy[k] {
+				idx = k
+				break
+			}
+		}
+		if idx < 0 {
+			for j := 0; j < n; j++ {
+				if k := (start + j) % n; !tried[k] {
+					idx = k
+					break
+				}
+			}
+		}
+		c.mu.Unlock()
+		tried[idx] = true
+		triedCount++
+		if err := c.ep.Send(hs.addrs[idx], payload); err != nil {
 			if errors.Is(err, transport.ErrClosed) {
 				return nil, ErrClosed
 			}
 			// This head is unreachable — the same condition a silent
 			// head signals by timeout, learned sooner. Move on.
-			c.markHealth(idx, false)
+			c.markHealth(hs, idx, false)
 			lastErr = err
 			continue
 		}
 		select {
 		case resp := <-ch:
 			replies++
-			c.markHealth(idx, true)
+			c.markHealth(hs, idx, true)
 			if !resp.OK && resp.ErrMsg == ErrNotPrimary.Error() {
 				// This head is alive but cut off from the primary
 				// component; move on to the next head immediately.
@@ -198,54 +351,154 @@ func (c *Client) callReq(req *rpcRequest) (*rpcResponse, error) {
 			}
 			if !readOnly {
 				c.mu.Lock()
-				c.preferred = idx
+				hs.preferred = idx
 				c.mu.Unlock()
 			}
+			// Raise this shard's epoch floor: an acked mutation (or a
+			// fresh read) guarantees later snapshots won't silently
+			// regress behind it — statShard rotates past heads that
+			// answer below the floor.
+			c.observeEpoch(s, resp.Epoch)
 			return resp, nil
 		case <-time.After(c.cfg.AttemptTimeout):
 			// Head silent (dead, partitioned, or non-primary and
 			// lost): try the next one. The request ID makes any
 			// duplicate execution collapse in the servers'
 			// deduplication table.
-			c.markHealth(idx, false)
+			c.markHealth(hs, idx, false)
 		case <-c.done:
 			return nil, ErrClosed
 		}
 	}
 	if replies == 0 {
 		// Not a single head replied — a crashed or partitioned-away
-		// cluster, not one slow head. Name what was tried so the
+		// shard, not one slow head. Name what was tried so the
 		// operator can tell a bad head list from a down cluster.
 		if lastErr != nil {
 			return nil, fmt.Errorf("%w (%w): tried %v over %d attempts (%v): last send error: %v",
-				ErrNoHealthyHeads, ErrUnreached, c.cfg.Heads, attempts, req.Op, lastErr)
+				ErrNoHealthyHeads, ErrUnreached, hs.addrs, attempts, req.Op, lastErr)
 		}
 		return nil, fmt.Errorf("%w (%w): tried %v over %d attempts (%v), all silent",
-			ErrNoHealthyHeads, ErrUnreached, c.cfg.Heads, attempts, req.Op)
+			ErrNoHealthyHeads, ErrUnreached, hs.addrs, attempts, req.Op)
 	}
 	return nil, fmt.Errorf("%w after %d attempts (%v)", ErrUnreached, attempts, req.Op)
 }
 
-// readStartLocked picks the next read's starting head, rotating over
-// the heads currently believed healthy (over all of them when none
-// are). Callers hold c.mu.
-func (c *Client) readStartLocked() int {
-	alive := make([]int, 0, len(c.healthy))
-	for i, up := range c.healthy {
-		if up {
+// readStartLocked picks the next read's starting head for one shard,
+// rotating over the heads currently believed healthy (over all of
+// them when none are). Down-marked heads are re-admitted only by the
+// background prober (or a failover reply), never by the rotation
+// itself, so reads don't pay timeouts re-probing dead heads.
+// Callers hold c.mu.
+func (c *Client) readStartLocked(hs *headSet) int {
+	alive := make([]int, 0, len(hs.healthy))
+	for i, ok := range hs.healthy {
+		if ok {
 			alive = append(alive, i)
 		}
 	}
 	if len(alive) == 0 {
-		return int(c.readRR.Add(1) % uint64(len(c.cfg.Heads)))
+		return int(c.readRR.Add(1) % uint64(len(hs.addrs)))
 	}
 	return alive[int(c.readRR.Add(1)%uint64(len(alive)))]
 }
 
-func (c *Client) markHealth(idx int, up bool) {
+func (c *Client) markHealth(hs *headSet, idx int, up bool) {
 	c.mu.Lock()
-	c.healthy[idx] = up
+	hs.healthy[idx] = up
 	c.mu.Unlock()
+}
+
+// probeLoop re-probes heads with a cheap local read (jadmin info) so
+// the health map tracks reality off the request path: client calls
+// never wait on a probe, and an address that never answers (a spare
+// slot in a static head list, a decommissioned head) costs nothing
+// beyond the probe datagram. The first round covers every address —
+// a head list may carry spare slots with nothing behind them, and
+// discovering that in the failover walk would cost a full attempt
+// timeout per phantom, in the request path. Later rounds (every
+// RedeemAfter) cover only down-marked heads, so a recovered head
+// rejoins its shard's read rotation.
+func (c *Client) probeLoop() {
+	type target struct{ s, i int }
+	probeRound := func(all bool) {
+		var targets []target
+		c.mu.Lock()
+		for s, hs := range c.shards {
+			for i, ok := range hs.healthy {
+				if all || !ok {
+					targets = append(targets, target{s, i})
+				}
+			}
+		}
+		c.mu.Unlock()
+		for _, tg := range targets {
+			go c.probe(tg.s, tg.i)
+		}
+	}
+	probeRound(true)
+	tick := time.NewTicker(c.cfg.RedeemAfter)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-tick.C:
+		}
+		probeRound(false)
+	}
+}
+
+// probe sends one health-check read to a head and records the
+// outcome: healthy if it answers within the attempt timeout, down if
+// it doesn't (or the send fails outright).
+func (c *Client) probe(s, i int) {
+	hs := c.shards[s]
+	req := &rpcRequest{
+		ReqID: fmt.Sprintf("%s#probe%d", c.ep.Addr(), c.reqSeq.Add(1)),
+		Op:    OpInfoLocal,
+	}
+	ch := make(chan *rpcResponse, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.waiters[req.ReqID] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.waiters, req.ReqID)
+		c.mu.Unlock()
+	}()
+	if c.ep.Send(hs.addrs[i], req.encode()) != nil {
+		c.markHealth(hs, i, false)
+		return
+	}
+	select {
+	case <-ch:
+		c.markHealth(hs, i, true)
+	case <-time.After(c.cfg.AttemptTimeout):
+		c.markHealth(hs, i, false)
+	case <-c.done:
+	}
+}
+
+// observeEpoch records a shard's batch-state version and reports
+// whether the response regressed below what this client already saw
+// (a lagging head answering after a fresher one).
+func (c *Client) observeEpoch(s int, epoch uint64) (regressed bool) {
+	if epoch == 0 {
+		return false
+	}
+	hs := c.shards[s]
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if epoch < hs.minEpoch {
+		return true
+	}
+	hs.minEpoch = epoch
+	return false
 }
 
 // rpcErr converts a failed response into an error.
@@ -263,9 +516,54 @@ func firstJob(resp *rpcResponse) pbs.Job {
 	return pbs.Job{}
 }
 
-// Submit runs jsub: replicate a qsub to all active head nodes.
+// isUnknownJob matches the batch service's qdel/qsig/qstat diagnosis
+// for a job the shard does not hold — the trigger for the cross-shard
+// fan-out fallback.
+func isUnknownJob(msg string) bool {
+	return strings.Contains(msg, "Unknown Job Id")
+}
+
+// isUnknownNode matches the node-management diagnosis for a node the
+// shard does not schedule.
+func isUnknownNode(msg string) bool {
+	return strings.Contains(msg, "unknown node")
+}
+
+// callJob routes one job-addressed command to the owning shard. If
+// that shard does not know the job — an ID minted under a different
+// shard count, or a stale map — the command fans out to the remaining
+// shards and collects the first hit. At most one shard holds any job,
+// so the command still executes at most once; the fan-out reuses one
+// request ID, so per-shard deduplication keeps retries exactly-once.
+func (c *Client) callJob(op Op, args cmdArgs) (*rpcResponse, error) {
+	home := c.routeJob(args.JobID)
+	resp, err := c.call(home, op, args)
+	if err != nil || resp.OK || !isUnknownJob(resp.ErrMsg) || len(c.shards) == 1 {
+		return resp, err
+	}
+	reqID := resp.ReqID
+	for s := range c.shards {
+		if s == home {
+			continue
+		}
+		r, err := c.callReq(s, &rpcRequest{ReqID: reqID, Op: op, Args: args})
+		if err != nil {
+			return nil, err
+		}
+		if r.OK || !isUnknownJob(r.ErrMsg) {
+			return r, nil
+		}
+	}
+	return resp, nil // unknown everywhere: report the home shard's answer
+}
+
+// Submit runs jsub: replicate a qsub to all active head nodes of one
+// shard. Submissions carry no job ID yet, so any shard may take them;
+// they spread round-robin and the chosen shard mints an ID that
+// routes back to it.
 func (c *Client) Submit(req pbs.SubmitRequest) (pbs.Job, error) {
-	resp, err := c.call(OpSubmit, cmdArgs{
+	s := int(c.submitRR.Add(1) % uint64(len(c.shards)))
+	resp, err := c.call(s, OpSubmit, cmdArgs{
 		Name:      req.Name,
 		Owner:     req.Owner,
 		Script:    req.Script,
@@ -298,7 +596,8 @@ func (c *Client) SubmitMany(req pbs.SubmitRequest, n int) ([]pbs.Job, error) {
 // mentions ("a command line job submission to contain a number of
 // individual jobs").
 func (c *Client) SubmitBatch(req pbs.SubmitRequest, n int) ([]pbs.Job, error) {
-	resp, err := c.call(OpSubmit, cmdArgs{
+	s := int(c.submitRR.Add(1) % uint64(len(c.shards)))
+	resp, err := c.call(s, OpSubmit, cmdArgs{
 		Name:      req.Name,
 		Owner:     req.Owner,
 		Script:    req.Script,
@@ -313,9 +612,9 @@ func (c *Client) SubmitBatch(req pbs.SubmitRequest, n int) ([]pbs.Job, error) {
 	return resp.Jobs, rpcErr(resp)
 }
 
-// Delete runs jdel.
+// Delete runs jdel, routed to the shard owning the job.
 func (c *Client) Delete(id pbs.JobID) (pbs.Job, error) {
-	resp, err := c.call(OpDelete, cmdArgs{JobID: id})
+	resp, err := c.callJob(OpDelete, cmdArgs{JobID: id})
 	if err != nil {
 		return pbs.Job{}, err
 	}
@@ -324,7 +623,7 @@ func (c *Client) Delete(id pbs.JobID) (pbs.Job, error) {
 
 // Hold runs jhold (qhold equivalent).
 func (c *Client) Hold(id pbs.JobID) (pbs.Job, error) {
-	resp, err := c.call(OpHold, cmdArgs{JobID: id})
+	resp, err := c.callJob(OpHold, cmdArgs{JobID: id})
 	if err != nil {
 		return pbs.Job{}, err
 	}
@@ -333,7 +632,7 @@ func (c *Client) Hold(id pbs.JobID) (pbs.Job, error) {
 
 // Release runs jrls (qrls equivalent).
 func (c *Client) Release(id pbs.JobID) (pbs.Job, error) {
-	resp, err := c.call(OpRelease, cmdArgs{JobID: id})
+	resp, err := c.callJob(OpRelease, cmdArgs{JobID: id})
 	if err != nil {
 		return pbs.Job{}, err
 	}
@@ -342,7 +641,7 @@ func (c *Client) Release(id pbs.JobID) (pbs.Job, error) {
 
 // Signal runs jsig (qsig equivalent).
 func (c *Client) Signal(id pbs.JobID, sig string) (pbs.Job, error) {
-	resp, err := c.call(OpSignal, cmdArgs{JobID: id, Signal: sig})
+	resp, err := c.callJob(OpSignal, cmdArgs{JobID: id, Signal: sig})
 	if err != nil {
 		return pbs.Job{}, err
 	}
@@ -351,10 +650,11 @@ func (c *Client) Signal(id pbs.JobID, sig string) (pbs.Job, error) {
 
 // Stat runs jstat for one job. Queries stay outside the total order
 // (the paper keeps jstat unordered): the answer comes from one head's
-// local state, round-robined across the group, and may trail a
-// mutation still in flight. Use StatOrdered for a linearizable read.
+// local state on the owning shard, round-robined across that shard's
+// group, and may trail a mutation still in flight. Use StatOrdered
+// for a linearizable read.
 func (c *Client) Stat(id pbs.JobID) (pbs.Job, error) {
-	resp, err := c.call(OpStat, cmdArgs{JobID: id})
+	resp, err := c.callJob(OpStat, cmdArgs{JobID: id})
 	if err != nil {
 		return pbs.Job{}, err
 	}
@@ -362,50 +662,195 @@ func (c *Client) Stat(id pbs.JobID) (pbs.Job, error) {
 }
 
 // StatAll runs jstat with no arguments; same read semantics as Stat.
+// Sharded deployments scatter-gather: every shard's listing is
+// fetched concurrently off the local-read path, each one a
+// prefix-consistent snapshot of that shard tagged with its epoch
+// (re-fetched if a lagging head answers below an epoch this client
+// already observed), and the merge is ordered by global submission
+// sequence. There is no serialization *between* shards — two jobs on
+// different shards may appear in either completion state, exactly as
+// two independent clusters would.
 func (c *Client) StatAll() ([]pbs.Job, error) {
-	resp, err := c.call(OpStatAll, cmdArgs{})
-	if err != nil {
-		return nil, err
+	if len(c.shards) == 1 {
+		resp, err := c.call(0, OpStatAll, cmdArgs{})
+		if err != nil {
+			return nil, err
+		}
+		return resp.Jobs, rpcErr(resp)
 	}
-	return resp.Jobs, rpcErr(resp)
+	return c.statAllShards(false)
 }
 
-// StatOrdered runs jstat for one job through the total order, so the
-// result is serialized with every mutation (a linearizable read, at
-// one total-order round of cost).
+// StatOrdered runs jstat for one job through the owning shard's total
+// order, so the result is serialized with every mutation of that job
+// (a linearizable read, at one total-order round of cost).
 func (c *Client) StatOrdered(id pbs.JobID) (pbs.Job, error) {
-	resp, err := c.callOrdered(OpStat, cmdArgs{JobID: id})
+	resp, err := c.callOrdered(c.routeJob(id), OpStat, cmdArgs{JobID: id})
 	if err != nil {
 		return pbs.Job{}, err
 	}
 	return firstJob(resp), rpcErr(resp)
 }
 
-// StatAllOrdered is the linearizable variant of StatAll.
+// StatAllOrdered is the linearizable variant of StatAll: each shard's
+// listing is serialized with that shard's mutations. Across shards the
+// listings remain independent snapshots (no cross-shard order exists
+// to serialize against).
 func (c *Client) StatAllOrdered() ([]pbs.Job, error) {
-	resp, err := c.callOrdered(OpStatAll, cmdArgs{})
-	if err != nil {
-		return nil, err
+	if len(c.shards) == 1 {
+		resp, err := c.callOrdered(0, OpStatAll, cmdArgs{})
+		if err != nil {
+			return nil, err
+		}
+		return resp.Jobs, rpcErr(resp)
 	}
-	return resp.Jobs, rpcErr(resp)
+	return c.statAllShards(true)
+}
+
+// statAllShards gathers every shard's listing concurrently and merges
+// by submission sequence.
+func (c *Client) statAllShards(ordered bool) ([]pbs.Job, error) {
+	lists := make([][]pbs.Job, len(c.shards))
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for s := range c.shards {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			lists[s], errs[s] = c.statShard(s, ordered)
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return mergeJobs(lists), nil
+}
+
+// statShard fetches one shard's full listing, retrying past heads
+// whose snapshot epoch regressed below what this client already saw
+// for the shard (at most one extra pass over the shard's heads).
+func (c *Client) statShard(s int, ordered bool) ([]pbs.Job, error) {
+	tries := 1
+	if !ordered {
+		tries += len(c.shards[s].addrs)
+	}
+	var resp *rpcResponse
+	var err error
+	for t := 0; t < tries; t++ {
+		if ordered {
+			resp, err = c.callOrdered(s, OpStatAll, cmdArgs{})
+		} else {
+			resp, err = c.call(s, OpStatAll, cmdArgs{})
+		}
+		if err != nil {
+			return nil, err
+		}
+		if e := rpcErr(resp); e != nil {
+			return nil, e
+		}
+		if !c.observeEpoch(s, resp.Epoch) {
+			break // fresh enough (or epoch untagged)
+		}
+		// A lagging head answered below an epoch we already observed:
+		// rotate to another head for a non-regressing snapshot.
+	}
+	return resp.Jobs, nil
+}
+
+// mergeJobs interleaves per-shard listings into one deterministic
+// whole-cluster listing, ordered by global submission sequence
+// (shards mint IDs from disjoint slices of one sequence space, so
+// Seq is a total tiebreaker-free order across shards).
+func mergeJobs(lists [][]pbs.Job) []pbs.Job {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	merged := make([]pbs.Job, 0, total)
+	for _, l := range lists {
+		merged = append(merged, l...)
+	}
+	sort.SliceStable(merged, func(i, j int) bool {
+		if merged[i].Seq != merged[j].Seq {
+			return merged[i].Seq < merged[j].Seq
+		}
+		return merged[i].ID < merged[j].ID
+	})
+	return merged
 }
 
 // StatLocal reads one head's local state without total ordering — the
 // fast, possibly slightly stale read (ablation of ordered reads).
-// Pass an empty ID for all jobs.
+// Pass an empty ID for all jobs (scatter-gathered across shards).
 func (c *Client) StatLocal(id pbs.JobID) ([]pbs.Job, error) {
-	resp, err := c.call(OpStatLocal, cmdArgs{JobID: id})
+	if id == "" && len(c.shards) > 1 {
+		lists := make([][]pbs.Job, len(c.shards))
+		errs := make([]error, len(c.shards))
+		var wg sync.WaitGroup
+		for s := range c.shards {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				resp, err := c.call(s, OpStatLocal, cmdArgs{})
+				if err == nil {
+					err = rpcErr(resp)
+				}
+				if err != nil {
+					errs[s] = err
+					return
+				}
+				lists[s] = resp.Jobs
+			}(s)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return mergeJobs(lists), nil
+	}
+	resp, err := c.call(c.routeJob(id), OpStatLocal, cmdArgs{JobID: id})
 	if err != nil {
 		return nil, err
 	}
 	return resp.Jobs, rpcErr(resp)
 }
 
+// callNode routes a node-management command to the shard scheduling
+// the node, falling back to trying every shard when the partition is
+// unknown to this client.
+func (c *Client) callNode(op Op, node string) (*rpcResponse, error) {
+	if s := (&shard.Map{Heads: nil, Nodes: c.nodes}).RouteNode(node); s >= 0 && s < len(c.shards) {
+		return c.call(s, op, cmdArgs{Node: node})
+	}
+	var last *rpcResponse
+	var lastErr error
+	for s := range c.shards {
+		resp, err := c.call(s, op, cmdArgs{Node: node})
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.OK || !isUnknownNode(resp.ErrMsg) {
+			return resp, nil
+		}
+		last = resp
+	}
+	if last != nil {
+		return last, nil
+	}
+	return nil, lastErr
+}
+
 // SetNodeOffline marks a compute node offline for maintenance
-// (pbsnodes -o), replicated so every head excludes it from new
-// allocations.
+// (pbsnodes -o), replicated so every head of the owning shard
+// excludes it from new allocations.
 func (c *Client) SetNodeOffline(node string) error {
-	resp, err := c.call(OpNodeOffline, cmdArgs{Node: node})
+	resp, err := c.callNode(OpNodeOffline, node)
 	if err != nil {
 		return err
 	}
@@ -414,27 +859,67 @@ func (c *Client) SetNodeOffline(node string) error {
 
 // SetNodeOnline clears a node's offline state (pbsnodes -c).
 func (c *Client) SetNodeOnline(node string) error {
-	resp, err := c.call(OpNodeOnline, cmdArgs{Node: node})
+	resp, err := c.callNode(OpNodeOnline, node)
 	if err != nil {
 		return err
 	}
 	return rpcErr(resp)
 }
 
-// Nodes lists the compute nodes with state and allocation, from one
-// head's local view (pbsnodes).
+// Nodes lists the compute nodes with state and allocation (pbsnodes),
+// concatenating every shard's local view in shard order.
 func (c *Client) Nodes() ([]pbs.NodeStatus, error) {
-	resp, err := c.call(OpNodesLocal, cmdArgs{})
-	if err != nil {
-		return nil, err
+	if len(c.shards) == 1 {
+		resp, err := c.call(0, OpNodesLocal, cmdArgs{})
+		if err != nil {
+			return nil, err
+		}
+		return resp.Nodes, rpcErr(resp)
 	}
-	return resp.Nodes, rpcErr(resp)
+	lists := make([][]pbs.NodeStatus, len(c.shards))
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for s := range c.shards {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			resp, err := c.call(s, OpNodesLocal, cmdArgs{})
+			if err == nil {
+				err = rpcErr(resp)
+			}
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			lists[s] = resp.Nodes
+		}(s)
+	}
+	wg.Wait()
+	var out []pbs.NodeStatus
+	for s := range c.shards {
+		if errs[s] != nil {
+			return nil, errs[s]
+		}
+		out = append(out, lists[s]...)
+	}
+	return out, nil
 }
 
 // Info queries one head's operator report (jadmin): view, protocol
-// counters, and queue gauges.
+// counters, and queue gauges. Sharded deployments answer from shard
+// 0; use InfoShard for a specific shard (jadmin queries every head of
+// every shard directly).
 func (c *Client) Info() (map[string]string, error) {
-	resp, err := c.call(OpInfoLocal, cmdArgs{})
+	return c.InfoShard(0)
+}
+
+// InfoShard queries one head of the given shard for its operator
+// report.
+func (c *Client) InfoShard(s int) (map[string]string, error) {
+	if s < 0 || s >= len(c.shards) {
+		return nil, fmt.Errorf("joshua: shard %d out of range (have %d)", s, len(c.shards))
+	}
+	resp, err := c.call(s, OpInfoLocal, cmdArgs{})
 	if err != nil {
 		return nil, err
 	}
@@ -442,12 +927,12 @@ func (c *Client) Info() (map[string]string, error) {
 }
 
 // JMutex runs the jmutex script's distributed mutual exclusion:
-// acquire the group-wide launch lock for a job. The first acquire in
-// the total order wins; it returns true exactly once per job across
-// all attempts, which is what guarantees a replicated job starts on
-// the compute nodes only once.
+// acquire the launch lock for a job on its owning shard. The first
+// acquire in that shard's total order wins; it returns true exactly
+// once per job across all attempts, which is what guarantees a
+// replicated job starts on the compute nodes only once.
 func (c *Client) JMutex(id pbs.JobID, attemptID string) (bool, error) {
-	resp, err := c.call(OpJMutex, cmdArgs{JobID: id, AttemptID: attemptID})
+	resp, err := c.call(c.routeJob(id), OpJMutex, cmdArgs{JobID: id, AttemptID: attemptID})
 	if err != nil {
 		return false, err
 	}
@@ -457,7 +942,7 @@ func (c *Client) JMutex(id pbs.JobID, attemptID string) (bool, error) {
 // JDone runs the jdone script: release the launch lock after the job
 // finished.
 func (c *Client) JDone(id pbs.JobID) error {
-	resp, err := c.call(OpJDone, cmdArgs{JobID: id})
+	resp, err := c.call(c.routeJob(id), OpJDone, cmdArgs{JobID: id})
 	if err != nil {
 		return err
 	}
@@ -466,7 +951,10 @@ func (c *Client) JDone(id pbs.JobID) error {
 
 // MomHooks builds the prologue/epilogue pair that wires a pbs.Mom
 // into JOSHUA's job-launch mutual exclusion, as the paper's
-// jmutex/jdone scripts do from the PBS mom job prologue.
+// jmutex/jdone scripts do from the PBS mom job prologue. In a sharded
+// deployment each mom belongs to exactly one shard and its client is
+// configured with only that shard's heads — every job reaching the
+// mom is owned by that shard by construction.
 func MomHooks(c *Client, momName string) (prologue func(pbs.Job, transport.Addr) bool, epilogue func(pbs.Job)) {
 	prologue = func(j pbs.Job, head transport.Addr) bool {
 		attemptID := fmt.Sprintf("%s+%s", head, momName)

@@ -68,6 +68,7 @@ func TestClientSendErrorAdvancesToNextHead(t *testing.T) {
 		Endpoint:       ep,
 		Heads:          []transport.Addr{clientAddr(0), clientAddr(1)},
 		AttemptTimeout: 5 * time.Second, // a timeout would blow the test deadline
+		RedeemAfter:    -1,              // no prober: the test asserts the exact send sequence
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -99,6 +100,7 @@ func TestClientReadsRoundRobinAcrossHeads(t *testing.T) {
 		Endpoint:       ep,
 		Heads:          heads,
 		AttemptTimeout: 5 * time.Second,
+		RedeemAfter:    -1, // no prober: the test counts sends per head
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -142,6 +144,7 @@ func TestClientAllSendsFailReportsLastError(t *testing.T) {
 		Heads:          []transport.Addr{clientAddr(0), clientAddr(1)},
 		AttemptTimeout: 5 * time.Second,
 		Rounds:         2,
+		RedeemAfter:    -1, // no prober: the test counts sends
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -329,5 +332,188 @@ func TestMomHooksEmulateWhenHeadsUnreachable(t *testing.T) {
 	prologue, _ := MomHooks(cli, "compute9")
 	if prologue(pbs.Job{ID: "1.cluster"}, "head0/pbs") {
 		t.Fatal("prologue executed with no reachable lock service")
+	}
+}
+
+// scriptedEndpoint is a stub transport whose replies are produced by a
+// per-request handler; heads can be marked dead (Send errors) and
+// revived at runtime.
+type scriptedEndpoint struct {
+	handler func(to transport.Addr, req *rpcRequest) *rpcResponse
+	recv    chan transport.Message
+
+	mu    sync.Mutex
+	dead  map[transport.Addr]bool
+	sends []sendRec
+}
+
+// sendRec records one outbound request: its destination and opcode
+// (so tests can tell reads from background health probes).
+type sendRec struct {
+	to transport.Addr
+	op Op
+}
+
+func newScriptedEndpoint(handler func(transport.Addr, *rpcRequest) *rpcResponse) *scriptedEndpoint {
+	return &scriptedEndpoint{
+		handler: handler,
+		recv:    make(chan transport.Message, 64),
+		dead:    make(map[transport.Addr]bool),
+	}
+}
+
+func (e *scriptedEndpoint) Addr() transport.Addr { return "user/scripted" }
+
+func (e *scriptedEndpoint) setDead(a transport.Addr, dead bool) {
+	e.mu.Lock()
+	e.dead[a] = dead
+	e.mu.Unlock()
+}
+
+func (e *scriptedEndpoint) Send(to transport.Addr, payload []byte) error {
+	req, _, err := decodeRPC(payload)
+	if err != nil || req == nil {
+		return nil
+	}
+	e.mu.Lock()
+	e.sends = append(e.sends, sendRec{to: to, op: req.Op})
+	dead := e.dead[to]
+	e.mu.Unlock()
+	if dead {
+		return fmt.Errorf("stub: dial %s: connection refused", to)
+	}
+	resp := e.handler(to, req)
+	if resp == nil {
+		return nil // silent head
+	}
+	resp.ReqID = req.ReqID
+	e.recv <- transport.Message{From: to, To: e.Addr(), Payload: resp.encode()}
+	return nil
+}
+
+func (e *scriptedEndpoint) Recv() <-chan transport.Message { return e.recv }
+func (e *scriptedEndpoint) Close() error                   { return nil }
+
+func (e *scriptedEndpoint) sent() []sendRec {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]sendRec(nil), e.sends...)
+}
+
+func (e *scriptedEndpoint) resetSends() {
+	e.mu.Lock()
+	e.sends = nil
+	e.mu.Unlock()
+}
+
+func okHandler(transport.Addr, *rpcRequest) *rpcResponse {
+	return &rpcResponse{OK: true}
+}
+
+func TestClientProberRedeemsRecoveredHead(t *testing.T) {
+	// A head marked unhealthy must rejoin the read rotation once the
+	// background prober (RedeemAfter) sees it answer again, even if no
+	// mutation ever lands on it. While the head is down, no read is
+	// ever sent to it — probes run off the request path.
+	ep := newScriptedEndpoint(okHandler)
+	heads := []transport.Addr{clientAddr(0), clientAddr(1)}
+	cli, err := NewClient(ClientConfig{
+		Endpoint:       ep,
+		Heads:          heads,
+		AttemptTimeout: 5 * time.Second,
+		RedeemAfter:    25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	// head0 is down; a couple of reads discover that (send error fails
+	// over immediately) and mark it.
+	ep.setDead(clientAddr(0), true)
+	for i := 0; i < 2; i++ {
+		if _, err := cli.StatAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// While it stays down, every read goes straight to head1; the only
+	// traffic head0 sees is probes.
+	ep.resetSends()
+	time.Sleep(60 * time.Millisecond) // a couple of (failing) probe ticks
+	for i := 0; i < 4; i++ {
+		if _, err := cli.StatAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range ep.sent() {
+		if s.to == clientAddr(0) && s.op != OpInfoLocal {
+			t.Fatalf("read sent to down-marked head (sends: %v)", ep.sent())
+		}
+	}
+
+	// head0 recovers; the next probe marks it healthy and reads reach
+	// it again without any mutation reviving it.
+	ep.setDead(clientAddr(0), false)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		ep.resetSends()
+		for i := 0; i < 4; i++ {
+			if _, err := cli.StatAll(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		redeemed := false
+		for _, s := range ep.sent() {
+			if s.to == clientAddr(0) && s.op == OpStatAll {
+				redeemed = true
+			}
+		}
+		if redeemed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recovered head never rejoined the read rotation (sends: %v)", ep.sent())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestClientDeadHeadStaysOutOfReadRotation(t *testing.T) {
+	// A head that keeps failing its probes must stay out of the read
+	// rotation indefinitely: redemption requires an answered probe, so
+	// a permanently absent address (a spare slot in a static head
+	// list) costs the request path nothing after its first down-mark.
+	ep := newScriptedEndpoint(okHandler)
+	cli, err := NewClient(ClientConfig{
+		Endpoint:       ep,
+		Heads:          []transport.Addr{clientAddr(0), clientAddr(1)},
+		AttemptTimeout: 5 * time.Second,
+		RedeemAfter:    25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	ep.setDead(clientAddr(0), true)
+	for i := 0; i < 2; i++ {
+		if _, err := cli.StatAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Several probe intervals elapse, all failing; reads must still
+	// avoid the dead head.
+	time.Sleep(100 * time.Millisecond)
+	ep.resetSends()
+	for i := 0; i < 4; i++ {
+		if _, err := cli.StatAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range ep.sent() {
+		if s.to == clientAddr(0) && s.op != OpInfoLocal {
+			t.Fatalf("failed probes did not keep the dead head out of rotation (sends: %v)", ep.sent())
+		}
 	}
 }

@@ -88,6 +88,16 @@ type Config struct {
 	// of this head node). Required.
 	Daemon *pbs.Daemon
 
+	// Shard and Shards place this head in a sharded deployment: the
+	// head belongs to replication group Shard of Shards total (see
+	// internal/shard). The server itself never routes — clients do —
+	// but it reports its placement through jadmin, and the daemon it
+	// is configured with must carry the matching pbs.Config.IDFilter
+	// so the shard only mints job IDs it owns. Zero values mean the
+	// single-group deployment.
+	Shard  int
+	Shards int
+
 	// OutputPolicy defaults to OriginReplies.
 	OutputPolicy OutputPolicy
 
@@ -160,8 +170,13 @@ type Config struct {
 // Server is one JOSHUA head node: the PBS batch service and the
 // jmutex lock table composed behind a generic replication engine.
 type Server struct {
-	cfg    Config
-	rep    *rsm.Replica
+	cfg Config
+	// rep is assigned after rsm.NewReplica returns, but the replica
+	// serves datagrams (and hence this server's read handlers) as
+	// soon as its transport is wired inside NewReplica — atomic so an
+	// early request observes either nil or the full pointer, never a
+	// torn write.
+	rep    atomic.Pointer[rsm.Replica]
 	daemon *pbs.Daemon
 	locks  *lockService
 	stat   statCache
@@ -251,7 +266,7 @@ func StartServer(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.rep = rep
+	s.rep.Store(rep)
 
 	if cfg.OrderedCompletions {
 		s.daemon.SetDoneInterceptor(s.interceptDone)
@@ -304,7 +319,11 @@ func (s *Server) interceptDone(id pbs.JobID, exitCode int, output string) bool {
 	// Propose may block briefly on the send window; the daemon's
 	// receive loop tolerates that, and the mom keeps retransmitting
 	// until its report is acknowledged (which the daemon already did).
-	if err := s.rep.Propose(reqID, req.encode()); err != nil {
+	rep := s.rep.Load()
+	if rep == nil {
+		return false // still starting: fall back to direct application
+	}
+	if err := rep.Propose(reqID, req.encode()); err != nil {
 		return false // shutting down: fall back to direct application
 	}
 	return true
@@ -312,13 +331,13 @@ func (s *Server) interceptDone(id pbs.JobID, exitCode int, output string) bool {
 
 // Ready is closed once the head has joined (or formed) the group and
 // installed its first view.
-func (s *Server) Ready() <-chan struct{} { return s.rep.Ready() }
+func (s *Server) Ready() <-chan struct{} { return s.rep.Load().Ready() }
 
 // Self returns the head's member identity.
 func (s *Server) Self() gcs.MemberID { return s.cfg.Self }
 
 // View returns the most recent group view.
-func (s *Server) View() gcs.View { return s.rep.View() }
+func (s *Server) View() gcs.View { return s.rep.Load().View() }
 
 // Daemon returns the local batch service (for inspection in tests and
 // status tooling).
@@ -326,11 +345,11 @@ func (s *Server) Daemon() *pbs.Daemon { return s.daemon }
 
 // Replica returns the underlying replication engine (for inspection
 // in tests and status tooling).
-func (s *Server) Replica() *rsm.Replica { return s.rep }
+func (s *Server) Replica() *rsm.Replica { return s.rep.Load() }
 
 // Stats returns a snapshot of the server counters.
 func (s *Server) Stats() Stats {
-	st := s.rep.Stats()
+	st := s.rep.Load().Stats()
 	return Stats{
 		Intercepted:     st.Intercepted,
 		Applied:         st.Applied,
@@ -346,13 +365,13 @@ func (s *Server) Stats() Stats {
 // Leave announces a voluntary departure (the paper handles it as a
 // forced failure) and shuts the head down.
 func (s *Server) Leave() {
-	s.rep.Leave()
+	s.rep.Load().Leave()
 	s.daemon.Close()
 }
 
 // Close stops the head node immediately, simulating a crash.
 func (s *Server) Close() {
-	s.rep.Close()
+	s.rep.Load().Close()
 	s.daemon.Close()
 }
 
@@ -367,7 +386,10 @@ func (s *Server) serveRead(payload []byte) []byte {
 	if err != nil || req == nil {
 		return nil
 	}
-	resp := &rpcResponse{ReqID: req.ReqID, OK: true}
+	// Every local read carries the batch-state version it was served
+	// at, so sharded clients can reject snapshots that regress behind
+	// one they already saw (per-shard monotonic reads).
+	resp := &rpcResponse{ReqID: req.ReqID, OK: true, Epoch: s.daemon.Server().Version()}
 	switch req.Op {
 	case OpStatAll:
 		return s.statAllResponse(req.ReqID)
@@ -413,8 +435,14 @@ func (s *Server) statAllResponse(reqID string) []byte {
 	// same listing twice, but never block each other. The epoch was
 	// read before the listing, so if a mutation lands in between, the
 	// entry is stamped stale and the next poll rebuilds it.
+	// The epoch rides inside the cached body: it is a property of the
+	// snapshot, identical for every requester, so the splice idiom
+	// still applies. It was read *before* the listing — if a mutation
+	// lands in between, the body is stamped one epoch early, which is
+	// conservative (a client may re-fetch needlessly, never accept a
+	// regressed snapshot).
 	e := codec.NewEncoder(256)
-	(&rpcResponse{OK: true, Jobs: s.daemon.StatusAll()}).encodeBody(e)
+	(&rpcResponse{OK: true, Jobs: s.daemon.StatusAll(), Epoch: epoch}).encodeBody(e)
 	body := e.Bytes()
 
 	s.stat.mu.Lock()
@@ -429,13 +457,26 @@ func (s *Server) statAllResponse(reqID string) []byte {
 // (it runs on read workers since the concurrent read path landed; the
 // name is historical).
 func (s *Server) infoLocked() map[string]string {
+	rep := s.rep.Load()
+	if rep == nil {
+		// A read raced server startup (the replica serves before
+		// StartServer finishes); report the bare minimum. The client
+		// retries or the prober re-asks later.
+		return map[string]string{"head": string(s.cfg.Self), "mode": "starting"}
+	}
 	waiting, running, completed := s.daemon.Server().QueueLengths()
-	st := s.rep.Stats()
-	gst := s.rep.GroupStats()
-	view := s.rep.View()
+	st := rep.Stats()
+	gst := rep.GroupStats()
+	view := rep.View()
+	shards := s.cfg.Shards
+	if shards <= 0 {
+		shards = 1
+	}
 	info := map[string]string{
 		"head":              string(s.cfg.Self),
 		"mode":              "replicated",
+		"shard":             fmt.Sprintf("%d", s.cfg.Shard),
+		"shards":            fmt.Sprintf("%d", shards),
 		"view":              fmt.Sprintf("%d", view.ID),
 		"members":           fmt.Sprintf("%v", view.Members),
 		"primary":           fmt.Sprintf("%v", view.Primary),
@@ -477,11 +518,17 @@ func (s *Server) infoLocked() map[string]string {
 }
 
 // executeOn applies one PBS interface operation to a batch service.
+// Every reply carries the post-apply batch-state version so a sharded
+// client can use its own acked mutations as an epoch floor for later
+// local reads (read-your-writes per shard). Version counts applied
+// mutations under the state lock, so the stamp is deterministic
+// across replicas — safe to record in the replicated dedup table.
 func executeOn(d *pbs.Daemon, op Op, a *cmdArgs, reqID string) *rpcResponse {
 	resp := &rpcResponse{ReqID: reqID, OK: true}
 	fail := func(err error) *rpcResponse {
 		resp.OK = false
 		resp.ErrMsg = err.Error()
+		resp.Epoch = d.Server().Version()
 		return resp
 	}
 	switch op {
@@ -552,6 +599,7 @@ func executeOn(d *pbs.Daemon, op Op, a *cmdArgs, reqID string) *rpcResponse {
 	default:
 		return fail(fmt.Errorf("joshua: unknown operation %v", op))
 	}
+	resp.Epoch = d.Server().Version()
 	return resp
 }
 

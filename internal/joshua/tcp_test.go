@@ -45,10 +45,14 @@ func newTCPCluster(t *testing.T, n int) *tcpCluster {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// No prober: this client is created before the head listeners
+	// register themselves in tc.res, and a startup probe round would
+	// read the resolver map while the setup loop below still writes it.
 	tc.lockCli, err = NewClient(ClientConfig{
 		Endpoint:       lockEP,
 		Heads:          headClientAddrs,
 		AttemptTimeout: 500 * time.Millisecond,
+		RedeemAfter:    -1,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -197,6 +197,15 @@ type rpcResponse struct {
 	Granted bool // OpJMutex
 	Nodes   []pbs.NodeStatus
 	Info    map[string]string // OpInfoLocal
+	// Epoch stamps responses with the answering head's batch-state
+	// version (pbs.Server.Version): local reads carry the version the
+	// snapshot was served at, replicated (ordered) commands the
+	// version after the command applied. A sharded client treats the
+	// highest epoch it has seen per shard as a floor — an acked
+	// mutation therefore guarantees read-your-writes, and a listing
+	// from a head whose epoch regressed below the floor is re-fetched
+	// from another head (per-shard prefix-consistent scatter-gather).
+	Epoch uint64
 }
 
 func (r *rpcResponse) encode() []byte {
@@ -234,6 +243,7 @@ func (r *rpcResponse) encodeBody(e *codec.Encoder) {
 		e.PutString(k)
 		e.PutString(r.Info[k])
 	}
+	e.PutUint(r.Epoch)
 }
 
 // spliceResponse frames a pre-encoded response body (encodeBody
@@ -288,6 +298,7 @@ func decodeRPC(b []byte) (*rpcRequest, *rpcResponse, error) {
 				resp.Info[k] = d.String()
 			}
 		}
+		resp.Epoch = d.Uint()
 		if err := d.Finish(); err != nil {
 			return nil, nil, err
 		}

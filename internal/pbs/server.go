@@ -38,6 +38,14 @@ type Config struct {
 	// Accounting, when non-nil, receives one record per job event
 	// (the PBS accounting log). See AccountingSink.
 	Accounting AccountingSink
+	// IDFilter, when non-nil, restricts which job IDs this server may
+	// assign: Submit advances the sequence past any candidate ID the
+	// filter rejects. Sharded deployments install shard.IDFilter so
+	// every ID a shard mints hashes back to that shard, making IDs
+	// globally unique and client-routable with no directory. Replicas
+	// of one shard share the filter, so assignment stays
+	// deterministic.
+	IDFilter func(JobID) bool
 }
 
 // Server is the deterministic TORQUE-equivalent state machine. All
@@ -159,6 +167,12 @@ func NewServer(cfg Config) *Server {
 // Name returns the configured server name.
 func (s *Server) Name() string { return s.cfg.ServerName }
 
+// candidateID renders the ID the current sequence number would
+// produce. Must be called with s.mu held.
+func (s *Server) candidateID() JobID {
+	return JobID(fmt.Sprintf("%d.%s", s.nextSeq, s.cfg.ServerName))
+}
+
 // NodeNames returns the configured compute nodes.
 func (s *Server) NodeNames() []string {
 	return append([]string(nil), s.cfg.Nodes...)
@@ -180,6 +194,11 @@ func (s *Server) Submit(req SubmitRequest) (Job, error) {
 		return Job{}, &Error{Op: "qsub", Msg: fmt.Sprintf("cannot satisfy %d nodes (cluster has %d)", req.NodeCount, len(s.cfg.Nodes))}
 	}
 	s.nextSeq++
+	if s.cfg.IDFilter != nil {
+		for !s.cfg.IDFilter(s.candidateID()) {
+			s.nextSeq++
+		}
+	}
 	j := &Job{
 		ID:          JobID(fmt.Sprintf("%d.%s", s.nextSeq, s.cfg.ServerName)),
 		Seq:         s.nextSeq,

@@ -1,0 +1,143 @@
+// Package shard partitions the job space of a JOSHUA deployment
+// across N independent replicated head-node groups ("shards"). Each
+// shard is a complete JOSHUA head-set — group communication, the
+// replication engine with its WAL, and a PBS batch service — that
+// totally orders only its own commands, so aggregate submit
+// throughput scales with the shard count instead of being capped by
+// one sequencer event loop.
+//
+// The partition is deterministic and shared by clients and servers:
+//
+//   - Jobs are owned by the shard their ID hashes to (RouteJob). A
+//     shard only ever *assigns* IDs it owns (see Owns and
+//     pbs.Config.IDFilter), so any party holding a job ID can compute
+//     the owning shard locally — no directory service, no lookup
+//     round trip. Submissions carry no ID yet and may be placed on
+//     any shard; the chosen shard mints an ID that routes back to it.
+//
+//   - Compute nodes are statically partitioned across shards
+//     (PartitionNodes): each shard schedules only its own nodes, so
+//     shard schedulers never race for a machine.
+//
+// Nothing is ordered *across* shards: two jobs on different shards
+// have no defined serialization, exactly as two jobs submitted to two
+// independent clusters do not. Per-shard guarantees (total order,
+// exactly-once, prefix-consistent reads) are unchanged — a shard is
+// just another replica group.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"joshua/internal/pbs"
+	"joshua/internal/transport"
+)
+
+// Map is the static shard map of a deployment: how many shards exist,
+// where each shard's heads answer client RPCs, and which compute
+// nodes each shard owns. It is immutable after construction and safe
+// for concurrent use.
+type Map struct {
+	// Heads[s] lists the client-RPC addresses of shard s's head
+	// nodes, in preference order. len(Heads) is the shard count.
+	Heads [][]transport.Addr
+	// Nodes[s] lists the compute-node names shard s schedules.
+	// Optional (clients that never issue node operations may leave it
+	// nil); when set, len(Nodes) == len(Heads).
+	Nodes [][]string
+}
+
+// Single wraps a single replication group (the unsharded deployment)
+// in a one-entry map, so every consumer can speak shard-map terms.
+func Single(heads []transport.Addr) *Map {
+	return &Map{Heads: [][]transport.Addr{heads}}
+}
+
+// Count returns the number of shards.
+func (m *Map) Count() int { return len(m.Heads) }
+
+// RouteJob returns the shard that owns a job ID.
+func (m *Map) RouteJob(id pbs.JobID) int {
+	return RouteJob(id, len(m.Heads))
+}
+
+// RouteNode returns the shard owning a compute node, or -1 when the
+// map carries no node partition or the node is unknown (callers then
+// fan out).
+func (m *Map) RouteNode(name string) int {
+	for s, nodes := range m.Nodes {
+		for _, n := range nodes {
+			if n == name {
+				return s
+			}
+		}
+	}
+	return -1
+}
+
+// RouteJob maps a job ID to its owning shard among count shards: an
+// FNV-1a hash of the ID string, reduced mod count. Deterministic
+// everywhere — client libraries, head nodes, and tools agree with no
+// coordination.
+func RouteJob(id pbs.JobID, count int) int {
+	if count <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return int(h.Sum32() % uint32(count))
+}
+
+// Owns reports whether shard index owns the given job ID under a
+// count-shard partition.
+func Owns(id pbs.JobID, index, count int) bool {
+	return RouteJob(id, count) == index
+}
+
+// IDFilter returns the pbs.Config.IDFilter for one shard: the batch
+// service advances its submission sequence past any candidate ID the
+// shard does not own, so every ID a shard assigns hashes back to it.
+// Replicas of the same shard share (index, count) and therefore skip
+// identically — ID assignment stays deterministic. Disjointness falls
+// out: a given sequence number produces the same candidate ID on
+// every shard, and exactly one shard accepts it.
+func IDFilter(index, count int) func(pbs.JobID) bool {
+	if count <= 1 {
+		return nil
+	}
+	return func(id pbs.JobID) bool { return Owns(id, index, count) }
+}
+
+// PartitionNodes deals compute nodes round-robin across count shards:
+// node i goes to shard i mod count. Round-robin keeps the per-shard
+// pools balanced within one node and is stable under appending new
+// nodes (existing assignments never move).
+func PartitionNodes(nodes []string, count int) [][]string {
+	if count <= 1 {
+		return [][]string{append([]string(nil), nodes...)}
+	}
+	parts := make([][]string, count)
+	for i, n := range nodes {
+		parts[i%count] = append(parts[i%count], n)
+	}
+	return parts
+}
+
+// Validate checks a map for structural sanity: at least one shard,
+// every shard has at least one head, and the node partition (when
+// present) matches the shard count.
+func (m *Map) Validate() error {
+	if len(m.Heads) == 0 {
+		return fmt.Errorf("shard: map has no shards")
+	}
+	for s, heads := range m.Heads {
+		if len(heads) == 0 {
+			return fmt.Errorf("shard: shard %d has no heads", s)
+		}
+	}
+	if m.Nodes != nil && len(m.Nodes) != len(m.Heads) {
+		return fmt.Errorf("shard: node partition covers %d shards, map has %d", len(m.Nodes), len(m.Heads))
+	}
+	return nil
+}

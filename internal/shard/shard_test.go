@@ -1,0 +1,136 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"joshua/internal/pbs"
+	"joshua/internal/transport"
+)
+
+func TestRouteJobDeterministicAndInRange(t *testing.T) {
+	for count := 1; count <= 8; count++ {
+		for i := 0; i < 100; i++ {
+			id := pbs.JobID(fmt.Sprintf("%d.cluster", i))
+			s := RouteJob(id, count)
+			if s < 0 || s >= count {
+				t.Fatalf("RouteJob(%s, %d) = %d out of range", id, count, s)
+			}
+			if again := RouteJob(id, count); again != s {
+				t.Fatalf("RouteJob(%s, %d) not deterministic: %d then %d", id, count, s, again)
+			}
+		}
+	}
+}
+
+func TestRouteJobSpreadsAcrossShards(t *testing.T) {
+	// The hash need not be perfectly uniform, but every shard must own
+	// a healthy fraction of a realistic ID stream — otherwise the
+	// partition cannot scale submissions.
+	const count = 4
+	perShard := make([]int, count)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		perShard[RouteJob(pbs.JobID(fmt.Sprintf("%d.cluster", i)), count)]++
+	}
+	for s, got := range perShard {
+		if got < n/count/2 {
+			t.Errorf("shard %d owns only %d of %d IDs; hash is badly skewed: %v", s, got, n, perShard)
+		}
+	}
+}
+
+func TestOwnsPartitionIsExclusiveAndExhaustive(t *testing.T) {
+	// Every candidate ID is owned by exactly one shard: this is what
+	// makes per-shard ID assignment (IDFilter skipping foreign
+	// sequence numbers) produce globally unique IDs.
+	const count = 4
+	for i := 0; i < 200; i++ {
+		id := pbs.JobID(fmt.Sprintf("%d.cluster", i))
+		owners := 0
+		for s := 0; s < count; s++ {
+			if Owns(id, s, count) {
+				owners++
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("ID %s has %d owners, want exactly 1", id, owners)
+		}
+	}
+}
+
+func TestIDFilterAcceptsOnlyOwnedIDs(t *testing.T) {
+	const count = 3
+	for s := 0; s < count; s++ {
+		f := IDFilter(s, count)
+		for i := 0; i < 50; i++ {
+			id := pbs.JobID(fmt.Sprintf("%d.cluster", i))
+			if f(id) != Owns(id, s, count) {
+				t.Fatalf("IDFilter(%d,%d)(%s) disagrees with Owns", s, count, id)
+			}
+		}
+	}
+	if IDFilter(0, 1) != nil {
+		t.Error("IDFilter for a single shard should be nil (no filtering)")
+	}
+}
+
+func TestPartitionNodesRoundRobin(t *testing.T) {
+	nodes := []string{"c0", "c1", "c2", "c3", "c4"}
+	parts := PartitionNodes(nodes, 2)
+	if len(parts) != 2 {
+		t.Fatalf("got %d partitions, want 2", len(parts))
+	}
+	want0 := []string{"c0", "c2", "c4"}
+	want1 := []string{"c1", "c3"}
+	for i, w := range want0 {
+		if parts[0][i] != w {
+			t.Errorf("shard 0 partition = %v, want %v", parts[0], want0)
+			break
+		}
+	}
+	for i, w := range want1 {
+		if parts[1][i] != w {
+			t.Errorf("shard 1 partition = %v, want %v", parts[1], want1)
+			break
+		}
+	}
+
+	// Single shard keeps everything.
+	whole := PartitionNodes(nodes, 1)
+	if len(whole) != 1 || len(whole[0]) != len(nodes) {
+		t.Errorf("single-shard partition = %v, want all nodes", whole)
+	}
+}
+
+func TestMapRouteNode(t *testing.T) {
+	m := &Map{
+		Heads: [][]transport.Addr{{"s0h0/joshua"}, {"s1h0/joshua"}},
+		Nodes: [][]string{{"c0", "c2"}, {"c1"}},
+	}
+	if got := m.RouteNode("c1"); got != 1 {
+		t.Errorf("RouteNode(c1) = %d, want 1", got)
+	}
+	if got := m.RouteNode("c2"); got != 0 {
+		t.Errorf("RouteNode(c2) = %d, want 0", got)
+	}
+	if got := m.RouteNode("nope"); got != -1 {
+		t.Errorf("RouteNode(nope) = %d, want -1", got)
+	}
+}
+
+func TestMapValidate(t *testing.T) {
+	good := &Map{Heads: [][]transport.Addr{{"a"}, {"b"}}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid map rejected: %v", err)
+	}
+	for _, bad := range []*Map{
+		{},
+		{Heads: [][]transport.Addr{{"a"}, {}}},
+		{Heads: [][]transport.Addr{{"a"}}, Nodes: [][]string{{"c0"}, {"c1"}}},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("invalid map %+v accepted", bad)
+		}
+	}
+}
