@@ -43,6 +43,8 @@ var perShardKeys = []string{
 var perHeadKeys = []string{
 	"cmds_replied", "dedup_hits", "local_reads", "read_cache_hits",
 	"reply_queue_drops",
+	// lease_held is a per-head boolean gauge, reported but not summed.
+	"lease_reads", "lease_fallbacks", "lease_revocations",
 }
 
 func main() {

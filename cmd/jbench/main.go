@@ -9,11 +9,14 @@
 //	jbench -fig wal            # WAL fsync-policy ablation vs in-memory
 //	jbench -fig applypipe      # pipelined apply-path ablation
 //	jbench -fig shards         # sharded replication groups scaling sweep
+//	jbench -fig leases         # read consistency levels: local/leased/broadcast
 //	jbench -fig all            # everything
 //
 // -json writes the selected figure's results (readpath, wal,
-// applypipe, or shards) to a machine-readable file (the CI benchmark
-// artifact).
+// applypipe, shards, or leases) to a machine-readable file (the CI
+// benchmark artifact). Every file carries a "meta" object recording
+// the run environment: GOMAXPROCS, the Go toolchain version, the git
+// commit, and the model scale — enough to tell two artifacts apart.
 //
 // -scale selects the latency-model scale (1.0 = paper-scale
 // milliseconds; smaller runs proportionally faster). Shapes, not
@@ -26,10 +29,47 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"runtime"
+	"runtime/debug"
+	"strings"
 	"time"
 
 	"joshua/internal/bench"
 )
+
+// runMeta identifies the environment a benchmark artifact came from.
+type runMeta struct {
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	GoVersion  string  `json:"go_version"`
+	GitCommit  string  `json:"git_commit"`
+	Scale      float64 `json:"scale"`
+	Timestamp  string  `json:"timestamp_utc"`
+}
+
+// newRunMeta captures the environment. The commit comes from git when
+// a work tree is available (the common case: CI runs jbench from a
+// checkout), falling back to the build info stamp for installed
+// binaries.
+func newRunMeta(scale float64) runMeta {
+	commit := "unknown"
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		commit = strings.TrimSpace(string(out))
+	} else if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				commit = s.Value
+			}
+		}
+	}
+	return runMeta{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		GitCommit:  commit,
+		Scale:      scale,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+}
 
 func main() {
 	var (
@@ -45,6 +85,21 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "jbench:", err)
 		os.Exit(1)
+	}
+	// writeJSON emits the figure's results to -json, stamped with the
+	// run metadata.
+	writeJSON := func(payload map[string]any) {
+		if *jsonPath == "" {
+			return
+		}
+		payload["meta"] = newRunMeta(*scale)
+		out, err := json.MarshalIndent(payload, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+			fail(err)
+		}
 	}
 
 	run10 := func() {
@@ -109,18 +164,10 @@ func main() {
 			fmt.Printf("  speedup: %.1fx read throughput\n", conc.ReadsPerSec/onLoop.ReadsPerSec)
 		}
 		fmt.Println()
-		if *jsonPath != "" {
-			out, err := json.MarshalIndent(map[string]bench.MixedReadResult{
-				"concurrent": conc,
-				"on_loop":    onLoop,
-			}, "", "  ")
-			if err != nil {
-				fail(err)
-			}
-			if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
-				fail(err)
-			}
-		}
+		writeJSON(map[string]any{
+			"concurrent": conc,
+			"on_loop":    onLoop,
+		})
 	}
 
 	runWAL := func() {
@@ -144,15 +191,7 @@ func main() {
 			fmt.Printf("  %-12s %-10v%s\n", r.Policy+":", r.SubmitMean.Round(time.Millisecond/10), extra)
 		}
 		fmt.Println()
-		if *jsonPath != "" {
-			out, err := json.MarshalIndent(map[string][]bench.WALPolicyResult{"wal_policies": rows}, "", "  ")
-			if err != nil {
-				fail(err)
-			}
-			if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
-				fail(err)
-			}
-		}
+		writeJSON(map[string]any{"wal_policies": rows})
 	}
 
 	runApplyPipe := func() {
@@ -170,15 +209,7 @@ func main() {
 		fmt.Printf("  speedup: %.1fx throughput vs serial, p99 ratio %.2f\n",
 			res.SpeedupParallelVsSerial, res.P99RatioParallelVsSerial)
 		fmt.Println()
-		if *jsonPath != "" {
-			out, err := json.MarshalIndent(map[string]bench.ApplyPipeResult{"apply_pipeline": res}, "", "  ")
-			if err != nil {
-				fail(err)
-			}
-			if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
-				fail(err)
-			}
-		}
+		writeJSON(map[string]any{"apply_pipeline": res})
 	}
 
 	runShards := func() {
@@ -195,15 +226,27 @@ func main() {
 		}
 		fmt.Printf("  speedup at 4 shards: %.1fx vs single group\n", res.SpeedupAt4)
 		fmt.Println()
-		if *jsonPath != "" {
-			out, err := json.MarshalIndent(map[string]bench.ShardResult{"shard_scaling": res}, "", "  ")
-			if err != nil {
-				fail(err)
-			}
-			if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
-				fail(err)
-			}
+		writeJSON(map[string]any{"shard_scaling": res})
+	}
+
+	runLeases := func() {
+		res, err := bench.MeasureLeases(cal, 4, 8, 5, 2*time.Second)
+		if err != nil {
+			fail(err)
 		}
+		fmt.Println("Read consistency levels (8 readers, 4 heads, pure-read phase):")
+		for _, v := range res.Variants {
+			extra := ""
+			if v.LeaseReads > 0 || v.LeaseFallbacks > 0 {
+				extra = fmt.Sprintf("   (%d leased, %d fallbacks)", v.LeaseReads, v.LeaseFallbacks)
+			}
+			fmt.Printf("  %-12s %7.0f reads/s   read mean %v%s\n",
+				v.Name+":", v.ReadsPerSec, v.ReadMean.Round(time.Millisecond/10), extra)
+		}
+		fmt.Printf("  leased vs local: %.2fx   leased vs broadcast-ordered: %.1fx\n",
+			res.LeasedVsLocal, res.LeasedVsBroadcast)
+		fmt.Println()
+		writeJSON(map[string]any{"lease_reads": res})
 	}
 
 	switch *fig {
@@ -223,6 +266,8 @@ func main() {
 		runApplyPipe()
 	case "shards":
 		runShards()
+	case "leases":
+		runLeases()
 	case "all":
 		run10()
 		run11()
@@ -232,6 +277,7 @@ func main() {
 		runWAL()
 		runApplyPipe()
 		runShards()
+		runLeases()
 	default:
 		fail(fmt.Errorf("unknown -fig %q", *fig))
 	}

@@ -56,6 +56,7 @@ func main() {
 		syncPolicy = flag.String("sync-policy", "", "WAL fsync policy: always, interval, or none (overrides sync_policy in config)")
 		ckptEvery  = flag.Uint64("checkpoint-every", 0, "applied commands between checkpoints (overrides checkpoint_every in config; 0 = default)")
 		applyConc  = flag.Int("apply-concurrency", 0, "apply-worker pool size for the pipelined write path (overrides apply_concurrency in config; 0 = GOMAXPROCS, negative = serial ablation)")
+		leaseDur   = flag.Duration("lease-duration", 0, "read-lease length for locally served linearizable reads (overrides lease_duration in config; 0 = engine default, negative = leases off)")
 		shardIdx   = flag.Int("shard", -1, "override this head's replication group (default: the [head] section's shard key)")
 		shardCount = flag.Int("shards", 0, "override the deployment's shard count (default: the shards config key)")
 		verbose    = flag.Bool("v", false, "log protocol diagnostics")
@@ -158,6 +159,10 @@ func main() {
 	cfg.ApplyConcurrency = conf.ApplyConcurrency
 	if *applyConc != 0 {
 		cfg.ApplyConcurrency = *applyConc
+	}
+	cfg.LeaseDuration = conf.LeaseDuration
+	if *leaseDur != 0 {
+		cfg.LeaseDuration = *leaseDur
 	}
 	switch *mode {
 	case "static":

@@ -2,9 +2,11 @@
 // the highly available qstat of the paper. As in the paper, the query
 // stays outside the total order: it is answered from one head's local
 // state (round-robined across the group, prefix-consistent, possibly
-// trailing a mutation in flight). -ordered instead serializes the
-// read through the total order (a linearizable read, at one
-// total-order round of cost); -local forces the explicit local-state
+// trailing a mutation in flight). -ordered asks for a linearizable
+// read instead: a head holding a live sequencer lease serves it
+// locally at nearly local-read cost, and a leaseless head falls back
+// to serializing it through the total order (one full ordering round)
+// — see DESIGN.md §6.7. -local forces the explicit local-state
 // operation against a single head.
 //
 // Usage:

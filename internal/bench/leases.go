@@ -1,0 +1,227 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"joshua/internal/cluster"
+	"joshua/internal/joshua"
+)
+
+// This file measures the three read consistency levels side by side
+// (DESIGN.md §6.7): local unordered reads (any head answers from its
+// replica, no ordering guarantee), leased linearizable reads (a head
+// holding a live sequencer lease answers ordered reads locally), and
+// the broadcast-ordered ablation (leases disabled, every ordered read
+// replicated through the total order — the pre-lease jstat -ordered
+// path). The workload is a pure-read phase after a seeded queue: the
+// interesting quantity is how close leased linearizable reads come to
+// the local unordered ceiling, and how far both are from paying a
+// full ordering round per query.
+
+// LeaseVariant is one measured read path.
+type LeaseVariant struct {
+	// Name is "local", "leased", or "broadcast".
+	Name string `json:"variant"`
+	// Reads is how many listings completed inside the timed window.
+	Reads int64 `json:"reads"`
+	// ReadsPerSec is the aggregate reader throughput.
+	ReadsPerSec float64 `json:"reads_per_sec"`
+	// ReadMean is the mean per-listing latency seen by a reader.
+	ReadMean time.Duration `json:"read_mean_ns"`
+	// LeaseReads and LeaseFallbacks are the head-side counter deltas
+	// over the window: how many ordered reads the leases actually
+	// served locally vs. sent through the total order.
+	LeaseReads     uint64 `json:"lease_reads"`
+	LeaseFallbacks uint64 `json:"lease_fallbacks"`
+}
+
+// LeaseResult is the full three-way comparison.
+type LeaseResult struct {
+	Heads   int           `json:"heads"`
+	Readers int           `json:"readers"`
+	Jobs    int           `json:"seed_jobs"`
+	Window  time.Duration `json:"window_ns"`
+	// Variants holds local, leased, broadcast in that order.
+	Variants []LeaseVariant `json:"variants"`
+	// LeasedVsLocal is leased over local throughput — the acceptance
+	// metric (>= 0.5: leased linearizable reads within 2x of the
+	// unordered ceiling).
+	LeasedVsLocal float64 `json:"leased_vs_local"`
+	// LeasedVsBroadcast is leased over broadcast-ordered throughput
+	// (>= 5: skipping the ordering round has to matter).
+	LeasedVsBroadcast float64 `json:"leased_vs_broadcast"`
+}
+
+// measureReadPhase drives `readers` clients in back-to-back listing
+// loops against c for the given window and returns the completed
+// count. ordered selects StatAllOrdered (the linearizable listing)
+// over StatAll (the local unordered one).
+func measureReadPhase(c *cluster.Cluster, readers int, window time.Duration, ordered bool) (int64, error) {
+	live := c.LiveHeads()
+	clis := make([]*joshua.Client, readers)
+	var err error
+	for i := range clis {
+		if clis[i], err = c.ClientFor(live...); err != nil {
+			return 0, err
+		}
+	}
+
+	read := func(cli *joshua.Client) error {
+		if ordered {
+			_, err := cli.StatAllOrdered()
+			return err
+		}
+		_, err := cli.StatAll()
+		return err
+	}
+
+	// Warm each client's head book and the read path before timing.
+	for _, cli := range clis {
+		for i := 0; i < 2; i++ {
+			if err := read(cli); err != nil {
+				return 0, err
+			}
+		}
+	}
+
+	stop := make(chan struct{})
+	errCh := make(chan error, readers)
+	var reads atomic.Int64
+	var wg sync.WaitGroup
+	for _, cli := range clis {
+		wg.Add(1)
+		go func(cli *joshua.Client) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := read(cli); err != nil {
+					errCh <- err
+					return
+				}
+				reads.Add(1)
+			}
+		}(cli)
+	}
+	time.Sleep(window)
+	n := reads.Load()
+	close(stop)
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return 0, fmt.Errorf("reader: %w", err)
+	}
+	return n, nil
+}
+
+// leaseCounters sums the lease-read counters across live heads.
+func leaseCounters(c *cluster.Cluster) (reads, fallbacks uint64) {
+	for _, i := range c.LiveHeads() {
+		st := c.Head(i).Stats()
+		reads += st.LeaseReads
+		fallbacks += st.LeaseFallbacks
+	}
+	return
+}
+
+// leaseCluster boots one measured deployment, seeds the queue, and
+// waits for steady state. leaseDuration < 0 is the broadcast-ordered
+// ablation; 0 enables leases at the group default.
+func leaseCluster(cal Calibration, heads, jobs int, leaseDuration time.Duration) (*cluster.Cluster, error) {
+	opts := cal.options(heads, false)
+	opts.LeaseDuration = leaseDuration
+	c, err := clusterNew(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.WaitReady(30 * time.Second); err != nil {
+		c.Close()
+		return nil, err
+	}
+	cli, err := c.ClientFor(heads - 1)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	for i := 0; i < jobs; i++ {
+		if err := holdSubmit(cli); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// MeasureLeases runs the three-way comparison: local unordered and
+// leased linearizable listings against a lease-enabled cluster, then
+// broadcast-ordered listings against an identical cluster with leases
+// disabled.
+func MeasureLeases(cal Calibration, heads, readers, jobs int, window time.Duration) (LeaseResult, error) {
+	if readers <= 0 {
+		readers = 4
+	}
+	if window <= 0 {
+		window = 2 * time.Second
+	}
+	res := LeaseResult{Heads: heads, Readers: readers, Jobs: jobs, Window: window}
+
+	variant := func(name string, c *cluster.Cluster, ordered bool) error {
+		r0, f0 := leaseCounters(c)
+		n, err := measureReadPhase(c, readers, window, ordered)
+		if err != nil {
+			return fmt.Errorf("bench: %s reads: %w", name, err)
+		}
+		r1, f1 := leaseCounters(c)
+		v := LeaseVariant{
+			Name:           name,
+			Reads:          n,
+			ReadsPerSec:    float64(n) / window.Seconds(),
+			LeaseReads:     r1 - r0,
+			LeaseFallbacks: f1 - f0,
+		}
+		if n > 0 {
+			v.ReadMean = time.Duration(int64(window) * int64(readers) / n)
+		}
+		res.Variants = append(res.Variants, v)
+		return nil
+	}
+
+	leased, err := leaseCluster(cal, heads, jobs, 0)
+	if err != nil {
+		return res, err
+	}
+	if err := variant("local", leased, false); err != nil {
+		leased.Close()
+		return res, err
+	}
+	if err := variant("leased", leased, true); err != nil {
+		leased.Close()
+		return res, err
+	}
+	leased.Close()
+
+	broadcast, err := leaseCluster(cal, heads, jobs, -1)
+	if err != nil {
+		return res, err
+	}
+	err = variant("broadcast", broadcast, true)
+	broadcast.Close()
+	if err != nil {
+		return res, err
+	}
+
+	local, lsd, bcast := res.Variants[0], res.Variants[1], res.Variants[2]
+	if local.ReadsPerSec > 0 {
+		res.LeasedVsLocal = lsd.ReadsPerSec / local.ReadsPerSec
+	}
+	if bcast.ReadsPerSec > 0 {
+		res.LeasedVsBroadcast = lsd.ReadsPerSec / bcast.ReadsPerSec
+	}
+	return res, nil
+}

@@ -94,6 +94,11 @@ type Options struct {
 	// per-head apply-worker pool size for the pipelined write path
 	// (0 = engine default, rsm.ApplyOnLoop = the serial ablation).
 	ApplyConcurrency int
+	// LeaseDuration forwards to joshua.Config.LeaseDuration: the
+	// sequencer-granted read-lease length (0 = enabled with the group
+	// layer's default, negative = disabled, the broadcast-ordered
+	// ablation).
+	LeaseDuration time.Duration
 	// ClientTimeout is the per-head attempt timeout for clients made
 	// by Client/ClientFor (0 = 1s). Stress tests shorten it so a
 	// client discovers the dead entries of the static head book
@@ -342,6 +347,7 @@ func (c *Cluster) startHead(s, i int, initial []gcs.MemberID, join bool) error {
 		OrderedCompletions: c.opts.OrderedCompletions,
 		ReadConcurrency:    c.opts.ReadConcurrency,
 		ApplyConcurrency:   c.opts.ApplyConcurrency,
+		LeaseDuration:      c.opts.LeaseDuration,
 		Shard:              s,
 		Shards:             c.shards,
 		TuneGCS:            c.opts.TuneGCS,

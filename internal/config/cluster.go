@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"time"
 
 	"joshua/internal/gcs"
 	"joshua/internal/transport"
@@ -48,6 +49,13 @@ type ClusterFile struct {
 	// ("apply_concurrency" under [options]; 0 = engine default, any
 	// negative value = the serial pre-pipeline ablation).
 	ApplyConcurrency int
+	// LeaseDuration is the sequencer-granted read-lease length
+	// ("lease_duration", globally or under [options], a Go duration
+	// like "500ms", or "off"). Zero (the default) enables leasing at
+	// the group engine's default length; "off" (or any negative
+	// duration) disables leases, sending every ordered read through
+	// the total order.
+	LeaseDuration time.Duration
 
 	// explicitComputes records whether the compute shard placement
 	// came from the file (every section declared "shard = N") or was
@@ -96,6 +104,22 @@ func (c ComputeDecl) MomAddr() transport.Addr {
 // MemberID returns the head's group member identity.
 func (h HeadDecl) MemberID() gcs.MemberID { return gcs.MemberID(h.Name) }
 
+// parseLeaseDuration interprets the "lease_duration" key: a Go
+// duration string, or "off"/"disabled" for the broadcast-only
+// ablation (mapped to -1, which the engine treats as leasing
+// disabled).
+func parseLeaseDuration(v string) (time.Duration, error) {
+	switch v {
+	case "off", "disabled":
+		return -1, nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return 0, fmt.Errorf("config: lease_duration: %v", err)
+	}
+	return d, nil
+}
+
 // LoadCluster parses a deployment description.
 func LoadCluster(path string) (*ClusterFile, error) {
 	f, err := Load(path)
@@ -114,6 +138,12 @@ func ClusterFromFile(f *File) (*ClusterFile, error) {
 		ClientBind: f.Global("client_bind", ""),
 		DataDir:    f.Global("data_dir", ""),
 		SyncPolicy: f.Global("sync_policy", ""),
+	}
+	if v := f.Global("lease_duration", ""); v != "" {
+		var err error
+		if c.LeaseDuration, err = parseLeaseDuration(v); err != nil {
+			return nil, err
+		}
 	}
 	for _, sec := range f.SectionsOf("head") {
 		if sec.Name == "" {
@@ -189,6 +219,11 @@ func ClusterFromFile(f *File) (*ClusterFile, error) {
 			return nil, err
 		}
 		c.ApplyConcurrency = int(ac)
+		if v := opts[0].Get("lease_duration"); v != "" {
+			if c.LeaseDuration, err = parseLeaseDuration(v); err != nil {
+				return nil, err
+			}
+		}
 		if v := opts[0].Get("shards"); v != "" {
 			n, err := strconv.Atoi(v)
 			if err != nil || n < 1 {

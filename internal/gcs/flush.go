@@ -90,6 +90,14 @@ func (p *Process) nextCandidates() (candidates, old, joining []MemberID) {
 // beginFlush starts (or restarts) a view change with this member as
 // coordinator.
 func (p *Process) beginFlush(attempt uint64) {
+	// A membership change is underway: stop serving leased reads and
+	// record when grants provably ceased (we stop granting the moment
+	// st leaves statusNormal below; holders' leases all expire within
+	// one LeaseDuration of that).
+	p.revokeLease()
+	if p.st == statusNormal && p.cfg.LeaseDuration > 0 {
+		p.leaseFence = time.Now().Add(p.cfg.LeaseDuration)
+	}
 	// Push out any batch still accumulating in this round before the
 	// flush snapshots p.ordered, so a batch straddling the view change
 	// is reconciled (and cut) exactly like singleton DATA.
@@ -164,7 +172,13 @@ func (p *Process) onPropose(m *message) {
 	}
 	switch p.st {
 	case statusNormal:
-		// Enter the flush as a participant.
+		// Enter the flush as a participant. Our lease dies here,
+		// synchronously with the membership change: the flush state we
+		// send below is the revocation acknowledgment.
+		p.revokeLease()
+		if p.cfg.LeaseDuration > 0 {
+			p.leaseFence = time.Now().Add(p.cfg.LeaseDuration)
+		}
 		p.st = statusFlushing
 		p.fl = flushState{
 			attempt: m.Attempt,
@@ -217,14 +231,50 @@ func (p *Process) onFlushState(m *message) {
 }
 
 // checkFlushComplete finishes the flush once every old-view candidate
-// has reported.
+// has reported and any stale-lease barrier has passed.
 func (p *Process) checkFlushComplete() {
+	if p.st != statusFlushing || p.fl.coord != p.cfg.Self {
+		return
+	}
 	for _, m := range p.fl.oldMembers {
 		if _, ok := p.fl.states[m]; !ok {
 			return
 		}
 	}
+	if p.leaseBarrierWait() > 0 {
+		return // flushTick re-checks until the barrier passes
+	}
 	p.completeFlush()
+}
+
+// leaseBarrierWait returns how long the coordinator must still delay
+// installing a new view that excludes current members, so that any
+// read lease those members hold has expired before the new view can
+// ack its first mutation. Excluded members revoke nothing themselves
+// (they never see the flush), so the coordinator waits out the lease
+// fence — one LeaseDuration after grants ceased. Under the FailStop
+// policy (the paper's model) exclusion means a crash and a crashed
+// member serves no reads, so no barrier applies; it matters under
+// Majority, where an excluded member may be alive across a partition.
+// The fence anchors at this member's flush entry; a live partitioned
+// sequencer stops granting at its own failure-detection timeout, so
+// detection skew beyond the lease safety margin is the residual
+// window (see DESIGN).
+func (p *Process) leaseBarrierWait() time.Duration {
+	if p.cfg.LeaseDuration <= 0 || !p.cfg.SafeDelivery || p.cfg.PartitionPolicy != Majority {
+		return 0
+	}
+	excluded := false
+	for _, m := range p.view.Members {
+		if !memberIn(p.fl.candidates, m) {
+			excluded = true
+			break
+		}
+	}
+	if !excluded {
+		return 0
+	}
+	return time.Until(p.leaseFence)
 }
 
 // completeFlush is the coordinator's commit step: compute the final
@@ -674,6 +724,9 @@ func (p *Process) flushTick(now time.Time) {
 				}
 				p.multicast(lagging, prop)
 			}
+			// All states may already be in with only the stale-lease
+			// barrier pending; idempotent, completes when it passes.
+			p.checkFlushComplete()
 		} else if now.Sub(p.fl.lastStateSend) >= p.cfg.ResendInterval {
 			p.fl.lastStateSend = now
 			p.sendTo(p.fl.coord, p.makeFlushStateMsg(p.fl.attempt))

@@ -37,6 +37,7 @@ import (
 	"log"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"joshua/internal/codec"
@@ -234,6 +235,20 @@ type Config struct {
 	// of an extra acknowledgment round per message. Off by default
 	// (agreed delivery), matching common Transis usage.
 	SafeDelivery bool
+	// LeaseDuration is the wall-clock length of the read leases the
+	// sequencer grants to view members (piggybacked on heartbeat and
+	// BATCH frames). A member holding a live lease may serve
+	// linearizable reads locally without a broadcast; see
+	// LeasedReadOK. Grants are issued only while SafeDelivery is on
+	// (an acked message is then guaranteed received at every lease
+	// holder) and only in a primary view; they cease the moment a
+	// flush begins, and holders revoke synchronously when they enter
+	// a flush or install a view. Zero selects the default,
+	// FailTimeout/2; values above FailTimeout are clamped to it (a
+	// suspected member's lease must not outlive failure detection);
+	// negative disables leasing.
+	LeaseDuration time.Duration
+
 	// LoopbackSelfDelivery routes the sequencer's own sequenced
 	// messages through its transport endpoint instead of the direct
 	// in-process path. Transis-faithful: the original JOSHUA stack
@@ -276,6 +291,12 @@ func (c *Config) fillDefaults() {
 	}
 	if c.TransferChunk <= 0 {
 		c.TransferChunk = 256 << 10
+	}
+	if c.LeaseDuration == 0 {
+		c.LeaseDuration = c.FailTimeout / 2
+	}
+	if c.LeaseDuration > c.FailTimeout {
+		c.LeaseDuration = c.FailTimeout
 	}
 }
 
@@ -321,6 +342,18 @@ type Process struct {
 	viewMu   sync.Mutex
 	viewSnap View  // latest installed view, for the View() accessor
 	stats    Stats // guarded by viewMu
+
+	// Read-lease state, written by the loop goroutine and read by
+	// application read paths (LeaseValid/LeasedReadOK):
+	// leaseExp is the UnixNano expiry of the current lease (0 = none);
+	// caughtUp is republished every event-loop round and reports
+	// whether this member has delivered every sequence it knows was
+	// assigned in the current view; delivCount counts DeliverEvents
+	// pushed, so the application can tell when it has consumed them
+	// all.
+	leaseExp   atomic.Int64
+	caughtUp   atomic.Bool
+	delivCount atomic.Uint64
 
 	// --- everything below is owned by the run loop goroutine ---
 
@@ -379,6 +412,11 @@ type Process struct {
 
 	// flush state (see flush.go)
 	fl flushState
+	// leaseFence is when every read lease granted before this view
+	// change provably expires (grants cease at flush entry); a
+	// Majority-policy coordinator excluding members waits it out
+	// before installing the new view (leaseBarrierWait).
+	leaseFence time.Time
 	// flushMiss counts consecutive flush attempts a member failed to
 	// report a flush state for (coordinator bookkeeping); a member is
 	// suspected only after two consecutive misses, so one slow round
@@ -482,17 +520,19 @@ func (p *Process) View() View {
 
 // Stats counts protocol activity since the process started.
 type Stats struct {
-	Broadcasts      uint64 // application messages submitted
-	Delivered       uint64 // application messages delivered
-	Sequenced       uint64 // global sequence numbers assigned (sequencer role)
-	Retransmits     uint64 // DATA retransmissions served (NACKs, duplicate requests)
-	NacksSent       uint64 // retransmission requests issued
-	Views           uint64 // views installed
-	FlushAttempts   uint64 // view-change attempts coordinated
-	BatchesSent     uint64 // multi-message BATCH/REQBATCH frames sent
-	MsgsPerBatchMax uint64 // most messages coalesced into a single frame
-	AcksCoalesced   uint64 // receipt acks merged into another ack or frame
-	SendQueueDrops  uint64 // datagrams the transport reported dropped on send
+	Broadcasts       uint64 // application messages submitted
+	Delivered        uint64 // application messages delivered
+	Sequenced        uint64 // global sequence numbers assigned (sequencer role)
+	Retransmits      uint64 // DATA retransmissions served (NACKs, duplicate requests)
+	NacksSent        uint64 // retransmission requests issued
+	Views            uint64 // views installed
+	FlushAttempts    uint64 // view-change attempts coordinated
+	BatchesSent      uint64 // multi-message BATCH/REQBATCH frames sent
+	MsgsPerBatchMax  uint64 // most messages coalesced into a single frame
+	AcksCoalesced    uint64 // receipt acks merged into another ack or frame
+	SendQueueDrops   uint64 // datagrams the transport reported dropped on send
+	LeaseGrants      uint64 // read-lease grant rounds issued (sequencer role)
+	LeaseRevocations uint64 // read leases revoked (flush entry, view change)
 }
 
 // Stats returns a snapshot of the protocol counters.
@@ -525,6 +565,68 @@ func (p *Process) bumpStat(f func(*Stats)) {
 	f(&p.stats)
 	p.viewMu.Unlock()
 }
+
+// leaseGrant returns the lease duration to piggyback on an outgoing
+// heartbeat or BATCH frame, or zero when no grant may be issued.
+// Grants require safe delivery: it guarantees that any message acked
+// to a client was received by every lease holder first, which is what
+// makes a caught-up holder's local read linearizable. Grants stop the
+// moment this process leaves normal status (flush entry), so the
+// remaining lease window bounds how long any member may keep serving
+// leased reads across a membership change. Loop goroutine only.
+func (p *Process) leaseGrant() time.Duration {
+	if p.cfg.LeaseDuration <= 0 || !p.cfg.SafeDelivery {
+		return 0
+	}
+	if p.st != statusNormal || !p.view.Primary || p.view.Sequencer() != p.cfg.Self {
+		return 0
+	}
+	return p.cfg.LeaseDuration
+}
+
+// renewLease extends the local lease after receiving a grant. Only
+// 3/4 of the granted window is honored locally — the margin absorbs
+// frame transit delay and modest clock-rate drift between grantor and
+// grantee. The expiry never moves backwards. Loop goroutine only.
+func (p *Process) renewLease(dur time.Duration) {
+	exp := time.Now().Add(dur - dur/4).UnixNano()
+	if exp > p.leaseExp.Load() {
+		p.leaseExp.Store(exp)
+	}
+}
+
+// revokeLease drops the local lease immediately. Called on flush
+// entry and view installation so no leased read is served once a
+// membership change is underway. Loop goroutine only.
+func (p *Process) revokeLease() {
+	if p.leaseExp.Swap(0) != 0 {
+		p.bumpStat(func(st *Stats) { st.LeaseRevocations++ })
+	}
+}
+
+// LeaseValid reports whether this member holds an unexpired read
+// lease from the current sequencer. Safe from any goroutine.
+func (p *Process) LeaseValid() bool {
+	exp := p.leaseExp.Load()
+	return exp != 0 && time.Now().UnixNano() < exp
+}
+
+// LeasedReadOK reports whether a linearizable local read may be
+// served right now: the lease is live and this member has delivered
+// every sequence it knows was assigned. The second condition matters
+// because safe delivery guarantees an acked message was *received*
+// everywhere, not yet delivered; a holder with a received-but-
+// undelivered suffix must fall back to the broadcast path. The
+// application must additionally have consumed every pushed delivery
+// (see DeliveredCount) before its state is current. Safe from any
+// goroutine.
+func (p *Process) LeasedReadOK() bool {
+	return p.caughtUp.Load() && p.LeaseValid()
+}
+
+// DeliveredCount returns the cumulative number of DeliverEvents
+// pushed to the event stream. Safe from any goroutine.
+func (p *Process) DeliveredCount() uint64 { return p.delivCount.Load() }
 
 // Broadcast submits a payload for totally ordered delivery to the
 // group (including this member). It blocks while the send window is
@@ -600,6 +702,8 @@ func (p *Process) logf(format string, args ...any) {
 func (p *Process) run() {
 	defer func() {
 		p.st = statusClosed
+		p.leaseExp.Store(0)
+		p.caughtUp.Store(false)
 		p.ep.Close()
 		p.events.close()
 	}()
@@ -669,12 +773,17 @@ func (p *Process) drainInputs() {
 // batching and ack coalescing.
 func (p *Process) flushRound() {
 	if p.st == statusClosed {
+		p.caughtUp.Store(false)
 		return
 	}
 	p.flushOutData()
 	p.flushReqOut()
 	p.flushSafe()
 	p.flushAck()
+	// Republish the leased-read catch-up gate: delivered everything we
+	// know was assigned in this view (tailSeq covers every received
+	// sequence and every heartbeat advertisement).
+	p.caughtUp.Store(p.st == statusNormal && p.nextDeliver > p.tailSeq)
 }
 
 // flushOutData multicasts the messages sequenced this round, packing
@@ -702,6 +811,9 @@ func (p *Process) flushOutData() {
 				m.Delivered = p.safeUpTo
 				p.safeDirty = false
 			}
+			// Piggyback a lease grant so holders under sustained
+			// write load renew from the data stream itself.
+			m.LeaseDur = p.leaseGrant()
 			p.bumpStat(func(st *Stats) {
 				st.BatchesSent++
 				if uint64(n) > st.MsgsPerBatchMax {
@@ -816,8 +928,13 @@ func (p *Process) handleDatagram(dg transport.Message) {
 
 	switch m.Kind {
 	case kindHeartbeat:
-		if m.ViewID == p.view.ID && m.Delivered > p.tailSeq {
-			p.tailSeq = m.Delivered
+		if m.ViewID == p.view.ID {
+			if m.Delivered > p.tailSeq {
+				p.tailSeq = m.Delivered
+			}
+			if m.LeaseDur > 0 && p.st == statusNormal && m.From == p.view.Sequencer() {
+				p.renewLease(m.LeaseDur)
+			}
 		}
 	case kindData:
 		p.onData(m)
@@ -873,6 +990,11 @@ func (p *Process) onTick() {
 	hb := &message{Kind: kindHeartbeat, From: p.cfg.Self, ViewID: p.view.ID, Delivered: p.tailSeq}
 	if p.view.Sequencer() == p.cfg.Self && p.nextSeq > hb.Delivered {
 		hb.Delivered = p.nextSeq
+	}
+	if dur := p.leaseGrant(); dur > 0 {
+		hb.LeaseDur = dur
+		p.renewLease(dur) // the sequencer's own lease rides its grant
+		p.bumpStat(func(st *Stats) { st.LeaseGrants++ })
 	}
 	p.sendToMembers(hb)
 
@@ -1006,6 +1128,9 @@ func (p *Process) onBatch(m *message) {
 		if p.st == statusNormal {
 			p.deliverReady()
 		}
+	}
+	if m.LeaseDur > 0 && p.st == statusNormal && m.From == p.view.Sequencer() {
+		p.renewLease(m.LeaseDur)
 	}
 }
 
@@ -1188,6 +1313,7 @@ func (p *Process) deliverOne(d *dataMsg) {
 		}
 	}
 	p.bumpStat(func(st *Stats) { st.Delivered++ })
+	p.delivCount.Add(1)
 	p.events.push(DeliverEvent{
 		ViewID:    p.view.ID,
 		Seq:       d.Seq,
@@ -1376,6 +1502,7 @@ func (p *Process) applyStable(w uint64) {
 // publishes the snapshot used by the View accessor. Callers emit the
 // ViewEvent themselves (ordering relative to other events matters).
 func (p *Process) installView(v View) {
+	p.revokeLease() // any old-view lease dies with the view
 	p.view = v
 	p.nextSeq = 0
 	p.nextDeliver = 1

@@ -2,6 +2,7 @@ package gcs
 
 import (
 	"fmt"
+	"time"
 
 	"joshua/internal/codec"
 )
@@ -97,6 +98,12 @@ type message struct {
 	// application, which may answer the snapshot request with an
 	// incremental transfer instead of a full one.
 	Since uint64
+
+	// kindHeartbeat, kindBatch: a read-lease grant from the sequencer
+	// (zero = no grant). The receiving member may serve leased local
+	// reads for this long after receipt, minus the safety margin; see
+	// Process.LeasedReadOK.
+	LeaseDur time.Duration
 }
 
 func putMembers(e *codec.Encoder, ms []MemberID) {
@@ -221,6 +228,7 @@ func (m *message) marshal(e *codec.Encoder) {
 		// Delivered carries the sender's highest known assigned
 		// sequence, so peers that missed the tail learn to NACK it.
 		e.PutUint(m.Delivered)
+		e.PutDuration(m.LeaseDur)
 	case kindData:
 		putDataMsg(e, m.Data)
 	case kindReq:
@@ -261,6 +269,7 @@ func (m *message) marshal(e *codec.Encoder) {
 		e.PutBytes(m.AppState)
 	case kindBatch:
 		e.PutUint(m.Delivered)
+		e.PutDuration(m.LeaseDur)
 		putDataMsgs(e, m.Msgs)
 	case kindReqBatch:
 		e.PutUint(m.Delivered)
@@ -294,6 +303,7 @@ func decodeMessage(b []byte) (*message, error) {
 		m.Since = d.Uint()
 	case kindHeartbeat:
 		m.Delivered = d.Uint()
+		m.LeaseDur = d.Duration()
 	case kindData:
 		m.Data = getDataMsg(d)
 	case kindReq:
@@ -342,6 +352,7 @@ func decodeMessage(b []byte) (*message, error) {
 		copy(m.AppState, b)
 	case kindBatch:
 		m.Delivered = d.Uint()
+		m.LeaseDur = d.Duration()
 		m.Msgs = getDataMsgs(d)
 	case kindReqBatch:
 		m.Delivered = d.Uint()

@@ -267,8 +267,18 @@ func (c *Client) callReq(s int, req *rpcRequest) (*rpcResponse, error) {
 		req.ReqID = fmt.Sprintf("%s#%d", c.ep.Addr(), c.reqSeq.Add(1))
 	}
 	reqID := req.ReqID
-	payload := req.encode()
-	readOnly := !req.Op.mutating() && !req.Ordered
+	// One pooled encode serves every failover attempt; the transport
+	// does not retain payloads after Send, so the buffer goes back to
+	// the pool when the call returns.
+	enc := req.encodeTo()
+	defer enc.Release()
+	payload := enc.Bytes()
+	// Reads — ordered ones included — rotate their starting head:
+	// under leasing any caught-up head serves an ordered read locally
+	// (and a leaseless head transparently falls back to broadcasting
+	// it), so pinning them to the sticky mutation head would waste the
+	// other heads' leases.
+	readOnly := !req.Op.mutating()
 	hs := c.shards[s]
 
 	ch := make(chan *rpcResponse, 1)
@@ -471,7 +481,10 @@ func (c *Client) probe(s, i int) {
 		delete(c.waiters, req.ReqID)
 		c.mu.Unlock()
 	}()
-	if c.ep.Send(hs.addrs[i], req.encode()) != nil {
+	penc := req.encodeTo()
+	err := c.ep.Send(hs.addrs[i], penc.Bytes())
+	penc.Release()
+	if err != nil {
 		c.markHealth(hs, i, false)
 		return
 	}

@@ -76,9 +76,10 @@ func TestClientSendErrorAdvancesToNextHead(t *testing.T) {
 	defer cli.Close()
 
 	start := time.Now()
-	// StatOrdered uses the sticky head (index 0, the dead one);
-	// unordered reads round-robin and could start past it.
-	if _, err := cli.StatOrdered("1.cluster"); err != nil {
+	// A mutation uses the sticky head (index 0, the dead one); reads —
+	// ordered ones included, now that any lease holder may serve them —
+	// round-robin and could start past it.
+	if _, err := cli.Delete("1.cluster"); err != nil {
 		t.Fatalf("call should fail over past the send error: %v", err)
 	}
 	if d := time.Since(start); d > time.Second {

@@ -158,6 +158,15 @@ type Config struct {
 	// uses the wal default.
 	WALSegmentBytes int64
 
+	// LeaseDuration controls sequencer-granted read leases: a head
+	// holding a live lease serves ordered (jstat -ordered) reads from
+	// local state instead of broadcasting them, falling back to the
+	// total order automatically whenever the lease is stale or a view
+	// change is in progress. Zero (the default) enables leasing with
+	// the group layer's default duration; negative disables it — the
+	// broadcast-ordered ablation. Forwarded to rsm.Config.
+	LeaseDuration time.Duration
+
 	// TuneGCS, when non-nil, may adjust group communication timings
 	// before the group process starts (tests and benchmarks shorten
 	// them).
@@ -180,6 +189,10 @@ type Server struct {
 	daemon *pbs.Daemon
 	locks  *lockService
 	stat   statCache
+	// serveReadFn is serveRead bound once at construction; handing the
+	// same func value to every read Classification avoids a per-request
+	// method-value allocation on the hot path.
+	serveReadFn func(payload []byte) *codec.Encoder
 }
 
 // statCache holds the pre-encoded body (everything after the ReqID
@@ -204,6 +217,11 @@ type Stats struct {
 	ReadCacheHits   uint64 // reads answered from a cached snapshot/encoding
 	ReplyQueueDrops uint64 // responses dropped on a full reply queue
 	Views           uint64 // views installed
+
+	LeaseHeld        bool   // a read lease is currently live (gauge)
+	LeaseReads       uint64 // ordered reads served locally under a lease
+	LeaseFallbacks   uint64 // ordered reads broadcast for lack of a lease
+	LeaseRevocations uint64 // leases revoked by flush entry or view change
 }
 
 // Errors.
@@ -226,6 +244,7 @@ func StartServer(cfg Config) (*Server, error) {
 		daemon: cfg.Daemon,
 		locks:  newLockService(),
 	}
+	s.serveReadFn = s.serveRead
 	services := rsm.NewMux(routeRequest).
 		Register(svcPBS, &pbsService{daemon: cfg.Daemon}).
 		Register(svcLocks, s.locks)
@@ -250,6 +269,7 @@ func StartServer(cfg Config) (*Server, error) {
 		SyncInterval:     cfg.SyncInterval,
 		CheckpointEvery:  cfg.CheckpointEvery,
 		WALSegmentBytes:  cfg.WALSegmentBytes,
+		LeaseDuration:    cfg.LeaseDuration,
 		ReadCacheHits: func() uint64 {
 			hits, _ := cfg.Daemon.Server().ReadCacheStats()
 			return hits + s.stat.hits.Load()
@@ -285,7 +305,9 @@ func (s *Server) classify(payload []byte) rsm.Classification {
 	if d.Byte() != rpcKindRequest {
 		return rsm.Classification{Verdict: rsm.Ignore}
 	}
-	reqID := d.String()
+	// The ReqID stays a zero-copy view: read verdicts never need it,
+	// and only the broadcast path below materializes the string.
+	reqID := d.Bytes()
 	op := Op(d.Byte())
 	ordered := d.Bool()
 	if d.Err() != nil {
@@ -294,13 +316,24 @@ func (s *Server) classify(payload []byte) rsm.Classification {
 	if op == OpJobDone {
 		// Internal operation: heads originate it themselves from mom
 		// reports; it is not part of the user-facing PBS interface.
-		resp := &rpcResponse{ReqID: reqID, OK: false, ErrMsg: "joshua: jobdone is not a client operation"}
+		resp := &rpcResponse{ReqID: string(reqID), OK: false, ErrMsg: "joshua: jobdone is not a client operation"}
 		return rsm.Classification{Verdict: rsm.Reply, Response: resp.encode()}
 	}
-	if !op.mutating() && !ordered {
-		return rsm.Classification{Verdict: rsm.Reply, Respond: func() []byte { return s.serveRead(payload) }}
+	if !op.mutating() {
+		if !ordered {
+			return rsm.Classification{Verdict: rsm.Reply, RespondEnc: s.serveReadFn}
+		}
+		// Ordered read under a live lease: serve it locally. The lease
+		// gates pass at this instant — that is the read's linearization
+		// point — so the response may be built later on a read worker
+		// even if the lease is revoked in between. No lease (or any
+		// gate failing) falls through to the broadcast path below,
+		// exactly as ordered reads worked before leases existed.
+		if rep := s.rep.Load(); rep != nil && rep.TryLeasedRead() {
+			return rsm.Classification{Verdict: rsm.Reply, RespondEnc: s.serveReadFn}
+		}
 	}
-	return rsm.Classification{Verdict: rsm.Replicate, ReqID: reqID}
+	return rsm.Classification{Verdict: rsm.Replicate, ReqID: string(reqID)}
 }
 
 // interceptDone replicates a mom completion report through the total
@@ -359,6 +392,11 @@ func (s *Server) Stats() Stats {
 		ReadCacheHits:   st.ReadCacheHits,
 		ReplyQueueDrops: st.ReplyQueueDrops,
 		Views:           st.Views,
+
+		LeaseHeld:        st.LeaseHeld,
+		LeaseReads:       st.LeaseReads,
+		LeaseFallbacks:   st.LeaseFallbacks,
+		LeaseRevocations: st.LeaseRevocations,
 	}
 }
 
@@ -375,13 +413,31 @@ func (s *Server) Close() {
 	s.daemon.Close()
 }
 
-// serveRead builds the response for one read-classified request. It
-// runs on a read-worker goroutine (or inline on the event loop under
-// the rsm.ReadOnLoop ablation), concurrently with command
+// serveRead builds the response for one read-classified request into
+// a pooled encoder (released by the replica's replier after the
+// send). It runs on a read-worker goroutine (or inline on the event
+// loop under the rsm.ReadOnLoop ablation), concurrently with command
 // application, so it touches only concurrency-safe state: the batch
 // server's copy-on-write status snapshot, the lock table behind its
 // RWMutex, and the replica's counter snapshots.
-func (s *Server) serveRead(payload []byte) []byte {
+func (s *Server) serveRead(payload []byte) *codec.Encoder {
+	// Peek the header without the full argument decode: the dominant
+	// poll (jstat with no arguments) needs nothing beyond the ReqID,
+	// and the spliced reply then allocates nothing at the codec
+	// boundary. Decoder.Bytes aliases payload (no copy) and is
+	// wire-compatible with the string the client encoded.
+	d := codec.NewDecoder(payload)
+	d.Byte() // rpcKindRequest; classify already checked it
+	reqID := d.Bytes()
+	op := Op(d.Byte())
+	d.Bool() // ordered: the classification already chose this path
+	if d.Err() != nil {
+		return nil
+	}
+	if op == OpStatAll {
+		return s.statAllResponse(reqID)
+	}
+
 	req, _, err := decodeRPC(payload)
 	if err != nil || req == nil {
 		return nil
@@ -391,15 +447,15 @@ func (s *Server) serveRead(payload []byte) []byte {
 	// one they already saw (per-shard monotonic reads).
 	resp := &rpcResponse{ReqID: req.ReqID, OK: true, Epoch: s.daemon.Server().Version()}
 	switch req.Op {
-	case OpStatAll:
-		return s.statAllResponse(req.ReqID)
 	case OpStatLocal:
 		if req.Args.JobID == "" {
-			return s.statAllResponse(req.ReqID)
+			return s.statAllResponse(reqID)
 		}
 		fallthrough
 	case OpStat:
-		j, err := s.daemon.Status(req.Args.JobID)
+		// StatusView skips the defensive per-job clone: the job is
+		// only encoded here, never mutated.
+		j, err := s.daemon.StatusView(req.Args.JobID)
 		if err != nil {
 			resp.OK = false
 			resp.ErrMsg = err.Error()
@@ -414,13 +470,17 @@ func (s *Server) serveRead(payload []byte) []byte {
 		resp.OK = false
 		resp.ErrMsg = fmt.Sprintf("joshua: operation %v is not a local read", req.Op)
 	}
-	return resp.encode()
+	e := codec.GetEncoder(128)
+	e.PutByte(rpcKindResponse)
+	e.PutString(resp.ReqID)
+	resp.encodeBody(e)
+	return e
 }
 
 // statAllResponse answers a full jstat listing, re-encoding the job
 // table only when the batch server's state version has moved since
 // the cached encoding was built.
-func (s *Server) statAllResponse(reqID string) []byte {
+func (s *Server) statAllResponse(reqID []byte) *codec.Encoder {
 	epoch := s.daemon.Server().Version()
 	s.stat.mu.Lock()
 	if s.stat.body != nil && s.stat.epoch == epoch {
@@ -497,6 +557,10 @@ func (s *Server) infoLocked() map[string]string {
 		"apply_barriers":    fmt.Sprintf("%d", st.ApplyBarriers),
 		"apply_overlap_ns":  fmt.Sprintf("%d", st.FsyncOverlapNs),
 		"apply_dlag_max_ns": fmt.Sprintf("%d", st.DurabilityLagMax),
+		"lease_held":        fmt.Sprintf("%v", st.LeaseHeld),
+		"lease_reads":       fmt.Sprintf("%d", st.LeaseReads),
+		"lease_fallbacks":   fmt.Sprintf("%d", st.LeaseFallbacks),
+		"lease_revocations": fmt.Sprintf("%d", st.LeaseRevocations),
 		"locks_held":        fmt.Sprintf("%d", s.locks.Len()),
 		"gcs_broadcasts":    fmt.Sprintf("%d", gst.Broadcasts),
 		"gcs_delivered":     fmt.Sprintf("%d", gst.Delivered),

@@ -20,7 +20,7 @@ type rawRig struct {
 	cli   transport.Endpoint
 }
 
-func newRawRig(t *testing.T, heads int, mutate func(*Config)) *rawRig {
+func newRawRig(t testing.TB, heads int, mutate func(*Config)) *rawRig {
 	t.Helper()
 	net := simnet.New(simnet.Config{Latency: simnet.Latency{Remote: time.Millisecond}})
 	r := &rawRig{net: net}
@@ -84,7 +84,7 @@ func newRawRig(t *testing.T, heads int, mutate func(*Config)) *rawRig {
 
 // sendReq transmits a hand-crafted request to a head and waits for the
 // matching response.
-func (r *rawRig) sendReq(t *testing.T, head int, req *rpcRequest, timeout time.Duration) *rpcResponse {
+func (r *rawRig) sendReq(t testing.TB, head int, req *rpcRequest, timeout time.Duration) *rpcResponse {
 	t.Helper()
 	if err := r.cli.Send(clientAddr(head), req.encode()); err != nil {
 		t.Fatal(err)

@@ -179,12 +179,26 @@ type rpcRequest struct {
 
 func (r *rpcRequest) encode() []byte {
 	e := codec.NewEncoder(128 + len(r.Args.Script))
+	r.encodeInto(e)
+	return e.Bytes()
+}
+
+// encodeTo encodes into a pooled encoder. Callers release it once the
+// payload has left through the transport (Send does not retain the
+// buffer); payloads that outlive the call — replicated envelopes, the
+// dedup table — must use encode instead.
+func (r *rpcRequest) encodeTo() *codec.Encoder {
+	e := codec.GetEncoder(128 + len(r.Args.Script))
+	r.encodeInto(e)
+	return e
+}
+
+func (r *rpcRequest) encodeInto(e *codec.Encoder) {
 	e.PutByte(rpcKindRequest)
 	e.PutString(r.ReqID)
 	e.PutByte(byte(r.Op))
 	e.PutBool(r.Ordered)
 	putArgs(e, &r.Args)
-	return e.Bytes()
 }
 
 // rpcResponse is the reply relayed back to the client by exactly one
@@ -247,13 +261,17 @@ func (r *rpcResponse) encodeBody(e *codec.Encoder) {
 }
 
 // spliceResponse frames a pre-encoded response body (encodeBody
-// output) behind a per-request ReqID.
-func spliceResponse(reqID string, body []byte) []byte {
-	e := codec.NewEncoder(16 + len(reqID) + len(body))
+// output) behind a per-request ReqID, into a pooled encoder released
+// by the replier after the send. The reqID bytes come straight from
+// the request decoder (PutBytes writes the same length-prefixed wire
+// form as the PutString the client used), so the splice path touches
+// the heap not at all.
+func spliceResponse(reqID []byte, body []byte) *codec.Encoder {
+	e := codec.GetEncoder(16 + len(reqID) + len(body))
 	e.PutByte(rpcKindResponse)
-	e.PutString(reqID)
+	e.PutBytes(reqID)
 	e.PutRaw(body)
-	return e.Bytes()
+	return e
 }
 
 // decodeRPC decodes either RPC message; exactly one of the returns is

@@ -148,6 +148,11 @@ func (d *Daemon) FlushActions() { d.flush() }
 // Status runs qstat for one job.
 func (d *Daemon) Status(id JobID) (Job, error) { return d.srv.Status(id) }
 
+// StatusView is the clone-free variant of Status (see
+// Server.StatusView): the returned job aliases the shared immutable
+// snapshot and must be treated as read-only.
+func (d *Daemon) StatusView(id JobID) (Job, error) { return d.srv.StatusView(id) }
+
 // StatusAll runs qstat for all jobs.
 func (d *Daemon) StatusAll() []Job { return d.srv.StatusAll() }
 

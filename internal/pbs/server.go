@@ -336,6 +336,20 @@ func (s *Server) Status(id JobID) (Job, error) {
 	return snap.jobs[i].clone(), nil
 }
 
+// StatusView returns one job straight from the shared immutable
+// snapshot, without the defensive clone Status makes — the single-job
+// analogue of StatusAll, for callers that only read or encode the
+// job. The job (including its Nodes slice) must be treated as
+// read-only.
+func (s *Server) StatusView(id JobID) (Job, error) {
+	snap := s.statusSnapshot()
+	i, ok := snap.index[id]
+	if !ok {
+		return Job{}, errUnknownJob("qstat", id)
+	}
+	return snap.jobs[i], nil
+}
+
 // StatusAll returns every known job in submission order, completed
 // jobs last in completion order (qstat). The returned slice is the
 // shared immutable snapshot — callers must treat it (and the jobs in

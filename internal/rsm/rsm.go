@@ -48,6 +48,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"joshua/internal/codec"
 	"joshua/internal/gcs"
 	"joshua/internal/transport"
 	"joshua/internal/wal"
@@ -132,6 +133,15 @@ type Classification struct {
 	// It must be safe to call from any goroutine: it runs concurrently
 	// with Service.Apply. It takes precedence over Response.
 	Respond func() []byte
+	// RespondEnc, when non-nil, builds the reply into a pooled encoder
+	// (codec.GetEncoder); the replier returns the encoder to the pool
+	// after the send, so the whole read reply path allocates nothing.
+	// It receives the datagram payload back from the replica, so the
+	// classifier can install one long-lived function (e.g. a bound
+	// method) instead of allocating a capturing closure per request.
+	// Same concurrency contract as Respond; takes precedence over both
+	// Respond and Response.
+	RespondEnc func(payload []byte) *codec.Encoder
 }
 
 // Classifier inspects one inbound client datagram and returns the
@@ -236,6 +246,18 @@ type Config struct {
 	// disables the pipeline entirely — the pre-pipeline ablation.
 	ApplyConcurrency int
 
+	// LeaseDuration controls sequencer-granted read leases, which let
+	// this replica serve linearizable (ordered) reads from local state
+	// without a broadcast — see TryLeasedRead. Zero (the default)
+	// enables leasing with the group layer's default duration;
+	// positive values set the lease length explicitly; negative
+	// disables leasing, the broadcast-ordered ablation. Enabling
+	// leases forces safe delivery in the group layer (the grant is
+	// only sound when an acked command is known received at every
+	// holder); TuneGCS may still override that for ablations, which
+	// simply stops grants and falls back to broadcast-ordered reads.
+	LeaseDuration time.Duration
+
 	// ReadCacheHits, when non-nil, reports the service's read-cache
 	// hit counter; Stats folds it in so one Stats() call describes the
 	// whole read path.
@@ -319,6 +341,12 @@ type Stats struct {
 	TransferReplayed uint64 // delta records applied while joining
 	TransferOutFull  uint64 // full-snapshot transfers served
 	TransferOutDelta uint64 // log-delta transfers served
+
+	// Leased linearizable reads (see Config.LeaseDuration).
+	LeaseHeld        bool   // a read lease is currently live (gauge)
+	LeaseReads       uint64 // ordered reads served locally under a lease
+	LeaseFallbacks   uint64 // ordered reads that fell back to the broadcast path
+	LeaseRevocations uint64 // leases revoked by flush entry or view change
 }
 
 // readTask is one classified client datagram handed to a read worker.
@@ -328,10 +356,14 @@ type readTask struct {
 	cls     Classification
 }
 
-// reply is one queued outbound response.
+// reply is one queued outbound response. When enc is non-nil, payload
+// aliases enc's buffer and the replier releases enc to the codec pool
+// once the send is done (the transport contract: Send does not retain
+// the payload after it returns).
 type reply struct {
 	to      transport.Addr
 	payload []byte
+	enc     *codec.Encoder
 }
 
 // pendingApply is one delivery of a pipelined round.
@@ -409,6 +441,20 @@ type Replica struct {
 	// dedup-table retry is never answered before the command it
 	// acknowledges is durable. Meaningless (and unused) without a log.
 	durableIdx atomic.Uint64
+	// appliedPub publishes appliedIdx for the leased-read durability
+	// gate. It is stored *before* a command executes (conservative:
+	// the published value is never behind the state a reader can
+	// observe), so TryLeasedRead's durableIdx >= appliedPub check
+	// never passes while applied state outruns the fsync watermark.
+	appliedPub atomic.Uint64
+	// delivHandled counts group deliveries this replica has finished
+	// applying; compared against the group layer's DeliveredCount so
+	// a leased read never runs while deliveries sit in the event
+	// queue.
+	delivHandled atomic.Uint64
+	// Leased-read outcome counters (TryLeasedRead).
+	leaseReads     atomic.Uint64
+	leaseFallbacks atomic.Uint64
 
 	// --- owned by the run loop ---
 	view gcs.View
@@ -509,6 +555,7 @@ func Start(cfg Config) (*Replica, error) {
 		// Everything recovered from disk is, by definition, durable.
 		r.durableIdx.Store(r.appliedIdx)
 	}
+	r.appliedPub.Store(r.appliedIdx)
 
 	gcfg := gcs.Config{
 		Self:            cfg.Self,
@@ -518,7 +565,15 @@ func Start(cfg Config) (*Replica, error) {
 		Bootstrap:       cfg.Bootstrap,
 		PartitionPolicy: cfg.PartitionPolicy,
 		StateSince:      r.appliedIdx,
+		LeaseDuration:   cfg.LeaseDuration,
 		Logger:          cfg.Logger,
+	}
+	if cfg.LeaseDuration >= 0 {
+		// Leases are only sound under safe delivery: a client ack then
+		// implies every lease holder already received the command.
+		// TuneGCS may still clear this for ablations — grants simply
+		// cease and ordered reads fall back to the broadcast path.
+		gcfg.SafeDelivery = true
 	}
 	if cfg.TuneGCS != nil {
 		cfg.TuneGCS(&gcfg)
@@ -562,11 +617,54 @@ func (r *Replica) View() gcs.View { return r.group.View() }
 // GroupStats returns the group communication layer's counters.
 func (r *Replica) GroupStats() gcs.Stats { return r.group.Stats() }
 
+// TryLeasedRead reports whether an ordered (linearizable) read may be
+// served from local state right now, counting the outcome either way.
+// It holds when four gates pass together:
+//
+//  1. The group layer holds a live read lease from the sequencer and
+//     is caught up — it has delivered everything it knows was
+//     assigned a sequence (gcs.Process.LeasedReadOK). Leases are only
+//     granted under safe delivery, so any command a client has been
+//     acknowledged for was received here before the ack; the caught-up
+//     gate then turns "received" into "delivered".
+//  2. This replica has finished applying every delivery the group
+//     layer pushed at it (delivHandled vs DeliveredCount) — the
+//     event-queue and apply-stage lag.
+//  3. When a WAL is attached, applied state is covered by the fsync
+//     watermark (durableIdx vs appliedPub, which publishes *before*
+//     execution, conservatively), so a leased read never observes
+//     state a crash could still lose.
+//
+// The load order is chosen so every race resolves conservatively
+// (toward fallback): the lease/caught-up check first, then the
+// handled count before the delivered count, then the durability
+// watermark before the published applied index. The decision is made
+// at classification time; that instant is the read's linearization
+// point, so a lease revoked before the response is built does not
+// matter — the read is serialized where the gates held.
+//
+// A false return is the automatic fallback: the caller broadcasts the
+// read through the total order exactly as before leases existed.
+func (r *Replica) TryLeasedRead() bool {
+	if r.group.LeasedReadOK() &&
+		r.delivHandled.Load() >= r.group.DeliveredCount() &&
+		(r.log == nil || r.durableIdx.Load() >= r.appliedPub.Load()) {
+		r.leaseReads.Add(1)
+		return true
+	}
+	r.leaseFallbacks.Add(1)
+	return false
+}
+
 // Stats returns a snapshot of the replica counters.
 func (r *Replica) Stats() Stats {
 	r.statsMu.Lock()
 	st := r.stats
 	r.statsMu.Unlock()
+	st.LeaseHeld = r.group.LeaseValid()
+	st.LeaseReads = r.leaseReads.Load()
+	st.LeaseFallbacks = r.leaseFallbacks.Load()
+	st.LeaseRevocations = r.group.Stats().LeaseRevocations
 	if r.readQ != nil {
 		st.ReadQueueDepth = len(r.readQ)
 	}
@@ -739,6 +837,7 @@ func (r *Replica) runPipelinedRound(first gcs.Event, events <-chan gcs.Event) {
 			env, err := decodeEnvelope(ev.Payload)
 			if err != nil {
 				r.logf("dropping malformed replicated command: %v", err)
+				r.delivHandled.Add(1)
 				return
 			}
 			batch = append(batch, env)
@@ -833,6 +932,11 @@ func (r *Replica) applyBatch(batch []*envelope) {
 		cmds = append(cmds, pa)
 	}
 
+	// Publish the round's applied index before execution starts: the
+	// leased-read durability gate must see the pre-apply value so it
+	// cannot pass while this round's effects outrun the fsync.
+	r.appliedPub.Store(r.appliedIdx)
+
 	// Stage 1→2 handoff: start the group-commit fsync, then execute
 	// the batch while it is in flight.
 	var res chan commitResult
@@ -865,6 +969,11 @@ func (r *Replica) applyBatch(batch []*envelope) {
 		})
 	}
 	r.dispatch(releaseBatch{res: res, maxIndex: maxIndex, replies: replies, t0: t0, applyEnd: applyEnd})
+
+	// Every delivery in the batch is now reflected in local state;
+	// credit them against the group layer's delivered count so leased
+	// reads know the apply queue is drained.
+	r.delivHandled.Add(uint64(len(batch)))
 
 	if r.log != nil && r.sinceCkpt >= r.cfg.CheckpointEvery {
 		r.checkpointNow()
@@ -1046,9 +1155,11 @@ func (r *Replica) handleGroupEvent(e gcs.Event) {
 		env, err := decodeEnvelope(ev.Payload)
 		if err != nil {
 			r.logf("dropping malformed replicated command: %v", err)
+			r.delivHandled.Add(1)
 			return
 		}
 		r.applyEnvelope(env)
+		r.delivHandled.Add(1)
 	case gcs.SnapshotRequestEvent:
 		ev.Reply(r.encodeTransfer(ev.Since))
 	case gcs.StateTransferEvent:
@@ -1102,11 +1213,17 @@ func (r *Replica) readWorker() {
 // the group layer's view, and whatever the Respond closure guards.
 func (r *Replica) serveRequest(from transport.Addr, payload []byte, cls Classification) {
 	if cls.Verdict == Reply {
+		r.bump(func(st *Stats) { st.LocalReads++ })
+		if cls.RespondEnc != nil {
+			if enc := cls.RespondEnc(payload); enc != nil {
+				r.sendAsyncEnc(from, enc)
+			}
+			return
+		}
 		resp := cls.Response
 		if cls.Respond != nil {
 			resp = cls.Respond()
 		}
-		r.bump(func(st *Stats) { st.LocalReads++ })
 		r.sendAsync(from, resp)
 		return
 	}
@@ -1162,6 +1279,17 @@ func (r *Replica) sendAsync(to transport.Addr, payload []byte) {
 	}
 }
 
+// sendAsyncEnc queues a pooled-encoder response; the replier releases
+// the encoder after the send. A drop releases it immediately.
+func (r *Replica) sendAsyncEnc(to transport.Addr, enc *codec.Encoder) {
+	select {
+	case r.replyQ <- reply{to: to, payload: enc.Bytes(), enc: enc}:
+	default:
+		enc.Release()
+		r.bump(func(st *Stats) { st.ReplyQueueDrops++ })
+	}
+}
+
 // replier drains the reply queue onto the client endpoint.
 func (r *Replica) replier() {
 	for {
@@ -1171,6 +1299,9 @@ func (r *Replica) replier() {
 		case rep := <-r.replyQ:
 			if r.clientEP.Send(rep.to, rep.payload) == nil {
 				r.bump(func(st *Stats) { st.Replied++ })
+			}
+			if rep.enc != nil {
+				rep.enc.Release()
 			}
 		}
 	}
@@ -1218,6 +1349,7 @@ func (r *Replica) applyEnvelope(env *envelope) {
 // replay, and delta-transfer replay.
 func (r *Replica) applyCommand(env *envelope) []byte {
 	r.appliedIdx++
+	r.appliedPub.Store(r.appliedIdx)
 	respBytes := r.service.Apply(Command{
 		ReqID:   env.ReqID,
 		Payload: env.Payload,
@@ -1292,6 +1424,7 @@ func (r *Replica) loadState(st *replicaState) error {
 		r.dedupOrder = append(r.dedupOrder, id)
 	}
 	r.appliedIdx = st.Applied
+	r.appliedPub.Store(r.appliedIdx)
 	r.bump(func(s *Stats) {
 		s.DedupEntries = r.dedup.size()
 		s.AppliedIndex = r.appliedIdx
@@ -1412,6 +1545,7 @@ func (r *Replica) recoverLocal() error {
 			r.applyCommand(env)
 		} else {
 			r.appliedIdx = index // logged before the dedup entry checkpointed
+			r.appliedPub.Store(r.appliedIdx)
 		}
 		replayed++
 		return nil
