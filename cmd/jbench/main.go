@@ -10,18 +10,26 @@
 //	jbench -fig applypipe      # pipelined apply-path ablation
 //	jbench -fig shards         # sharded replication groups scaling sweep
 //	jbench -fig leases         # read consistency levels: local/leased/broadcast
+//	jbench -fig writepath      # 10k-client zero-alloc write-path profile
 //	jbench -fig all            # everything
 //
 // -json writes the selected figure's results (readpath, wal,
-// applypipe, shards, or leases) to a machine-readable file (the CI
-// benchmark artifact). Every file carries a "meta" object recording
-// the run environment: GOMAXPROCS, the Go toolchain version, the git
-// commit, and the model scale — enough to tell two artifacts apart.
+// applypipe, shards, leases, or writepath) to a machine-readable file
+// (the CI benchmark artifact). Every file carries a "meta" object
+// recording the run environment: GOMAXPROCS, the Go toolchain
+// version, the git commit, the model scale, and the topology the
+// figure ran on (head count, shard count, apply concurrency) — enough
+// to tell two artifacts apart and to compare like with like.
 //
 // -scale selects the latency-model scale (1.0 = paper-scale
 // milliseconds; smaller runs proportionally faster). Shapes, not
 // absolute times, are the reproduction target; each table prints the
 // paper's values alongside (see EXPERIMENTS.md).
+//
+// -cpuprofile, -memprofile and -mutexprofile write runtime/pprof
+// profiles covering the selected figure. The replica pipeline stages
+// are labeled (rsm_stage=event_loop/apply_worker/releaser/replier/...)
+// so a CPU profile splits cleanly per stage.
 package main
 
 import (
@@ -32,19 +40,26 @@ import (
 	"os/exec"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"joshua/internal/bench"
 )
 
-// runMeta identifies the environment a benchmark artifact came from.
+// runMeta identifies the environment and topology a benchmark
+// artifact came from. Heads and Shards describe the figure's cluster
+// (for sweeps, the largest configuration measured); ApplyConcurrency
+// is the replica-side parallel-apply width, which follows GOMAXPROCS.
 type runMeta struct {
-	GOMAXPROCS int     `json:"gomaxprocs"`
-	GoVersion  string  `json:"go_version"`
-	GitCommit  string  `json:"git_commit"`
-	Scale      float64 `json:"scale"`
-	Timestamp  string  `json:"timestamp_utc"`
+	GOMAXPROCS       int     `json:"gomaxprocs"`
+	GoVersion        string  `json:"go_version"`
+	GitCommit        string  `json:"git_commit"`
+	Scale            float64 `json:"scale"`
+	Heads            int     `json:"heads"`
+	Shards           int     `json:"shards"`
+	ApplyConcurrency int     `json:"apply_concurrency"`
+	Timestamp        string  `json:"timestamp_utc"`
 }
 
 // newRunMeta captures the environment. The commit comes from git when
@@ -63,21 +78,26 @@ func newRunMeta(scale float64) runMeta {
 		}
 	}
 	return runMeta{
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		GoVersion:  runtime.Version(),
-		GitCommit:  commit,
-		Scale:      scale,
-		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		GoVersion:        runtime.Version(),
+		GitCommit:        commit,
+		Scale:            scale,
+		ApplyConcurrency: runtime.GOMAXPROCS(0),
+		Timestamp:        time.Now().UTC().Format(time.RFC3339),
 	}
 }
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "which figure to regenerate: 10, 11, 12, ablations, readpath, all")
-		scale    = flag.Float64("scale", 0.2, "latency model scale (1.0 = paper milliseconds)")
-		samples  = flag.Int("samples", 20, "latency samples per configuration")
-		maxHeads = flag.Int("maxheads", 4, "largest head-node group")
-		jsonPath = flag.String("json", "", "write readpath results as JSON to this file")
+		fig          = flag.String("fig", "all", "which figure to regenerate: 10, 11, 12, ablations, readpath, wal, applypipe, shards, leases, writepath, all")
+		scale        = flag.Float64("scale", 0.2, "latency model scale (1.0 = paper milliseconds)")
+		samples      = flag.Int("samples", 20, "latency samples per configuration")
+		maxHeads     = flag.Int("maxheads", 4, "largest head-node group")
+		clients      = flag.Int("clients", 10000, "concurrent clients for -fig writepath")
+		jsonPath     = flag.String("json", "", "write the selected figure's results as JSON to this file")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile   = flag.String("memprofile", "", "write a heap profile (post-run, after GC) to this file")
+		mutexProfile = flag.String("mutexprofile", "", "write a mutex-contention profile to this file")
 	)
 	flag.Parse()
 
@@ -86,13 +106,58 @@ func main() {
 		fmt.Fprintln(os.Stderr, "jbench:", err)
 		os.Exit(1)
 	}
+
+	// Profiles bracket the figure run itself. The mutex fraction must
+	// be raised before any contention happens to be sampled; the heap
+	// profile is written after a forced GC so it shows live bytes, not
+	// transient garbage.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *mutexProfile != "" {
+		runtime.SetMutexProfileFraction(100)
+	}
+	defer func() {
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fail(err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail(err)
+			}
+			f.Close()
+		}
+		if *mutexProfile != "" {
+			f, err := os.Create(*mutexProfile)
+			if err != nil {
+				fail(err)
+			}
+			if err := pprof.Lookup("mutex").WriteTo(f, 0); err != nil {
+				fail(err)
+			}
+			f.Close()
+		}
+	}()
+
 	// writeJSON emits the figure's results to -json, stamped with the
-	// run metadata.
-	writeJSON := func(payload map[string]any) {
+	// run metadata plus the figure's topology (heads, shards).
+	writeJSON := func(payload map[string]any, heads, shards int) {
 		if *jsonPath == "" {
 			return
 		}
-		payload["meta"] = newRunMeta(*scale)
+		meta := newRunMeta(*scale)
+		meta.Heads = heads
+		meta.Shards = shards
+		payload["meta"] = meta
 		out, err := json.MarshalIndent(payload, "", "  ")
 		if err != nil {
 			fail(err)
@@ -167,7 +232,7 @@ func main() {
 		writeJSON(map[string]any{
 			"concurrent": conc,
 			"on_loop":    onLoop,
-		})
+		}, 2, 1)
 	}
 
 	runWAL := func() {
@@ -191,7 +256,7 @@ func main() {
 			fmt.Printf("  %-12s %-10v%s\n", r.Policy+":", r.SubmitMean.Round(time.Millisecond/10), extra)
 		}
 		fmt.Println()
-		writeJSON(map[string]any{"wal_policies": rows})
+		writeJSON(map[string]any{"wal_policies": rows}, 2, 1)
 	}
 
 	runApplyPipe := func() {
@@ -209,7 +274,7 @@ func main() {
 		fmt.Printf("  speedup: %.1fx throughput vs serial, p99 ratio %.2f\n",
 			res.SpeedupParallelVsSerial, res.P99RatioParallelVsSerial)
 		fmt.Println()
-		writeJSON(map[string]any{"apply_pipeline": res})
+		writeJSON(map[string]any{"apply_pipeline": res}, 2, 1)
 	}
 
 	runShards := func() {
@@ -226,7 +291,7 @@ func main() {
 		}
 		fmt.Printf("  speedup at 4 shards: %.1fx vs single group\n", res.SpeedupAt4)
 		fmt.Println()
-		writeJSON(map[string]any{"shard_scaling": res})
+		writeJSON(map[string]any{"shard_scaling": res}, 2, 8)
 	}
 
 	runLeases := func() {
@@ -246,7 +311,26 @@ func main() {
 		fmt.Printf("  leased vs local: %.2fx   leased vs broadcast-ordered: %.1fx\n",
 			res.LeasedVsLocal, res.LeasedVsBroadcast)
 		fmt.Println()
-		writeJSON(map[string]any{"lease_reads": res})
+		writeJSON(map[string]any{"lease_reads": res}, 4, 1)
+	}
+
+	runWritePath := func(n int) {
+		const heads = 2
+		res, err := bench.MeasureWritePath(n, 3, heads)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("Zero-alloc write path (%d clients x %d puts, %d heads, durable):\n",
+			res.Clients, res.OpsPerClient, res.Heads)
+		fmt.Printf("  throughput: %8.0f ops/s   p50 %-9v p99 %v\n",
+			res.Throughput, res.SubmitP50.Round(time.Millisecond), res.SubmitP99.Round(time.Millisecond))
+		fmt.Printf("  allocs/op:  %8.1f         bytes/op %.0f (process-wide: clients+net+%d replicas)\n",
+			res.AllocsPerOp, res.BytesPerOp, res.Heads)
+		fmt.Printf("  GC: %d cycles, %v paused   heap %0.1f MB   applied %d   reply drops %d\n",
+			res.NumGC, res.GCPauseTotal.Round(time.Millisecond/10),
+			float64(res.HeapAllocBytes)/(1<<20), res.Applied, res.ReplyQueueDrops)
+		fmt.Println()
+		writeJSON(map[string]any{"write_path": res}, heads, 1)
 	}
 
 	switch *fig {
@@ -268,6 +352,8 @@ func main() {
 		runShards()
 	case "leases":
 		runLeases()
+	case "writepath":
+		runWritePath(*clients)
 	case "all":
 		run10()
 		run11()
@@ -278,6 +364,10 @@ func main() {
 		runApplyPipe()
 		runShards()
 		runLeases()
+		// "all" is the smoke-everything mode; cap the client fleet so
+		// it stays minutes, not tens of minutes. The full 10k-client
+		// profile is an explicit -fig writepath run.
+		runWritePath(min(*clients, 2000))
 	default:
 		fail(fmt.Errorf("unknown -fig %q", *fig))
 	}

@@ -1,0 +1,236 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"joshua/internal/gcs"
+	"joshua/internal/rsm"
+	"joshua/internal/rsm/kvstore"
+	"joshua/internal/simnet"
+	"joshua/internal/transport"
+	"joshua/internal/wal"
+)
+
+// This file is the 10k-client scaling profile of the replicated write
+// path (DESIGN.md §6.8): thousands of concurrent clients, each
+// submitting independent mutations through the full chain — client
+// encode → intercept → total-order broadcast → WAL stage → conflict-
+// keyed apply → dedup insert → FIFO release → reply. The workload is
+// the generic kvstore service for the same reason as the apply-
+// pipeline figure: puts on distinct keys isolate the engine, not the
+// scheduler. Alongside throughput and client-observed latency the
+// figure reports process-wide allocation pressure (runtime.MemStats
+// deltas across the timed run), because at this concurrency the
+// replica-side per-command garbage — multiplied by the replica count —
+// is the throughput ceiling the zero-alloc write path attacks.
+
+// WritePathResult is one full 10k-client write-path run.
+type WritePathResult struct {
+	Clients          int `json:"clients"`
+	OpsPerClient     int `json:"ops_per_client"`
+	Ops              int `json:"ops"`
+	Heads            int `json:"heads"`
+	ApplyConcurrency int `json:"apply_concurrency"`
+	// Elapsed is the wall time of the timed phase; Throughput is
+	// completed puts per second across all clients.
+	Elapsed    time.Duration `json:"elapsed_ns"`
+	Throughput float64       `json:"throughput_ops_per_sec"`
+	// Client-observed per-put latency percentiles.
+	SubmitP50 time.Duration `json:"submit_p50_ns"`
+	SubmitP99 time.Duration `json:"submit_p99_ns"`
+	// Process-wide allocation pressure over the timed phase
+	// (runtime.MemStats deltas). AllocsPerOp counts every malloc in
+	// the process — clients, simulated network, and both replicas —
+	// divided by completed ops: an upper bound on the engine's own
+	// per-command garbage, comparable across runs of this same figure.
+	AllocsPerOp    float64       `json:"allocs_per_op"`
+	BytesPerOp     float64       `json:"bytes_per_op"`
+	GCPauseTotal   time.Duration `json:"gc_pause_total_ns"`
+	NumGC          uint32        `json:"num_gc"`
+	HeapAllocBytes uint64        `json:"heap_alloc_bytes"`
+	// Engine-side accounting summed over heads.
+	Applied         uint64 `json:"applied"`
+	ReplyQueueDrops uint64 `json:"reply_queue_drops"`
+}
+
+// MeasureWritePath drives clients concurrent kvstore clients, each
+// issuing opsPerClient puts on its own key space, against a durable
+// 2-head group over simnet — the full submit→apply→reply chain at
+// scale. A one-put-per-client warmup precedes the timed phase so pool
+// and cache warm-up stays out of the measurement.
+func MeasureWritePath(clients, opsPerClient, heads int) (WritePathResult, error) {
+	if clients <= 0 {
+		clients = 10000
+	}
+	if opsPerClient <= 0 {
+		opsPerClient = 3
+	}
+	if heads <= 0 {
+		heads = 2
+	}
+	res := WritePathResult{
+		Clients:          clients,
+		OpsPerClient:     opsPerClient,
+		Ops:              clients * opsPerClient,
+		Heads:            heads,
+		ApplyConcurrency: runtime.GOMAXPROCS(0),
+	}
+
+	dir, err := os.MkdirTemp("", "joshua-bench-writepath-")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(dir)
+
+	// Asymmetric receive queues: a head must absorb the whole fleet's
+	// burst (a drop turns into a client retry timeout that measures
+	// the queue, not the write path), while each client sees a
+	// handful of outstanding replies — so heads get deep queues
+	// explicitly and everyone else stays at a shallow default.
+	net := simnet.New(simnet.Config{
+		Latency:  simnet.Latency{Remote: time.Millisecond},
+		QueueLen: 32,
+	})
+	defer net.Close()
+	const headQueue = 1 << 16
+
+	peers := map[gcs.MemberID]transport.Addr{}
+	initial := make([]gcs.MemberID, heads)
+	for i := 0; i < heads; i++ {
+		id := gcs.MemberID(fmt.Sprintf("rep%d", i))
+		peers[id] = transport.Addr(fmt.Sprintf("rep%d/gcs", i))
+		initial[i] = id
+	}
+
+	reps := make([]*rsm.Replica, heads)
+	headAddrs := make([]transport.Addr, heads)
+	for i := 0; i < heads; i++ {
+		groupEP, err := net.EndpointWithQueue(peers[initial[i]], headQueue)
+		if err != nil {
+			return res, err
+		}
+		clientAddr := transport.Addr(fmt.Sprintf("rep%d/kv", i))
+		clientEP, err := net.EndpointWithQueue(clientAddr, headQueue)
+		if err != nil {
+			return res, err
+		}
+		headAddrs[i] = clientAddr
+		store := kvstore.NewStore()
+		rep, err := rsm.Start(rsm.Config{
+			Self:             initial[i],
+			GroupEndpoint:    groupEP,
+			ClientEndpoint:   clientEP,
+			Peers:            peers,
+			InitialMembers:   initial,
+			Service:          store,
+			Classify:         kvstore.Classifier(store),
+			RejectNotPrimary: kvstore.RejectNotPrimary,
+			DataDir:          filepath.Join(dir, fmt.Sprintf("rep%d", i)),
+			SyncPolicy:       wal.SyncInterval,
+			ReplyQueueLen:    1 << 15,
+			TuneGCS: func(g *gcs.Config) {
+				g.Heartbeat = 25 * time.Millisecond
+				g.FailTimeout = time.Second
+			},
+		})
+		if err != nil {
+			return res, err
+		}
+		defer rep.Close()
+		reps[i] = rep
+	}
+	for i := 0; i < heads; i++ {
+		select {
+		case <-reps[i].Ready():
+		case <-time.After(30 * time.Second):
+			return res, fmt.Errorf("replica %d not ready", i)
+		}
+	}
+
+	kvs := make([]*kvstore.Client, clients)
+	for c := 0; c < clients; c++ {
+		ep, err := net.Endpoint(transport.Addr(fmt.Sprintf("user%d/kv", c)))
+		if err != nil {
+			return res, err
+		}
+		// Long per-attempt timeout: a retry would double-count the op
+		// (exactly-once still holds, but the latency sample would
+		// measure the timeout, not the path).
+		cli, err := kvstore.NewClient(ep, []transport.Addr{headAddrs[c%heads]}, 60*time.Second)
+		if err != nil {
+			return res, err
+		}
+		defer cli.Close()
+		kvs[c] = cli
+	}
+
+	run := func(n int, tag string, lats []time.Duration) error {
+		var wg sync.WaitGroup
+		errs := make([]error, clients)
+		start := make(chan struct{})
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				<-start
+				for i := 0; i < n; i++ {
+					key := fmt.Sprintf("%s-c%05d-k%02d", tag, c, i)
+					t0 := time.Now()
+					if err := kvs[c].Put(key, "v"); err != nil {
+						errs[c] = err
+						return
+					}
+					if lats != nil {
+						lats[c*n+i] = time.Since(t0)
+					}
+				}
+			}(c)
+		}
+		close(start)
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if err := run(1, "warm", nil); err != nil {
+		return res, err
+	}
+
+	lats := make([]time.Duration, clients*opsPerClient)
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	if err := run(opsPerClient, "op", lats); err != nil {
+		return res, err
+	}
+	res.Elapsed = time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	if res.Elapsed > 0 {
+		res.Throughput = float64(res.Ops) / res.Elapsed.Seconds()
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	res.SubmitP50 = percentileDur(lats, 0.50)
+	res.SubmitP99 = percentileDur(lats, 0.99)
+	res.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(res.Ops)
+	res.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(res.Ops)
+	res.GCPauseTotal = time.Duration(after.PauseTotalNs - before.PauseTotalNs)
+	res.NumGC = after.NumGC - before.NumGC
+	res.HeapAllocBytes = after.HeapAlloc
+	for i := 0; i < heads; i++ {
+		st := reps[i].Stats()
+		res.Applied += st.Applied
+		res.ReplyQueueDrops += st.ReplyQueueDrops
+	}
+	return res, nil
+}

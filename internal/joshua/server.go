@@ -533,39 +533,43 @@ func (s *Server) infoLocked() map[string]string {
 		shards = 1
 	}
 	info := map[string]string{
-		"head":              string(s.cfg.Self),
-		"mode":              "replicated",
-		"shard":             fmt.Sprintf("%d", s.cfg.Shard),
-		"shards":            fmt.Sprintf("%d", shards),
-		"view":              fmt.Sprintf("%d", view.ID),
-		"members":           fmt.Sprintf("%v", view.Members),
-		"primary":           fmt.Sprintf("%v", view.Primary),
-		"jobs_waiting":      fmt.Sprintf("%d", waiting),
-		"jobs_running":      fmt.Sprintf("%d", running),
-		"jobs_completed":    fmt.Sprintf("%d", completed),
-		"cmds_applied":      fmt.Sprintf("%d", st.Applied),
-		"cmds_replied":      fmt.Sprintf("%d", st.Replied),
-		"dedup_entries":     fmt.Sprintf("%d", st.DedupEntries),
-		"dedup_hits":        fmt.Sprintf("%d", st.DedupHits),
-		"local_reads":       fmt.Sprintf("%d", st.LocalReads),
-		"read_cache_hits":   fmt.Sprintf("%d", st.ReadCacheHits),
-		"read_workers":      fmt.Sprintf("%d", st.ReadWorkers),
-		"read_queue_depth":  fmt.Sprintf("%d", st.ReadQueueDepth),
-		"reply_queue_drops": fmt.Sprintf("%d", st.ReplyQueueDrops),
-		"apply_workers":     fmt.Sprintf("%d", st.ApplyWorkers),
-		"apply_parallel":    fmt.Sprintf("%d", st.ApplyParallelRuns),
-		"apply_barriers":    fmt.Sprintf("%d", st.ApplyBarriers),
-		"apply_overlap_ns":  fmt.Sprintf("%d", st.FsyncOverlapNs),
-		"apply_dlag_max_ns": fmt.Sprintf("%d", st.DurabilityLagMax),
-		"lease_held":        fmt.Sprintf("%v", st.LeaseHeld),
-		"lease_reads":       fmt.Sprintf("%d", st.LeaseReads),
-		"lease_fallbacks":   fmt.Sprintf("%d", st.LeaseFallbacks),
-		"lease_revocations": fmt.Sprintf("%d", st.LeaseRevocations),
-		"locks_held":        fmt.Sprintf("%d", s.locks.Len()),
-		"gcs_broadcasts":    fmt.Sprintf("%d", gst.Broadcasts),
-		"gcs_delivered":     fmt.Sprintf("%d", gst.Delivered),
-		"gcs_retransmits":   fmt.Sprintf("%d", gst.Retransmits),
-		"gcs_views":         fmt.Sprintf("%d", gst.Views),
+		"head":               string(s.cfg.Self),
+		"mode":               "replicated",
+		"shard":              fmt.Sprintf("%d", s.cfg.Shard),
+		"shards":             fmt.Sprintf("%d", shards),
+		"view":               fmt.Sprintf("%d", view.ID),
+		"members":            fmt.Sprintf("%v", view.Members),
+		"primary":            fmt.Sprintf("%v", view.Primary),
+		"jobs_waiting":       fmt.Sprintf("%d", waiting),
+		"jobs_running":       fmt.Sprintf("%d", running),
+		"jobs_completed":     fmt.Sprintf("%d", completed),
+		"cmds_applied":       fmt.Sprintf("%d", st.Applied),
+		"cmds_replied":       fmt.Sprintf("%d", st.Replied),
+		"dedup_entries":      fmt.Sprintf("%d", st.DedupEntries),
+		"dedup_hits":         fmt.Sprintf("%d", st.DedupHits),
+		"local_reads":        fmt.Sprintf("%d", st.LocalReads),
+		"read_cache_hits":    fmt.Sprintf("%d", st.ReadCacheHits),
+		"read_workers":       fmt.Sprintf("%d", st.ReadWorkers),
+		"read_queue_depth":   fmt.Sprintf("%d", st.ReadQueueDepth),
+		"reply_queue_drops":  fmt.Sprintf("%d", st.ReplyQueueDrops),
+		"apply_workers":      fmt.Sprintf("%d", st.ApplyWorkers),
+		"apply_parallel":     fmt.Sprintf("%d", st.ApplyParallelRuns),
+		"apply_barriers":     fmt.Sprintf("%d", st.ApplyBarriers),
+		"apply_overlap_ns":   fmt.Sprintf("%d", st.FsyncOverlapNs),
+		"apply_dlag_max_ns":  fmt.Sprintf("%d", st.DurabilityLagMax),
+		"mem_heap_alloc":     fmt.Sprintf("%d", st.HeapAllocBytes),
+		"mem_gc_pause_ns":    fmt.Sprintf("%d", st.GCPauseNs),
+		"mem_gc_count":       fmt.Sprintf("%d", st.NumGC),
+		"mem_allocs_per_cmd": fmt.Sprintf("%.1f", st.AllocsPerCmd),
+		"lease_held":         fmt.Sprintf("%v", st.LeaseHeld),
+		"lease_reads":        fmt.Sprintf("%d", st.LeaseReads),
+		"lease_fallbacks":    fmt.Sprintf("%d", st.LeaseFallbacks),
+		"lease_revocations":  fmt.Sprintf("%d", st.LeaseRevocations),
+		"locks_held":         fmt.Sprintf("%d", s.locks.Len()),
+		"gcs_broadcasts":     fmt.Sprintf("%d", gst.Broadcasts),
+		"gcs_delivered":      fmt.Sprintf("%d", gst.Delivered),
+		"gcs_retransmits":    fmt.Sprintf("%d", gst.Retransmits),
+		"gcs_views":          fmt.Sprintf("%d", gst.Views),
 	}
 	if s.cfg.DataDir != "" {
 		info["wal_dir"] = s.cfg.DataDir

@@ -40,10 +40,12 @@
 package rsm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -53,6 +55,13 @@ import (
 	"joshua/internal/transport"
 	"joshua/internal/wal"
 )
+
+// labelStage tags the calling goroutine with an rsm_stage pprof label,
+// so CPU/heap/mutex profiles (jbench -cpuprofile etc.) attribute
+// samples to pipeline stages instead of anonymous goroutines.
+func labelStage(name string) {
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(), pprof.Labels("rsm_stage", name)))
+}
 
 // Command is one totally ordered command delivered to the Service.
 // Every replica applies the same commands in the same order; Payload
@@ -347,6 +356,16 @@ type Stats struct {
 	LeaseReads       uint64 // ordered reads served locally under a lease
 	LeaseFallbacks   uint64 // ordered reads that fell back to the broadcast path
 	LeaseRevocations uint64 // leases revoked by flush entry or view change
+
+	// Memory pressure (runtime.MemStats-derived gauges, sampled by
+	// Stats() so regressions are visible in operation, not just
+	// benchmarks). AllocsPerCmd divides process-wide mallocs since
+	// Start by commands applied — an upper bound on the engine's own
+	// per-command garbage, comparable across runs of one workload.
+	HeapAllocBytes uint64  // live heap bytes (gauge)
+	GCPauseNs      uint64  // cumulative stop-the-world pause ns
+	NumGC          uint32  // completed GC cycles
+	AllocsPerCmd   float64 // process mallocs since Start per applied command
 }
 
 // readTask is one classified client datagram handed to a read worker.
@@ -366,34 +385,43 @@ type reply struct {
 	enc     *codec.Encoder
 }
 
-// pendingApply is one delivery of a pipelined round.
+// pendingApply is one delivery of a pipelined round. The round's
+// commands live in a reused slab ([]pendingApply, value entries), and
+// per-key runs are threaded through it with next indices, so batching
+// a round allocates no per-command nodes.
 type pendingApply struct {
 	env   *envelope
 	cmd   Command
 	key   string // conflict key (fresh commands only)
 	index uint64 // applied index (fresh commands only)
 	resp  []byte
-	seen  bool // already in the dedup table (cross-round duplicate)
-	dupOf int  // >= 0: duplicate of cmds[dupOf] within this round; -1 otherwise
-}
-
-// commitResult is the outcome of one asynchronous WAL group commit,
-// stamped with its completion time for the overlap accounting.
-type commitResult struct {
-	err error
-	at  time.Time
+	seen  bool  // already in the dedup table (cross-round duplicate)
+	dupOf int32 // >= 0: duplicate of cmds[dupOf] within this round; -1 otherwise
+	next  int32 // next command in the same per-key run; -1 ends the run
 }
 
 // releaseBatch is one round's output, handed to the releaser
-// goroutine: replies held until the round's durability epoch (res)
-// completes. Batches are released strictly in round order, so a later
-// round's replies can never overtake an earlier round's.
+// goroutine: replies held until the round's durability epoch (tk)
+// completes, plus the round's envelopes, whose pipeline references
+// drop only after both durability and reply queueing are done.
+// Batches are released strictly in round order, so a later round's
+// replies can never overtake an earlier round's.
 type releaseBatch struct {
-	res      chan commitResult // nil: the round appended nothing awaiting durability
-	maxIndex uint64            // durable watermark once res resolves (0 = none)
+	tk       *wal.Ticket // nil: the round appended nothing awaiting durability
+	maxIndex uint64      // durable watermark once tk resolves (0 = none)
 	replies  []reply
-	t0       time.Time // when the round's commit was issued (apply-stage start)
-	applyEnd time.Time // when the round's apply stage finished
+	envs     []*envelope // round envelopes; releaser drops the pipeline reference
+	t0       time.Time   // when the round's commit was issued (apply-stage start)
+	applyEnd time.Time   // when the round's apply stage finished
+}
+
+// applyRun hands one per-key run to an apply worker: the round's
+// command slab plus the head of an intrusive linked list (next
+// indices) through it. Carrying the slab in the message keeps the
+// workers free of shared mutable fields.
+type applyRun struct {
+	cmds []pendingApply
+	head int32
 }
 
 // Replica is one symmetric active/active member: the generic
@@ -430,11 +458,20 @@ type Replica struct {
 	// applyConc is the resolved apply-pool size; 0 selects the
 	// ApplyOnLoop ablation (serial apply + blocking commit).
 	applyConc int
-	// applySem bounds concurrently executing per-key runs.
-	applySem chan struct{}
+	// applyQ feeds the persistent apply workers one per-key run at a
+	// time (created only when applyConc > 1). The event loop is the
+	// sole sender and closes it on exit, so every queued run is drained
+	// before the workers stop and applyWG.Wait can never hang.
+	applyQ  chan applyRun
+	applyWG sync.WaitGroup
 	// relQ feeds the releaser goroutine one releaseBatch per round, in
 	// round order; nil under ApplyOnLoop.
 	relQ chan releaseBatch
+	// envFree / replyFree recycle the per-round envelope and reply
+	// slices between the loop (producer) and the releaser (consumer),
+	// so steady-state rounds allocate no slice headers.
+	envFree   chan []*envelope
+	replyFree chan []reply
 
 	// durableIdx is the highest applied index known covered by an
 	// fsync (or by a durable checkpoint); read workers consult it so a
@@ -458,9 +495,20 @@ type Replica struct {
 
 	// --- owned by the run loop ---
 	view gcs.View
-	// dedupOrder drives the table's FIFO eviction; only the loop
-	// appends (on apply) and evicts, so it needs no lock.
-	dedupOrder []string
+	// originIntern / clientIntern canonicalize the member IDs and
+	// client addresses decoded out of envelopes (see internTable).
+	originIntern internTable
+	clientIntern internTable
+	// batchBuf collects one pipelined round's envelopes; paBuf is the
+	// round's pendingApply slab; posIdx maps ReqID → first copy this
+	// round; runHeads/runTails/runIdx build the per-key runs. All are
+	// reused across rounds.
+	batchBuf []*envelope
+	paBuf    []pendingApply
+	posIdx   map[string]int
+	runHeads []int32
+	runTails []int32
+	runIdx   map[string]int
 	// appliedIdx numbers applied commands 1,2,3… across the replica's
 	// whole life (unlike gcs sequence numbers, which reset per view).
 	// It is the WAL record index, the checkpoint position, and the
@@ -477,6 +525,10 @@ type Replica struct {
 
 	// log is the durability layer; nil without Config.DataDir.
 	log *wal.Log
+
+	// mallocs0 is the process malloc count at Start, the baseline for
+	// the Stats.AllocsPerCmd gauge.
+	mallocs0 uint64
 
 	statsMu sync.Mutex
 	stats   Stats
@@ -587,6 +639,10 @@ func Start(cfg Config) (*Replica, error) {
 	}
 	r.group = group
 
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.mallocs0 = ms.Mallocs
+
 	go r.replier()
 	if cfg.ReadConcurrency > 0 {
 		r.readQ = make(chan readTask, cfg.ReadQueueLen)
@@ -596,9 +652,16 @@ func Start(cfg Config) (*Replica, error) {
 		go r.intercept()
 	}
 	if r.applyConc > 0 {
-		r.applySem = make(chan struct{}, r.applyConc)
 		r.relQ = make(chan releaseBatch, 64)
+		r.envFree = make(chan []*envelope, 4)
+		r.replyFree = make(chan []reply, 4)
 		go r.releaser()
+	}
+	if r.applyConc > 1 {
+		r.applyQ = make(chan applyRun, r.applyConc*2)
+		for i := 0; i < r.applyConc; i++ {
+			go r.applyWorker()
+		}
 	}
 	go r.run()
 	return r, nil
@@ -679,6 +742,14 @@ func (r *Replica) Stats() Stats {
 		st.WALSegments = ws.Segments
 		st.CheckpointIndex = ws.CheckpointIndex
 	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	st.HeapAllocBytes = ms.HeapAlloc
+	st.GCPauseNs = ms.PauseTotalNs
+	st.NumGC = ms.NumGC
+	if st.Applied > 0 {
+		st.AllocsPerCmd = float64(ms.Mallocs-r.mallocs0) / float64(st.Applied)
+	}
 	return st
 }
 
@@ -687,8 +758,11 @@ func (r *Replica) Stats() Stats {
 // derived deterministically from the command contents so that copies
 // proposed by several replicas collapse in the deduplication table.
 func (r *Replica) Propose(reqID string, payload []byte) error {
-	env := &envelope{ReqID: reqID, Origin: r.cfg.Self, Payload: payload}
-	return r.group.Broadcast(env.encode())
+	enc := codec.GetEncoder(64 + len(reqID) + len(payload))
+	encodeEnvelopeTo(enc, reqID, r.cfg.Self, "", payload)
+	err := r.group.Broadcast(enc.Bytes())
+	enc.Release() // Broadcast copies the payload before queueing
+	return err
 }
 
 // Leave announces a voluntary departure (the paper handles it as a
@@ -731,6 +805,12 @@ func (r *Replica) bump(f func(*Stats)) {
 // interception; under ReadOnLoop client datagrams are handled here,
 // serialized against command application (the ablation's contract).
 func (r *Replica) run() {
+	labelStage("event_loop")
+	if r.applyQ != nil {
+		// The loop is the sole sender: closing here lets the apply
+		// workers drain every queued run and exit.
+		defer close(r.applyQ)
+	}
 	events := r.group.Events()
 	var recv <-chan transport.Message // nil when intercept owns the endpoint
 	if r.readQ == nil {
@@ -802,7 +882,11 @@ func (r *Replica) commitRound() {
 		}
 	}
 	for _, rep := range r.pendingReplies {
-		r.sendAsync(rep.to, rep.payload)
+		if rep.enc != nil {
+			r.sendAsyncEnc(rep.to, rep.enc)
+		} else {
+			r.sendAsync(rep.to, rep.payload)
+		}
 	}
 	r.pendingReplies = r.pendingReplies[:0]
 }
@@ -827,15 +911,16 @@ func (r *Replica) checkpointNow() {
 // delivered before them is applied first, and any side effects they
 // produce are flushed to the releaser before the round continues.
 func (r *Replica) runPipelinedRound(first gcs.Event, events <-chan gcs.Event) {
-	var batch []*envelope
+	batch := r.batchBuf[:0]
 	flush := func() {
 		r.applyBatch(batch)
 		batch = batch[:0]
 	}
 	handle := func(e gcs.Event) {
 		if ev, ok := e.(gcs.DeliverEvent); ok {
-			env, err := decodeEnvelope(ev.Payload)
-			if err != nil {
+			env := getEnvelope()
+			if err := r.decodeEnvelopeInto(env, ev.Payload); err != nil {
+				env.release()
 				r.logf("dropping malformed replicated command: %v", err)
 				r.delivHandled.Add(1)
 				return
@@ -853,15 +938,18 @@ func (r *Replica) runPipelinedRound(first gcs.Event, events <-chan gcs.Event) {
 		case e, ok := <-events:
 			if !ok {
 				flush()
+				r.batchBuf = batch[:0]
 				return
 			}
 			handle(e)
 		default:
 			flush()
+			r.batchBuf = batch[:0]
 			return
 		}
 	}
 	flush()
+	r.batchBuf = batch[:0]
 }
 
 // flushControlEffects pushes side effects produced outside applyBatch
@@ -874,13 +962,34 @@ func (r *Replica) flushControlEffects() {
 	}
 	now := time.Now()
 	b := releaseBatch{replies: r.pendingReplies, t0: now, applyEnd: now}
-	r.pendingReplies = nil
+	r.pendingReplies = r.takeReplySlice()
 	if r.log != nil && r.walDirty {
-		b.res = r.wrapCommit()
+		b.tk = r.log.CommitTicket()
 		b.maxIndex = r.appliedIdx
 		r.walDirty = false
 	}
 	r.dispatch(b)
+}
+
+// takeReplySlice / takeEnvSlice pull a recycled per-round slice from
+// the releaser, or report empty so append allocates one that will
+// enter the cycle.
+func (r *Replica) takeReplySlice() []reply {
+	select {
+	case s := <-r.replyFree:
+		return s
+	default:
+		return nil
+	}
+}
+
+func (r *Replica) takeEnvSlice() []*envelope {
+	select {
+	case s := <-r.envFree:
+		return s
+	default:
+		return nil
+	}
 }
 
 // applyBatch runs one collected round through the three pipeline
@@ -898,17 +1007,28 @@ func (r *Replica) applyBatch(batch []*envelope) {
 		return
 	}
 	t0 := time.Now()
-	cmds := make([]*pendingApply, 0, len(batch))
-	pos := make(map[string]int, len(batch)) // ReqID → first copy this round
+	// The round's commands live in a reused value slab. It is sized up
+	// front: later stages hold &cmds[i] pointers (and run links), so
+	// append must never reallocate the backing array mid-round.
+	cmds := r.paBuf
+	if cap(cmds) < len(batch) {
+		cmds = make([]pendingApply, 0, len(batch)+64)
+	}
+	cmds = cmds[:0]
+	if r.posIdx == nil {
+		r.posIdx = make(map[string]int, 256)
+	}
+	clear(r.posIdx)
+	pos := r.posIdx // ReqID → first copy this round
 	fresh := 0
 	for _, env := range batch {
-		pa := &pendingApply{env: env, dupOf: -1}
+		cmds = append(cmds, pendingApply{env: env, dupOf: -1, next: -1})
+		pa := &cmds[len(cmds)-1]
 		if j, ok := pos[env.ReqID]; ok {
-			pa.dupOf = j
-		} else if resp, _, seen := r.dedup.get(env.ReqID); seen {
+			pa.dupOf = int32(j)
+		} else if _, _, seen := r.dedup.lookup(env.ReqID); seen {
 			pa.seen = true
-			pa.resp = resp
-			pos[env.ReqID] = len(cmds)
+			pos[env.ReqID] = len(cmds) - 1
 		} else {
 			r.appliedIdx++
 			pa.index = r.appliedIdx
@@ -919,18 +1039,22 @@ func (r *Replica) applyBatch(batch []*envelope) {
 				// runs. Recovery replay is dedup-checked and replays
 				// the log in index order, so a record that outlives a
 				// crash mid-apply is simply (re)applied at restart.
-				if err := r.log.Append(pa.index, env.encode()); err != nil {
+				// The staged frame shares the envelope's wire buffer
+				// (no copy); the ref is dropped by the flush.
+				env.ref()
+				if err := r.log.AppendShared(pa.index, env.wire(), env); err != nil {
+					env.release()
 					r.logf("wal append at %d failed: %v", pa.index, err)
 				} else {
 					r.walDirty = true
 					r.sinceCkpt++
 				}
 			}
-			pos[env.ReqID] = len(cmds)
+			pos[env.ReqID] = len(cmds) - 1
 			fresh++
 		}
-		cmds = append(cmds, pa)
 	}
+	r.paBuf = cmds
 
 	// Publish the round's applied index before execution starts: the
 	// leased-read durability gate must see the pre-apply value so it
@@ -939,10 +1063,10 @@ func (r *Replica) applyBatch(batch []*envelope) {
 
 	// Stage 1→2 handoff: start the group-commit fsync, then execute
 	// the batch while it is in flight.
-	var res chan commitResult
+	var tk *wal.Ticket
 	var maxIndex uint64
 	if r.log != nil && r.walDirty {
-		res = r.wrapCommit()
+		tk = r.log.CommitTicket()
 		maxIndex = r.appliedIdx
 		r.walDirty = false
 	}
@@ -950,16 +1074,28 @@ func (r *Replica) applyBatch(batch []*envelope) {
 	r.applySections(cmds)
 	applyEnd := time.Now()
 
-	// Post-apply bookkeeping, in total order on the loop.
-	var replies []reply
-	for _, pa := range cmds {
+	// Post-apply bookkeeping, in total order on the loop. Dedup-hit
+	// replies are copied out of the table under its lock (fetch): the
+	// entry's buffer recycles on eviction, so handing out a view would
+	// race with later rounds.
+	replies := r.takeReplySlice()
+	for i := range cmds {
+		pa := &cmds[i]
+		src := pa
 		if pa.dupOf >= 0 {
-			pa.resp = cmds[pa.dupOf].resp
+			src = &cmds[pa.dupOf]
 		} else if !pa.seen {
 			r.dedupInsert(pa.env.ReqID, pa.resp, pa.index)
 		}
-		if pa.env.Client != "" && pa.resp != nil && r.view.Primary && r.shouldReply(pa.env) {
-			replies = append(replies, reply{to: pa.env.Client, payload: pa.resp})
+		if pa.env.Client == "" || !r.view.Primary || !r.shouldReply(pa.env) {
+			continue
+		}
+		if src.seen {
+			if enc, _, ok := r.dedup.fetch(pa.env.ReqID); ok && enc != nil {
+				replies = append(replies, reply{to: pa.env.Client, payload: enc.Bytes(), enc: enc})
+			}
+		} else if src.resp != nil {
+			replies = append(replies, reply{to: pa.env.Client, payload: src.resp})
 		}
 	}
 	if fresh > 0 {
@@ -968,7 +1104,8 @@ func (r *Replica) applyBatch(batch []*envelope) {
 			st.AppliedIndex = r.appliedIdx
 		})
 	}
-	r.dispatch(releaseBatch{res: res, maxIndex: maxIndex, replies: replies, t0: t0, applyEnd: applyEnd})
+	envs := append(r.takeEnvSlice(), batch...)
+	r.dispatch(releaseBatch{tk: tk, maxIndex: maxIndex, replies: replies, envs: envs, t0: t0, applyEnd: applyEnd})
 
 	// Every delivery in the batch is now reflected in local state;
 	// credit them against the group layer's delivered count so leased
@@ -987,10 +1124,10 @@ func (r *Replica) applyBatch(batch []*envelope) {
 // concurrently on the bounded apply pool. Every replica partitions the
 // same totally ordered batch identically, and distinct keys commute by
 // the Service contract, so the resulting state is deterministic.
-func (r *Replica) applySections(cmds []*pendingApply) {
+func (r *Replica) applySections(cmds []pendingApply) {
 	var parallelRuns, barriers uint64
 	for i := 0; i < len(cmds); {
-		pa := cmds[i]
+		pa := &cmds[i]
 		if pa.dupOf >= 0 || pa.seen {
 			i++
 			continue
@@ -1001,44 +1138,48 @@ func (r *Replica) applySections(cmds []*pendingApply) {
 			i++
 			continue
 		}
-		var order []string
-		runs := make(map[string][]*pendingApply)
+		// Partition the maximal keyed span into per-key runs threaded
+		// through the slab with next links — no per-run slices, no
+		// per-span map churn (runIdx is reused and cleared).
+		if r.runIdx == nil {
+			r.runIdx = make(map[string]int, 64)
+		}
+		clear(r.runIdx)
+		heads := r.runHeads[:0]
+		tails := r.runTails[:0]
 		j := i
 		for ; j < len(cmds); j++ {
-			q := cmds[j]
+			q := &cmds[j]
 			if q.dupOf >= 0 || q.seen {
 				continue
 			}
 			if q.key == "" {
 				break
 			}
-			if _, ok := runs[q.key]; !ok {
-				order = append(order, q.key)
+			if k, ok := r.runIdx[q.key]; ok {
+				cmds[tails[k]].next = int32(j)
+				tails[k] = int32(j)
+			} else {
+				r.runIdx[q.key] = len(heads)
+				heads = append(heads, int32(j))
+				tails = append(tails, int32(j))
 			}
-			runs[q.key] = append(runs[q.key], q)
 		}
-		if len(order) == 1 || r.applyConc == 1 {
-			for _, key := range order {
-				for _, q := range runs[key] {
+		r.runHeads, r.runTails = heads, tails
+		if len(heads) == 1 || r.applyQ == nil {
+			for _, h := range heads {
+				for k := h; k >= 0; k = cmds[k].next {
+					q := &cmds[k]
 					q.resp = r.service.Apply(q.cmd)
 				}
 			}
 		} else {
-			var wg sync.WaitGroup
-			for _, key := range order {
-				run := runs[key]
-				r.applySem <- struct{}{}
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					defer func() { <-r.applySem }()
-					for _, q := range run {
-						q.resp = r.service.Apply(q.cmd)
-					}
-				}()
+			for _, h := range heads {
+				r.applyWG.Add(1)
+				r.applyQ <- applyRun{cmds: cmds, head: h}
 			}
-			wg.Wait()
-			parallelRuns += uint64(len(order))
+			r.applyWG.Wait()
+			parallelRuns += uint64(len(heads))
 		}
 		i = j
 	}
@@ -1050,26 +1191,33 @@ func (r *Replica) applySections(cmds []*pendingApply) {
 	}
 }
 
-// wrapCommit issues the WAL group commit asynchronously and stamps its
-// completion time for the overlap accounting.
-func (r *Replica) wrapCommit() chan commitResult {
-	ch := r.log.CommitAsync()
-	res := make(chan commitResult, 1)
-	go func() {
-		err := <-ch
-		res <- commitResult{err: err, at: time.Now()}
-	}()
-	return res
+// applyWorker executes per-key runs for applySections. The channel is
+// closed by the event loop on shutdown; every queued run drains first,
+// so applyWG.Wait cannot hang on an abandoned run.
+func (r *Replica) applyWorker() {
+	labelStage("apply_worker")
+	for run := range r.applyQ {
+		for k := run.head; k >= 0; k = run.cmds[k].next {
+			q := &run.cmds[k]
+			q.resp = r.service.Apply(q.cmd)
+		}
+		r.applyWG.Done()
+	}
 }
 
 // dispatch hands one round's output to the releaser, in round order.
+// If the replica is shutting down the batch's envelope references are
+// dropped here instead.
 func (r *Replica) dispatch(b releaseBatch) {
-	if b.res == nil && len(b.replies) == 0 {
+	if b.tk == nil && len(b.replies) == 0 && len(b.envs) == 0 {
 		return
 	}
 	select {
 	case r.relQ <- b:
 	case <-r.done:
+		for _, env := range b.envs {
+			env.release()
+		}
 	}
 }
 
@@ -1079,25 +1227,24 @@ func (r *Replica) dispatch(b releaseBatch) {
 // lose, and a later round's reply can never overtake an earlier
 // round's (same-client FIFO holds by construction).
 func (r *Replica) releaser() {
+	labelStage("releaser")
 	for {
 		select {
 		case <-r.done:
 			return
 		case b := <-r.relQ:
-			if b.res != nil {
-				var cr commitResult
-				select {
-				case <-r.done:
-					return
-				case cr = <-b.res:
-				}
-				if cr.err != nil {
-					r.logf("wal commit failed: %v", cr.err)
+			if b.tk != nil {
+				// Wait resolves even on Close: the log completes every
+				// outstanding ticket with its final fsync's outcome.
+				err := b.tk.Wait()
+				at := time.Now()
+				if err != nil {
+					r.logf("wal commit failed: %v", err)
 				}
 				// Overlap: the interval both the fsync and the apply
 				// stage were running; lag: how long the round's replies
 				// waited on durability after apply finished.
-				end := cr.at
+				end := at
 				if b.applyEnd.Before(end) {
 					end = b.applyEnd
 				}
@@ -1105,7 +1252,7 @@ func (r *Replica) releaser() {
 				if overlap < 0 {
 					overlap = 0
 				}
-				lag := cr.at.Sub(b.applyEnd)
+				lag := at.Sub(b.applyEnd)
 				if lag < 0 {
 					lag = 0
 				}
@@ -1115,12 +1262,36 @@ func (r *Replica) releaser() {
 						st.DurabilityLagMax = uint64(lag)
 					}
 				})
-				if cr.err == nil && b.maxIndex > 0 {
+				if err == nil && b.maxIndex > 0 {
 					r.durableIdx.Store(b.maxIndex)
 				}
 			}
 			for _, rep := range b.replies {
-				r.sendAsync(rep.to, rep.payload)
+				if rep.enc != nil {
+					r.sendAsyncEnc(rep.to, rep.enc)
+				} else {
+					r.sendAsync(rep.to, rep.payload)
+				}
+			}
+			// The round is fully released: durability resolved and
+			// replies queued. Drop the pipeline's envelope references
+			// and hand the slices back to the loop for the next round.
+			for i, env := range b.envs {
+				env.release()
+				b.envs[i] = nil
+			}
+			if b.envs != nil {
+				select {
+				case r.envFree <- b.envs[:0]:
+				default:
+				}
+			}
+			if b.replies != nil {
+				clear(b.replies)
+				select {
+				case r.replyFree <- b.replies[:0]:
+				default:
+				}
 			}
 		}
 	}
@@ -1130,6 +1301,7 @@ func (r *Replica) releaser() {
 // classify/dispatch step runs concurrently with command application on
 // the event loop.
 func (r *Replica) intercept() {
+	labelStage("intercept")
 	recv := r.clientEP.Recv()
 	for {
 		select {
@@ -1152,13 +1324,15 @@ func (r *Replica) handleGroupEvent(e gcs.Event) {
 		r.readyOnce.Do(func() { close(r.ready) })
 		r.logf("view %d members=%v primary=%v", ev.View.ID, ev.View.Members, ev.View.Primary)
 	case gcs.DeliverEvent:
-		env, err := decodeEnvelope(ev.Payload)
-		if err != nil {
+		env := getEnvelope()
+		if err := r.decodeEnvelopeInto(env, ev.Payload); err != nil {
+			env.release()
 			r.logf("dropping malformed replicated command: %v", err)
 			r.delivHandled.Add(1)
 			return
 		}
 		r.applyEnvelope(env)
+		env.release()
 		r.delivHandled.Add(1)
 	case gcs.SnapshotRequestEvent:
 		ev.Reply(r.encodeTransfer(ev.Since))
@@ -1197,6 +1371,7 @@ func (r *Replica) handleClientDatagram(dg transport.Message) {
 
 // readWorker serves classified datagrams off the event loop.
 func (r *Replica) readWorker() {
+	labelStage("read_worker")
 	for {
 		select {
 		case <-r.done:
@@ -1236,11 +1411,17 @@ func (r *Replica) serveRequest(from transport.Addr, payload []byte, cls Classifi
 	// retry falls through to the broadcast path; the copy collapses
 	// in the table and its reply is released by the normal
 	// durability-gated path.
-	if resp, idx, ok := r.dedup.get(cls.ReqID); ok {
+	if idx, hasResp, ok := r.dedup.lookup(cls.ReqID); ok {
 		if r.log == nil || idx <= r.durableIdx.Load() {
-			if resp != nil {
-				r.bump(func(st *Stats) { st.DedupHits++ })
-				r.sendAsync(from, resp)
+			if hasResp {
+				// fetch copies the recorded response under the shard
+				// lock into a pooled encoder the reply path owns. A
+				// concurrent eviction between lookup and fetch just
+				// drops the answer; the client's next retry recovers.
+				if enc, _, ok2 := r.dedup.fetch(cls.ReqID); ok2 && enc != nil {
+					r.bump(func(st *Stats) { st.DedupHits++ })
+					r.sendAsyncEnc(from, enc)
+				}
 			}
 			return
 		}
@@ -1253,13 +1434,11 @@ func (r *Replica) serveRequest(from transport.Addr, payload []byte, cls Classifi
 		return
 	}
 
-	env := &envelope{
-		ReqID:   cls.ReqID,
-		Origin:  r.cfg.Self,
-		Client:  from,
-		Payload: payload,
-	}
-	if err := r.group.Broadcast(env.encode()); err != nil {
+	enc := codec.GetEncoder(64 + len(cls.ReqID) + len(payload))
+	encodeEnvelopeTo(enc, cls.ReqID, r.cfg.Self, from, payload)
+	err := r.group.Broadcast(enc.Bytes())
+	enc.Release() // Broadcast copies the payload before queueing
+	if err != nil {
 		if r.cfg.RejectShutdown != nil {
 			r.sendAsync(from, r.cfg.RejectShutdown(cls.ReqID))
 		}
@@ -1292,6 +1471,7 @@ func (r *Replica) sendAsyncEnc(to transport.Addr, enc *codec.Encoder) {
 
 // replier drains the reply queue onto the client endpoint.
 func (r *Replica) replier() {
+	labelStage("replier")
 	for {
 		select {
 		case <-r.done:
@@ -1311,35 +1491,53 @@ func (r *Replica) replier() {
 // local service. Every replica runs this for every command in the
 // same order; exactly one (per OutputPolicy) relays the output.
 func (r *Replica) applyEnvelope(env *envelope) {
-	respBytes, _, seen := r.dedup.get(env.ReqID)
-	if !seen {
+	// Output mutual exclusion, and output suppression outside the
+	// primary component: a minority fragment may keep its local state
+	// self-consistent, but its results must never reach users — the
+	// primary component's are authoritative. Internally originated
+	// commands have no client at all.
+	wantReply := env.Client != "" && r.view.Primary && r.shouldReply(env)
+
+	if _, _, seen := r.dedup.lookup(env.ReqID); !seen {
 		// First delivery: execute. A duplicate (the same request
 		// replicated twice because the client retried at a second
 		// replica before the first replica's broadcast was delivered)
 		// reuses the recorded response.
-		respBytes = r.applyCommand(env)
+		respBytes := r.applyCommand(env)
 		if r.log != nil {
-			if err := r.log.Append(r.appliedIdx, env.encode()); err != nil {
+			// The staged frame shares the envelope's wire buffer; the
+			// ref keeps it alive until the flush.
+			env.ref()
+			if err := r.log.AppendShared(r.appliedIdx, env.wire(), env); err != nil {
+				env.release()
 				r.logf("wal append at %d failed: %v", r.appliedIdx, err)
 			} else {
 				r.walDirty = true
 				r.sinceCkpt++
 			}
 		}
+		if wantReply && respBytes != nil {
+			if r.log != nil {
+				// Held back until the round's WAL commit: acknowledge
+				// only what the log has accepted.
+				r.pendingReplies = append(r.pendingReplies, reply{to: env.Client, payload: respBytes})
+			} else {
+				r.sendAsync(env.Client, respBytes)
+			}
+		}
+		return
 	}
-
-	// Output mutual exclusion, and output suppression outside the
-	// primary component: a minority fragment may keep its local state
-	// self-consistent, but its results must never reach users — the
-	// primary component's are authoritative. Internally originated
-	// commands have no client at all.
-	if env.Client != "" && respBytes != nil && r.view.Primary && r.shouldReply(env) {
+	if !wantReply {
+		return
+	}
+	// Recorded response: copy it out of the table under its lock (the
+	// entry's buffer recycles on eviction) into a pooled encoder owned
+	// by the reply path.
+	if enc, _, ok := r.dedup.fetch(env.ReqID); ok && enc != nil {
 		if r.log != nil {
-			// Held back until the round's WAL commit: acknowledge
-			// only what the log has accepted.
-			r.pendingReplies = append(r.pendingReplies, reply{to: env.Client, payload: respBytes})
+			r.pendingReplies = append(r.pendingReplies, reply{to: env.Client, payload: enc.Bytes(), enc: enc})
 		} else {
-			r.sendAsync(env.Client, respBytes)
+			r.sendAsyncEnc(env.Client, enc)
 		}
 	}
 }
@@ -1375,21 +1573,15 @@ func (r *Replica) shouldReply(env *envelope) bool {
 }
 
 // dedupInsert records a response (tagged with its applied index, the
-// durability-gate watermark for retries) with FIFO eviction. Because
-// every replica applies the same commands in the same order, the table
-// (and its eviction) is identical everywhere. Only the event loop
-// inserts, so dedupOrder needs no lock.
+// durability-gate watermark for retries); the table evicts FIFO past
+// its limit internally. Because every replica applies the same
+// commands in the same order, the table (and its eviction) is
+// identical everywhere.
 func (r *Replica) dedupInsert(reqID string, resp []byte, index uint64) {
 	if !r.dedup.put(reqID, resp, index) {
 		return
 	}
-	r.dedupOrder = append(r.dedupOrder, reqID)
-	for len(r.dedupOrder) > r.cfg.DedupLimit {
-		victim := r.dedupOrder[0]
-		r.dedupOrder = r.dedupOrder[1:]
-		r.dedup.remove(victim)
-	}
-	r.bump(func(st *Stats) { st.DedupEntries = r.dedup.size() })
+	r.bump(func(st *Stats) { st.DedupEntries = r.dedup.live() })
 }
 
 // encodeState builds the full replica state — the service snapshot,
@@ -1397,31 +1589,28 @@ func (r *Replica) dedupInsert(reqID string, resp []byte, index uint64) {
 // not re-execute on the recipient). It is both the checkpoint format
 // and the full state-transfer payload.
 func (r *Replica) encodeState() []byte {
-	st := &replicaState{Applied: r.appliedIdx, Service: r.service.Snapshot()}
-	st.DedupIDs = append(st.DedupIDs, r.dedupOrder...)
-	for _, id := range r.dedupOrder {
-		resp, _, _ := r.dedup.get(id)
-		st.DedupResp = append(st.DedupResp, resp)
+	ids, resps := r.dedup.snapshot()
+	st := &replicaState{
+		Applied:   r.appliedIdx,
+		Service:   r.service.Snapshot(),
+		DedupIDs:  ids,
+		DedupResp: resps,
 	}
 	return st.encode()
 }
 
 // loadState installs a decoded replicaState: service, dedup table,
-// applied index. The replacement slices are allocated fresh, sized to
-// the transferred state: reusing the prior backing arrays
-// (dedupOrder[:0]) would pin the old table's memory for as long as
-// the new one lives.
+// applied index. reset shrinks the shards back to their initial
+// footprint, so a transfer-bloated table is not pinned.
 func (r *Replica) loadState(st *replicaState) error {
 	if err := r.service.Restore(st.Service); err != nil {
 		return err
 	}
-	r.dedup.reset(len(st.DedupIDs))
-	r.dedupOrder = make([]string, 0, len(st.DedupIDs))
+	r.dedup.reset()
 	for i, id := range st.DedupIDs {
 		// Index 0: transferred/checkpointed responses predate the local
 		// log, so the durability gate treats them as always durable.
 		r.dedup.put(id, st.DedupResp[i], 0)
-		r.dedupOrder = append(r.dedupOrder, id)
 	}
 	r.appliedIdx = st.Applied
 	r.appliedPub.Store(r.appliedIdx)
@@ -1483,11 +1672,13 @@ func (r *Replica) restoreTransfer(b []byte) error {
 			if rec.Index != r.appliedIdx+1 {
 				return fmt.Errorf("rsm: delta gap: record %d after applied %d", rec.Index, r.appliedIdx)
 			}
-			env, err := decodeEnvelope(rec.Data)
-			if err != nil {
+			env := getEnvelope()
+			if err := r.decodeEnvelopeInto(env, rec.Data); err != nil {
+				env.release()
 				return fmt.Errorf("rsm: delta record %d: %w", rec.Index, err)
 			}
 			r.applyEnvelope(env)
+			env.release()
 			replayed++
 		}
 		if r.appliedIdx != donorApplied {
@@ -1537,16 +1728,18 @@ func (r *Replica) recoverLocal() error {
 		if index != r.appliedIdx+1 {
 			return fmt.Errorf("rsm: log gap: record %d after applied %d", index, r.appliedIdx)
 		}
-		env, err := decodeEnvelope(data)
-		if err != nil {
+		env := getEnvelope()
+		if err := r.decodeEnvelopeInto(env, data); err != nil {
+			env.release()
 			return fmt.Errorf("rsm: log record %d: %w", index, err)
 		}
-		if _, _, seen := r.dedup.get(env.ReqID); !seen {
+		if _, _, seen := r.dedup.lookup(env.ReqID); !seen {
 			r.applyCommand(env)
 		} else {
 			r.appliedIdx = index // logged before the dedup entry checkpointed
 			r.appliedPub.Store(r.appliedIdx)
 		}
+		env.release()
 		replayed++
 		return nil
 	})

@@ -5,45 +5,9 @@ import (
 	"hash/crc32"
 
 	"joshua/internal/codec"
-	"joshua/internal/gcs"
-	"joshua/internal/transport"
 )
 
-// envelope is one replicated command inside the group communication
-// payload: the service-opaque command bytes plus enough routing
-// information for deduplication and the output mutual exclusion
-// (which replica answers the client).
-type envelope struct {
-	ReqID   string
-	Origin  gcs.MemberID   // replica that intercepted the command
-	Client  transport.Addr // where the reply goes; empty for internal
-	Payload []byte
-}
-
-func (e *envelope) encode() []byte {
-	enc := codec.NewEncoder(64 + len(e.ReqID) + len(e.Payload))
-	enc.PutString(e.ReqID)
-	enc.PutString(string(e.Origin))
-	enc.PutString(string(e.Client))
-	enc.PutBytes(e.Payload)
-	return enc.Bytes()
-}
-
-func decodeEnvelope(b []byte) (*envelope, error) {
-	d := codec.NewDecoder(b)
-	env := &envelope{
-		ReqID:  d.String(),
-		Origin: gcs.MemberID(d.String()),
-		Client: transport.Addr(d.String()),
-	}
-	p := d.Bytes()
-	env.Payload = make([]byte, len(p))
-	copy(env.Payload, p)
-	if err := d.Finish(); err != nil {
-		return nil, err
-	}
-	return env, nil
-}
+// The envelope type and its pooled encode/decode live in envelope.go.
 
 // replicaState is the engine state carried by full state transfers
 // and checkpoint files: the service snapshot, the applied command

@@ -199,6 +199,20 @@ func (n *Network) Close() {
 
 // Endpoint attaches an endpoint at addr.
 func (n *Network) Endpoint(addr transport.Addr) (transport.Endpoint, error) {
+	return n.EndpointWithQueue(addr, 0)
+}
+
+// EndpointWithQueue attaches an endpoint whose receive queue holds
+// queueLen datagrams instead of the network-wide Config.QueueLen
+// (zero or negative selects that default). The 10k-client benchmarks
+// need the asymmetry: a head's queue must absorb a whole client
+// fleet's burst, while each client sees single-digit outstanding
+// replies — at that fleet size, fleet-wide deep queues would cost
+// gigabytes of idle channel buffer.
+func (n *Network) EndpointWithQueue(addr transport.Addr, queueLen int) (transport.Endpoint, error) {
+	if queueLen <= 0 {
+		queueLen = n.cfg.QueueLen
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if _, ok := n.endpoints[addr]; ok {
@@ -207,7 +221,7 @@ func (n *Network) Endpoint(addr transport.Addr) (transport.Endpoint, error) {
 	ep := &endpoint{
 		net:  n,
 		addr: addr,
-		recv: make(chan transport.Message, n.cfg.QueueLen),
+		recv: make(chan transport.Message, queueLen),
 	}
 	n.endpoints[addr] = ep
 	return ep, nil

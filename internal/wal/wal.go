@@ -130,6 +130,14 @@ type segment struct {
 	path  string
 }
 
+// Releaser is the owner of a buffer staged by AppendShared: the log
+// calls ReleaseWAL exactly once, after the staged record has been
+// written (or deliberately discarded by Reset), at which point the
+// owner may recycle the memory.
+type Releaser interface {
+	ReleaseWAL()
+}
+
 // Log is a segmented write-ahead log with checkpoints. All methods are
 // safe for concurrent use, though the rsm engine drives appends from a
 // single goroutine.
@@ -139,8 +147,19 @@ type Log struct {
 	mu       sync.Mutex
 	segments []segment // ascending by first; last entry is active
 	active   *os.File
-	buf      []byte // user-space write buffer, flushed by Commit
-	actSize  int64  // active segment size including buffered bytes
+	actSize  int64 // active segment size including buffered bytes
+
+	// Staged records awaiting flush, kept as an iovec list instead of
+	// one flat buffer: frame headers (and data copied by Append) live
+	// in the hdr arena, while AppendShared stages caller-owned data as
+	// views, so the hot path never copies a command body it already
+	// holds. flushLocked hands the whole list to writev and only then
+	// releases the owners. All flush paths run under mu, so staged
+	// views cannot be recycled while a flush is reading them.
+	vec         [][]byte   // staged iovecs, in append order
+	hdr         []byte     // arena backing headers + copied data
+	owners      []Releaser // AppendShared owners, released on flush
+	stagedBytes int
 
 	firstIdx uint64 // oldest record on disk (0 = no records)
 	lastIdx  uint64 // newest record, or checkpoint index if higher
@@ -371,12 +390,32 @@ func (l *Log) addSegment(first uint64) error {
 	return nil
 }
 
-// Append stages one record in the write buffer. Indices must be
-// contiguous: index == LastIndex()+1. Records become crash-durable per
-// the sync policy at the next Commit.
+// Append stages one record, copying data into the arena. Indices must
+// be contiguous: index == LastIndex()+1. Records become crash-durable
+// per the sync policy at the next Commit.
 func (l *Log) Append(index uint64, data []byte) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.appendLocked(index, data, nil)
+}
+
+// AppendShared stages one record without copying data: the staged
+// frame keeps a view of data until the flush that writes it, then
+// calls owner.ReleaseWAL. The caller must hold a reference on owner
+// across the call and must not mutate data until released. On error
+// nothing is staged and the owner is not retained.
+func (l *Log) AppendShared(index uint64, data []byte, owner Releaser) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendLocked(index, data, owner)
+}
+
+// appendLocked stages one frame as iovecs: header+index (and, for the
+// copying path, the data too) go into the arena as one contiguous
+// span; shared data is staged as a view. Arena growth may move the
+// backing array, but previously staged views keep the old array — and
+// its bytes — alive, so earlier entries stay valid.
+func (l *Log) appendLocked(index uint64, data []byte, owner Releaser) error {
 	if l.closed {
 		return errors.New("wal: closed")
 	}
@@ -388,17 +427,37 @@ func (l *Log) Append(index uint64, data []byte) error {
 			return err
 		}
 	}
-	var hdr [frameHdrSize]byte
 	var idxBuf [binary.MaxVarintLen64]byte
 	in := binary.PutUvarint(idxBuf[:], index)
 	bodyLen := in + len(data)
-	binary.BigEndian.PutUint32(hdr[0:], uint32(bodyLen))
-	crc := crc32.ChecksumIEEE(idxBuf[:in])
-	crc = crc32.Update(crc, crc32.IEEETable, data)
-	binary.BigEndian.PutUint32(hdr[4:], crc)
-	l.buf = append(l.buf, hdr[:]...)
-	l.buf = append(l.buf, idxBuf[:in]...)
-	l.buf = append(l.buf, data...)
+
+	// The frame header and index go into the arena first and the CRC is
+	// computed over the arena span (not the stack buffer: crc32's arch
+	// dispatch leaks its argument, and checksumming idxBuf directly
+	// would force it to the heap on every append).
+	start := len(l.hdr)
+	l.hdr = append(l.hdr, 0, 0, 0, 0, 0, 0, 0, 0)
+	l.hdr = append(l.hdr, idxBuf[:in]...)
+	if owner == nil {
+		l.hdr = append(l.hdr, data...)
+	}
+	span := l.hdr[start:]
+	binary.BigEndian.PutUint32(span, uint32(bodyLen))
+	crc := crc32.ChecksumIEEE(span[frameHdrSize:])
+	if owner != nil {
+		crc = crc32.Update(crc, crc32.IEEETable, data)
+	}
+	binary.BigEndian.PutUint32(span[4:], crc)
+	if owner == nil {
+		l.vec = append(l.vec, span)
+	} else {
+		l.vec = append(l.vec, span)
+		if len(data) > 0 {
+			l.vec = append(l.vec, data)
+		}
+		l.owners = append(l.owners, owner)
+	}
+	l.stagedBytes += frameHdrSize + bodyLen
 	l.actSize += int64(frameHdrSize + bodyLen)
 	l.lastIdx = index
 	if l.firstIdx == 0 {
@@ -426,17 +485,38 @@ func (l *Log) rotateLocked(next uint64) error {
 	return l.addSegment(next)
 }
 
-// flushLocked moves the user-space buffer into the OS page cache.
+// flushLocked moves the staged iovec list into the OS page cache with
+// a vectored write, then releases the shared-data owners. On error the
+// staged state is kept (the interval syncer and the next commit retry
+// the flush), matching the pre-vectored behavior.
 func (l *Log) flushLocked() error {
-	if len(l.buf) == 0 {
+	if l.stagedBytes == 0 {
 		return nil
 	}
-	if _, err := l.active.Write(l.buf); err != nil {
+	if _, err := writeBufs(l.active, l.vec); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
-	l.buf = l.buf[:0]
+	l.clearStagedLocked()
 	l.flushedGen++
 	return nil
+}
+
+// clearStagedLocked releases every shared-data owner and resets the
+// staging state, trimming an arena bloated by one oversized round.
+func (l *Log) clearStagedLocked() {
+	for i, o := range l.owners {
+		o.ReleaseWAL()
+		l.owners[i] = nil
+	}
+	l.owners = l.owners[:0]
+	clear(l.vec)
+	l.vec = l.vec[:0]
+	if cap(l.hdr) > 1<<20 {
+		l.hdr = nil
+	} else {
+		l.hdr = l.hdr[:0]
+	}
+	l.stagedBytes = 0
 }
 
 func (l *Log) unsyncedLocked() bool { return l.syncedGen < l.flushedGen }
@@ -466,16 +546,48 @@ func (l *Log) Commit() error { return <-l.CommitAsync() }
 // outstanding commits are coalesced into one fsync.
 func (l *Log) CommitAsync() <-chan error {
 	ch := make(chan error, 1)
+	l.commitEnqueue(ch)
+	return ch
+}
+
+// Ticket is a pooled CommitAsync waiter: CommitTicket hands one out
+// per round and Wait returns it to the pool, so steady-state group
+// commit allocates nothing.
+type Ticket struct {
+	ch chan error
+}
+
+var ticketPool = sync.Pool{New: func() any { return &Ticket{ch: make(chan error, 1)} }}
+
+// CommitTicket is CommitAsync with ticket reuse. The caller must call
+// Wait exactly once; the ticket must not be used afterwards.
+func (l *Log) CommitTicket() *Ticket {
+	t := ticketPool.Get().(*Ticket)
+	l.commitEnqueue(t.ch)
+	return t
+}
+
+// Wait blocks for the commit outcome and repools the ticket.
+func (t *Ticket) Wait() error {
+	err := <-t.ch
+	ticketPool.Put(t)
+	return err
+}
+
+// commitEnqueue flushes the staged batch and arranges exactly one
+// send on ch: inline when no fsync is owed, else from the committer
+// (or Close) once the covering fsync lands.
+func (l *Log) commitEnqueue(ch chan error) {
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
 		ch <- errors.New("wal: closed")
-		return ch
+		return
 	}
 	if err := l.flushLocked(); err != nil {
 		l.mu.Unlock()
 		ch <- err
-		return ch
+		return
 	}
 	need := false
 	switch l.opts.Policy {
@@ -487,7 +599,7 @@ func (l *Log) CommitAsync() <-chan error {
 	if !need {
 		l.mu.Unlock()
 		ch <- nil
-		return ch
+		return
 	}
 	l.pending = append(l.pending, commitTicket{gen: l.flushedGen, ch: ch})
 	l.mu.Unlock()
@@ -495,7 +607,6 @@ func (l *Log) CommitAsync() <-chan error {
 	case l.kick <- struct{}{}:
 	default:
 	}
-	return ch
 }
 
 // committer services CommitAsync tickets off the appender's path,
@@ -579,7 +690,7 @@ func (l *Log) syncLoop() {
 			return
 		case <-t.C:
 			l.mu.Lock()
-			if !l.closed && (len(l.buf) > 0 || l.unsyncedLocked()) {
+			if !l.closed && (l.stagedBytes > 0 || l.unsyncedLocked()) {
 				if err := l.flushLocked(); err == nil && l.unsyncedLocked() {
 					l.fsyncLocked()
 				}
@@ -795,7 +906,10 @@ func (l *Log) Reset(index uint64, state []byte) error {
 		l.mu.Unlock()
 		return errors.New("wal: closed")
 	}
-	l.buf = l.buf[:0]
+	// Staged records are deliberately discarded (the local suffix may
+	// diverge from the group's history); their owners are still
+	// released so pooled buffers are not leaked.
+	l.clearStagedLocked()
 	if l.active != nil {
 		l.active.Close()
 	}

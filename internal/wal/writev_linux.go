@@ -1,0 +1,69 @@
+//go:build linux
+
+package wal
+
+import (
+	"os"
+	"sync"
+	"syscall"
+	"unsafe"
+)
+
+// maxIovecs bounds one writev call; the kernel caps at IOV_MAX (1024).
+const maxIovecs = 1024
+
+var iovPool = sync.Pool{New: func() any {
+	s := make([]syscall.Iovec, 0, maxIovecs)
+	return &s
+}}
+
+// writeBufs writes every buffer to f in order using writev, so a
+// round's staged frames — headers in the arena, command bodies still
+// owned by their envelopes — reach the segment file in one syscall
+// without a user-space coalescing copy. os.File's WriteTo path would
+// degenerate to one write per buffer here, hence the raw syscall.
+func writeBufs(f *os.File, bufs [][]byte) (int64, error) {
+	iovp := iovPool.Get().(*[]syscall.Iovec)
+	defer iovPool.Put(iovp)
+
+	var total int64
+	i, off := 0, 0 // first unwritten buffer, bytes of it already written
+	for i < len(bufs) {
+		iov := (*iovp)[:0]
+		for j := i; j < len(bufs) && len(iov) < maxIovecs; j++ {
+			b := bufs[j]
+			if j == i {
+				b = b[off:]
+			}
+			if len(b) == 0 {
+				continue
+			}
+			var v syscall.Iovec
+			v.Base = &b[0]
+			v.SetLen(len(b))
+			iov = append(iov, v)
+		}
+		if len(iov) == 0 {
+			break // only empty buffers remain
+		}
+		n, _, errno := syscall.Syscall(syscall.SYS_WRITEV, f.Fd(),
+			uintptr(unsafe.Pointer(&iov[0])), uintptr(len(iov)))
+		if errno != 0 {
+			if errno == syscall.EINTR {
+				continue
+			}
+			return total, &os.PathError{Op: "writev", Path: f.Name(), Err: errno}
+		}
+		total += int64(n)
+		for w := int(n); w > 0 && i < len(bufs); {
+			if rem := len(bufs[i]) - off; w < rem {
+				off += w
+				break
+			} else {
+				w -= rem
+				i, off = i+1, 0
+			}
+		}
+	}
+	return total, nil
+}

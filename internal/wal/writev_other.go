@@ -1,0 +1,23 @@
+//go:build !linux
+
+package wal
+
+import "os"
+
+// writeBufs writes every buffer to f in order. Without writev the
+// frames are written sequentially; the OS page cache absorbs the
+// extra calls and correctness is unchanged.
+func writeBufs(f *os.File, bufs [][]byte) (int64, error) {
+	var total int64
+	for _, b := range bufs {
+		if len(b) == 0 {
+			continue
+		}
+		n, err := f.Write(b)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
