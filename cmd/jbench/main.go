@@ -11,10 +11,11 @@
 //	jbench -fig shards         # sharded replication groups scaling sweep
 //	jbench -fig leases         # read consistency levels: local/leased/broadcast
 //	jbench -fig writepath      # 10k-client zero-alloc write-path profile
+//	jbench -fig sched          # scheduling policy sweep: fifo/priority/backfill
 //	jbench -fig all            # everything
 //
 // -json writes the selected figure's results (readpath, wal,
-// applypipe, shards, leases, or writepath) to a machine-readable file
+// applypipe, shards, leases, writepath, or sched) to a machine-readable file
 // (the CI benchmark artifact). Every file carries a "meta" object
 // recording the run environment: GOMAXPROCS, the Go toolchain
 // version, the git commit, the model scale, and the topology the
@@ -89,7 +90,7 @@ func newRunMeta(scale float64) runMeta {
 
 func main() {
 	var (
-		fig          = flag.String("fig", "all", "which figure to regenerate: 10, 11, 12, ablations, readpath, wal, applypipe, shards, leases, writepath, all")
+		fig          = flag.String("fig", "all", "which figure to regenerate: 10, 11, 12, ablations, readpath, wal, applypipe, shards, leases, writepath, sched, all")
 		scale        = flag.Float64("scale", 0.2, "latency model scale (1.0 = paper milliseconds)")
 		samples      = flag.Int("samples", 20, "latency samples per configuration")
 		maxHeads     = flag.Int("maxheads", 4, "largest head-node group")
@@ -314,6 +315,15 @@ func main() {
 		writeJSON(map[string]any{"lease_reads": res}, 4, 1)
 	}
 
+	runSched := func() {
+		res, err := bench.MeasureSchedPolicies(96, 16)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.FormatSched(res))
+		writeJSON(map[string]any{"sched_policies": res}, 1, 1)
+	}
+
 	runWritePath := func(n int) {
 		const heads = 2
 		res, err := bench.MeasureWritePath(n, 3, heads)
@@ -354,6 +364,8 @@ func main() {
 		runLeases()
 	case "writepath":
 		runWritePath(*clients)
+	case "sched":
+		runSched()
 	case "all":
 		run10()
 		run11()
@@ -364,6 +376,7 @@ func main() {
 		runApplyPipe()
 		runShards()
 		runLeases()
+		runSched()
 		// "all" is the smoke-everything mode; cap the client fleet so
 		// it stays minutes, not tens of minutes. The full 10k-client
 		// profile is an explicit -fig writepath run.

@@ -8,6 +8,10 @@
 //	jnodes -config cluster.conf              # list nodes
 //	jnodes -config cluster.conf -o compute0  # mark offline
 //	jnodes -config cluster.conf -c compute0  # bring back online
+//
+// The listing shows per-node utilization (cpu=used/total, plus
+// mem=used/total when the deployment tracks memory) alongside the
+// jobs allocated to each node.
 package main
 
 import (

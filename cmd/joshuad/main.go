@@ -59,6 +59,8 @@ func main() {
 		leaseDur   = flag.Duration("lease-duration", 0, "read-lease length for locally served linearizable reads (overrides lease_duration in config; 0 = engine default, negative = leases off)")
 		shardIdx   = flag.Int("shard", -1, "override this head's replication group (default: the [head] section's shard key)")
 		shardCount = flag.Int("shards", 0, "override the deployment's shard count (default: the shards config key)")
+		schedPol   = flag.String("sched-policy", "", "scheduling policy: fifo, priority, or backfill (overrides sched_policy in config)")
+		nodeCPUs   = flag.Int("node-cpus", 0, "per-node CPU capacity (overrides node_cpus in config; 0 = 1 cpu)")
 		verbose    = flag.Bool("v", false, "log protocol diagnostics")
 	)
 	flag.Parse()
@@ -100,12 +102,29 @@ func main() {
 	// The head schedules only its shard's slice of the compute pool
 	// and assigns only job IDs its shard owns (in the single-group
 	// deployment both reduce to everything / no filtering).
+	schedPolicy := conf.SchedPolicy
+	if *schedPol != "" {
+		p, err := pbs.ParseSchedPolicy(*schedPol)
+		if err != nil {
+			cli.Fatalf("joshuad: %v", err)
+		}
+		schedPolicy = p
+	}
+	cpus := conf.NodeCPUs
+	if *nodeCPUs > 0 {
+		cpus = *nodeCPUs
+	}
 	pbsCfg := pbs.Config{
-		ServerName:    conf.ServerName,
-		Nodes:         conf.ShardNodeNamesOf(head.Shard),
-		Exclusive:     conf.Exclusive,
-		KeepCompleted: 1024,
-		IDFilter:      shard.IDFilter(head.Shard, conf.Shards),
+		ServerName:        conf.ServerName,
+		Nodes:             conf.ShardNodeNamesOf(head.Shard),
+		Exclusive:         conf.Exclusive,
+		Policy:            schedPolicy,
+		Weights:           conf.SchedWeights,
+		FairshareHalfLife: conf.FairshareHalfLife,
+		NodeCPUs:          cpus,
+		NodeMem:           conf.NodeMem,
+		KeepCompleted:     1024,
+		IDFilter:          shard.IDFilter(head.Shard, conf.Shards),
 	}
 	if *acctPath != "" {
 		f, err := os.OpenFile(*acctPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
@@ -129,6 +148,11 @@ func main() {
 		Daemon:         daemon,
 		Shard:          head.Shard,
 		Shards:         conf.Shards,
+		// Non-FIFO policies advance the scheduler's logical clock on
+		// every completion, so completion reports must take the same
+		// totally ordered path as everything else or replica clocks —
+		// and therefore schedules — would drift apart.
+		OrderedCompletions: schedPolicy != pbs.PolicyFIFO,
 	}
 	if *verbose {
 		cfg.Logger = log.New(os.Stderr, "", log.Ltime|log.Lmicroseconds)

@@ -6,8 +6,16 @@
 //
 // Usage:
 //
-//	jsub -config cluster.conf [-N name] [-o owner] [-l nodes=N]
-//	     [-w walltime] [-h] [-t count] [script-file]
+//	jsub -config cluster.conf [-N name] [-o owner] [-p priority]
+//	     [-l nodes=N,ncpus=C,mem=512mb] [-w walltime] [-h]
+//	     [-t start-end | -t count] [script-file]
+//
+// -l accepts either a PBS resource list ("nodes=2,ncpus=2,mem=1gb")
+// or, for compatibility with earlier releases, a bare integer node
+// count. -t likewise accepts either an array range ("0-99", expanded
+// into sub-jobs named id[idx].server) or a bare integer, which keeps
+// its historical meaning of submitting that many identical jobs in
+// one command.
 //
 // The job script is read from the named file or from standard input.
 // On success the new job identifier is printed, qsub-style.
@@ -18,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"time"
 
 	"joshua/internal/cli"
@@ -42,10 +51,11 @@ func main() {
 		bindAddr   = flag.String("bind", "", "local TCP address to listen on for replies (overrides JOSHUA_BIND and client_bind)")
 		name       = flag.String("N", "", "job name (default: script file name or STDIN)")
 		owner      = flag.String("o", os.Getenv("USER"), "job owner")
-		nodes      = flag.Int("l", 1, "number of compute nodes (nodect)")
+		resources  = flag.String("l", "", "resource list (nodes=N,ncpus=C,mem=SIZE,walltime=HH:MM:SS) or a bare node count")
 		wallTime   = flag.Duration("w", 0, "simulated wall time (e.g. 30s)")
 		hold       = flag.Bool("hold", false, "submit in held state (qsub -h)")
-		count      = flag.Int("t", 1, "submit this many identical jobs in one command")
+		priority   = flag.Int("p", 0, "user priority (higher runs earlier under priority/backfill policies)")
+		arrayOrN   = flag.String("t", "", "job array range (start-end) or a bare count of identical jobs")
 	)
 	flag.Parse()
 
@@ -84,35 +94,56 @@ func main() {
 		Script:   script,
 		WallTime: *wallTime,
 		Hold:     *hold,
+		Priority: *priority,
 	}
 	// Only explicitly passed flags should override #PBS directives.
-	if *nodes != 1 || flagPassed("l") {
-		req.NodeCount = *nodes
+	if *resources != "" {
+		if n, err := strconv.Atoi(*resources); err == nil {
+			// Bare integer: the legacy -l node-count spelling.
+			req.NodeCount = n
+		} else if err := pbs.ApplyResourceList(&req, *resources); err != nil {
+			cli.Fatalf("jsub: %v", err)
+		}
+	}
+	// -t: an array range ("0-99") or the legacy bare batch count.
+	batch := 1
+	if *arrayOrN != "" {
+		if n, err := strconv.Atoi(*arrayOrN); err == nil {
+			batch = n
+		} else if req.Array, err = pbs.ParseArrayRange(*arrayOrN); err != nil {
+			cli.Fatalf("jsub: %v", err)
+		}
 	}
 	if err := pbs.ApplyDirectives(&req); err != nil {
 		cli.Fatalf("jsub: %v", err)
-	}
-	if req.NodeCount == 0 {
-		req.NodeCount = *nodes
 	}
 	// Precedence for the job name: -N flag, then #PBS -N, then the
 	// script file name (qsub's default).
 	if req.Name == "" {
 		req.Name = scriptFile
 	}
-	if *count > 1 {
-		jobs, err := client.SubmitBatch(req, *count)
+	switch {
+	case req.Array.Set:
+		jobs, err := client.SubmitArray(req)
 		if err != nil {
 			cli.Fatalf("jsub: %v", err)
 		}
 		for _, j := range jobs {
 			fmt.Println(j.ID)
 		}
-		return
+	case batch > 1:
+		jobs, err := client.SubmitBatch(req, batch)
+		if err != nil {
+			cli.Fatalf("jsub: %v", err)
+		}
+		for _, j := range jobs {
+			fmt.Println(j.ID)
+		}
+	default:
+		j, err := client.Submit(req)
+		if err != nil {
+			cli.Fatalf("jsub: %v", err)
+		}
+		fmt.Println(j.ID)
 	}
-	j, err := client.Submit(req)
-	if err != nil {
-		cli.Fatalf("jsub: %v", err)
-	}
-	fmt.Println(j.ID)
 }

@@ -1,0 +1,261 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"joshua/internal/pbs"
+)
+
+// This file measures the scheduling pipeline (DESIGN.md §6.9) on a
+// mixed-size workload: mostly narrow short jobs with a wide long job
+// salted in every twelfth position. The pbs state machine is driven
+// directly in virtual time — the benchmark submits everything at
+// virtual zero, then repeatedly delivers the completion of the
+// running job with the earliest declared end, exactly the order the
+// replicated cluster's ordered-completion path produces. Every
+// timestamp read back (StartedAt, CompletedAt) comes from the
+// server's own logical clock, so the measured schedule is the
+// deterministic one every replica computes.
+
+// simJob is one generated workload entry.
+type simJob struct {
+	name     string
+	owner    string
+	nodes    int
+	wall     time.Duration
+	priority int
+	wide     bool
+}
+
+// schedWorkload builds the mixed workload: total jobs on a cluster of
+// nodeCount nodes. The first widePos jobs are narrow and exactly fill
+// the cluster, so the first wide job is the head blocked job — the
+// one conservative backfill must never delay.
+func schedWorkload(total, nodeCount int) []simJob {
+	jobs := make([]simJob, 0, total)
+	for i := 0; i < total; i++ {
+		j := simJob{
+			name:  fmt.Sprintf("job%03d", i),
+			owner: fmt.Sprintf("user%d", i%4),
+		}
+		switch {
+		case i < 8:
+			// Opening salvo: 8 × 2 nodes fills the 16-node pool.
+			j.nodes = nodeCount / 8
+			j.wall = time.Duration(300+(i%4)*300) * time.Second
+		case i%12 == 8:
+			// Wide jobs carry elevated user priority so the ordering
+			// stage keeps them at the head of the blocked queue: under
+			// backfill that makes them the reservation holders the
+			// conservative invariant protects.
+			j.wide = true
+			j.nodes = nodeCount * 3 / 4
+			j.wall = 1200 * time.Second
+			j.priority = 10
+		default:
+			j.nodes = 1 + i%3
+			j.wall = time.Duration(60+(i%7)*90) * time.Second
+		}
+		jobs = append(jobs, j)
+	}
+	return jobs
+}
+
+// SchedVariant is one measured (policy, exclusive) configuration.
+type SchedVariant struct {
+	Name      string `json:"name"`
+	Policy    string `json:"policy"`
+	Exclusive bool   `json:"exclusive"`
+	// MakespanSec is the virtual time at which the last job finished.
+	MakespanSec float64 `json:"makespan_sec"`
+	// Utilization is demand (node-seconds of work) over capacity
+	// (nodes x makespan).
+	Utilization float64 `json:"utilization"`
+	// FirstWideStartSec is when the first wide job — the reservation
+	// holder under backfill — started, in virtual seconds.
+	FirstWideStartSec float64 `json:"first_wide_start_sec"`
+	// MaxWideWaitSec is the worst queue wait over all wide jobs (the
+	// large-job starvation metric).
+	MaxWideWaitSec float64 `json:"max_wide_wait_sec"`
+}
+
+// SchedResult is the full policy sweep on one workload.
+type SchedResult struct {
+	Nodes    int            `json:"nodes"`
+	NodeCPUs int            `json:"node_cpus"`
+	Jobs     int            `json:"jobs"`
+	WideJobs int            `json:"wide_jobs"`
+	Variants []SchedVariant `json:"variants"`
+	// UtilizationGain is backfill utilization over the paper's
+	// FIFO/exclusive baseline — the acceptance metric (>= 1.5x).
+	UtilizationGain float64 `json:"utilization_gain_backfill_vs_fifo_exclusive"`
+	// WideDelaySec is how much later the first wide job started under
+	// backfill than under plain FIFO; conservative backfill keeps
+	// this <= 0.
+	WideDelaySec float64 `json:"first_wide_delay_backfill_vs_fifo_sec"`
+}
+
+// runSchedSim plays the workload against one server configuration and
+// reports the variant's metrics, all on the server's virtual axis.
+func runSchedSim(name string, policy pbs.SchedPolicy, exclusive bool, nodeCount int, jobs []simJob) (SchedVariant, error) {
+	names := make([]string, nodeCount)
+	for i := range names {
+		names[i] = fmt.Sprintf("compute%d", i)
+	}
+	s := pbs.NewServer(pbs.Config{
+		ServerName:        "bench",
+		Nodes:             names,
+		Policy:            policy,
+		Exclusive:         exclusive,
+		FairshareHalfLife: uint64(time.Hour),
+	})
+
+	wall := make(map[pbs.JobID]time.Duration, len(jobs))
+	wideOf := make(map[pbs.JobID]bool, len(jobs))
+	order := make([]pbs.JobID, 0, len(jobs))
+	for _, w := range jobs {
+		j, err := s.Submit(pbs.SubmitRequest{
+			Name:      w.name,
+			Owner:     w.owner,
+			NodeCount: w.nodes,
+			WallTime:  w.wall,
+			Priority:  w.priority,
+		})
+		if err != nil {
+			return SchedVariant{}, fmt.Errorf("%s: submit %s: %w", name, w.name, err)
+		}
+		wall[j.ID] = w.wall
+		wideOf[j.ID] = w.wide
+		order = append(order, j.ID)
+	}
+
+	// Event loop: deliver the earliest declared end among running
+	// jobs, ID as the deterministic tie-break.
+	running := make(map[pbs.JobID]bool)
+	observe := func() {
+		for _, id := range order {
+			if running[id] {
+				continue
+			}
+			if j, err := s.Status(id); err == nil && j.State == pbs.StateRunning {
+				running[id] = true
+			}
+		}
+	}
+	observe()
+	var makespan int64
+	for done := 0; done < len(jobs); done++ {
+		var best pbs.JobID
+		var bestEnd int64
+		for id := range running {
+			j, err := s.Status(id)
+			if err != nil {
+				return SchedVariant{}, err
+			}
+			end := j.StartedAt.UnixNano() + int64(wall[id])
+			if best == "" || end < bestEnd || (end == bestEnd && id < best) {
+				best, bestEnd = id, end
+			}
+		}
+		if best == "" {
+			return SchedVariant{}, fmt.Errorf("%s: %d jobs stuck queued with nothing running", name, len(jobs)-done)
+		}
+		s.JobDone(best, 0, "")
+		delete(running, best)
+		if bestEnd > makespan {
+			makespan = bestEnd
+		}
+		observe()
+	}
+
+	v := SchedVariant{Name: name, Policy: policy.String(), Exclusive: exclusive}
+	v.MakespanSec = float64(makespan) / float64(time.Second)
+	var demand float64
+	first := true
+	for _, id := range order {
+		j, err := s.Status(id)
+		if err != nil {
+			return SchedVariant{}, err
+		}
+		demand += float64(j.NodeCount) * (float64(wall[id]) / float64(time.Second))
+		if !wideOf[id] {
+			continue
+		}
+		startSec := float64(j.StartedAt.UnixNano()) / float64(time.Second)
+		if first {
+			v.FirstWideStartSec = startSec
+			first = false
+		}
+		if startSec > v.MaxWideWaitSec {
+			v.MaxWideWaitSec = startSec // all submissions arrive at virtual zero
+		}
+	}
+	if v.MakespanSec > 0 {
+		v.Utilization = demand / (float64(nodeCount) * v.MakespanSec)
+	}
+	return v, nil
+}
+
+// MeasureSchedPolicies runs the policy sweep: the paper's
+// FIFO/exclusive baseline, shared-node FIFO, priority/fairshare
+// ordering, and conservative backfill, all on the same workload.
+func MeasureSchedPolicies(jobs, nodes int) (SchedResult, error) {
+	if nodes <= 0 {
+		nodes = 16
+	}
+	if jobs <= 0 {
+		jobs = 96
+	}
+	workload := schedWorkload(jobs, nodes)
+	res := SchedResult{Nodes: nodes, NodeCPUs: 1, Jobs: len(workload)}
+	for _, w := range workload {
+		if w.wide {
+			res.WideJobs++
+		}
+	}
+	for _, cfg := range []struct {
+		name      string
+		policy    pbs.SchedPolicy
+		exclusive bool
+	}{
+		{"fifo+exclusive", pbs.PolicyFIFO, true},
+		{"fifo", pbs.PolicyFIFO, false},
+		{"priority", pbs.PolicyPriority, false},
+		{"backfill", pbs.PolicyBackfill, false},
+	} {
+		v, err := runSchedSim(cfg.name, cfg.policy, cfg.exclusive, nodes, workload)
+		if err != nil {
+			return res, err
+		}
+		res.Variants = append(res.Variants, v)
+	}
+	byName := func(n string) SchedVariant {
+		for _, v := range res.Variants {
+			if v.Name == n {
+				return v
+			}
+		}
+		return SchedVariant{}
+	}
+	if base := byName("fifo+exclusive"); base.Utilization > 0 {
+		res.UtilizationGain = byName("backfill").Utilization / base.Utilization
+	}
+	res.WideDelaySec = byName("backfill").FirstWideStartSec - byName("fifo").FirstWideStartSec
+	return res, nil
+}
+
+// FormatSched renders the sweep as the EXPERIMENTS.md table.
+func FormatSched(res SchedResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scheduling pipeline (%d jobs, %d wide, %d nodes, virtual time):\n",
+		res.Jobs, res.WideJobs, res.Nodes)
+	for _, v := range res.Variants {
+		fmt.Fprintf(&b, "  %-15s makespan %7.0fs   utilization %5.1f%%   first wide start %6.0fs   worst wide wait %6.0fs\n",
+			v.Name, v.MakespanSec, 100*v.Utilization, v.FirstWideStartSec, v.MaxWideWaitSec)
+	}
+	fmt.Fprintf(&b, "  backfill utilization gain vs fifo+exclusive: %.1fx\n", res.UtilizationGain)
+	fmt.Fprintf(&b, "  first wide job delayed by backfill vs fifo: %+.0fs (conservative => <= 0)\n", res.WideDelaySec)
+	return b.String()
+}

@@ -66,6 +66,21 @@ type Options struct {
 	// Exclusive selects the paper's one-job-at-a-time Maui policy
 	// (default true via NewDefault; zero value false means packing).
 	Exclusive bool
+	// SchedPolicy selects the scheduling pipeline's ordering and
+	// placement stages (fifo, priority, backfill); see pbs.SchedPolicy.
+	// Non-FIFO policies advance the logical clock on completions, so
+	// deployments using them should also set OrderedCompletions.
+	SchedPolicy pbs.SchedPolicy
+	// SchedWeights parameterizes the priority score (zero value
+	// selects pbs.DefaultSchedWeights under non-FIFO policies).
+	SchedWeights pbs.SchedWeights
+	// FairshareHalfLife is the fairshare usage decay half-life in
+	// logical ticks (0 = no decay).
+	FairshareHalfLife uint64
+	// NodeCPUs / NodeMem set each compute node's schedulable capacity
+	// (see pbs.Config; 0 CPUs means 1, 0 mem means untracked).
+	NodeCPUs int
+	NodeMem  int64
 	// TimeScale scales simulated job wall time on the moms.
 	TimeScale float64
 	// OutputPolicy, PartitionPolicy forward to the JOSHUA servers.
@@ -313,12 +328,17 @@ func (c *Cluster) startHead(s, i int, initial []gcs.MemberID, join bool) error {
 	}
 	acct := &pbs.MemoryAccounting{}
 	srv := pbs.NewServer(pbs.Config{
-		ServerName:    "cluster", // identical on every head: replicated IDs coincide
-		Nodes:         nodeNames,
-		Exclusive:     c.opts.Exclusive,
-		KeepCompleted: c.opts.KeepCompleted,
-		SubmitDelay:   c.opts.SubmitDelay,
-		Accounting:    acct,
+		ServerName:        "cluster", // identical on every head: replicated IDs coincide
+		Nodes:             nodeNames,
+		Exclusive:         c.opts.Exclusive,
+		Policy:            c.opts.SchedPolicy,
+		Weights:           c.opts.SchedWeights,
+		FairshareHalfLife: c.opts.FairshareHalfLife,
+		NodeCPUs:          c.opts.NodeCPUs,
+		NodeMem:           c.opts.NodeMem,
+		KeepCompleted:     c.opts.KeepCompleted,
+		SubmitDelay:       c.opts.SubmitDelay,
+		Accounting:        acct,
 		// Each shard mints only job IDs that hash back to it, so any
 		// client can route by ID alone (see internal/shard).
 		IDFilter: shard.IDFilter(s, c.shards),

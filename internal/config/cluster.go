@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"joshua/internal/gcs"
+	"joshua/internal/pbs"
 	"joshua/internal/transport"
 	"joshua/internal/transport/tcpnet"
 )
@@ -27,6 +28,22 @@ type ClusterFile struct {
 	Heads     []HeadDecl
 	Computes  []ComputeDecl
 	Exclusive bool
+	// SchedPolicy selects the scheduling pipeline ("sched_policy",
+	// globally or under [options]: fifo, priority, or backfill;
+	// default fifo — the paper's configuration).
+	SchedPolicy pbs.SchedPolicy
+	// SchedWeights are the priority-stage weights ("sched_weight_age",
+	// "sched_weight_size", "sched_weight_user", "sched_weight_fair"
+	// under [options]; all-zero selects pbs.DefaultSchedWeights).
+	SchedWeights pbs.SchedWeights
+	// FairshareHalfLife is the fairshare decay half-life in logical
+	// ticks ("fairshare_half_life" under [options]; 0 = no decay).
+	FairshareHalfLife uint64
+	// NodeCPUs / NodeMem set per-node schedulable capacity
+	// ("node_cpus", "node_mem" under [options]; node_mem accepts PBS
+	// sizes like "4gb").
+	NodeCPUs  int
+	NodeMem   int64
 	TimeScale float64
 	// ClientBind is the local TCP address control commands listen on
 	// for replies ("client_bind", globally or under [options]). Empty
@@ -145,6 +162,12 @@ func ClusterFromFile(f *File) (*ClusterFile, error) {
 			return nil, err
 		}
 	}
+	if v := f.Global("sched_policy", ""); v != "" {
+		var err error
+		if c.SchedPolicy, err = pbs.ParseSchedPolicy(v); err != nil {
+			return nil, err
+		}
+	}
 	for _, sec := range f.SectionsOf("head") {
 		if sec.Name == "" {
 			return nil, fmt.Errorf("config: [head] section at line %d needs a name", sec.Line)
@@ -231,6 +254,41 @@ func ClusterFromFile(f *File) (*ClusterFile, error) {
 			}
 			c.Shards = n
 		}
+		if v := opts[0].Get("sched_policy"); v != "" {
+			if c.SchedPolicy, err = pbs.ParseSchedPolicy(v); err != nil {
+				return nil, err
+			}
+		}
+		nc, err := opts[0].Int("node_cpus", 0)
+		if err != nil {
+			return nil, err
+		}
+		c.NodeCPUs = int(nc)
+		if v := opts[0].Get("node_mem"); v != "" {
+			if c.NodeMem, err = pbs.ParseMem(v); err != nil {
+				return nil, fmt.Errorf("config: node_mem: %v", err)
+			}
+		}
+		if c.FairshareHalfLife, err = opts[0].Uint("fairshare_half_life", 0); err != nil {
+			return nil, err
+		}
+		wAge, err := opts[0].Int("sched_weight_age", 0)
+		if err != nil {
+			return nil, err
+		}
+		wSize, err := opts[0].Int("sched_weight_size", 0)
+		if err != nil {
+			return nil, err
+		}
+		wUser, err := opts[0].Int("sched_weight_user", 0)
+		if err != nil {
+			return nil, err
+		}
+		wFair, err := opts[0].Int("sched_weight_fair", 0)
+		if err != nil {
+			return nil, err
+		}
+		c.SchedWeights = pbs.SchedWeights{Age: wAge, Size: wSize, User: wUser, Fair: wFair}
 	}
 	sort.Slice(c.Heads, func(i, j int) bool { return c.Heads[i].Name < c.Heads[j].Name })
 	sort.Slice(c.Computes, func(i, j int) bool { return c.Computes[i].Name < c.Computes[j].Name })

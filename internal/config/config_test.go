@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"joshua/internal/pbs"
 )
 
 const sample = `
@@ -186,6 +188,65 @@ func TestClusterClientBind(t *testing.T) {
 	// The [options] key overrides the global.
 	if c := parse("client_bind = 10.0.0.7:0\n" + head + "[options]\nclient_bind = 0.0.0.0:0\n"); c.ClientBind != "0.0.0.0:0" {
 		t.Errorf("override ClientBind = %q", c.ClientBind)
+	}
+}
+
+func TestClusterSchedulerOptions(t *testing.T) {
+	head := "[head h]\ngcs=a\nclient=b\npbs=c\n"
+
+	parse := func(input string) *ClusterFile {
+		t.Helper()
+		f, err := Parse(strings.NewReader(input))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := ClusterFromFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	c := parse("sched_policy = backfill\n" + head + `[options]
+node_cpus = 8
+node_mem = 64gb
+fairshare_half_life = 3600000000000
+sched_weight_age = 2
+sched_weight_size = 3
+sched_weight_user = 500
+sched_weight_fair = 7
+`)
+	if c.SchedPolicy != pbs.PolicyBackfill {
+		t.Errorf("SchedPolicy = %v", c.SchedPolicy)
+	}
+	if c.NodeCPUs != 8 || c.NodeMem != 64<<30 {
+		t.Errorf("NodeCPUs/NodeMem = %d/%d", c.NodeCPUs, c.NodeMem)
+	}
+	if c.FairshareHalfLife != 3600000000000 {
+		t.Errorf("FairshareHalfLife = %d", c.FairshareHalfLife)
+	}
+	if w := (pbs.SchedWeights{Age: 2, Size: 3, User: 500, Fair: 7}); c.SchedWeights != w {
+		t.Errorf("SchedWeights = %+v", c.SchedWeights)
+	}
+	// The [options] sched_policy overrides the global spelling.
+	if c := parse("sched_policy = fifo\n" + head + "[options]\nsched_policy = priority\n"); c.SchedPolicy != pbs.PolicyPriority {
+		t.Errorf("override SchedPolicy = %v", c.SchedPolicy)
+	}
+	// Defaults: fifo, 1-cpu nodes implied downstream by zero values.
+	if c := parse(head); c.SchedPolicy != pbs.PolicyFIFO || c.NodeCPUs != 0 || c.NodeMem != 0 {
+		t.Errorf("defaults = %v/%d/%d", c.SchedPolicy, c.NodeCPUs, c.NodeMem)
+	}
+	// Bad values are rejected with errors.
+	for _, input := range []string{
+		"sched_policy = roundrobin\n" + head,
+		head + "[options]\nnode_mem = lots\n",
+		head + "[options]\nnode_cpus = many\n",
+	} {
+		if f, err := Parse(strings.NewReader(input)); err == nil {
+			if _, err := ClusterFromFile(f); err == nil {
+				t.Errorf("ClusterFromFile(%q) should fail", input)
+			}
+		}
 	}
 }
 

@@ -576,18 +576,49 @@ func (c *Client) callJob(op Op, args cmdArgs) (*rpcResponse, error) {
 // routes back to it.
 func (c *Client) Submit(req pbs.SubmitRequest) (pbs.Job, error) {
 	s := int(c.submitRR.Add(1) % uint64(len(c.shards)))
-	resp, err := c.call(s, OpSubmit, cmdArgs{
-		Name:      req.Name,
-		Owner:     req.Owner,
-		Script:    req.Script,
-		NodeCount: req.NodeCount,
-		WallTime:  req.WallTime,
-		Hold:      req.Hold,
-	})
+	resp, err := c.call(s, OpSubmit, submitArgs(req))
 	if err != nil {
 		return pbs.Job{}, err
 	}
 	return firstJob(resp), rpcErr(resp)
+}
+
+// submitArgs maps a SubmitRequest onto the wire argument record.
+func submitArgs(req pbs.SubmitRequest) cmdArgs {
+	return cmdArgs{
+		Name:       req.Name,
+		Owner:      req.Owner,
+		Script:     req.Script,
+		NodeCount:  req.NodeCount,
+		WallTime:   req.WallTime,
+		Hold:       req.Hold,
+		NCPUs:      req.Resources.NCPUs,
+		Mem:        req.Resources.Mem,
+		Priority:   req.Priority,
+		ArraySet:   req.Array.Set,
+		ArrayStart: req.Array.Start,
+		ArrayEnd:   req.Array.End,
+	}
+}
+
+// SubmitArray runs jsub -t: one replicated command expands into the
+// array's sub-jobs ("seq[idx].server") on the owning shard. IDs
+// canonicalize to the base sequence for routing, so the whole array
+// lands on one scheduler.
+func (c *Client) SubmitArray(req pbs.SubmitRequest) ([]pbs.Job, error) {
+	if !req.Array.Set {
+		j, err := c.Submit(req)
+		if err != nil {
+			return nil, err
+		}
+		return []pbs.Job{j}, nil
+	}
+	s := int(c.submitRR.Add(1) % uint64(len(c.shards)))
+	resp, err := c.call(s, OpSubmit, submitArgs(req))
+	if err != nil {
+		return nil, err
+	}
+	return resp.Jobs, rpcErr(resp)
 }
 
 // SubmitMany submits n identical jobs one command at a time — the
@@ -610,15 +641,9 @@ func (c *Client) SubmitMany(req pbs.SubmitRequest, n int) ([]pbs.Job, error) {
 // individual jobs").
 func (c *Client) SubmitBatch(req pbs.SubmitRequest, n int) ([]pbs.Job, error) {
 	s := int(c.submitRR.Add(1) % uint64(len(c.shards)))
-	resp, err := c.call(s, OpSubmit, cmdArgs{
-		Name:      req.Name,
-		Owner:     req.Owner,
-		Script:    req.Script,
-		NodeCount: req.NodeCount,
-		WallTime:  req.WallTime,
-		Hold:      req.Hold,
-		Count:     n,
-	})
+	args := submitArgs(req)
+	args.Count = n
+	resp, err := c.call(s, OpSubmit, args)
 	if err != nil {
 		return nil, err
 	}

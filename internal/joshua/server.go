@@ -601,6 +601,27 @@ func executeOn(d *pbs.Daemon, op Op, a *cmdArgs, reqID string) *rpcResponse {
 	}
 	switch op {
 	case OpSubmit:
+		req := pbs.SubmitRequest{
+			Name:      a.Name,
+			Owner:     a.Owner,
+			Script:    a.Script,
+			NodeCount: a.NodeCount,
+			WallTime:  a.WallTime,
+			Hold:      a.Hold,
+			Resources: pbs.ResourceSpec{NCPUs: a.NCPUs, Mem: a.Mem},
+			Priority:  a.Priority,
+		}
+		if a.ArraySet {
+			// Job array (jsub -t): one command, one scheduler pass,
+			// sub-jobs named "seq[idx].server".
+			req.Array = pbs.ArraySpec{Set: true, Start: a.ArrayStart, End: a.ArrayEnd}
+			jobs, err := d.SubmitArray(req)
+			if err != nil {
+				return fail(err)
+			}
+			resp.Jobs = jobs
+			break
+		}
 		count := a.Count
 		if count <= 0 {
 			count = 1
@@ -610,14 +631,7 @@ func executeOn(d *pbs.Daemon, op Op, a *cmdArgs, reqID string) *rpcResponse {
 		// the paper points to ("a command line job submission to
 		// contain a number of individual jobs").
 		for i := 0; i < count; i++ {
-			j, err := d.Submit(pbs.SubmitRequest{
-				Name:      a.Name,
-				Owner:     a.Owner,
-				Script:    a.Script,
-				NodeCount: a.NodeCount,
-				WallTime:  a.WallTime,
-				Hold:      a.Hold,
-			})
+			j, err := d.Submit(req)
 			if err != nil {
 				return fail(err)
 			}

@@ -66,21 +66,23 @@ func (s *pbsService) Apply(cmd rsm.Command) []byte {
 
 // ConflictKey classifies the batch-system conflict domains for the
 // engine's parallel apply stage. Only operations that touch a single
-// job's record and never enter the scheduler are job-local: qhold
-// flips one queued job's state, qsig bumps one running job's signal
-// count, and an ordered qstat reads one job. Everything else —
-// submit, delete, release, completions, node state — runs the
-// scheduler over the shared node pool, so it stays a global barrier.
-// (Accounting-sink line order across distinct jobs is unspecified
-// under parallel apply; the sink is local observability, not
-// replicated state.)
+// job's record and never enter the scheduler are job-local: qsig
+// bumps one running job's signal count and an ordered qstat reads one
+// job. Every resource-consuming operation — submit, delete, hold,
+// release, completions, node state — runs the scheduling pipeline
+// over the shared node pool and advances its logical clock, so it
+// stays on the global scheduler barrier. (qhold moved there when the
+// pipeline landed: holding a queued job now frees the jobs behind it
+// immediately, which is a scheduler pass.) Accounting-sink line order
+// across distinct jobs is unspecified under parallel apply; the sink
+// is local observability, not replicated state.
 func (s *pbsService) ConflictKey(cmd rsm.Command) string {
 	op, ok := requestOp(cmd.Payload)
 	if !ok {
 		return ""
 	}
 	switch op {
-	case OpHold, OpSignal, OpStat:
+	case OpSignal, OpStat:
 		req, _, err := decodeRPC(cmd.Payload)
 		if err != nil || req == nil || req.Args.JobID == "" {
 			return ""

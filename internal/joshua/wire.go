@@ -111,6 +111,15 @@ type cmdArgs struct {
 	// Count lets one OpSubmit carry several identical jobs (batch
 	// submission); 0 and 1 both mean a single job.
 	Count int
+	// Per-node resource request and user priority (OpSubmit).
+	NCPUs    int
+	Mem      int64
+	Priority int
+	// Job-array submission (jsub -t): when ArraySet, one OpSubmit
+	// expands into sub-jobs ArrayStart..ArrayEnd on the scheduler.
+	ArraySet   bool
+	ArrayStart int
+	ArrayEnd   int
 	// Job-addressed operations.
 	JobID pbs.JobID
 	// OpSignal.
@@ -138,10 +147,16 @@ func putArgs(e *codec.Encoder, a *cmdArgs) {
 	e.PutInt(int64(a.ExitCode))
 	e.PutString(a.Output)
 	e.PutString(a.Node)
+	e.PutInt(int64(a.NCPUs))
+	e.PutInt(a.Mem)
+	e.PutInt(int64(a.Priority))
+	e.PutBool(a.ArraySet)
+	e.PutInt(int64(a.ArrayStart))
+	e.PutInt(int64(a.ArrayEnd))
 }
 
 func getArgs(d *codec.Decoder) cmdArgs {
-	return cmdArgs{
+	a := cmdArgs{
 		Name:      d.String(),
 		Owner:     d.String(),
 		Script:    d.String(),
@@ -156,6 +171,13 @@ func getArgs(d *codec.Decoder) cmdArgs {
 		Output:    d.String(),
 		Node:      d.String(),
 	}
+	a.NCPUs = int(d.Int())
+	a.Mem = d.Int()
+	a.Priority = int(d.Int())
+	a.ArraySet = d.Bool()
+	a.ArrayStart = int(d.Int())
+	a.ArrayEnd = int(d.Int())
+	return a
 }
 
 // Client RPC message kinds.

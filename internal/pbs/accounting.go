@@ -120,6 +120,59 @@ func (w *WriterAccounting) Record(r AccountingRecord) {
 	fmt.Fprintln(w.w, r.Line())
 }
 
+// Fairshare state. Alongside the externally visible accounting log,
+// the server keeps a replicated per-user usage accumulator that the
+// ordering stage of the scheduling pipeline reads: heavy recent users
+// sink in priority. Usage is charged at job start (requested capacity
+// × declared walltime — the only runtime bound known at decision
+// time) and decays by halving every FairshareHalfLife logical ticks.
+// Everything is integral, driven by the logical clock, and carried in
+// snapshots, so every replica ranks users identically.
+
+// fairshareDecay applies the halvings accrued since the last charge
+// or decay. Must be called with s.mu held.
+func (s *Server) fairshareDecay() {
+	if s.cfg.FairshareHalfLife == 0 {
+		s.fairTick = s.ltick
+		return
+	}
+	steps := (s.ltick - s.fairTick) / s.cfg.FairshareHalfLife
+	if steps == 0 {
+		return
+	}
+	s.fairTick += steps * s.cfg.FairshareHalfLife
+	if steps > 63 {
+		steps = 63
+	}
+	for user, usage := range s.fairUsage {
+		if usage >>= steps; usage == 0 {
+			delete(s.fairUsage, user)
+		} else {
+			s.fairUsage[user] = usage
+		}
+	}
+}
+
+// fairshareCharge bills a job's owner for the capacity the job takes.
+// Must be called with s.mu held.
+func (s *Server) fairshareCharge(j *Job) {
+	secs := int64(j.WallTime / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	cost := uint64(j.NodeCount) * uint64(j.Res.withDefaults().NCPUs) * uint64(secs)
+	s.fairshareDecay()
+	s.fairUsage[j.Owner] += cost
+}
+
+// FairshareUsage reports a user's current decayed usage (tests and
+// operator tooling).
+func (s *Server) FairshareUsage(user string) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.fairUsage[user]
+}
+
 // account emits one record if a sink is configured. Must be called
 // with s.mu held (records are therefore totally ordered with respect
 // to state changes).

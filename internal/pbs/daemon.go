@@ -114,6 +114,14 @@ func (d *Daemon) Submit(req SubmitRequest) (Job, error) {
 	return j, err
 }
 
+// SubmitArray runs an array qsub (qsub -t) and dispatches any
+// resulting job starts.
+func (d *Daemon) SubmitArray(req SubmitRequest) ([]Job, error) {
+	jobs, err := d.srv.SubmitArray(req)
+	d.flush()
+	return jobs, err
+}
+
 // Delete runs qdel and dispatches any resulting kills/starts.
 func (d *Daemon) Delete(id JobID) (Job, error) {
 	j, err := d.srv.Delete(id)

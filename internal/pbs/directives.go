@@ -60,12 +60,36 @@ func applyDirectiveLine(req *SubmitRequest, line string) error {
 			}
 		case "-h":
 			req.Hold = true
+		case "-p":
+			i++
+			if i >= len(fields) {
+				return fmt.Errorf("-p requires a priority")
+			}
+			p, err := strconv.Atoi(fields[i])
+			if err != nil {
+				return fmt.Errorf("invalid priority %q", fields[i])
+			}
+			if req.Priority == 0 {
+				req.Priority = p
+			}
+		case "-t":
+			i++
+			if i >= len(fields) {
+				return fmt.Errorf("-t requires an array range")
+			}
+			a, err := ParseArrayRange(fields[i])
+			if err != nil {
+				return err
+			}
+			if !req.Array.Set {
+				req.Array = a
+			}
 		case "-l":
 			i++
 			if i >= len(fields) {
 				return fmt.Errorf("-l requires a resource list")
 			}
-			if err := applyResourceList(req, fields[i]); err != nil {
+			if err := ApplyResourceList(req, fields[i]); err != nil {
 				return err
 			}
 		default:
@@ -75,8 +99,10 @@ func applyDirectiveLine(req *SubmitRequest, line string) error {
 	return nil
 }
 
-// applyResourceList parses "nodes=2,walltime=01:30:00" style lists.
-func applyResourceList(req *SubmitRequest, list string) error {
+// ApplyResourceList parses a "nodes=2,ncpus=2,mem=512mb,walltime=01:30:00"
+// style list into req, leaving already-set fields alone. It backs both
+// the #PBS -l directive and the jsub -l flag.
+func ApplyResourceList(req *SubmitRequest, list string) error {
 	for _, item := range strings.Split(list, ",") {
 		key, val, ok := strings.Cut(item, "=")
 		if !ok {
@@ -90,6 +116,22 @@ func applyResourceList(req *SubmitRequest, list string) error {
 			}
 			if req.NodeCount == 0 {
 				req.NodeCount = n
+			}
+		case "ncpus":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return fmt.Errorf("invalid ncpus %q", val)
+			}
+			if req.Resources.NCPUs == 0 {
+				req.Resources.NCPUs = n
+			}
+		case "mem":
+			m, err := ParseMem(val)
+			if err != nil {
+				return err
+			}
+			if req.Resources.Mem == 0 {
+				req.Resources.Mem = m
 			}
 		case "walltime":
 			d, err := ParseWalltime(val)

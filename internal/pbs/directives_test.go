@@ -39,6 +39,27 @@ func TestApplyDirectivesExplicitFieldsWin(t *testing.T) {
 	}
 }
 
+func TestApplyDirectivesResources(t *testing.T) {
+	req := SubmitRequest{Script: `#!/bin/sh
+#PBS -l nodes=2,ncpus=2,mem=512mb,walltime=00:10:00
+#PBS -p 7
+#PBS -t 0-3
+./work
+`}
+	if err := ApplyDirectives(&req); err != nil {
+		t.Fatal(err)
+	}
+	if req.NodeCount != 2 || req.Resources.NCPUs != 2 || req.Resources.Mem != 512<<20 {
+		t.Errorf("resources = %+v", req)
+	}
+	if req.Priority != 7 {
+		t.Errorf("priority = %d", req.Priority)
+	}
+	if !req.Array.Set || req.Array.Start != 0 || req.Array.End != 3 {
+		t.Errorf("array = %+v", req.Array)
+	}
+}
+
 func TestApplyDirectivesStopAtFirstCommand(t *testing.T) {
 	req := SubmitRequest{Script: `#!/bin/sh
 echo running
@@ -60,7 +81,13 @@ func TestApplyDirectivesErrors(t *testing.T) {
 		"#PBS -l nodes\n",
 		"#PBS -l nodes=zero\n",
 		"#PBS -l walltime=1:2:3:4\n",
-		"#PBS -l mem=4gb\n",
+		"#PBS -l mem=lots\n",
+		"#PBS -l ncpus=0\n",
+		"#PBS -l vmem=4gb\n",
+		"#PBS -p\n",
+		"#PBS -p high\n",
+		"#PBS -t\n",
+		"#PBS -t 5-2\n",
 	}
 	for _, script := range bad {
 		req := SubmitRequest{Script: script}

@@ -9,11 +9,16 @@
 // here is a strictly deterministic state machine: the same sequence of
 // interface calls produces byte-identical state on every replica,
 // which is the property symmetric active/active replication rests on.
-// The Maui scheduling policy is FIFO with exclusive access, exactly
-// the configuration the paper uses "to produce deterministic
-// scheduling behavior on all active head nodes"; a first-fit node
-// allocation mode is provided as the extension the paper anticipates
-// ("this restriction may be lifted in the future").
+//
+// Scheduling is a layered pipeline (see sched.go): a per-node resource
+// model, a priority/fairshare ordering stage, and a placement stage
+// that is either the paper's strict FIFO walk or conservative
+// backfill. The default configuration — FIFO with exclusive access —
+// is exactly the one the paper uses "to produce deterministic
+// scheduling behavior on all active head nodes"; the richer policies
+// are the extension the paper anticipates ("this restriction may be
+// lifted in the future"), kept deterministic by computing every
+// scheduling input from replicated state on a logical event clock.
 package pbs
 
 import (
@@ -74,9 +79,9 @@ func (s JobState) longState() string {
 	return "Unknown"
 }
 
-// Job is one batch job. All fields are part of the replicated state
-// except the timestamps, which each replica stamps from its local
-// clock (cosmetic, never consulted by scheduling decisions).
+// Job is one batch job. Every field — including the timestamps, which
+// are stamped from the server's logical event clock — is part of the
+// replicated state, so snapshots are byte-identical across replicas.
 type Job struct {
 	ID    JobID
 	Seq   uint64
@@ -87,8 +92,18 @@ type Job struct {
 	Script string
 	// NodeCount is the number of compute nodes requested.
 	NodeCount int
-	// WallTime is the simulated execution time on the mom.
+	// WallTime is the simulated execution time on the mom. The
+	// backfill stage also treats it as the job's declared runtime
+	// bound when computing reservations.
 	WallTime time.Duration
+	// Res is the per-node resource request (stage 1 of the pipeline).
+	Res ResourceSpec
+	// Priority is the user-assigned priority (qsub -p); higher runs
+	// earlier under the priority and backfill policies.
+	Priority int
+	// ArrayIdx is the sub-job index within a job array, or -1 for a
+	// job submitted outside an array.
+	ArrayIdx int
 
 	State JobState
 	// Nodes are the compute nodes allocated while Running/Exiting.
@@ -123,6 +138,9 @@ type SubmitRequest struct {
 	NodeCount int           // defaults to 1
 	WallTime  time.Duration // simulated runtime; defaults to 0 (instant)
 	Hold      bool          // submit in held state (qsub -h)
+	Resources ResourceSpec  // per-node request (qsub -l ncpus=..,mem=..)
+	Priority  int           // user priority (qsub -p)
+	Array     ArraySpec     // job array (qsub -t start-end)
 }
 
 // Action is an effect the server asks its host daemon to perform on

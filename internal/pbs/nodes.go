@@ -18,8 +18,15 @@ import (
 type NodeStatus struct {
 	Name    string
 	Offline bool
-	// Jobs currently allocated to the node.
+	// Jobs currently allocated to the node, in start order.
 	Jobs []JobID
+	// CPUs/CPUsUsed report the node's CPU capacity and committed
+	// share; Mem/MemUsed likewise for memory (Mem is zero when the
+	// deployment does not track memory).
+	CPUs     int
+	CPUsUsed int
+	Mem      int64
+	MemUsed  int64
 }
 
 // SetNodeOffline marks a node offline (true) or online (false).
@@ -29,6 +36,7 @@ func (s *Server) SetNodeOffline(name string, offline bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.dirty()
+	s.tick()
 	if !s.knownNode(name) {
 		return &Error{Op: "pbsnodes", Msg: fmt.Sprintf("unknown node %q", name)}
 	}
@@ -56,9 +64,16 @@ func (s *Server) NodesStatus() []NodeStatus {
 func (s *Server) nodesStatusLocked() []NodeStatus {
 	out := make([]NodeStatus, 0, len(s.cfg.Nodes))
 	for _, n := range s.cfg.Nodes {
-		st := NodeStatus{Name: n, Offline: s.offline[n]}
-		if id, busy := s.busy[n]; busy {
-			st.Jobs = append(st.Jobs, id)
+		st := NodeStatus{
+			Name:    n,
+			Offline: s.offline[n],
+			CPUs:    s.cfg.NodeCPUs,
+			Mem:     s.cfg.NodeMem,
+		}
+		if a := s.alloc[n]; a != nil {
+			st.Jobs = append(st.Jobs, a.jobs...)
+			st.CPUsUsed = a.cpus
+			st.MemUsed = a.mem
 		}
 		out = append(out, st)
 	}
@@ -89,10 +104,12 @@ func (s *Server) onlineNodes() []string {
 	return out
 }
 
-// NodesText renders pbsnodes-style output:
+// NodesText renders pbsnodes-style output with per-node utilization:
 //
-//	compute0    free     jobs=
-//	compute1    offline  jobs=3.cluster
+//	compute0    free     cpu=0/2 jobs=
+//	compute1    offline  cpu=1/2 jobs=3.cluster
+//
+// A mem=used/total column appears when the deployment tracks memory.
 func NodesText(nodes []NodeStatus) string {
 	var b strings.Builder
 	for _, n := range nodes {
@@ -107,7 +124,11 @@ func NodesText(nodes []NodeStatus) string {
 		for _, j := range n.Jobs {
 			ids = append(ids, string(j))
 		}
-		fmt.Fprintf(&b, "%-12s %-8s jobs=%s\n", n.Name, state, strings.Join(ids, "+"))
+		fmt.Fprintf(&b, "%-12s %-8s cpu=%d/%d", n.Name, state, n.CPUsUsed, n.CPUs)
+		if n.Mem > 0 {
+			fmt.Fprintf(&b, " mem=%s/%s", FormatMem(n.MemUsed), FormatMem(n.Mem))
+		}
+		fmt.Fprintf(&b, " jobs=%s\n", strings.Join(ids, "+"))
 	}
 	return b.String()
 }
@@ -121,6 +142,10 @@ func EncodeNodeStatus(e *codec.Encoder, n NodeStatus) {
 	for _, j := range n.Jobs {
 		e.PutString(string(j))
 	}
+	e.PutInt(int64(n.CPUs))
+	e.PutInt(int64(n.CPUsUsed))
+	e.PutInt(n.Mem)
+	e.PutInt(n.MemUsed)
 }
 
 // DecodeNodeStatus reads a NodeStatus written by EncodeNodeStatus.
@@ -133,5 +158,9 @@ func DecodeNodeStatus(d *codec.Decoder) NodeStatus {
 	for i := uint64(0); i < c && d.Err() == nil; i++ {
 		n.Jobs = append(n.Jobs, JobID(d.String()))
 	}
+	n.CPUs = int(d.Int())
+	n.CPUsUsed = int(d.Int())
+	n.Mem = d.Int()
+	n.MemUsed = d.Int()
 	return n
 }

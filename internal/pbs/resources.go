@@ -1,0 +1,194 @@
+package pbs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Resource model (stage 1 of the scheduling pipeline). Jobs request
+// per-node capacity — CPUs and memory — alongside the node count and
+// walltime they always carried; nodes have a configured capacity and
+// the server tracks the committed share per node, so several jobs can
+// share a node when the deployment is not running the paper's
+// exclusive Maui policy. Every quantity is integral and part of the
+// replicated state: fit decisions are pure functions of it, which is
+// what keeps the pipeline byte-identical across head nodes.
+
+// ResourceSpec is a job's per-node resource request.
+type ResourceSpec struct {
+	// NCPUs is the number of CPUs requested on each allocated node
+	// (qsub -l ncpus=N). Zero normalizes to 1 at submission.
+	NCPUs int
+	// Mem is the memory requested on each allocated node, in bytes
+	// (qsub -l mem=512mb). Zero requests no specific amount.
+	Mem int64
+}
+
+// withDefaults normalizes a request: every job occupies at least one
+// CPU per node.
+func (r ResourceSpec) withDefaults() ResourceSpec {
+	if r.NCPUs <= 0 {
+		r.NCPUs = 1
+	}
+	if r.Mem < 0 {
+		r.Mem = 0
+	}
+	return r
+}
+
+// ArraySpec is a job-array request (qsub -t start-end): one
+// submission expands into End-Start+1 sub-jobs named "seq[idx].server"
+// that are scheduled independently.
+type ArraySpec struct {
+	Set        bool
+	Start, End int
+}
+
+// Count returns the number of sub-jobs the spec expands to.
+func (a ArraySpec) Count() int {
+	if !a.Set {
+		return 0
+	}
+	return a.End - a.Start + 1
+}
+
+// maxArraySize bounds one array submission, mirroring TORQUE's
+// max_job_array_size guard.
+const maxArraySize = 10000
+
+// ParseArrayRange parses the "start-end" form of qsub -t (also a bare
+// index, which makes a single-element array).
+func ParseArrayRange(s string) (ArraySpec, error) {
+	lo, hi, ok := strings.Cut(s, "-")
+	if !ok {
+		hi = lo
+	}
+	start, err1 := strconv.Atoi(lo)
+	end, err2 := strconv.Atoi(hi)
+	if err1 != nil || err2 != nil || start < 0 || end < start {
+		return ArraySpec{}, fmt.Errorf("invalid array range %q", s)
+	}
+	if end-start+1 > maxArraySize {
+		return ArraySpec{}, fmt.Errorf("array range %q exceeds %d sub-jobs", s, maxArraySize)
+	}
+	return ArraySpec{Set: true, Start: start, End: end}, nil
+}
+
+// SchedPolicy selects the ordering and placement stages of the
+// scheduling pipeline.
+type SchedPolicy int
+
+const (
+	// PolicyFIFO is the paper's configuration: strict submission
+	// order, no job overtakes an earlier one ("to produce
+	// deterministic scheduling behavior on all active head nodes").
+	PolicyFIFO SchedPolicy = iota
+	// PolicyPriority orders the queue by weighted priority (age,
+	// size, user priority, decayed fairshare usage) but still blocks
+	// at the first job that does not fit.
+	PolicyPriority
+	// PolicyBackfill is PolicyPriority plus conservative backfill: a
+	// reservation is computed for the highest-priority blocked job
+	// and later jobs may start only if they cannot delay it.
+	PolicyBackfill
+)
+
+// String returns the configuration-file spelling.
+func (p SchedPolicy) String() string {
+	switch p {
+	case PolicyFIFO:
+		return "fifo"
+	case PolicyPriority:
+		return "priority"
+	case PolicyBackfill:
+		return "backfill"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// ParseSchedPolicy parses the sched_policy configuration value.
+func ParseSchedPolicy(s string) (SchedPolicy, error) {
+	switch s {
+	case "", "fifo":
+		return PolicyFIFO, nil
+	case "priority":
+		return PolicyPriority, nil
+	case "backfill":
+		return PolicyBackfill, nil
+	}
+	return 0, fmt.Errorf("pbs: unknown sched_policy %q (want fifo, priority, or backfill)", s)
+}
+
+// SchedWeights parameterizes the priority stage. The score of a
+// queued job is
+//
+//	Age*ageTicks + Size*(nodect*ncpus) + User*priority - Fair*usage
+//
+// where ageTicks is the job's queue age on the logical event clock and
+// usage is the owner's decayed fairshare consumption. All terms are
+// integers; ties break by submission sequence, so the ordering is a
+// pure deterministic function of replicated state.
+type SchedWeights struct {
+	Age  int64
+	Size int64
+	User int64
+	Fair int64
+}
+
+// DefaultSchedWeights is used when a non-FIFO policy is configured
+// with all-zero weights: age seniority dominates, explicit user
+// priority breaks bands, and fairshare usage pushes heavy users back.
+var DefaultSchedWeights = SchedWeights{Age: 1, Size: 0, User: 1000, Fair: 1}
+
+func (w SchedWeights) isZero() bool {
+	return w == SchedWeights{}
+}
+
+// memUnits maps the PBS size suffixes to bytes.
+var memUnits = []struct {
+	suffix string
+	bytes  int64
+}{
+	{"gb", 1 << 30},
+	{"mb", 1 << 20},
+	{"kb", 1 << 10},
+	{"b", 1},
+}
+
+// ParseMem parses a PBS memory size: a plain byte count or a number
+// with a b/kb/mb/gb suffix, case-insensitive.
+func ParseMem(s string) (int64, error) {
+	v := strings.ToLower(strings.TrimSpace(s))
+	if v == "" {
+		return 0, fmt.Errorf("empty mem")
+	}
+	for _, u := range memUnits {
+		if num, ok := strings.CutSuffix(v, u.suffix); ok {
+			n, err := strconv.ParseInt(num, 10, 64)
+			if err != nil || n < 0 {
+				return 0, fmt.Errorf("invalid mem %q", s)
+			}
+			return n * u.bytes, nil
+		}
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid mem %q", s)
+	}
+	return n, nil
+}
+
+// FormatMem renders a byte count in the largest exact PBS unit
+// ("512mb", "2gb", "1000b").
+func FormatMem(b int64) string {
+	if b < 0 {
+		b = 0
+	}
+	for _, u := range memUnits[:3] {
+		if b >= u.bytes && b%u.bytes == 0 {
+			return fmt.Sprintf("%d%s", b/u.bytes, u.suffix)
+		}
+	}
+	return fmt.Sprintf("%db", b)
+}

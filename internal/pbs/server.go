@@ -20,14 +20,36 @@ type Config struct {
 	Nodes []string
 	// Exclusive grants each job exclusive access to the whole
 	// cluster — the Maui configuration of the paper's prototype. When
-	// false, jobs are packed first-fit by NodeCount.
+	// false, jobs are packed first-fit by their resource requests.
 	Exclusive bool
+	// Policy selects the ordering and placement stages of the
+	// scheduling pipeline (see sched.go). The zero value, PolicyFIFO,
+	// is the paper's configuration.
+	Policy SchedPolicy
+	// Weights parameterizes the priority score under non-FIFO
+	// policies; all-zero selects DefaultSchedWeights.
+	Weights SchedWeights
+	// FairshareHalfLife is the decay half-life of per-user fairshare
+	// usage, in logical ticks (nanoseconds of virtual time; the clock
+	// jumps by a job's walltime at its completion, so e.g. 3600e9
+	// halves usage every virtual hour). Zero disables decay (usage
+	// only accumulates).
+	FairshareHalfLife uint64
+	// NodeCPUs is each node's CPU capacity (defaults to 1, under which
+	// non-exclusive packing reduces to the historical one-job-per-node
+	// behavior).
+	NodeCPUs int
+	// NodeMem is each node's memory capacity in bytes; zero means
+	// memory is not tracked and mem requests are accepted unchecked.
+	NodeMem int64
 	// KeepCompleted bounds the completed-job history (0 keeps
 	// everything, which suits tests; the daemons set a limit).
 	KeepCompleted int
-	// Clock stamps job lifecycle times; nil uses time.Now. The stamps
-	// are cosmetic (never consulted by scheduling), so replicas may
-	// disagree on them without diverging.
+	// Clock supplies the wall-clock timestamps printed on accounting
+	// records; nil uses time.Now. It is display-only: job lifecycle
+	// stamps and every scheduling decision use the replicated logical
+	// event clock instead, so replicas may disagree on Clock without
+	// diverging.
 	Clock func() time.Time
 	// SubmitDelay models the service's qsub processing cost (the
 	// ~98ms a TORQUE submission took on the paper's testbed).
@@ -69,13 +91,27 @@ type Server struct {
 
 	cfg     Config
 	nextSeq uint64
-	jobs    map[JobID]*Job
+	// ltick is the logical event clock: one tick per applied mutating
+	// operation. Job timestamps and every scheduling computation read
+	// it, never a wall clock, so the clock — and everything derived
+	// from it — is byte-identical across replicas.
+	ltick uint64
+	jobs  map[JobID]*Job
 	// queue holds non-completed jobs in submission order.
 	queue []JobID
 	// completed holds finished jobs in completion order.
 	completed []JobID
-	// busy maps node name -> job occupying it.
-	busy map[string]JobID
+	// alloc maps node name -> the jobs and resources committed on it.
+	alloc map[string]*nodeAlloc
+	// running counts Running/Exiting jobs (the exclusive-mode gate).
+	running int
+	// fairUsage and fairTick are the replicated fairshare
+	// accumulators; see accounting.go.
+	fairUsage map[string]uint64
+	fairTick  uint64
+	// resv is the backfill stage's current reservation (nil when no
+	// job is blocked).
+	resv *reservation
 	// actions is the outbox drained by TakeActions.
 	actions []Action
 	// sigCount counts qsig deliveries per job (the paper notes qsig
@@ -156,11 +192,18 @@ func NewServer(cfg Config) *Server {
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
+	if cfg.NodeCPUs <= 0 {
+		cfg.NodeCPUs = 1
+	}
+	if cfg.Policy != PolicyFIFO && cfg.Weights.isZero() {
+		cfg.Weights = DefaultSchedWeights
+	}
 	return &Server{
-		cfg:      cfg,
-		jobs:     make(map[JobID]*Job),
-		busy:     make(map[string]JobID),
-		sigCount: make(map[JobID]int),
+		cfg:       cfg,
+		jobs:      make(map[JobID]*Job),
+		alloc:     make(map[string]*nodeAlloc),
+		fairUsage: make(map[string]uint64),
+		sigCount:  make(map[JobID]int),
 	}
 }
 
@@ -178,37 +221,41 @@ func (s *Server) NodeNames() []string {
 	return append([]string(nil), s.cfg.Nodes...)
 }
 
-// Submit enqueues a job (qsub). It returns the assigned job.
-func (s *Server) Submit(req SubmitRequest) (Job, error) {
-	if s.cfg.SubmitDelay > 0 {
-		time.Sleep(s.cfg.SubmitDelay)
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	defer s.dirty()
-
+// validateSubmit normalizes a request and rejects jobs the cluster
+// can never satisfy. Must be called with s.mu held.
+func (s *Server) validateSubmit(req *SubmitRequest) error {
 	if req.NodeCount <= 0 {
 		req.NodeCount = 1
 	}
+	req.Resources = req.Resources.withDefaults()
 	if req.NodeCount > len(s.cfg.Nodes) {
-		return Job{}, &Error{Op: "qsub", Msg: fmt.Sprintf("cannot satisfy %d nodes (cluster has %d)", req.NodeCount, len(s.cfg.Nodes))}
+		return &Error{Op: "qsub", Msg: fmt.Sprintf("cannot satisfy %d nodes (cluster has %d)", req.NodeCount, len(s.cfg.Nodes))}
 	}
-	s.nextSeq++
-	if s.cfg.IDFilter != nil {
-		for !s.cfg.IDFilter(s.candidateID()) {
-			s.nextSeq++
-		}
+	if req.Resources.NCPUs > s.cfg.NodeCPUs {
+		return &Error{Op: "qsub", Msg: fmt.Sprintf("cannot satisfy ncpus=%d (nodes have %d)", req.Resources.NCPUs, s.cfg.NodeCPUs)}
 	}
+	if s.cfg.NodeMem > 0 && req.Resources.Mem > s.cfg.NodeMem {
+		return &Error{Op: "qsub", Msg: fmt.Sprintf("cannot satisfy mem=%s (nodes have %s)", FormatMem(req.Resources.Mem), FormatMem(s.cfg.NodeMem))}
+	}
+	return nil
+}
+
+// enqueueJob creates one job from a validated request and queues it.
+// Must be called with s.mu held.
+func (s *Server) enqueueJob(req SubmitRequest, id JobID, seq uint64, arrayIdx int) *Job {
 	j := &Job{
-		ID:          JobID(fmt.Sprintf("%d.%s", s.nextSeq, s.cfg.ServerName)),
-		Seq:         s.nextSeq,
+		ID:          id,
+		Seq:         seq,
 		Name:        req.Name,
 		Owner:       req.Owner,
 		Script:      req.Script,
 		NodeCount:   req.NodeCount,
 		WallTime:    req.WallTime,
+		Res:         req.Resources,
+		Priority:    req.Priority,
+		ArrayIdx:    arrayIdx,
 		State:       StateQueued,
-		SubmittedAt: s.cfg.Clock(),
+		SubmittedAt: s.logicalNow(),
 	}
 	if j.Name == "" {
 		j.Name = "STDIN"
@@ -222,8 +269,82 @@ func (s *Server) Submit(req SubmitRequest) (Job, error) {
 	if j.State == StateHeld {
 		s.account(AcctHeld, j, nil)
 	}
+	return j
+}
+
+// Submit enqueues a job (qsub). It returns the assigned job.
+func (s *Server) Submit(req SubmitRequest) (Job, error) {
+	if s.cfg.SubmitDelay > 0 {
+		time.Sleep(s.cfg.SubmitDelay)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer s.dirty()
+	s.tick()
+
+	if err := s.validateSubmit(&req); err != nil {
+		return Job{}, err
+	}
+	s.nextSeq++
+	if s.cfg.IDFilter != nil {
+		for !s.cfg.IDFilter(s.candidateID()) {
+			s.nextSeq++
+		}
+	}
+	j := s.enqueueJob(req, s.candidateID(), s.nextSeq, -1)
 	s.schedule()
 	return j.clone(), nil
+}
+
+// SubmitArray expands a job-array submission (qsub -t start-end) into
+// its sub-jobs, named "seq[idx].server" in PBS style. The array is one
+// mutation: one logical tick, one base sequence number — so sharded
+// routing (which canonicalizes "seq[idx]" to "seq") keeps the whole
+// array on one scheduler. A request without an array spec degrades to
+// a plain Submit.
+func (s *Server) SubmitArray(req SubmitRequest) ([]Job, error) {
+	if !req.Array.Set {
+		j, err := s.Submit(req)
+		if err != nil {
+			return nil, err
+		}
+		return []Job{j}, nil
+	}
+	if s.cfg.SubmitDelay > 0 {
+		time.Sleep(s.cfg.SubmitDelay)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer s.dirty()
+	s.tick()
+
+	n := req.Array.Count()
+	if req.Array.Start < 0 || n <= 0 {
+		return nil, &Error{Op: "qsub", Msg: fmt.Sprintf("invalid array range %d-%d", req.Array.Start, req.Array.End)}
+	}
+	if n > maxArraySize {
+		return nil, &Error{Op: "qsub", Msg: fmt.Sprintf("array range exceeds %d sub-jobs", maxArraySize)}
+	}
+	if err := s.validateSubmit(&req); err != nil {
+		return nil, err
+	}
+	s.nextSeq++
+	if s.cfg.IDFilter != nil {
+		for !s.cfg.IDFilter(s.candidateID()) {
+			s.nextSeq++
+		}
+	}
+	base := s.nextSeq
+	out := make([]Job, 0, n)
+	for k := 0; k < n; k++ {
+		idx := req.Array.Start + k
+		id := JobID(fmt.Sprintf("%d[%d].%s", base, idx, s.cfg.ServerName))
+		j := s.enqueueJob(req, id, base+uint64(k), idx)
+		out = append(out, j.clone())
+	}
+	s.nextSeq = base + uint64(n) - 1
+	s.schedule()
+	return out, nil
 }
 
 // Delete removes a job (qdel). Queued and held jobs vanish
@@ -233,6 +354,7 @@ func (s *Server) Delete(id JobID) (Job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.dirty()
+	s.tick()
 
 	j, ok := s.jobs[id]
 	if !ok {
@@ -266,6 +388,7 @@ func (s *Server) Hold(id JobID) (Job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.dirty()
+	s.tick()
 	j, ok := s.jobs[id]
 	if !ok {
 		return Job{}, errUnknownJob("qhold", id)
@@ -276,6 +399,9 @@ func (s *Server) Hold(id JobID) (Job, error) {
 			s.account(AcctHeld, j, nil)
 		}
 		j.State = StateHeld
+		// A held job no longer competes: jobs behind it may now be
+		// runnable (it might have been the blocked reservation holder).
+		s.schedule()
 		return j.clone(), nil
 	default:
 		return Job{}, &Error{Op: "qhold", ID: id, Msg: "Request invalid for state of job"}
@@ -287,6 +413,7 @@ func (s *Server) Release(id JobID) (Job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.dirty()
+	s.tick()
 	j, ok := s.jobs[id]
 	if !ok {
 		return Job{}, errUnknownJob("qrls", id)
@@ -366,6 +493,7 @@ func (s *Server) JobDone(id JobID, exitCode int, output string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.dirty()
+	s.tick()
 	j, ok := s.jobs[id]
 	if !ok {
 		return
@@ -373,19 +501,24 @@ func (s *Server) JobDone(id JobID, exitCode int, output string) {
 	if j.State != StateRunning && j.State != StateExiting {
 		return // duplicate or stale report
 	}
+	// Advance the logical clock to the job's declared end, never
+	// backwards. A completion carries the virtual duration of the work
+	// it finishes, so job ages, fairshare decay, and backfill
+	// arithmetic all observe a walltime-scaled axis instead of one
+	// that creeps a nanosecond per command — and the jump is a pure
+	// function of replicated state, so replicas stay in lockstep.
+	if end := j.StartedAt.UnixNano() + int64(j.WallTime); end > int64(s.ltick) {
+		s.ltick = uint64(end)
+	}
 	j.State = StateCompleted
 	j.ExitCode = exitCode
 	j.Output = output
-	j.CompletedAt = s.cfg.Clock()
+	j.CompletedAt = s.logicalNow()
 	s.account(AcctEnded, j, map[string]string{
 		"exit_status": fmt.Sprintf("%d", exitCode),
 		"exec_host":   strings.Join(j.Nodes, "+"),
 	})
-	for _, n := range j.Nodes {
-		if s.busy[n] == id {
-			delete(s.busy, n)
-		}
-	}
+	s.releaseAlloc(j)
 	s.removeFromQueue(id)
 	s.completed = append(s.completed, id)
 	if s.cfg.KeepCompleted > 0 {
@@ -407,53 +540,6 @@ func (s *Server) TakeActions() []Action {
 	a := s.actions
 	s.actions = nil
 	return a
-}
-
-// schedule runs the Maui-FIFO policy: walk the queue in submission
-// order and start every job whose resources are free. Under Exclusive
-// (the paper's configuration) a job needs the entire cluster idle.
-// Must be called with s.mu held.
-func (s *Server) schedule() {
-	for _, id := range s.queue {
-		j := s.jobs[id]
-		if j.State != StateQueued {
-			continue
-		}
-		var alloc []string
-		online := s.onlineNodes()
-		if s.cfg.Exclusive {
-			if len(s.busy) != 0 {
-				return // something is running: strict FIFO blocks here
-			}
-			if len(online) < j.NodeCount {
-				return // not enough online nodes yet; wait
-			}
-			alloc = append(alloc, online[:j.NodeCount]...)
-		} else {
-			for _, n := range online {
-				if _, taken := s.busy[n]; !taken {
-					alloc = append(alloc, n)
-					if len(alloc) == j.NodeCount {
-						break
-					}
-				}
-			}
-			if len(alloc) < j.NodeCount {
-				return // FIFO: do not let later jobs jump the queue
-			}
-		}
-		j.State = StateRunning
-		j.Nodes = alloc
-		j.StartedAt = s.cfg.Clock()
-		for _, n := range alloc {
-			s.busy[n] = id
-		}
-		s.account(AcctStarted, j, map[string]string{"exec_host": strings.Join(alloc, "+")})
-		s.actions = append(s.actions, StartAction{Job: j.clone()})
-		if s.cfg.Exclusive {
-			return
-		}
-	}
 }
 
 func (s *Server) removeFromQueue(id JobID) {
@@ -504,7 +590,15 @@ func FullStatusText(j Job) string {
 	fmt.Fprintf(&b, "    Job_Name = %s\n", j.Name)
 	fmt.Fprintf(&b, "    Job_Owner = %s\n", j.Owner)
 	fmt.Fprintf(&b, "    job_state = %s (%s)\n", j.State, j.State.longState())
+	if j.ArrayIdx >= 0 {
+		fmt.Fprintf(&b, "    job_array_index = %d\n", j.ArrayIdx)
+	}
+	fmt.Fprintf(&b, "    Priority = %d\n", j.Priority)
 	fmt.Fprintf(&b, "    Resource_List.nodect = %d\n", j.NodeCount)
+	fmt.Fprintf(&b, "    Resource_List.ncpus = %d\n", j.Res.withDefaults().NCPUs)
+	if j.Res.Mem > 0 {
+		fmt.Fprintf(&b, "    Resource_List.mem = %s\n", FormatMem(j.Res.Mem))
+	}
 	fmt.Fprintf(&b, "    Resource_List.walltime = %s\n", FormatWalltime(j.WallTime))
 	if len(j.Nodes) > 0 {
 		fmt.Fprintf(&b, "    exec_host = %s\n", strings.Join(j.Nodes, "+"))

@@ -2,22 +2,32 @@ package pbs
 
 import (
 	"fmt"
+	"hash/crc32"
+	"sort"
 
 	"joshua/internal/codec"
 )
 
 // snapshotVersion guards against decoding snapshots from a different
-// build of the wire format.
-const snapshotVersion = 3
+// build of the wire format. Version 4 added the scheduling-pipeline
+// sections (logical clock, per-node allocations, fairshare usage,
+// backfill reservation, per-job resources) and a trailing CRC.
+const snapshotVersion = 4
 
 // Snapshot serializes the complete server state. JOSHUA transfers it
-// to joining head nodes.
+// to joining head nodes, and the determinism suites compare it
+// byte-for-byte across replicas — everything the scheduling pipeline
+// reads must be in here.
 //
 // The paper's prototype transferred state by "configuration file
 // modification and user command (message) replay", which could not
 // preserve held jobs; serializing the queue directly is the "unified
 // and location independent ... state description" its future-work
 // section calls for, and lifts the hold/release restriction.
+//
+// The body is followed by its CRC-32 (IEEE) so a truncated or
+// bit-flipped transfer fails loudly in Restore instead of silently
+// seeding a divergent replica.
 func (s *Server) Snapshot() []byte {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -26,6 +36,7 @@ func (s *Server) Snapshot() []byte {
 	e.PutUint(snapshotVersion)
 	e.PutString(s.cfg.ServerName)
 	e.PutUint(s.nextSeq)
+	e.PutUint(s.ltick)
 
 	jobs := make([]*Job, 0, len(s.jobs))
 	for _, j := range s.jobs {
@@ -46,18 +57,22 @@ func (s *Server) Snapshot() []byte {
 		e.PutString(string(id))
 	}
 
-	busyNodes := make([]string, 0, len(s.busy))
-	for n := range s.busy {
-		busyNodes = append(busyNodes, n)
-	}
 	// Deterministic encoding: iterate nodes in config order.
-	e.PutUint(uint64(len(busyNodes)))
+	e.PutUint(uint64(len(s.alloc)))
 	for _, n := range s.cfg.Nodes {
-		if id, ok := s.busy[n]; ok {
-			e.PutString(n)
+		a, ok := s.alloc[n]
+		if !ok {
+			continue
+		}
+		e.PutString(n)
+		e.PutInt(int64(a.cpus))
+		e.PutInt(a.mem)
+		e.PutUint(uint64(len(a.jobs)))
+		for _, id := range a.jobs {
 			e.PutString(string(id))
 		}
 	}
+	e.PutInt(int64(s.running))
 
 	e.PutUint(uint64(len(s.sigCount)))
 	for _, j := range jobs {
@@ -73,6 +88,30 @@ func (s *Server) Snapshot() []byte {
 			e.PutString(n)
 		}
 	}
+
+	// Fairshare accumulators, in sorted user order.
+	e.PutUint(s.fairTick)
+	users := make([]string, 0, len(s.fairUsage))
+	for u := range s.fairUsage {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	e.PutUint(uint64(len(users)))
+	for _, u := range users {
+		e.PutString(u)
+		e.PutUint(s.fairUsage[u])
+	}
+
+	// Backfill reservation.
+	e.PutBool(s.resv != nil)
+	if s.resv != nil {
+		e.PutString(string(s.resv.Job))
+		e.PutInt(s.resv.Shadow)
+		e.PutStringSlice(s.resv.Nodes)
+	}
+
+	body := e.Bytes()
+	e.PutUint(uint64(crc32.ChecksumIEEE(body)))
 	return e.Bytes()
 }
 
@@ -88,6 +127,7 @@ func (s *Server) Restore(b []byte) error {
 	}
 	name := d.String()
 	nextSeq := d.Uint()
+	ltick := d.Uint()
 
 	n := d.Uint()
 	if d.Err() != nil || n > uint64(d.Remaining()) {
@@ -116,12 +156,18 @@ func (s *Server) Restore(b []byte) error {
 	queue := readIDs()
 	completed := readIDs()
 
-	bn := d.Uint()
-	busy := make(map[string]JobID, bn)
-	for i := uint64(0); i < bn && d.Err() == nil; i++ {
+	an := d.Uint()
+	alloc := make(map[string]*nodeAlloc, an)
+	for i := uint64(0); i < an && d.Err() == nil; i++ {
 		node := d.String()
-		busy[node] = JobID(d.String())
+		a := &nodeAlloc{cpus: int(d.Int()), mem: d.Int()}
+		jc := d.Uint()
+		for k := uint64(0); k < jc && d.Err() == nil; k++ {
+			a.jobs = append(a.jobs, JobID(d.String()))
+		}
+		alloc[node] = a
 	}
+	running := int(d.Int())
 
 	sn := d.Uint()
 	sig := make(map[JobID]int, sn)
@@ -136,8 +182,31 @@ func (s *Server) Restore(b []byte) error {
 		offline[d.String()] = true
 	}
 
+	fairTick := d.Uint()
+	fn := d.Uint()
+	fair := make(map[string]uint64, fn)
+	for i := uint64(0); i < fn && d.Err() == nil; i++ {
+		user := d.String()
+		fair[user] = d.Uint()
+	}
+
+	var resv *reservation
+	if d.Bool() {
+		resv = &reservation{
+			Job:    JobID(d.String()),
+			Shadow: d.Int(),
+			Nodes:  d.StringSlice(),
+		}
+	}
+
+	// Everything before the trailing CRC is the checksummed body.
+	body := len(b) - d.Remaining()
+	crc := uint32(d.Uint())
 	if err := d.Finish(); err != nil {
 		return fmt.Errorf("pbs: corrupt snapshot: %w", err)
+	}
+	if got := crc32.ChecksumIEEE(b[:body]); got != crc {
+		return fmt.Errorf("pbs: snapshot checksum mismatch: %08x != %08x", got, crc)
 	}
 
 	s.mu.Lock()
@@ -147,12 +216,17 @@ func (s *Server) Restore(b []byte) error {
 		return fmt.Errorf("pbs: snapshot from server %q, this server is %q", name, s.cfg.ServerName)
 	}
 	s.nextSeq = nextSeq
+	s.ltick = ltick
 	s.jobs = jobs
 	s.queue = queue
 	s.completed = completed
-	s.busy = busy
+	s.alloc = alloc
+	s.running = running
 	s.sigCount = sig
 	s.offline = offline
+	s.fairTick = fairTick
+	s.fairUsage = fair
+	s.resv = resv
 	s.actions = nil
 	return nil
 }
@@ -172,6 +246,10 @@ func putJob(e *codec.Encoder, j *Job) {
 	e.PutTime(j.SubmittedAt)
 	e.PutTime(j.StartedAt)
 	e.PutTime(j.CompletedAt)
+	e.PutInt(int64(j.Res.NCPUs))
+	e.PutInt(j.Res.Mem)
+	e.PutInt(int64(j.Priority))
+	e.PutInt(int64(j.ArrayIdx))
 }
 
 func getJob(d *codec.Decoder) *Job {
@@ -191,6 +269,10 @@ func getJob(d *codec.Decoder) *Job {
 	j.SubmittedAt = d.Time()
 	j.StartedAt = d.Time()
 	j.CompletedAt = d.Time()
+	j.Res.NCPUs = int(d.Int())
+	j.Res.Mem = d.Int()
+	j.Priority = int(d.Int())
+	j.ArrayIdx = int(d.Int())
 	return j
 }
 

@@ -29,6 +29,7 @@ package shard
 import (
 	"fmt"
 	"hash/fnv"
+	"strings"
 
 	"joshua/internal/pbs"
 	"joshua/internal/transport"
@@ -79,14 +80,32 @@ func (m *Map) RouteNode(name string) int {
 // RouteJob maps a job ID to its owning shard among count shards: an
 // FNV-1a hash of the ID string, reduced mod count. Deterministic
 // everywhere — client libraries, head nodes, and tools agree with no
-// coordination.
+// coordination. Array sub-jobs ("17[3].cluster") hash as their base ID
+// ("17.cluster"), so one array — one scheduler pass, one reservation
+// domain — always lives on one shard.
 func RouteJob(id pbs.JobID, count int) int {
 	if count <= 1 {
 		return 0
 	}
 	h := fnv.New32a()
-	h.Write([]byte(id))
+	h.Write([]byte(canonicalID(id)))
 	return int(h.Sum32() % uint32(count))
+}
+
+// canonicalID strips the array-index bracket from a job ID:
+// "17[3].cluster" routes as "17.cluster". IDs without a bracket are
+// returned unchanged with no allocation.
+func canonicalID(id pbs.JobID) pbs.JobID {
+	s := string(id)
+	i := strings.IndexByte(s, '[')
+	if i < 0 {
+		return id
+	}
+	j := strings.IndexByte(s[i:], ']')
+	if j < 0 {
+		return id
+	}
+	return pbs.JobID(s[:i] + s[i+j+1:])
 }
 
 // Owns reports whether shard index owns the given job ID under a
