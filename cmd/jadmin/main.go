@@ -45,6 +45,10 @@ var perHeadKeys = []string{
 	"reply_queue_drops",
 	// lease_held is a per-head boolean gauge, reported but not summed.
 	"lease_reads", "lease_fallbacks", "lease_revocations",
+	// ckpt_inflight is a per-head boolean gauge; duration/bytes are
+	// per-head last-observed values, failures/chunks are counters.
+	"ckpt_last_duration_ns", "ckpt_bytes", "ckpt_failures",
+	"transfer_stream_chunks",
 }
 
 func main() {

@@ -12,6 +12,7 @@
 //	jbench -fig leases         # read consistency levels: local/leased/broadcast
 //	jbench -fig writepath      # 10k-client zero-alloc write-path profile
 //	jbench -fig sched          # scheduling policy sweep: fifo/priority/backfill
+//	jbench -fig checkpoint     # off-loop vs blocking checkpoint tail latency
 //	jbench -fig all            # everything
 //
 // -json writes the selected figure's results (readpath, wal,
@@ -90,7 +91,7 @@ func newRunMeta(scale float64) runMeta {
 
 func main() {
 	var (
-		fig          = flag.String("fig", "all", "which figure to regenerate: 10, 11, 12, ablations, readpath, wal, applypipe, shards, leases, writepath, sched, all")
+		fig          = flag.String("fig", "all", "which figure to regenerate: 10, 11, 12, ablations, readpath, wal, applypipe, shards, leases, writepath, sched, checkpoint, all")
 		scale        = flag.Float64("scale", 0.2, "latency model scale (1.0 = paper milliseconds)")
 		samples      = flag.Int("samples", 20, "latency samples per configuration")
 		maxHeads     = flag.Int("maxheads", 4, "largest head-node group")
@@ -315,6 +316,15 @@ func main() {
 		writeJSON(map[string]any{"lease_reads": res}, 4, 1)
 	}
 
+	runCheckpoint := func() {
+		res, err := bench.MeasureCheckpointStall(0, 0, 0)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.FormatCheckpoint(res))
+		writeJSON(map[string]any{"checkpoint": res}, 2, 1)
+	}
+
 	runSched := func() {
 		res, err := bench.MeasureSchedPolicies(96, 16)
 		if err != nil {
@@ -366,6 +376,8 @@ func main() {
 		runWritePath(*clients)
 	case "sched":
 		runSched()
+	case "checkpoint":
+		runCheckpoint()
 	case "all":
 		run10()
 		run11()
@@ -377,6 +389,7 @@ func main() {
 		runShards()
 		runLeases()
 		runSched()
+		runCheckpoint()
 		// "all" is the smoke-everything mode; cap the client fleet so
 		// it stays minutes, not tens of minutes. The full 10k-client
 		// profile is an explicit -fig writepath run.

@@ -48,20 +48,23 @@ import (
 
 func main() {
 	var (
-		configPath = flag.String("config", "", "cluster configuration file")
-		id         = flag.String("id", "", "this head node's name (a [head <name>] section)")
-		mode       = flag.String("mode", "static", "group formation: static, bootstrap, or join")
-		acctPath   = flag.String("accounting", "", "append PBS accounting records to this file")
-		dataDir    = flag.String("data-dir", "", "durable state root: WAL + checkpoints go to <dir>/<id> (overrides data_dir in config; empty = in-memory)")
-		syncPolicy = flag.String("sync-policy", "", "WAL fsync policy: always, interval, or none (overrides sync_policy in config)")
-		ckptEvery  = flag.Uint64("checkpoint-every", 0, "applied commands between checkpoints (overrides checkpoint_every in config; 0 = default)")
-		applyConc  = flag.Int("apply-concurrency", 0, "apply-worker pool size for the pipelined write path (overrides apply_concurrency in config; 0 = GOMAXPROCS, negative = serial ablation)")
-		leaseDur   = flag.Duration("lease-duration", 0, "read-lease length for locally served linearizable reads (overrides lease_duration in config; 0 = engine default, negative = leases off)")
-		shardIdx   = flag.Int("shard", -1, "override this head's replication group (default: the [head] section's shard key)")
-		shardCount = flag.Int("shards", 0, "override the deployment's shard count (default: the shards config key)")
-		schedPol   = flag.String("sched-policy", "", "scheduling policy: fifo, priority, or backfill (overrides sched_policy in config)")
-		nodeCPUs   = flag.Int("node-cpus", 0, "per-node CPU capacity (overrides node_cpus in config; 0 = 1 cpu)")
-		verbose    = flag.Bool("v", false, "log protocol diagnostics")
+		configPath   = flag.String("config", "", "cluster configuration file")
+		id           = flag.String("id", "", "this head node's name (a [head <name>] section)")
+		mode         = flag.String("mode", "static", "group formation: static, bootstrap, or join")
+		acctPath     = flag.String("accounting", "", "append PBS accounting records to this file")
+		dataDir      = flag.String("data-dir", "", "durable state root: WAL + checkpoints go to <dir>/<id> (overrides data_dir in config; empty = in-memory)")
+		syncPolicy   = flag.String("sync-policy", "", "WAL fsync policy: always, interval, or none (overrides sync_policy in config)")
+		ckptEvery    = flag.Uint64("checkpoint-every", 0, "applied commands between checkpoints (overrides checkpoint_every in config; 0 = default)")
+		ckptCompress = flag.Bool("checkpoint-compress", false, "flate-compress checkpoint files (or checkpoint_compress in config)")
+		ckptBlocking = flag.Bool("checkpoint-blocking", false, "serialize+fsync checkpoints on the event loop (pre-concurrent ablation)")
+		deltaMax     = flag.Int64("delta-max-bytes", 0, "WAL-suffix state-transfer cap in bytes (overrides delta_max_bytes in config; 0 = 64 MiB default, negative = unlimited)")
+		applyConc    = flag.Int("apply-concurrency", 0, "apply-worker pool size for the pipelined write path (overrides apply_concurrency in config; 0 = GOMAXPROCS, negative = serial ablation)")
+		leaseDur     = flag.Duration("lease-duration", 0, "read-lease length for locally served linearizable reads (overrides lease_duration in config; 0 = engine default, negative = leases off)")
+		shardIdx     = flag.Int("shard", -1, "override this head's replication group (default: the [head] section's shard key)")
+		shardCount   = flag.Int("shards", 0, "override the deployment's shard count (default: the shards config key)")
+		schedPol     = flag.String("sched-policy", "", "scheduling policy: fifo, priority, or backfill (overrides sched_policy in config)")
+		nodeCPUs     = flag.Int("node-cpus", 0, "per-node CPU capacity (overrides node_cpus in config; 0 = 1 cpu)")
+		verbose      = flag.Bool("v", false, "log protocol diagnostics")
 	)
 	flag.Parse()
 
@@ -179,6 +182,12 @@ func main() {
 	cfg.CheckpointEvery = conf.CheckpointEvery
 	if *ckptEvery != 0 {
 		cfg.CheckpointEvery = *ckptEvery
+	}
+	cfg.CheckpointCompress = conf.CheckpointCompress || *ckptCompress
+	cfg.CheckpointBlocking = *ckptBlocking
+	cfg.DeltaMaxBytes = conf.DeltaMaxBytes
+	if *deltaMax != 0 {
+		cfg.DeltaMaxBytes = *deltaMax
 	}
 	cfg.ApplyConcurrency = conf.ApplyConcurrency
 	if *applyConc != 0 {

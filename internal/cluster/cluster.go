@@ -22,6 +22,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"joshua/internal/gcs"
@@ -133,6 +134,13 @@ type Options struct {
 	SyncPolicy      wal.SyncPolicy
 	SyncInterval    time.Duration
 	CheckpointEvery uint64
+	// CheckpointBlocking forces the on-loop serialize+fsync checkpoint
+	// ablation; CheckpointCompress flate-compresses checkpoint files;
+	// DeltaMaxBytes caps the WAL-suffix state transfer (see
+	// joshua.Config).
+	CheckpointBlocking bool
+	CheckpointCompress bool
+	DeltaMaxBytes      int64
 }
 
 // headKey addresses one head: replication group s, slot i.
@@ -152,6 +160,9 @@ type Cluster struct {
 	plain      *joshua.PlainServer // baseline mode (Options.Plain)
 	moms       []*pbs.Mom
 	momClients []*joshua.Client
+	// clientMu guards the client registry: tests open clients from
+	// concurrent goroutines (simulated login sessions).
+	clientMu   sync.Mutex
 	clients    []*joshua.Client
 	nextClient int
 }
@@ -376,6 +387,9 @@ func (c *Cluster) startHead(s, i int, initial []gcs.MemberID, join bool) error {
 		SyncPolicy:         c.opts.SyncPolicy,
 		SyncInterval:       c.opts.SyncInterval,
 		CheckpointEvery:    c.opts.CheckpointEvery,
+		CheckpointBlocking: c.opts.CheckpointBlocking,
+		CheckpointCompress: c.opts.CheckpointCompress,
+		DeltaMaxBytes:      c.opts.DeltaMaxBytes,
 	}
 	if !join {
 		cfg.InitialMembers = initial
@@ -487,8 +501,7 @@ func (c *Cluster) shardMap() [][]transport.Addr {
 // Client creates a new control-command client (a user session on a
 // login node), routing across every shard.
 func (c *Cluster) Client() (*joshua.Client, error) {
-	c.nextClient++
-	ep, err := c.Net.Endpoint(transport.Addr(fmt.Sprintf("client%d/cli", c.nextClient)))
+	ep, err := c.Net.Endpoint(transport.Addr(fmt.Sprintf("client%d/cli", c.claimClientSlot())))
 	if err != nil {
 		return nil, err
 	}
@@ -508,8 +521,22 @@ func (c *Cluster) Client() (*joshua.Client, error) {
 		ep.Close()
 		return nil, err
 	}
-	c.clients = append(c.clients, cli)
+	c.registerClient(cli)
 	return cli, nil
+}
+
+// claimClientSlot reserves a unique client host number.
+func (c *Cluster) claimClientSlot() int {
+	c.clientMu.Lock()
+	defer c.clientMu.Unlock()
+	c.nextClient++
+	return c.nextClient
+}
+
+func (c *Cluster) registerClient(cli *joshua.Client) {
+	c.clientMu.Lock()
+	c.clients = append(c.clients, cli)
+	c.clientMu.Unlock()
 }
 
 func (c *Cluster) clientTimeout() time.Duration {
@@ -526,8 +553,7 @@ func (c *Cluster) ClientFor(heads ...int) (*joshua.Client, error) {
 	if c.shards != 1 {
 		return nil, fmt.Errorf("cluster: ClientFor requires a single-shard cluster (have %d shards)", c.shards)
 	}
-	c.nextClient++
-	ep, err := c.Net.Endpoint(transport.Addr(fmt.Sprintf("client%d/cli", c.nextClient)))
+	ep, err := c.Net.Endpoint(transport.Addr(fmt.Sprintf("client%d/cli", c.claimClientSlot())))
 	if err != nil {
 		return nil, err
 	}
@@ -545,7 +571,7 @@ func (c *Cluster) ClientFor(heads ...int) (*joshua.Client, error) {
 		ep.Close()
 		return nil, err
 	}
-	c.clients = append(c.clients, cli)
+	c.registerClient(cli)
 	return cli, nil
 }
 

@@ -3,6 +3,8 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -205,5 +207,112 @@ func TestRejoinDeltaSmallerThanFullTransfer(t *testing.T) {
 	if delta.TransferInBytes >= full.TransferInBytes {
 		t.Errorf("delta transfer %d bytes >= full transfer %d bytes; the suffix delta saved nothing",
 			delta.TransferInBytes, full.TransferInBytes)
+	}
+}
+
+// TestRecoveryAfterTornCheckpointTmp is the crash-during-checkpoint
+// scenario: a head dies while the background checkpointer is mid-write,
+// leaving a torn temporary checkpoint file. On restart the torn file
+// must be discarded, recovery must fall back to the previous durable
+// checkpoint (replaying the longer WAL suffix), and exactly-once
+// semantics must hold across the crash.
+func TestRecoveryAfterTornCheckpointTmp(t *testing.T) {
+	o := durableOptions(t, 2, 1)
+	o.CheckpointEvery = 4
+	c := newCluster(t, o)
+	cli, err := c.ClientFor(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ids := map[pbs.JobID]bool{}
+	for i := 0; i < 10; i++ {
+		j, err := cli.Submit(pbs.SubmitRequest{Name: fmt.Sprintf("job%d", i), Hold: true})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids[j.ID] = true
+	}
+	var lockID pbs.JobID
+	for id := range ids {
+		lockID = id
+		break
+	}
+	if granted, err := cli.JMutex(lockID, "winner"); err != nil || !granted {
+		t.Fatalf("pre-crash acquire = %v, %v", granted, err)
+	}
+
+	// Wait until head 1's background checkpointer has committed a
+	// durable generation and gone idle.
+	waitFor(t, 15*time.Second, "head 1 background checkpoint durable", func() bool {
+		st := c.Head(1).Replica().Stats()
+		return st.CheckpointIndex > 0 && !st.CkptInflight
+	})
+	pre := c.Head(1).Replica().Stats()
+
+	c.CrashHead(1)
+	waitFor(t, 15*time.Second, "survivor excludes the crashed head", func() bool {
+		return len(c.Head(0).View().Members) == 1
+	})
+
+	// Plant the torn mid-write temp file the crash would have left: a
+	// valid magic+version prefix followed by garbage, at an index past
+	// the durable generation.
+	dir := c.headDataDir(0, 1)
+	torn := filepath.Join(dir, fmt.Sprintf("ckpt-%020d.ckpt.tmp", pre.AppliedIndex+1))
+	if err := os.WriteFile(torn, []byte("JCKP\x02\x00torn-mid-write-garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.RestartHeads(1); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 15*time.Second, "restarted head rejoins", func() bool {
+		h := c.Head(1)
+		return h != nil && len(h.View().Members) == 2
+	})
+
+	if _, err := os.Stat(torn); !os.IsNotExist(err) {
+		t.Errorf("torn checkpoint temp file survived restart (err=%v)", err)
+	}
+
+	st := c.Head(1).Replica().Stats()
+	if st.CheckpointIndex != pre.CheckpointIndex {
+		t.Errorf("recovered from checkpoint %d, want fallback to previous durable %d", st.CheckpointIndex, pre.CheckpointIndex)
+	}
+	if want := pre.AppliedIndex - pre.CheckpointIndex; st.RecoveryReplayed != want {
+		t.Errorf("replayed %d records, want the full post-checkpoint suffix %d", st.RecoveryReplayed, want)
+	}
+
+	// Exactly-once across the crash: every job is present exactly once
+	// on the restarted head, and the launch lock still belongs to the
+	// pre-crash winner.
+	headCli, err := c.ClientFor(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := headCli.StatLocal("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != len(ids) {
+		t.Errorf("restarted head lists %d jobs, want %d", len(jobs), len(ids))
+	}
+	seen := map[pbs.JobID]bool{}
+	for _, j := range jobs {
+		if seen[j.ID] {
+			t.Errorf("job %s listed twice after recovery", j.ID)
+		}
+		seen[j.ID] = true
+	}
+	cli2, err := c.ClientFor(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if granted, err := cli2.JMutex(lockID, "other"); err != nil || granted {
+		t.Fatalf("competing acquire after torn-checkpoint recovery = %v, %v; lock state lost", granted, err)
+	}
+	if granted, err := cli2.JMutex(lockID, "winner"); err != nil || !granted {
+		t.Fatalf("winner retry after recovery = %v, %v", granted, err)
 	}
 }

@@ -62,6 +62,13 @@ type ClusterFile struct {
 	// CheckpointEvery is the applied-command cadence between
 	// checkpoints ("checkpoint_every"; 0 = engine default).
 	CheckpointEvery uint64
+	// CheckpointCompress enables flate compression of checkpoint
+	// files ("checkpoint_compress" under [options]).
+	CheckpointCompress bool
+	// DeltaMaxBytes caps the WAL-suffix state-transfer size
+	// ("delta_max_bytes" under [options]; 0 = engine default 64 MiB,
+	// negative = unlimited).
+	DeltaMaxBytes int64
 	// ApplyConcurrency sizes each head's apply-worker pool
 	// ("apply_concurrency" under [options]; 0 = engine default, any
 	// negative value = the serial pre-pipeline ablation).
@@ -237,6 +244,14 @@ func ClusterFromFile(f *File) (*ClusterFile, error) {
 		if c.CheckpointEvery, err = opts[0].Uint("checkpoint_every", 0); err != nil {
 			return nil, err
 		}
+		if c.CheckpointCompress, err = opts[0].Bool("checkpoint_compress", false); err != nil {
+			return nil, err
+		}
+		dmb, err := opts[0].Int("delta_max_bytes", 0)
+		if err != nil {
+			return nil, err
+		}
+		c.DeltaMaxBytes = dmb
 		ac, err := opts[0].Int("apply_concurrency", 0)
 		if err != nil {
 			return nil, err

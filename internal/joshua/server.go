@@ -154,6 +154,18 @@ type Config struct {
 	// CheckpointEvery is the applied-command cadence between
 	// checkpoints; zero selects the engine default.
 	CheckpointEvery uint64
+	// CheckpointBlocking forces the pre-concurrent checkpoint path:
+	// serialize and fsync on the event loop. Kept as an ablation; the
+	// default forks the service state and checkpoints off-loop.
+	CheckpointBlocking bool
+	// CheckpointCompress enables flate (level 1) compression of
+	// checkpoint files.
+	CheckpointCompress bool
+	// DeltaMaxBytes caps the WAL-suffix (delta) state transfer size;
+	// larger gaps fall back to checkpoint+suffix or full snapshot
+	// transfer. Zero selects the engine default (64 MiB); negative
+	// means unlimited.
+	DeltaMaxBytes int64
 	// WALSegmentBytes overrides the log segment rotation size; zero
 	// uses the wal default.
 	WALSegmentBytes int64
@@ -250,26 +262,29 @@ func StartServer(cfg Config) (*Server, error) {
 		Register(svcLocks, s.locks)
 
 	rep, err := rsm.Start(rsm.Config{
-		Self:             cfg.Self,
-		GroupEndpoint:    cfg.GroupEndpoint,
-		ClientEndpoint:   cfg.ClientEndpoint,
-		Peers:            cfg.Peers,
-		InitialMembers:   cfg.InitialMembers,
-		Bootstrap:        cfg.Bootstrap,
-		PartitionPolicy:  cfg.PartitionPolicy,
-		Service:          services,
-		Classify:         s.classify,
-		OutputPolicy:     rsm.OutputPolicy(cfg.OutputPolicy),
-		DedupLimit:       cfg.DedupLimit,
-		ReadConcurrency:  cfg.ReadConcurrency,
-		ReplyQueueLen:    cfg.ReplyQueueLen,
-		ApplyConcurrency: cfg.ApplyConcurrency,
-		DataDir:          cfg.DataDir,
-		SyncPolicy:       cfg.SyncPolicy,
-		SyncInterval:     cfg.SyncInterval,
-		CheckpointEvery:  cfg.CheckpointEvery,
-		WALSegmentBytes:  cfg.WALSegmentBytes,
-		LeaseDuration:    cfg.LeaseDuration,
+		Self:               cfg.Self,
+		GroupEndpoint:      cfg.GroupEndpoint,
+		ClientEndpoint:     cfg.ClientEndpoint,
+		Peers:              cfg.Peers,
+		InitialMembers:     cfg.InitialMembers,
+		Bootstrap:          cfg.Bootstrap,
+		PartitionPolicy:    cfg.PartitionPolicy,
+		Service:            services,
+		Classify:           s.classify,
+		OutputPolicy:       rsm.OutputPolicy(cfg.OutputPolicy),
+		DedupLimit:         cfg.DedupLimit,
+		ReadConcurrency:    cfg.ReadConcurrency,
+		ReplyQueueLen:      cfg.ReplyQueueLen,
+		ApplyConcurrency:   cfg.ApplyConcurrency,
+		DataDir:            cfg.DataDir,
+		SyncPolicy:         cfg.SyncPolicy,
+		SyncInterval:       cfg.SyncInterval,
+		CheckpointEvery:    cfg.CheckpointEvery,
+		CheckpointBlocking: cfg.CheckpointBlocking,
+		CheckpointCompress: cfg.CheckpointCompress,
+		DeltaMaxBytes:      cfg.DeltaMaxBytes,
+		WALSegmentBytes:    cfg.WALSegmentBytes,
+		LeaseDuration:      cfg.LeaseDuration,
 		ReadCacheHits: func() uint64 {
 			hits, _ := cfg.Daemon.Server().ReadCacheStats()
 			return hits + s.stat.hits.Load()
@@ -581,6 +596,11 @@ func (s *Server) infoLocked() map[string]string {
 		info["wal_applied_index"] = fmt.Sprintf("%d", st.AppliedIndex)
 		info["wal_checkpoint_index"] = fmt.Sprintf("%d", st.CheckpointIndex)
 		info["wal_recovery_replayed"] = fmt.Sprintf("%d", st.RecoveryReplayed)
+		info["ckpt_inflight"] = fmt.Sprintf("%v", st.CkptInflight)
+		info["ckpt_last_duration_ns"] = fmt.Sprintf("%d", st.CkptLastDurationNs)
+		info["ckpt_bytes"] = fmt.Sprintf("%d", st.CkptBytes)
+		info["ckpt_failures"] = fmt.Sprintf("%d", st.CheckpointFailures)
+		info["transfer_stream_chunks"] = fmt.Sprintf("%d", st.TransferStreamChunks)
 	}
 	return info
 }

@@ -95,6 +95,10 @@ func (s *pbsService) ConflictKey(cmd rsm.Command) string {
 
 func (s *pbsService) Snapshot() []byte { return s.daemon.Server().Snapshot() }
 
+// Fork delegates to the batch server's copy-on-write image capture so
+// the engine can serialize checkpoints off the event loop.
+func (s *pbsService) Fork() func() []byte { return s.daemon.Server().Fork() }
+
 func (s *pbsService) Restore(state []byte) error { return s.daemon.Restore(state) }
 
 // lockService is the jmutex/jdone distributed mutual exclusion the
@@ -162,6 +166,32 @@ func (s *lockService) Snapshot() []byte {
 		e.PutString(s.locks[pbs.JobID(id)])
 	}
 	return e.Bytes()
+}
+
+// Fork copies the lock table under the read lock and defers the
+// sorted encode, producing the same bytes Snapshot would have at
+// capture time.
+func (s *lockService) Fork() func() []byte {
+	s.mu.RLock()
+	locks := make(map[pbs.JobID]string, len(s.locks))
+	for id, owner := range s.locks {
+		locks[id] = owner
+	}
+	s.mu.RUnlock()
+	return func() []byte {
+		ids := make([]string, 0, len(locks))
+		for id := range locks {
+			ids = append(ids, string(id))
+		}
+		sort.Strings(ids)
+		e := codec.NewEncoder(32)
+		e.PutUint(uint64(len(ids)))
+		for _, id := range ids {
+			e.PutString(id)
+			e.PutString(locks[pbs.JobID(id)])
+		}
+		return e.Bytes()
+	}
 }
 
 func (s *lockService) Restore(state []byte) error {

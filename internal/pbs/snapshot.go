@@ -29,42 +29,154 @@ const snapshotVersion = 4
 // bit-flipped transfer fails loudly in Restore instead of silently
 // seeding a divergent replica.
 func (s *Server) Snapshot() []byte {
+	return s.captureImage().encode()
+}
+
+// Fork captures a point-in-time image of the server state under the
+// read lock — deep job clones and map copies, but no serialization —
+// and returns a closure that encodes it later, off whatever goroutine
+// drives the replica. The engine's background checkpointer and the
+// off-loop state-transfer donor path use this so that serializing a
+// large job table never stalls the apply pipeline. The closure
+// produces exactly the bytes Snapshot would have returned at capture
+// time.
+func (s *Server) Fork() func() []byte {
+	img := s.captureImage()
+	return img.encode
+}
+
+// serverImage is a point-in-time deep copy of everything Snapshot
+// serializes, decoupled from s.mu so encoding can happen later.
+type serverImage struct {
+	name      string
+	nextSeq   uint64
+	ltick     uint64
+	jobs      []Job // deep clones, sorted by Seq
+	queue     []JobID
+	completed []JobID
+	// allocCount is len(s.alloc) at capture; alloc holds the entries
+	// emitted in config-node order (the two can differ only if alloc
+	// ever held a node outside the config, which the encoding has
+	// always tolerated by writing the count and skipping the entry).
+	allocCount   int
+	alloc        []allocImage
+	running      int
+	sigTotal     int
+	sigs         []sigImage // jobs order, present entries only
+	offlineTotal int
+	offline      []string // config-node order
+	fairTick     uint64
+	fairUsers    []string
+	fairVals     []uint64
+	resv         *reservation
+}
+
+type allocImage struct {
+	node string
+	cpus int
+	mem  int64
+	jobs []JobID
+}
+
+type sigImage struct {
+	id    JobID
+	count int
+}
+
+func (s *Server) captureImage() *serverImage {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 
-	e := codec.NewEncoder(256)
-	e.PutUint(snapshotVersion)
-	e.PutString(s.cfg.ServerName)
-	e.PutUint(s.nextSeq)
-	e.PutUint(s.ltick)
+	img := &serverImage{
+		name:         s.cfg.ServerName,
+		nextSeq:      s.nextSeq,
+		ltick:        s.ltick,
+		queue:        append([]JobID(nil), s.queue...),
+		completed:    append([]JobID(nil), s.completed...),
+		allocCount:   len(s.alloc),
+		running:      s.running,
+		sigTotal:     len(s.sigCount),
+		offlineTotal: len(s.offline),
+		fairTick:     s.fairTick,
+	}
 
-	jobs := make([]*Job, 0, len(s.jobs))
+	img.jobs = make([]Job, 0, len(s.jobs))
 	for _, j := range s.jobs {
-		jobs = append(jobs, j)
+		img.jobs = append(img.jobs, j.clone())
 	}
-	sortJobsBySeq(jobs)
-	e.PutUint(uint64(len(jobs)))
-	for _, j := range jobs {
-		putJob(e, j)
-	}
+	sort.Slice(img.jobs, func(i, k int) bool { return img.jobs[i].Seq < img.jobs[k].Seq })
 
-	e.PutUint(uint64(len(s.queue)))
-	for _, id := range s.queue {
-		e.PutString(string(id))
-	}
-	e.PutUint(uint64(len(s.completed)))
-	for _, id := range s.completed {
-		e.PutString(string(id))
-	}
-
-	// Deterministic encoding: iterate nodes in config order.
-	e.PutUint(uint64(len(s.alloc)))
+	img.alloc = make([]allocImage, 0, len(s.alloc))
 	for _, n := range s.cfg.Nodes {
 		a, ok := s.alloc[n]
 		if !ok {
 			continue
 		}
-		e.PutString(n)
+		img.alloc = append(img.alloc, allocImage{
+			node: n,
+			cpus: a.cpus,
+			mem:  a.mem,
+			jobs: append([]JobID(nil), a.jobs...),
+		})
+	}
+
+	for i := range img.jobs {
+		if c, ok := s.sigCount[img.jobs[i].ID]; ok {
+			img.sigs = append(img.sigs, sigImage{id: img.jobs[i].ID, count: c})
+		}
+	}
+
+	for _, n := range s.cfg.Nodes {
+		if s.offline[n] {
+			img.offline = append(img.offline, n)
+		}
+	}
+
+	img.fairUsers = make([]string, 0, len(s.fairUsage))
+	for u := range s.fairUsage {
+		img.fairUsers = append(img.fairUsers, u)
+	}
+	sort.Strings(img.fairUsers)
+	img.fairVals = make([]uint64, len(img.fairUsers))
+	for i, u := range img.fairUsers {
+		img.fairVals[i] = s.fairUsage[u]
+	}
+
+	if s.resv != nil {
+		img.resv = &reservation{
+			Job:    s.resv.Job,
+			Shadow: s.resv.Shadow,
+			Nodes:  append([]string(nil), s.resv.Nodes...),
+		}
+	}
+	return img
+}
+
+func (img *serverImage) encode() []byte {
+	e := codec.NewEncoder(256)
+	e.PutUint(snapshotVersion)
+	e.PutString(img.name)
+	e.PutUint(img.nextSeq)
+	e.PutUint(img.ltick)
+
+	e.PutUint(uint64(len(img.jobs)))
+	for i := range img.jobs {
+		putJob(e, &img.jobs[i])
+	}
+
+	e.PutUint(uint64(len(img.queue)))
+	for _, id := range img.queue {
+		e.PutString(string(id))
+	}
+	e.PutUint(uint64(len(img.completed)))
+	for _, id := range img.completed {
+		e.PutString(string(id))
+	}
+
+	// Deterministic encoding: nodes were captured in config order.
+	e.PutUint(uint64(img.allocCount))
+	for _, a := range img.alloc {
+		e.PutString(a.node)
 		e.PutInt(int64(a.cpus))
 		e.PutInt(a.mem)
 		e.PutUint(uint64(len(a.jobs)))
@@ -72,42 +184,33 @@ func (s *Server) Snapshot() []byte {
 			e.PutString(string(id))
 		}
 	}
-	e.PutInt(int64(s.running))
+	e.PutInt(int64(img.running))
 
-	e.PutUint(uint64(len(s.sigCount)))
-	for _, j := range jobs {
-		if c, ok := s.sigCount[j.ID]; ok {
-			e.PutString(string(j.ID))
-			e.PutUint(uint64(c))
-		}
+	e.PutUint(uint64(img.sigTotal))
+	for _, sg := range img.sigs {
+		e.PutString(string(sg.id))
+		e.PutUint(uint64(sg.count))
 	}
 
-	e.PutUint(uint64(len(s.offline)))
-	for _, n := range s.cfg.Nodes {
-		if s.offline[n] {
-			e.PutString(n)
-		}
+	e.PutUint(uint64(img.offlineTotal))
+	for _, n := range img.offline {
+		e.PutString(n)
 	}
 
 	// Fairshare accumulators, in sorted user order.
-	e.PutUint(s.fairTick)
-	users := make([]string, 0, len(s.fairUsage))
-	for u := range s.fairUsage {
-		users = append(users, u)
-	}
-	sort.Strings(users)
-	e.PutUint(uint64(len(users)))
-	for _, u := range users {
+	e.PutUint(img.fairTick)
+	e.PutUint(uint64(len(img.fairUsers)))
+	for i, u := range img.fairUsers {
 		e.PutString(u)
-		e.PutUint(s.fairUsage[u])
+		e.PutUint(img.fairVals[i])
 	}
 
 	// Backfill reservation.
-	e.PutBool(s.resv != nil)
-	if s.resv != nil {
-		e.PutString(string(s.resv.Job))
-		e.PutInt(s.resv.Shadow)
-		e.PutStringSlice(s.resv.Nodes)
+	e.PutBool(img.resv != nil)
+	if img.resv != nil {
+		e.PutString(string(img.resv.Job))
+		e.PutInt(img.resv.Shadow)
+		e.PutStringSlice(img.resv.Nodes)
 	}
 
 	body := e.Bytes()

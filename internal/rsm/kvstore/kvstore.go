@@ -196,6 +196,34 @@ func (s *Store) Snapshot() []byte {
 	return e.Bytes()
 }
 
+// Fork captures a shallow copy of the map under the read lock —
+// cheap relative to serialization — and defers the sorted encode to
+// the returned closure, which the engine's checkpointer runs off the
+// event loop. The bytes are identical to what Snapshot would have
+// produced at fork time.
+func (s *Store) Fork() func() []byte {
+	s.mu.RLock()
+	data := make(map[string]string, len(s.data))
+	for k, v := range s.data {
+		data[k] = v
+	}
+	s.mu.RUnlock()
+	return func() []byte {
+		keys := make([]string, 0, len(data))
+		for k := range data {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		e := codec.NewEncoder(64)
+		e.PutUint(uint64(len(keys)))
+		for _, k := range keys {
+			e.PutString(k)
+			e.PutString(data[k])
+		}
+		return e.Bytes()
+	}
+}
+
 // Restore replaces the map from a snapshot.
 func (s *Store) Restore(state []byte) error {
 	d := codec.NewDecoder(state)

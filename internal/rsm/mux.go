@@ -86,6 +86,36 @@ func (m *Mux) Snapshot() []byte {
 	return e.Bytes()
 }
 
+// Fork captures a point-in-time image of every sub-service. Services
+// implementing ForkingService contribute their own cheap fork;
+// services without the capability are snapshotted eagerly here, on
+// the caller's (event loop) goroutine — still correct, just not
+// deferred. The returned closure encodes exactly the bytes Snapshot
+// would have produced at fork time, so checkpoints and transfers are
+// byte-identical whichever path built them.
+func (m *Mux) Fork() func() []byte {
+	parts := make([]func() []byte, len(m.names))
+	for i, name := range m.names {
+		if fs, ok := m.services[name].(ForkingService); ok {
+			parts[i] = fs.Fork()
+		} else {
+			section := m.services[name].Snapshot()
+			parts[i] = func() []byte { return section }
+		}
+	}
+	return func() []byte {
+		e := codec.NewEncoder(256)
+		e.PutUint(uint64(len(m.names)))
+		for i, name := range m.names {
+			section := parts[i]()
+			e.PutString(name)
+			e.PutUint(uint64(crc32.ChecksumIEEE(section)))
+			e.PutBytes(section)
+		}
+		return e.Bytes()
+	}
+}
+
 // Restore dispatches each tagged snapshot section to its sub-service.
 // Every section must name a registered service, and every registered
 // service must receive a section — a mismatch means the replicas are

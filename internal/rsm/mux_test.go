@@ -133,3 +133,51 @@ func TestMuxManyServicesOrdered(t *testing.T) {
 		t.Error("same registration order should give identical snapshots")
 	}
 }
+
+// forkRecService adds the ForkingService capability to recService: the
+// capture copies state under no lock (tests are single-goroutine at
+// fork time), the closure encodes the copy.
+type forkRecService struct {
+	recService
+	forks int
+}
+
+func (s *forkRecService) Fork() func() []byte {
+	s.forks++
+	captured := append([]byte(nil), s.state...)
+	return func() []byte { return captured }
+}
+
+func TestMuxForkMatchesSnapshot(t *testing.T) {
+	// One sub-service forks, the other doesn't: the Mux must still
+	// produce bytes identical to Snapshot at fork time, snapshotting
+	// the non-forking service eagerly.
+	fk := &forkRecService{recService: recService{name: "a", state: []byte("alpha")}}
+	plain := &recService{name: "b", state: []byte("beta")}
+	m := NewMux(routeByPrefix).Register("a", fk).Register("b", plain)
+
+	want := m.Snapshot()
+	enc := m.Fork()
+	if fk.forks != 1 {
+		t.Fatalf("forking sub-service forked %d times, want 1", fk.forks)
+	}
+
+	// Mutate both services after the fork.
+	fk.state = []byte("ALPHA'd")
+	plain.state = []byte("BETA'd")
+
+	got := enc()
+	if !bytes.Equal(got, want) {
+		t.Fatalf("forked mux encode differs from snapshot at fork time")
+	}
+	// The forked image restores cleanly into a fresh assembly.
+	da := &forkRecService{recService: recService{name: "a"}}
+	db := &recService{name: "b"}
+	dst := NewMux(routeByPrefix).Register("a", da).Register("b", db)
+	if err := dst.Restore(got); err != nil {
+		t.Fatal(err)
+	}
+	if string(da.state) != "alpha" || string(db.state) != "beta" {
+		t.Errorf("restored states: a=%q b=%q", da.state, db.state)
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"runtime"
 	"runtime/pprof"
@@ -111,6 +112,30 @@ type Service interface {
 	Snapshot() []byte
 	// Restore replaces the service state from a Snapshot.
 	Restore(state []byte) error
+}
+
+// ForkingService is an optional Service capability: a service that can
+// capture a cheap copy-on-write image of its state and encode it later,
+// off the event loop. Fork is invoked from the event loop only
+// (serialized against Apply, exactly like Snapshot) and must return
+// quickly — shallow-copy the top-level maps behind the service's
+// read lock, nothing more. The returned closure encodes the captured
+// image; it runs on an arbitrary goroutine, concurrent with subsequent
+// Applies, and must produce bytes identical to what Snapshot() would
+// have returned at fork time (the cross-replica determinism suites
+// compare snapshots byte for byte, so a fork-encoded checkpoint and a
+// loop-encoded one must be interchangeable).
+//
+// When the Service implements this, the Replica serializes and fsyncs
+// checkpoints on a dedicated checkpointer goroutine and assembles
+// join-time state transfers off the loop, eliminating the periodic
+// p99.9 stall that grows with state size. Services without Fork fall
+// back to the blocking on-loop path.
+type ForkingService interface {
+	Service
+	// Fork captures the copy-on-write image (on the loop) and returns
+	// its encoder (run anywhere, later).
+	Fork() func() []byte
 }
 
 // Verdict tells the Replica what to do with one client datagram.
@@ -300,6 +325,19 @@ type Config struct {
 	// CheckpointEvery is the applied-command cadence between
 	// checkpoints. Default 1024.
 	CheckpointEvery uint64
+	// CheckpointBlocking forces checkpoints onto the event loop (the
+	// pre-fork serialize+fsync-in-place path) even when the Service
+	// implements ForkingService — the stall ablation that
+	// `jbench -fig checkpoint` measures against.
+	CheckpointBlocking bool
+	// CheckpointCompress flate-compresses checkpoint files (level 1);
+	// see wal.Options.Compress.
+	CheckpointCompress bool
+	// DeltaMaxBytes caps the WAL suffix served as an incremental
+	// (delta) state transfer; a joiner lagging further behind gets a
+	// checkpoint-plus-suffix or full transfer instead. Zero selects
+	// the default, 64 MiB; negative means unlimited.
+	DeltaMaxBytes int64
 	// WALSegmentBytes overrides the log segment rotation size; zero
 	// uses the wal default (tests shrink it to exercise rotation).
 	WALSegmentBytes int64
@@ -343,13 +381,23 @@ type Stats struct {
 	WALSegments      int    // on-disk log segments (gauge)
 	CheckpointIndex  uint64 // newest durable checkpoint's applied index
 
+	// Checkpointing (see ForkingService; Ckpt* are zero until the
+	// first checkpoint completes).
+	CheckpointFailures uint64 // failed checkpoint attempts (retried after backoff)
+	CkptInflight       bool   // a background checkpoint is being written (gauge)
+	CkptLastDurationNs uint64 // wall time of the newest completed checkpoint
+	CkptBytes          uint64 // encoded size of the newest completed checkpoint
+
 	// State transfer accounting (both directions).
-	TransferInBytes  uint64 // transfer bytes received when joining
-	TransferInFull   uint64 // full-snapshot transfers received
-	TransferInDelta  uint64 // log-delta transfers received
-	TransferReplayed uint64 // delta records applied while joining
-	TransferOutFull  uint64 // full-snapshot transfers served
-	TransferOutDelta uint64 // log-delta transfers served
+	TransferInBytes      uint64 // transfer bytes received when joining
+	TransferInFull       uint64 // full-snapshot transfers received
+	TransferInDelta      uint64 // log-delta transfers received
+	TransferInHybrid     uint64 // checkpoint+suffix transfers received
+	TransferReplayed     uint64 // delta records applied while joining
+	TransferOutFull      uint64 // full-snapshot transfers served
+	TransferOutDelta     uint64 // log-delta transfers served
+	TransferOutHybrid    uint64 // checkpoint+suffix transfers served off-loop
+	TransferStreamChunks uint64 // sections streamed in off-loop transfers (checkpoint + suffix records)
 
 	// Leased linearizable reads (see Config.LeaseDuration).
 	LeaseHeld        bool   // a read lease is currently live (gauge)
@@ -424,6 +472,17 @@ type applyRun struct {
 	head int32
 }
 
+// ckptJob is one background checkpoint: the applied index it covers,
+// the forked service encoder, and the dedup-table snapshot captured on
+// the loop at the same instant (capturing it later would let the table
+// drift past the service image and break exactly-once on recovery).
+type ckptJob struct {
+	index  uint64
+	encode func() []byte
+	ids    []string
+	resps  [][]byte
+}
+
 // Replica is one symmetric active/active member: the generic
 // replication engine of a head node.
 type Replica struct {
@@ -431,6 +490,25 @@ type Replica struct {
 	group    *gcs.Process
 	clientEP transport.Endpoint
 	service  Service
+
+	// forkSvc is non-nil when the service supports copy-on-write forks
+	// (and Config.CheckpointBlocking is unset): checkpoints then
+	// serialize and fsync on the checkpointer goroutine, and state
+	// transfers are assembled off the loop.
+	forkSvc ForkingService
+	// ckptQ feeds the checkpointer goroutine; ckptInflight gates it to
+	// one outstanding background checkpoint (so the buffered-1 send
+	// below never blocks the loop).
+	ckptQ        chan ckptJob
+	ckptInflight atomic.Bool
+	// Checkpoint-failure backoff: ckptRetry marks a retry owed,
+	// ckptRetryAt (unixnano) is the earliest moment it may run, and
+	// ckptFails counts consecutive failures for the exponential step.
+	// Without these a failed SaveCheckpoint would re-run the full
+	// serialize+fsync every single round until the disk recovered.
+	ckptRetry   atomic.Bool
+	ckptRetryAt atomic.Int64
+	ckptFails   atomic.Uint32
 
 	done chan struct{}
 	once sync.Once
@@ -570,6 +648,9 @@ func Start(cfg Config) (*Replica, error) {
 	if cfg.CheckpointEvery == 0 {
 		cfg.CheckpointEvery = 1024
 	}
+	if cfg.DeltaMaxBytes == 0 {
+		cfg.DeltaMaxBytes = 64 << 20
+	}
 
 	r := &Replica{
 		cfg:       cfg,
@@ -581,8 +662,31 @@ func Start(cfg Config) (*Replica, error) {
 		replyQ:    make(chan reply, cfg.ReplyQueueLen),
 		applyConc: cfg.ApplyConcurrency,
 	}
+	if fs, ok := cfg.Service.(ForkingService); ok && !cfg.CheckpointBlocking {
+		r.forkSvc = fs
+	}
 	r.stats.ReadWorkers = cfg.ReadConcurrency
 	r.stats.ApplyWorkers = cfg.ApplyConcurrency
+
+	// The apply workers start before local recovery so replay can run
+	// post-checkpoint log records through the same conflict-keyed pool
+	// live rounds use; failure paths below close applyQ to let them
+	// drain and exit (run() owns the close once it starts).
+	if r.applyConc > 1 {
+		r.applyQ = make(chan applyRun, r.applyConc*2)
+		for i := 0; i < r.applyConc; i++ {
+			go r.applyWorker()
+		}
+	}
+	fail := func(err error) (*Replica, error) {
+		if r.applyQ != nil {
+			close(r.applyQ)
+		}
+		if r.log != nil {
+			r.log.Close()
+		}
+		return nil, err
+	}
 
 	// Local recovery runs before the group is joined: restore the
 	// newest checkpoint, replay the log suffix through the dedup
@@ -594,15 +698,15 @@ func Start(cfg Config) (*Replica, error) {
 			Policy:       cfg.SyncPolicy,
 			Interval:     cfg.SyncInterval,
 			SegmentBytes: cfg.WALSegmentBytes,
+			Compress:     cfg.CheckpointCompress,
 			Logger:       cfg.Logger,
 		})
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		r.log = l
 		if err := r.recoverLocal(); err != nil {
-			l.Close()
-			return nil, err
+			return fail(err)
 		}
 		// Everything recovered from disk is, by definition, durable.
 		r.durableIdx.Store(r.appliedIdx)
@@ -632,10 +736,7 @@ func Start(cfg Config) (*Replica, error) {
 	}
 	group, err := gcs.Start(gcfg)
 	if err != nil {
-		if r.log != nil {
-			r.log.Close()
-		}
-		return nil, err
+		return fail(err)
 	}
 	r.group = group
 
@@ -657,11 +758,9 @@ func Start(cfg Config) (*Replica, error) {
 		r.replyFree = make(chan []reply, 4)
 		go r.releaser()
 	}
-	if r.applyConc > 1 {
-		r.applyQ = make(chan applyRun, r.applyConc*2)
-		for i := 0; i < r.applyConc; i++ {
-			go r.applyWorker()
-		}
+	if r.forkSvc != nil && r.log != nil {
+		r.ckptQ = make(chan ckptJob, 1)
+		go r.checkpointer()
 	}
 	go r.run()
 	return r, nil
@@ -741,6 +840,7 @@ func (r *Replica) Stats() Stats {
 		st.WALBytes = ws.Bytes
 		st.WALSegments = ws.Segments
 		st.CheckpointIndex = ws.CheckpointIndex
+		st.CkptInflight = r.ckptInflight.Load()
 	}
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
@@ -877,9 +977,7 @@ func (r *Replica) commitRound() {
 		}
 		r.walDirty = false
 		r.durableIdx.Store(r.appliedIdx)
-		if r.sinceCkpt >= r.cfg.CheckpointEvery {
-			r.checkpointNow()
-		}
+		r.maybeCheckpoint()
 	}
 	for _, rep := range r.pendingReplies {
 		if rep.enc != nil {
@@ -891,16 +989,154 @@ func (r *Replica) commitRound() {
 	r.pendingReplies = r.pendingReplies[:0]
 }
 
+// maybeCheckpoint starts (or performs) a checkpoint when the cadence
+// is due, or when a failed attempt's retry backoff has expired. With a
+// ForkingService the loop only captures the copy-on-write image and
+// the dedup snapshot — both must reflect exactly appliedIdx — and the
+// checkpointer goroutine serializes, CRCs, and fsyncs off-loop; the
+// blocking path remains for services without Fork (and the
+// CheckpointBlocking ablation).
+func (r *Replica) maybeCheckpoint() {
+	if r.log == nil {
+		return
+	}
+	if r.sinceCkpt < r.cfg.CheckpointEvery && !r.ckptRetry.Load() {
+		return
+	}
+	if at := r.ckptRetryAt.Load(); at != 0 && time.Now().UnixNano() < at {
+		return // failure backoff: don't thrash the serialize+fsync
+	}
+	if r.forkSvc == nil {
+		r.checkpointNow()
+		return
+	}
+	if r.ckptInflight.Load() {
+		return // one outstanding background checkpoint at a time
+	}
+	ids, resps := r.dedup.snapshot()
+	job := ckptJob{index: r.appliedIdx, encode: r.forkSvc.Fork(), ids: ids, resps: resps}
+	r.ckptInflight.Store(true)
+	r.ckptRetry.Store(false)
+	r.sinceCkpt = 0
+	r.ckptQ <- job // buffered 1; the inflight gate makes this non-blocking
+}
+
 // checkpointNow durably snapshots the full replica state at the
-// current applied index; the log releases every segment the
-// checkpoint covers.
+// current applied index, blocking the event loop for the duration; the
+// log releases every segment the checkpoint covers.
 func (r *Replica) checkpointNow() {
-	if err := r.log.SaveCheckpoint(r.appliedIdx, r.encodeState()); err != nil {
+	t0 := time.Now()
+	state := r.encodeState()
+	if err := r.log.SaveCheckpoint(r.appliedIdx, state); err != nil {
 		r.logf("checkpoint at %d failed: %v", r.appliedIdx, err)
+		r.checkpointFailed()
 		return
 	}
 	r.sinceCkpt = 0
+	r.checkpointDone(t0, len(state))
 	r.logf("checkpoint at applied index %d", r.appliedIdx)
+}
+
+// checkpointer serializes, frames, and fsyncs forked checkpoint images
+// off the event loop — the streaming half of the ForkingService path.
+// One job is in flight at a time (ckptInflight); failures arm the same
+// retry backoff the blocking path uses.
+func (r *Replica) checkpointer() {
+	labelStage("checkpointer")
+	for {
+		select {
+		case <-r.done:
+			return
+		case job := <-r.ckptQ:
+			t0 := time.Now()
+			st := &replicaState{
+				Applied:   job.index,
+				Service:   job.encode(),
+				DedupIDs:  job.ids,
+				DedupResp: job.resps,
+			}
+			prefix, tail := st.encodeSplit()
+			size := len(prefix) + len(st.Service) + len(tail)
+			src := io.MultiReader(&pacedReader{b: prefix}, &pacedReader{b: st.Service}, &pacedReader{b: tail})
+			if err := r.log.SaveCheckpointFrom(job.index, src); err != nil {
+				r.logf("background checkpoint at %d failed: %v", job.index, err)
+				r.checkpointFailed()
+			} else {
+				r.checkpointDone(t0, size)
+				r.logf("checkpoint at applied index %d (off-loop)", job.index)
+			}
+			r.ckptInflight.Store(false)
+		}
+	}
+}
+
+// pacedReader feeds the checkpoint writer in small slices, yielding
+// the processor after each one. The chunking+CRC work downstream is
+// CPU-bound; on a small GOMAXPROCS the background write would
+// otherwise hold the only P for a full preemption slice at a time,
+// and every goroutine wakeup in a command's multi-hop path (loop →
+// WAL → apply → reply) pays that delay — the very stall the off-loop
+// checkpointer exists to remove. Yielding every 64 KiB bounds the
+// induced pause at the cost of one slice.
+type pacedReader struct {
+	b []byte
+}
+
+func (p *pacedReader) Read(dst []byte) (int, error) {
+	if len(p.b) == 0 {
+		return 0, io.EOF
+	}
+	n := len(dst)
+	if n > 64<<10 {
+		n = 64 << 10
+	}
+	if n > len(p.b) {
+		n = len(p.b)
+	}
+	copy(dst, p.b[:n])
+	p.b = p.b[n:]
+	runtime.Gosched()
+	return n, nil
+}
+
+// ckptRetryBase is the first failure's backoff; each consecutive
+// failure doubles it, capped at ckptRetryMax.
+const (
+	ckptRetryBase = 100 * time.Millisecond
+	ckptRetryMax  = 10 * time.Second
+)
+
+// checkpointFailed arms the retry backoff after a failed checkpoint
+// attempt. sinceCkpt is deliberately not reset: the checkpoint is
+// still owed, but the backoff keeps the loop from re-running the full
+// serialize+fsync every round against a sick disk. Safe from the loop
+// (blocking path) and the checkpointer goroutine alike.
+func (r *Replica) checkpointFailed() {
+	n := r.ckptFails.Add(1)
+	shift := n - 1
+	if shift > 7 {
+		shift = 7
+	}
+	backoff := ckptRetryBase << shift
+	if backoff > ckptRetryMax {
+		backoff = ckptRetryMax
+	}
+	r.ckptRetryAt.Store(time.Now().Add(backoff).UnixNano())
+	r.ckptRetry.Store(true)
+	r.bump(func(st *Stats) { st.CheckpointFailures++ })
+}
+
+// checkpointDone clears the failure backoff and records the completed
+// checkpoint's duration and size.
+func (r *Replica) checkpointDone(t0 time.Time, size int) {
+	r.ckptFails.Store(0)
+	r.ckptRetryAt.Store(0)
+	r.ckptRetry.Store(false)
+	dur := uint64(time.Since(t0))
+	r.bump(func(st *Stats) {
+		st.CkptLastDurationNs = dur
+		st.CkptBytes = uint64(size)
+	})
 }
 
 // runPipelinedRound is the pipelined counterpart of one
@@ -1112,9 +1348,7 @@ func (r *Replica) applyBatch(batch []*envelope) {
 	// reads know the apply queue is drained.
 	r.delivHandled.Add(uint64(len(batch)))
 
-	if r.log != nil && r.sinceCkpt >= r.cfg.CheckpointEvery {
-		r.checkpointNow()
-	}
+	r.maybeCheckpoint()
 }
 
 // applySections executes one collected round. Commands with an empty
@@ -1335,7 +1569,7 @@ func (r *Replica) handleGroupEvent(e gcs.Event) {
 		env.release()
 		r.delivHandled.Add(1)
 	case gcs.SnapshotRequestEvent:
-		ev.Reply(r.encodeTransfer(ev.Since))
+		r.serveTransfer(ev)
 	case gcs.StateTransferEvent:
 		if err := r.restoreTransfer(ev.State); err != nil {
 			r.logf("state transfer failed: %v", err)
@@ -1621,30 +1855,126 @@ func (r *Replica) loadState(st *replicaState) error {
 	return nil
 }
 
-// deltaMaxBytes caps the log suffix served as an incremental
-// transfer; a peer lagging further behind than this gets a full
-// snapshot instead (which it may well be smaller than anyway).
-const deltaMaxBytes = 8 << 20
+// deltaMax resolves Config.DeltaMaxBytes for wal.ReadSince (whose 0
+// means unlimited, spelled negative in the config).
+func (r *Replica) deltaMax() int {
+	if r.cfg.DeltaMaxBytes < 0 {
+		return 0
+	}
+	return int(r.cfg.DeltaMaxBytes)
+}
 
-// encodeTransfer answers a join-time snapshot request. A joiner that
-// recovered locally to applied index since gets just the log suffix
-// (since, appliedIdx] when this replica's WAL still retains it; anyone
-// else gets the full state. Both travel framed with a CRC.
-func (r *Replica) encodeTransfer(since uint64) []byte {
-	if r.log != nil && since > 0 && since <= r.appliedIdx {
-		if recs, ok := r.log.ReadSince(since, deltaMaxBytes); ok {
-			drecs := make([]deltaRecord, len(recs))
-			for i, rec := range recs {
-				drecs[i] = deltaRecord{Index: rec.Index, Data: rec.Data}
-			}
-			out := frameTransfer(transferDelta, encodeDelta(r.appliedIdx, drecs))
-			r.bump(func(st *Stats) { st.TransferOutDelta++ })
-			r.logf("serving delta transfer: %d records after index %d", len(recs), since)
-			return out
+// serveTransfer answers a join-time snapshot request. Without a
+// ForkingService (or without a log) it runs the pre-fork blocking
+// path on the loop: log-suffix delta when the WAL retains the joiner's
+// gap, full encodeState otherwise. With one, the loop only captures a
+// copy-on-write image and the dedup snapshot, and a background
+// goroutine assembles the transfer and calls ev.Reply — the group's
+// flush protocol blocks quiescent until the reply (or its timeout), so
+// a late reply from another goroutine is the intended contract, and
+// the donor's event loop never stalls on a 4000-node join.
+func (r *Replica) serveTransfer(ev gcs.SnapshotRequestEvent) {
+	if r.forkSvc == nil || r.log == nil {
+		if out, ok := r.tryDeltaTransfer(ev.Since, r.appliedIdx); ok {
+			ev.Reply(out)
+			return
+		}
+		r.bump(func(st *Stats) { st.TransferOutFull++ })
+		ev.Reply(frameTransfer(transferFull, r.encodeState()))
+		return
+	}
+	ids, resps := r.dedup.snapshot()
+	job := ckptJob{index: r.appliedIdx, encode: r.forkSvc.Fork(), ids: ids, resps: resps}
+	go r.buildTransfer(ev, job)
+}
+
+// tryDeltaTransfer serves the log suffix (since, applied] when the WAL
+// fully retains it within the configured size cap. Concurrency-safe
+// (the log guards itself); applied is the flush point, frozen for the
+// duration of the transfer.
+func (r *Replica) tryDeltaTransfer(since, applied uint64) ([]byte, bool) {
+	if r.log == nil || since == 0 || since > applied {
+		return nil, false
+	}
+	recs, ok := r.log.ReadSince(since, r.deltaMax())
+	if !ok {
+		return nil, false
+	}
+	drecs := make([]deltaRecord, len(recs))
+	for i, rec := range recs {
+		drecs[i] = deltaRecord{Index: rec.Index, Data: rec.Data}
+	}
+	out := frameTransfer(transferDelta, encodeDelta(applied, drecs))
+	r.bump(func(st *Stats) { st.TransferOutDelta++ })
+	r.logf("serving delta transfer: %d records after index %d", len(recs), since)
+	return out, true
+}
+
+// buildTransfer assembles a join-time transfer off the event loop. The
+// group is quiescent for the duration of the flush — appliedIdx cannot
+// advance before Reply — but the background checkpointer may prune WAL
+// segments and checkpoint generations concurrently, so each strategy
+// validates and falls through: the bounded log-suffix delta first,
+// then the newest durable checkpoint file plus the WAL suffix after it
+// (retried against concurrent pruning), and finally a full transfer
+// encoded from the image the loop captured at dispatch — which needs
+// no disk state at all and therefore cannot lose a race.
+func (r *Replica) buildTransfer(ev gcs.SnapshotRequestEvent, job ckptJob) {
+	labelStage("transfer_builder")
+	if out, ok := r.tryDeltaTransfer(ev.Since, job.index); ok {
+		ev.Reply(out)
+		return
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		out, retry := r.tryHybridTransfer(job.index)
+		if out != nil {
+			ev.Reply(out)
+			return
+		}
+		if !retry {
+			break
 		}
 	}
-	r.bump(func(st *Stats) { st.TransferOutFull++ })
-	return frameTransfer(transferFull, r.encodeState())
+	st := &replicaState{Applied: job.index, Service: job.encode(), DedupIDs: job.ids, DedupResp: job.resps}
+	r.bump(func(s *Stats) { s.TransferOutFull++ })
+	r.logf("serving full transfer at index %d (off-loop)", job.index)
+	ev.Reply(frameTransfer(transferFull, st.encode()))
+}
+
+// tryHybridTransfer reads the newest durable checkpoint and the WAL
+// suffix (ckptIdx, applied] and packs them as one transfer. A nil
+// result with retry=true means a concurrent checkpoint pruned state
+// beneath the read; retry=false means the strategy cannot apply (no
+// checkpoint yet, or one past the flush point).
+func (r *Replica) tryHybridTransfer(applied uint64) (out []byte, retry bool) {
+	ckptIdx, state := r.log.Checkpoint()
+	if state == nil || ckptIdx > applied {
+		return nil, false
+	}
+	var drecs []deltaRecord
+	if ckptIdx < applied {
+		recs, ok := r.log.ReadSince(ckptIdx, 0)
+		if !ok {
+			return nil, true // pruned beneath us; rescan for the newer checkpoint
+		}
+		drecs = make([]deltaRecord, 0, len(recs))
+		for _, rec := range recs {
+			if rec.Index > applied {
+				break
+			}
+			drecs = append(drecs, deltaRecord{Index: rec.Index, Data: rec.Data})
+		}
+		if ckptIdx+uint64(len(drecs)) != applied {
+			return nil, true
+		}
+	}
+	out = frameTransfer(transferHybrid, encodeHybrid(state, applied, drecs))
+	r.bump(func(st *Stats) {
+		st.TransferOutHybrid++
+		st.TransferStreamChunks += uint64(len(drecs)) + 1
+	})
+	r.logf("serving hybrid transfer: checkpoint %d + %d records to %d", ckptIdx, len(drecs), applied)
+	return out, false
 }
 
 // restoreTransfer applies a join-time state transfer. A full transfer
@@ -1664,29 +1994,47 @@ func (r *Replica) restoreTransfer(b []byte) error {
 		if err != nil {
 			return err
 		}
-		var replayed uint64
-		for _, rec := range recs {
-			if rec.Index <= r.appliedIdx {
-				continue // shared delta for several joiners; we have this prefix
-			}
-			if rec.Index != r.appliedIdx+1 {
-				return fmt.Errorf("rsm: delta gap: record %d after applied %d", rec.Index, r.appliedIdx)
-			}
-			env := getEnvelope()
-			if err := r.decodeEnvelopeInto(env, rec.Data); err != nil {
-				env.release()
-				return fmt.Errorf("rsm: delta record %d: %w", rec.Index, err)
-			}
-			r.applyEnvelope(env)
-			env.release()
-			replayed++
-		}
-		if r.appliedIdx != donorApplied {
-			return fmt.Errorf("rsm: delta ends at %d, donor applied %d", r.appliedIdx, donorApplied)
+		replayed, err := r.replayDeltaRecords(recs, donorApplied)
+		if err != nil {
+			return err
 		}
 		r.bump(func(st *Stats) {
 			st.TransferInDelta++
 			st.TransferReplayed += replayed
+		})
+		return nil
+	case transferHybrid:
+		// Checkpoint + suffix: install the donor's durable checkpoint
+		// as our own base (full-restore semantics, including the log
+		// reset — the local suffix may diverge from the group's
+		// history), then replay the donor's post-checkpoint records
+		// through the normal apply path.
+		stateBytes, donorApplied, recs, err := decodeHybrid(payload)
+		if err != nil {
+			return err
+		}
+		st, err := decodeReplicaState(stateBytes)
+		if err != nil {
+			return err
+		}
+		if err := r.loadState(st); err != nil {
+			return err
+		}
+		r.sinceCkpt = 0
+		r.walDirty = false
+		if r.log != nil {
+			if err := r.log.Reset(st.Applied, stateBytes); err != nil {
+				r.logf("wal reset after hybrid transfer failed: %v", err)
+			}
+		}
+		replayed, err := r.replayDeltaRecords(recs, donorApplied)
+		if err != nil {
+			return err
+		}
+		r.bump(func(s *Stats) {
+			s.TransferInHybrid++
+			s.TransferReplayed += replayed
+			s.TransferStreamChunks += replayed + 1
 		})
 		return nil
 	default: // transferFull
@@ -1709,6 +2057,35 @@ func (r *Replica) restoreTransfer(b []byte) error {
 	}
 }
 
+// replayDeltaRecords applies a donor's log suffix through the normal
+// apply path (which also writes the records to our own log) and checks
+// the end position against the donor's applied index. Records at or
+// below our applied index are skipped — a shared delta for several
+// joiners, or a hybrid whose checkpoint already covers a prefix.
+func (r *Replica) replayDeltaRecords(recs []deltaRecord, donorApplied uint64) (uint64, error) {
+	var replayed uint64
+	for _, rec := range recs {
+		if rec.Index <= r.appliedIdx {
+			continue
+		}
+		if rec.Index != r.appliedIdx+1 {
+			return replayed, fmt.Errorf("rsm: delta gap: record %d after applied %d", rec.Index, r.appliedIdx)
+		}
+		env := getEnvelope()
+		if err := r.decodeEnvelopeInto(env, rec.Data); err != nil {
+			env.release()
+			return replayed, fmt.Errorf("rsm: delta record %d: %w", rec.Index, err)
+		}
+		r.applyEnvelope(env)
+		env.release()
+		replayed++
+	}
+	if r.appliedIdx != donorApplied {
+		return replayed, fmt.Errorf("rsm: delta ends at %d, donor applied %d", r.appliedIdx, donorApplied)
+	}
+	return replayed, nil
+}
+
 // recoverLocal rebuilds the replica from its data directory before it
 // joins the group: newest checkpoint first, then every log record
 // after it, replayed through the normal dedup-checked apply path.
@@ -1723,29 +2100,45 @@ func (r *Replica) recoverLocal() error {
 			return fmt.Errorf("rsm: restoring checkpoint at %d: %w", ckptIdx, err)
 		}
 	}
+	// Replay the post-checkpoint suffix through the conflict-keyed
+	// apply pool instead of serially: records are collected into
+	// batches and each batch partitions into per-key runs exactly like
+	// a live round. Batches are capped at DedupLimit records — a ReqID
+	// logged twice implies more than DedupLimit fresh inserts between
+	// the two copies (the first entry had to be evicted before the
+	// retry could re-log), so a batch this size can never contain a
+	// same-ReqID pair, and per-batch dedup inserts in index order keep
+	// the table's FIFO eviction identical to live execution.
+	batchMax := 512
+	if r.cfg.DedupLimit < batchMax {
+		batchMax = r.cfg.DedupLimit
+	}
 	var replayed uint64
+	batch := make([]*envelope, 0, batchMax)
 	err := r.log.Replay(r.appliedIdx, func(index uint64, data []byte) error {
-		if index != r.appliedIdx+1 {
-			return fmt.Errorf("rsm: log gap: record %d after applied %d", index, r.appliedIdx)
+		if index != r.appliedIdx+uint64(len(batch))+1 {
+			return fmt.Errorf("rsm: log gap: record %d after applied %d", index, r.appliedIdx+uint64(len(batch)))
 		}
 		env := getEnvelope()
 		if err := r.decodeEnvelopeInto(env, data); err != nil {
 			env.release()
 			return fmt.Errorf("rsm: log record %d: %w", index, err)
 		}
-		if _, _, seen := r.dedup.lookup(env.ReqID); !seen {
-			r.applyCommand(env)
-		} else {
-			r.appliedIdx = index // logged before the dedup entry checkpointed
-			r.appliedPub.Store(r.appliedIdx)
-		}
-		env.release()
+		batch = append(batch, env)
 		replayed++
+		if len(batch) >= batchMax {
+			r.replayBatch(batch)
+			batch = batch[:0]
+		}
 		return nil
 	})
 	if err != nil {
+		for _, env := range batch {
+			env.release()
+		}
 		return err
 	}
+	r.replayBatch(batch)
 	r.bump(func(st *Stats) {
 		st.RecoveryReplayed = replayed
 		st.AppliedIndex = r.appliedIdx
@@ -1755,4 +2148,56 @@ func (r *Replica) recoverLocal() error {
 			r.appliedIdx, ckptIdx, replayed)
 	}
 	return nil
+}
+
+// replayBatch applies one batch of recovered log records through the
+// conflict-keyed apply pool. It mirrors applyBatch's dedup/partition
+// stage but never re-appends to the log (the records are already
+// durable), never produces replies, and releases the envelopes at the
+// end. The caller guarantees the batch holds at most DedupLimit
+// records, so no ReqID occurs twice within it (see recoverLocal) and
+// dupOf chaining is unnecessary.
+func (r *Replica) replayBatch(batch []*envelope) {
+	if len(batch) == 0 {
+		return
+	}
+	cmds := r.paBuf
+	if cap(cmds) < len(batch) {
+		cmds = make([]pendingApply, 0, len(batch)+64)
+	}
+	cmds = cmds[:0]
+	fresh := 0
+	for _, env := range batch {
+		r.appliedIdx++
+		cmds = append(cmds, pendingApply{env: env, dupOf: -1, next: -1})
+		pa := &cmds[len(cmds)-1]
+		pa.index = r.appliedIdx
+		if _, _, seen := r.dedup.lookup(env.ReqID); seen {
+			pa.seen = true // logged before its dedup entry checkpointed
+			continue
+		}
+		pa.cmd = Command{ReqID: env.ReqID, Payload: env.Payload, Origin: env.Origin, Client: env.Client}
+		pa.key = r.service.ConflictKey(pa.cmd)
+		fresh++
+	}
+	r.paBuf = cmds
+
+	r.applySections(cmds)
+
+	for i := range cmds {
+		pa := &cmds[i]
+		if !pa.seen {
+			r.dedupInsert(pa.env.ReqID, pa.resp, pa.index)
+		}
+	}
+	r.appliedPub.Store(r.appliedIdx)
+	if fresh > 0 {
+		r.bump(func(st *Stats) {
+			st.Applied += uint64(fresh)
+			st.AppliedIndex = r.appliedIdx
+		})
+	}
+	for _, env := range batch {
+		env.release()
+	}
 }

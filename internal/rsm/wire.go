@@ -20,9 +20,23 @@ type replicaState struct {
 }
 
 func (s *replicaState) encode() []byte {
-	e := codec.NewEncoder(len(s.Service) + 256)
-	e.PutUint(s.Applied)
-	e.PutBytes(s.Service)
+	prefix, tail := s.encodeSplit()
+	out := make([]byte, 0, len(prefix)+len(s.Service)+len(tail))
+	out = append(out, prefix...)
+	out = append(out, s.Service...)
+	out = append(out, tail...)
+	return out
+}
+
+// encodeSplit returns the encoding as (prefix, tail) framing the raw
+// Service bytes: prefix ++ Service ++ tail == encode(). The background
+// checkpointer streams the three pieces so a multi-megabyte service
+// snapshot is never copied into a second contiguous buffer.
+func (s *replicaState) encodeSplit() (prefix, tail []byte) {
+	p := codec.NewEncoder(32)
+	p.PutUint(s.Applied)
+	p.PutUint(uint64(len(s.Service))) // PutBytes framing: uvarint length, raw bytes
+	e := codec.NewEncoder(256)
 	e.PutUint(uint64(len(s.DedupIDs)))
 	for i, id := range s.DedupIDs {
 		e.PutString(id)
@@ -31,7 +45,7 @@ func (s *replicaState) encode() []byte {
 		e.PutBool(s.DedupResp[i] != nil)
 		e.PutBytes(s.DedupResp[i])
 	}
-	return e.Bytes()
+	return p.Bytes(), e.Bytes()
 }
 
 func decodeReplicaState(b []byte) (*replicaState, error) {
@@ -67,8 +81,9 @@ func decodeReplicaState(b []byte) (*replicaState, error) {
 // payload. The guard rejects corrupt or truncated transfer bytes with
 // a clear error instead of letting them reach a service decoder.
 const (
-	transferFull  byte = 1
-	transferDelta byte = 2
+	transferFull   byte = 1
+	transferDelta  byte = 2
+	transferHybrid byte = 3 // durable checkpoint image + WAL suffix
 )
 
 // deltaRecord is one logged command inside a delta transfer.
@@ -98,7 +113,7 @@ func unframeTransfer(b []byte) (kind byte, payload []byte, err error) {
 	if uint64(crc32.ChecksumIEEE(payload)) != crc {
 		return 0, nil, fmt.Errorf("rsm: state transfer fails CRC (corrupt or truncated)")
 	}
-	if kind != transferFull && kind != transferDelta {
+	if kind != transferFull && kind != transferDelta && kind != transferHybrid {
 		return 0, nil, fmt.Errorf("rsm: unknown state transfer kind %d", kind)
 	}
 	return kind, payload, nil
@@ -119,6 +134,50 @@ func encodeDelta(donorApplied uint64, recs []deltaRecord) []byte {
 		e.PutBytes(rec.Data)
 	}
 	return e.Bytes()
+}
+
+// encodeHybrid packs a durable checkpoint image (an encoded
+// replicaState, exactly the bytes stored in the checkpoint file)
+// followed by the donor's post-checkpoint log suffix. The joiner
+// installs the image as a full restore and then replays the suffix.
+func encodeHybrid(state []byte, donorApplied uint64, recs []deltaRecord) []byte {
+	size := len(state) + 32
+	for _, rec := range recs {
+		size += 16 + len(rec.Data)
+	}
+	e := codec.NewEncoder(size)
+	e.PutBytes(state)
+	e.PutUint(donorApplied)
+	e.PutUint(uint64(len(recs)))
+	for _, rec := range recs {
+		e.PutUint(rec.Index)
+		e.PutBytes(rec.Data)
+	}
+	return e.Bytes()
+}
+
+func decodeHybrid(b []byte) (state []byte, donorApplied uint64, recs []deltaRecord, err error) {
+	d := codec.NewDecoder(b)
+	sb := d.Bytes()
+	state = make([]byte, len(sb))
+	copy(state, sb)
+	donorApplied = d.Uint()
+	n := d.Uint()
+	if d.Err() != nil || n > uint64(d.Remaining())+1 {
+		return nil, 0, nil, fmt.Errorf("rsm: corrupt hybrid transfer: %v", d.Err())
+	}
+	recs = make([]deltaRecord, 0, n)
+	for i := uint64(0); i < n; i++ {
+		rec := deltaRecord{Index: d.Uint()}
+		rb := d.Bytes()
+		rec.Data = make([]byte, len(rb))
+		copy(rec.Data, rb)
+		recs = append(recs, rec)
+	}
+	if err := d.Finish(); err != nil {
+		return nil, 0, nil, err
+	}
+	return state, donorApplied, recs, nil
 }
 
 func decodeDelta(b []byte) (donorApplied uint64, recs []deltaRecord, err error) {

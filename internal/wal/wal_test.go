@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
@@ -495,6 +496,175 @@ func TestCheckpointCorruptFallsBack(t *testing.T) {
 	defer l.Close()
 	idx, state := l.Checkpoint()
 	if idx != 2 || string(state) != "old" {
+		t.Fatalf("Checkpoint = (%d, %q), want fallback (2, old)", idx, state)
+	}
+}
+
+func TestCheckpointV2MultiChunkRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, nil)
+	appendN(t, l, 1, 3)
+
+	// A state bigger than one chunk exercises the chunk framing.
+	state := make([]byte, ckptChunkSize*2+12345)
+	for i := range state {
+		state[i] = byte(i * 7)
+	}
+	if err := l.SaveCheckpoint(3, state); err != nil {
+		t.Fatalf("SaveCheckpoint: %v", err)
+	}
+	if idx, got := l.Checkpoint(); idx != 3 || !bytes.Equal(got, state) {
+		t.Fatalf("Checkpoint = (%d, %d bytes), want (3, %d bytes identical)", idx, len(got), len(state))
+	}
+	ckpts, _ := filepath.Glob(filepath.Join(dir, ckptPrefix+"*"+ckptSuffix))
+	if len(ckpts) != 1 {
+		t.Fatalf("%d checkpoint files, want 1", len(ckpts))
+	}
+	b, err := os.ReadFile(ckpts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b[:len(ckptMagic)]) != ckptMagic {
+		t.Fatalf("checkpoint file does not start with %q", ckptMagic)
+	}
+	l.Close()
+
+	l = openT(t, dir, nil)
+	defer l.Close()
+	if idx, got := l.Checkpoint(); idx != 3 || !bytes.Equal(got, state) {
+		t.Fatalf("reopened Checkpoint = (%d, %d bytes), want (3, identical)", idx, len(got))
+	}
+}
+
+func TestCheckpointFromStreamsReader(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, nil)
+	defer l.Close()
+	appendN(t, l, 1, 2)
+	state := bytes.Repeat([]byte("stream"), 4096)
+	if err := l.SaveCheckpointFrom(2, bytes.NewReader(state)); err != nil {
+		t.Fatalf("SaveCheckpointFrom: %v", err)
+	}
+	if idx, got := l.Checkpoint(); idx != 2 || !bytes.Equal(got, state) {
+		t.Fatalf("Checkpoint = (%d, %d bytes), want streamed state back", idx, len(got))
+	}
+	if l.CheckpointIndex() != 2 {
+		t.Fatalf("CheckpointIndex = %d, want 2", l.CheckpointIndex())
+	}
+}
+
+func TestCheckpointCompression(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, func(o *Options) { o.Compress = true })
+	appendN(t, l, 1, 2)
+	state := bytes.Repeat([]byte("abcdefgh"), 64<<10) // highly compressible
+	if err := l.SaveCheckpoint(2, state); err != nil {
+		t.Fatalf("SaveCheckpoint: %v", err)
+	}
+	ckpts, _ := filepath.Glob(filepath.Join(dir, ckptPrefix+"*"+ckptSuffix))
+	if len(ckpts) != 1 {
+		t.Fatalf("%d checkpoint files, want 1", len(ckpts))
+	}
+	fi, err := os.Stat(ckpts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() >= int64(len(state))/4 {
+		t.Fatalf("compressed checkpoint is %d bytes for %d of repetitive state", fi.Size(), len(state))
+	}
+	l.Close()
+
+	// A reader without the Compress option still decodes it (the flag
+	// travels in the file header).
+	l = openT(t, dir, nil)
+	defer l.Close()
+	if idx, got := l.Checkpoint(); idx != 2 || !bytes.Equal(got, state) {
+		t.Fatalf("Checkpoint = (%d, %d bytes), want decompressed original", idx, len(got))
+	}
+}
+
+func TestCheckpointV1ReadCompat(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, nil)
+	appendN(t, l, 1, 5)
+	l.Close()
+
+	// Hand-write a v1 checkpoint file: [crc32][uvarint index][state].
+	state := []byte("legacy-state")
+	var idxBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(idxBuf[:], 5)
+	body := append(idxBuf[:n], state...)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], crc32.ChecksumIEEE(body))
+	path := filepath.Join(dir, fmt.Sprintf("%s%020d%s", ckptPrefix, 5, ckptSuffix))
+	if err := os.WriteFile(path, append(hdr[:], body...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l = openT(t, dir, nil)
+	defer l.Close()
+	if idx, got := l.Checkpoint(); idx != 5 || !bytes.Equal(got, state) {
+		t.Fatalf("Checkpoint = (%d, %q), want v1 (5, legacy-state)", idx, got)
+	}
+	if l.CheckpointIndex() != 5 {
+		t.Fatalf("CheckpointIndex = %d, want 5", l.CheckpointIndex())
+	}
+}
+
+func TestTornCheckpointTmpRemovedAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, nil)
+	appendN(t, l, 1, 6)
+	if err := l.SaveCheckpoint(4, []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Simulate a crash mid-background-checkpoint: a torn tmp file at a
+	// higher index that never reached its rename commit point.
+	torn := filepath.Join(dir, fmt.Sprintf("%s%020d%s.tmp", ckptPrefix, 6, ckptSuffix))
+	if err := os.WriteFile(torn, []byte("JCKP\x02\x00garbage-without-terminator"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l = openT(t, dir, nil)
+	defer l.Close()
+	if idx, state := l.Checkpoint(); idx != 4 || string(state) != "durable" {
+		t.Fatalf("Checkpoint = (%d, %q), want previous durable (4, durable)", idx, state)
+	}
+	if _, err := os.Stat(torn); !os.IsNotExist(err) {
+		t.Fatalf("torn tmp file survived Open: %v", err)
+	}
+	// The WAL suffix past the durable checkpoint is still replayable.
+	if recs := collect(t, l, 4); len(recs) != 2 {
+		t.Fatalf("replayed %d records past checkpoint, want 2", len(recs))
+	}
+}
+
+func TestTruncatedV2CheckpointFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, nil)
+	appendN(t, l, 1, 4)
+	if err := l.SaveCheckpoint(2, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SaveCheckpoint(4, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Truncate the newest checkpoint mid-chunk: the missing terminator
+	// must fail validation and fall back to the previous generation.
+	ckpts, _ := filepath.Glob(filepath.Join(dir, ckptPrefix+"*"+ckptSuffix))
+	newest := ckpts[len(ckpts)-1]
+	b, _ := os.ReadFile(newest)
+	if err := os.WriteFile(newest, b[:len(b)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l = openT(t, dir, nil)
+	defer l.Close()
+	if idx, state := l.Checkpoint(); idx != 2 || string(state) != "old" {
 		t.Fatalf("Checkpoint = (%d, %q), want fallback (2, old)", idx, state)
 	}
 }
